@@ -1,0 +1,253 @@
+//! NE — Neighborhood Expansion (Zhang et al., "Graph Edge Partitioning via
+//! Neighborhood Heuristic", KDD 2017; the paper's reference [13]).
+//!
+//! Like TLP, NE builds partitions one at a time from a random seed, so it
+//! is the most closely related comparator. It maintains a *core* set `C`
+//! and a *boundary* set `S ⊇ C`; each step moves the boundary vertex with
+//! the fewest residual neighbors outside `S` into the core, extends the
+//! boundary with that vertex's neighbors, and allocates every residual
+//! edge between the moved vertex and `S`.
+
+use crate::stream::{edge_order, EdgeOrder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tlp_core::{EdgePartition, EdgePartitioner, PartitionError, PartitionId};
+use tlp_graph::{CsrGraph, ResidualGraph, VertexId};
+
+/// The NE partitioner.
+///
+/// # Example
+///
+/// ```
+/// use tlp_baselines::NePartitioner;
+/// use tlp_core::EdgePartitioner;
+/// use tlp_graph::generators::power_law_community;
+///
+/// let g = power_law_community(400, 1_600, 2.1, 10, 0.2, 3);
+/// let part = NePartitioner::new(1).partition(&g, 8)?;
+/// assert_eq!(part.num_edges(), 1_600);
+/// # Ok::<(), tlp_core::PartitionError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NePartitioner {
+    seed: u64,
+}
+
+impl NePartitioner {
+    /// Creates an NE partitioner with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        NePartitioner { seed }
+    }
+}
+
+impl EdgePartitioner for NePartitioner {
+    fn name(&self) -> &str {
+        "NE"
+    }
+
+    fn partition(
+        &self,
+        graph: &CsrGraph,
+        num_partitions: usize,
+    ) -> Result<EdgePartition, PartitionError> {
+        if num_partitions == 0 {
+            return Err(PartitionError::ZeroPartitions);
+        }
+        let m = graph.num_edges();
+        let n = graph.num_vertices();
+        let mut assignment: Vec<PartitionId> = vec![0; m];
+        if m == 0 {
+            return EdgePartition::new(num_partitions, assignment);
+        }
+        let capacity = m.div_ceil(num_partitions).max(1);
+        let mut residual = ResidualGraph::new(graph);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Round-stamped membership of S (boundary) and C (core).
+        let mut in_s = vec![u32::MAX; n];
+        let mut in_c = vec![u32::MAX; n];
+        // Residual neighbors outside S, per boundary candidate.
+        let mut outside = vec![0u32; n];
+
+        for k in 0..num_partitions as u32 {
+            if residual.is_exhausted() {
+                break;
+            }
+            let mut allocated = 0usize;
+            // Min-heap on (outside-count, vertex): keys only decrease as S
+            // grows, so lazy stale entries are always *larger* and the
+            // freshest (smallest) entry surfaces first.
+            let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> = BinaryHeap::new();
+            let mut scratch: Vec<(VertexId, tlp_graph::EdgeId)> = Vec::new();
+
+            let hint = rng.gen_range(0..n as u32);
+            let seed = residual
+                .any_active_vertex_from(hint)
+                .expect("residual not exhausted");
+            add_to_s(
+                seed, k, &mut residual, &mut assignment, &mut in_s, &in_c, &mut outside,
+                &mut heap, &mut scratch, &mut allocated,
+            );
+
+            while allocated <= capacity && !residual.is_exhausted() {
+                // Pop the boundary vertex with fewest outside neighbors.
+                let x = loop {
+                    match heap.pop() {
+                        None => break None,
+                        Some(Reverse((c, v))) => {
+                            if in_c[v as usize] != k
+                                && in_s[v as usize] == k
+                                && outside[v as usize] == c
+                            {
+                                break Some(v);
+                            }
+                        }
+                    }
+                };
+                let x = match x {
+                    Some(x) => x,
+                    None => {
+                        // Boundary exhausted: reseed within the round.
+                        let hint = rng.gen_range(0..n as u32);
+                        match residual.any_active_vertex_from(hint) {
+                            Some(s) => {
+                                add_to_s(
+                                    s, k, &mut residual, &mut assignment, &mut in_s, &in_c,
+                                    &mut outside, &mut heap, &mut scratch, &mut allocated,
+                                );
+                                continue;
+                            }
+                            None => break,
+                        }
+                    }
+                };
+                in_c[x as usize] = k;
+
+                // Expand: every residual neighbor of x joins S (allocating
+                // each S-internal edge, including the one back to x).
+                let neighbors: Vec<VertexId> =
+                    residual.residual_incident(x).map(|(u, _)| u).collect();
+                for u in neighbors {
+                    add_to_s(
+                        u, k, &mut residual, &mut assignment, &mut in_s, &in_c, &mut outside,
+                        &mut heap, &mut scratch, &mut allocated,
+                    );
+                }
+            }
+        }
+
+        // Any remainder (possible when rounds exhaust early) goes to the
+        // least-loaded partitions, as elsewhere in this workspace.
+        if !residual.is_exhausted() {
+            let mut counts = vec![0usize; num_partitions];
+            for &pid in &assignment {
+                counts[pid as usize] += 1;
+            }
+            for eid in edge_order(graph, EdgeOrder::Natural) {
+                if residual.is_free(eid) {
+                    let (target, _) = counts
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(i, &c)| (c, i))
+                        .expect("p >= 1");
+                    assignment[eid as usize] = target as PartitionId;
+                    counts[target] += 1;
+                    residual.allocate(eid);
+                }
+            }
+        }
+
+        EdgePartition::new(num_partitions, assignment)
+    }
+}
+
+/// Adds `v` to the boundary set `S` of round `k`: allocates every residual
+/// edge from `v` to current `S` members (the "both endpoints in S" rule),
+/// updates affected boundary candidates' outside counts, and enrolls `v` as
+/// a candidate keyed by its remaining (outside-`S`) residual degree.
+#[allow(clippy::too_many_arguments)]
+fn add_to_s(
+    v: VertexId,
+    k: u32,
+    residual: &mut ResidualGraph<'_>,
+    assignment: &mut [PartitionId],
+    in_s: &mut [u32],
+    in_c: &[u32],
+    outside: &mut [u32],
+    heap: &mut BinaryHeap<Reverse<(u32, VertexId)>>,
+    scratch: &mut Vec<(VertexId, tlp_graph::EdgeId)>,
+    allocated: &mut usize,
+) {
+    if in_s[v as usize] == k {
+        return;
+    }
+    in_s[v as usize] = k;
+    scratch.clear();
+    scratch.extend(residual.residual_incident(v));
+    for i in 0..scratch.len() {
+        let (u, eid) = scratch[i];
+        if in_s[u as usize] == k {
+            residual.allocate(eid);
+            assignment[eid as usize] = k;
+            *allocated += 1;
+            if in_c[u as usize] != k {
+                outside[u as usize] -= 1;
+                heap.push(Reverse((outside[u as usize], u)));
+            }
+        }
+    }
+    // All of v's surviving residual edges now point outside S.
+    let count = residual.residual_degree(v) as u32;
+    outside[v as usize] = count;
+    heap.push(Reverse((count, v)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_core::PartitionMetrics;
+    use tlp_graph::generators::power_law_community;
+    use tlp_graph::GraphBuilder;
+
+    #[test]
+    fn covers_all_edges_and_is_deterministic() {
+        let g = power_law_community(300, 1500, 2.1, 8, 0.25, 2);
+        let a = NePartitioner::new(5).partition(&g, 6).unwrap();
+        let b = NePartitioner::new(5).partition(&g, 6).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.edge_counts().iter().sum::<usize>(), 1500);
+    }
+
+    #[test]
+    fn beats_random_and_hashing() {
+        let g = power_law_community(800, 4000, 2.1, 16, 0.2, 7);
+        let p = 10;
+        let rf = |part: &EdgePartition| PartitionMetrics::compute(&g, part).replication_factor;
+        let ne = rf(&NePartitioner::new(1).partition(&g, p).unwrap());
+        let rnd = rf(&crate::RandomPartitioner::new(1).partition(&g, p).unwrap());
+        let dbh = rf(&crate::DbhPartitioner::new(1).partition(&g, p).unwrap());
+        assert!(ne < rnd, "NE {ne} vs Random {rnd}");
+        assert!(ne < dbh, "NE {ne} vs DBH {dbh}");
+    }
+
+    #[test]
+    fn partitions_are_roughly_balanced() {
+        let g = power_law_community(500, 2500, 2.2, 10, 0.25, 3);
+        let part = NePartitioner::new(2).partition(&g, 5).unwrap();
+        let counts = part.edge_counts();
+        let max = *counts.iter().max().unwrap();
+        assert!(max <= 2 * 2500 / 5, "unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn handles_disconnected_graphs_and_zero_p() {
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (2, 3), (4, 5)])
+            .build();
+        let part = NePartitioner::new(0).partition(&g, 2).unwrap();
+        assert_eq!(part.edge_counts().iter().sum::<usize>(), 3);
+        assert!(NePartitioner::new(0).partition(&g, 0).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Streaming orders for edges and vertices.
+//!
+//! Streaming partitioners are sensitive to arrival order; these helpers
+//! produce the standard orders used in the literature (natural file order,
+//! random permutation, BFS, DFS) deterministically.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tlp_graph::{CsrGraph, EdgeId, VertexId};
+
+/// Arrival order of an edge stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeOrder {
+    /// Edge-id order (the canonical sorted order of `CsrGraph`).
+    Natural,
+    /// Seeded uniform shuffle.
+    Random(u64),
+    /// Edges in order of BFS discovery of their earlier endpoint.
+    Bfs,
+}
+
+/// Arrival order of a vertex stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VertexOrder {
+    /// `0..n`.
+    Natural,
+    /// Seeded uniform shuffle.
+    Random(u64),
+    /// BFS from vertex 0, restarting per component (the order recommended
+    /// for LDG/FENNEL in Stanton & Kliot's evaluation).
+    Bfs,
+    /// DFS from vertex 0, restarting per component.
+    Dfs,
+}
+
+/// Materializes an edge arrival order.
+///
+/// # Example
+///
+/// ```
+/// use tlp_baselines::{edge_order, EdgeOrder};
+/// use tlp_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new().add_edges([(0, 1), (1, 2), (2, 3)]).build();
+/// assert_eq!(edge_order(&g, EdgeOrder::Natural), vec![0, 1, 2]);
+/// let shuffled = edge_order(&g, EdgeOrder::Random(7));
+/// let mut sorted = shuffled.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, vec![0, 1, 2]);
+/// ```
+pub fn edge_order(graph: &CsrGraph, order: EdgeOrder) -> Vec<EdgeId> {
+    let m = graph.num_edges() as EdgeId;
+    match order {
+        EdgeOrder::Natural => (0..m).collect(),
+        EdgeOrder::Random(seed) => {
+            let mut ids: Vec<EdgeId> = (0..m).collect();
+            ids.shuffle(&mut StdRng::seed_from_u64(seed));
+            ids
+        }
+        EdgeOrder::Bfs => {
+            let vorder = vertex_order(graph, VertexOrder::Bfs);
+            let mut rank = vec![u32::MAX; graph.num_vertices()];
+            for (i, &v) in vorder.iter().enumerate() {
+                rank[v as usize] = i as u32;
+            }
+            let mut ids: Vec<EdgeId> = (0..m).collect();
+            ids.sort_by_key(|&e| {
+                let edge = graph.edge(e);
+                let (a, b) = (rank[edge.source() as usize], rank[edge.target() as usize]);
+                (a.min(b), a.max(b), e)
+            });
+            ids
+        }
+    }
+}
+
+/// Materializes a vertex arrival order.
+pub fn vertex_order(graph: &CsrGraph, order: VertexOrder) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    match order {
+        VertexOrder::Natural => (0..n as VertexId).collect(),
+        VertexOrder::Random(seed) => {
+            let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+            ids.shuffle(&mut StdRng::seed_from_u64(seed));
+            ids
+        }
+        VertexOrder::Bfs => {
+            let mut visited = vec![false; n];
+            let mut out = Vec::with_capacity(n);
+            let mut queue = std::collections::VecDeque::new();
+            for s in 0..n as VertexId {
+                if visited[s as usize] {
+                    continue;
+                }
+                visited[s as usize] = true;
+                queue.push_back(s);
+                while let Some(v) = queue.pop_front() {
+                    out.push(v);
+                    for &w in graph.neighbors(v) {
+                        if !visited[w as usize] {
+                            visited[w as usize] = true;
+                            queue.push_back(w);
+                        }
+                    }
+                }
+            }
+            out
+        }
+        VertexOrder::Dfs => {
+            let mut visited = vec![false; n];
+            let mut out = Vec::with_capacity(n);
+            let mut stack = Vec::new();
+            for s in 0..n as VertexId {
+                if visited[s as usize] {
+                    continue;
+                }
+                stack.push(s);
+                visited[s as usize] = true;
+                while let Some(v) = stack.pop() {
+                    out.push(v);
+                    for &w in graph.neighbors(v) {
+                        if !visited[w as usize] {
+                            visited[w as usize] = true;
+                            stack.push(w);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_graph::GraphBuilder;
+
+    fn graph() -> CsrGraph {
+        GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (2, 3), (4, 5)])
+            .build()
+    }
+
+    #[test]
+    fn natural_orders() {
+        let g = graph();
+        assert_eq!(edge_order(&g, EdgeOrder::Natural), vec![0, 1, 2, 3]);
+        assert_eq!(vertex_order(&g, VertexOrder::Natural), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn random_orders_are_permutations_and_seeded() {
+        let g = graph();
+        let a = edge_order(&g, EdgeOrder::Random(1));
+        let b = edge_order(&g, EdgeOrder::Random(1));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        let v = vertex_order(&g, VertexOrder::Random(2));
+        let mut vs = v.clone();
+        vs.sort_unstable();
+        assert_eq!(vs, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bfs_vertex_order_covers_all_components() {
+        let g = graph();
+        let order = vertex_order(&g, VertexOrder::Bfs);
+        assert_eq!(order.len(), 6);
+        assert_eq!(order[0], 0);
+        // Component {4,5} appears after component {0..3}.
+        let pos4 = order.iter().position(|&v| v == 4).unwrap();
+        assert!(pos4 >= 4);
+    }
+
+    #[test]
+    fn dfs_vertex_order_is_complete() {
+        let g = graph();
+        let mut order = vertex_order(&g, VertexOrder::Dfs);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bfs_edge_order_groups_by_discovery() {
+        let g = graph();
+        let order = edge_order(&g, EdgeOrder::Bfs);
+        assert_eq!(order.len(), 4);
+        // Edge (0,1) must come first: both endpoints discovered earliest.
+        assert_eq!(g.edge(order[0]).endpoints(), (0, 1));
+    }
+}

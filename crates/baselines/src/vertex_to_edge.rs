@@ -1,0 +1,188 @@
+//! Vertex partitions and their conversion to edge partitions.
+//!
+//! LDG, FENNEL, and METIS are *vertex* partitioners; the paper evaluates
+//! everything under the edge-partitioning metric (RF), so vertex partitions
+//! are converted: each edge follows one of its endpoints. We send each edge
+//! to the endpoint partition with the smaller current edge load (ties to
+//! the lower partition id), which keeps the derived edge partition balanced
+//! without changing which partitions an edge may join. The same conversion
+//! is applied to every vertex partitioner, so comparisons remain fair.
+
+use tlp_core::{EdgePartition, PartitionError, PartitionId};
+use tlp_graph::{CsrGraph, VertexId};
+
+/// A total assignment of vertices to `p` partitions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexPartition {
+    num_partitions: usize,
+    assignment: Vec<PartitionId>,
+}
+
+impl VertexPartition {
+    /// Wraps a complete vertex assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::ZeroPartitions`] if `num_partitions == 0`,
+    /// or [`PartitionError::InvalidAssignment`] if an entry is out of range.
+    pub fn new(
+        num_partitions: usize,
+        assignment: Vec<PartitionId>,
+    ) -> Result<Self, PartitionError> {
+        if num_partitions == 0 {
+            return Err(PartitionError::ZeroPartitions);
+        }
+        if let Some((v, &pid)) = assignment
+            .iter()
+            .enumerate()
+            .find(|(_, &pid)| pid as usize >= num_partitions)
+        {
+            return Err(PartitionError::InvalidAssignment(format!(
+                "vertex {v} assigned to partition {pid} of {num_partitions}"
+            )));
+        }
+        Ok(VertexPartition {
+            num_partitions,
+            assignment,
+        })
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// Partition of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn partition_of(&self, v: VertexId) -> PartitionId {
+        self.assignment[v as usize]
+    }
+
+    /// The raw assignment, indexed by vertex id.
+    pub fn assignments(&self) -> &[PartitionId] {
+        &self.assignment
+    }
+
+    /// Vertex count per partition.
+    pub fn vertex_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_partitions];
+        for &pid in &self.assignment {
+            counts[pid as usize] += 1;
+        }
+        counts
+    }
+
+    /// Number of cross-partition edges (the vertex-partitioning objective,
+    /// Definition 1).
+    pub fn edge_cut(&self, graph: &CsrGraph) -> usize {
+        graph
+            .edges()
+            .iter()
+            .filter(|e| self.partition_of(e.source()) != self.partition_of(e.target()))
+            .count()
+    }
+}
+
+/// Converts a vertex partition into an edge partition (load-aware endpoint
+/// rule; see the module docs).
+///
+/// # Panics
+///
+/// Panics if the vertex partition does not cover the graph's vertices.
+///
+/// # Example
+///
+/// ```
+/// use tlp_baselines::{derive_edge_partition, VertexPartition};
+/// use tlp_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new().add_edges([(0, 1), (1, 2), (2, 3)]).build();
+/// let vp = VertexPartition::new(2, vec![0, 0, 1, 1])?;
+/// let ep = derive_edge_partition(&g, &vp);
+/// assert_eq!(ep.partition_of(0), 0);         // edge (0,1): both endpoints in 0
+/// assert_eq!(ep.partition_of(2), 1);         // edge (2,3): both endpoints in 1
+/// assert_eq!(ep.edge_counts().iter().sum::<usize>(), 3);
+/// # Ok::<(), tlp_core::PartitionError>(())
+/// ```
+pub fn derive_edge_partition(graph: &CsrGraph, vertices: &VertexPartition) -> EdgePartition {
+    assert_eq!(
+        vertices.assignments().len(),
+        graph.num_vertices(),
+        "vertex partition does not cover the graph"
+    );
+    let p = vertices.num_partitions();
+    let mut loads = vec![0usize; p];
+    let mut assignment = Vec::with_capacity(graph.num_edges());
+    for e in graph.edges() {
+        let a = vertices.partition_of(e.source());
+        let b = vertices.partition_of(e.target());
+        let pid = if a == b {
+            a
+        } else {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            if loads[lo as usize] <= loads[hi as usize] {
+                lo
+            } else {
+                hi
+            }
+        };
+        loads[pid as usize] += 1;
+        assignment.push(pid);
+    }
+    EdgePartition::new(p, assignment).expect("derived assignment is in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_graph::GraphBuilder;
+
+    #[test]
+    fn validation() {
+        assert!(VertexPartition::new(0, vec![]).is_err());
+        assert!(VertexPartition::new(2, vec![0, 2]).is_err());
+        let vp = VertexPartition::new(2, vec![0, 1, 1]).unwrap();
+        assert_eq!(vp.vertex_counts(), vec![1, 2]);
+    }
+
+    #[test]
+    fn edge_cut_counts_cross_edges() {
+        let g = GraphBuilder::new().add_edges([(0, 1), (1, 2), (0, 2)]).build();
+        let vp = VertexPartition::new(2, vec![0, 0, 1]).unwrap();
+        assert_eq!(vp.edge_cut(&g), 2); // (1,2) and (0,2)
+    }
+
+    #[test]
+    fn internal_edges_stay_in_their_partition() {
+        let g = GraphBuilder::new().add_edges([(0, 1), (2, 3)]).build();
+        let vp = VertexPartition::new(2, vec![0, 0, 1, 1]).unwrap();
+        let ep = derive_edge_partition(&g, &vp);
+        assert_eq!(ep.assignments(), &[0, 1]);
+    }
+
+    #[test]
+    fn cross_edges_balance_loads() {
+        // A star with center in partition 0 and all leaves in partition 1:
+        // cross edges should spread over both partitions by load.
+        let g = GraphBuilder::new()
+            .add_edges((1..=4).map(|v| (0, v)))
+            .build();
+        let vp = VertexPartition::new(2, vec![0, 1, 1, 1, 1]).unwrap();
+        let ep = derive_edge_partition(&g, &vp);
+        let counts = ep.edge_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 4);
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn mismatched_sizes_panic() {
+        let g = GraphBuilder::new().add_edge(0, 1).build();
+        let vp = VertexPartition::new(2, vec![0]).unwrap();
+        derive_edge_partition(&g, &vp);
+    }
+}

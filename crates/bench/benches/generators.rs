@@ -1,0 +1,29 @@
+//! Throughput of the synthetic dataset generators.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tlp_graph::generators::{
+    barabasi_albert, chung_lu, erdos_renyi, genealogy, power_law_community, rmat,
+    RmatProbabilities,
+};
+
+fn bench_generators(c: &mut Criterion) {
+    let m = 50_000usize;
+    let n = 10_000usize;
+    let mut group = c.benchmark_group("generators_50k_edges");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(m as u64));
+    group.bench_function("erdos_renyi", |b| b.iter(|| erdos_renyi(n, m, 1)));
+    group.bench_function("chung_lu", |b| b.iter(|| chung_lu(n, m, 2.1, 1)));
+    group.bench_function("power_law_community", |b| {
+        b.iter(|| power_law_community(n, m, 2.1, 50, 0.25, 1))
+    });
+    group.bench_function("barabasi_albert", |b| b.iter(|| barabasi_albert(n, 5, 1)));
+    group.bench_function("rmat", |b| {
+        b.iter(|| rmat(14, m, RmatProbabilities::default(), 1))
+    });
+    group.bench_function("genealogy", |b| b.iter(|| genealogy(n, 16_300, 1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmarks of the METIS-style multilevel substrate's phases.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlp_core::EdgePartitioner;
+use tlp_graph::generators::power_law_community;
+use tlp_metis::{coarsen, matching, MetisConfig, MetisPartitioner, WeightedGraph};
+
+fn bench_phases(c: &mut Criterion) {
+    let graph = power_law_community(8_000, 48_000, 2.1, 60, 0.25, 3);
+    let wg = WeightedGraph::from_csr(&graph);
+
+    let mut group = c.benchmark_group("metis_phases");
+    group.sample_size(10);
+    group.bench_function("heavy_edge_matching", |b| {
+        b.iter(|| matching::heavy_edge_matching(&wg, 1))
+    });
+    let m = matching::heavy_edge_matching(&wg, 1);
+    group.bench_function("contract", |b| b.iter(|| coarsen::contract(&wg, &m)));
+    group.bench_function("coarsen_all", |b| {
+        b.iter(|| coarsen::coarsen_all(&wg, &MetisConfig::default()))
+    });
+    group.bench_function("full_partition_p10", |b| {
+        let metis = MetisPartitioner::default();
+        b.iter(|| metis.partition(&graph, 10).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

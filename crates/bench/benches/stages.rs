@@ -1,0 +1,96 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! selection strategy (indexed vs the paper's linear scan), reseed policy,
+//! and the TLP_R stage-ratio sweep (Figs. 9-11 flavored).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlp_core::{
+    EdgePartitioner, EdgeRatioLocalPartitioner, ReseedPolicy, SelectionStrategy, TlpConfig,
+    TwoStageLocalPartitioner,
+};
+use tlp_graph::generators::power_law_community;
+
+fn bench_selection_strategy(c: &mut Criterion) {
+    let graph = power_law_community(4_000, 24_000, 2.1, 40, 0.25, 5);
+    let mut group = c.benchmark_group("ablation_selection_strategy");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("indexed_heap", SelectionStrategy::IndexedHeap),
+        ("linear_scan", SelectionStrategy::LinearScan),
+    ] {
+        group.bench_function(name, |b| {
+            let tlp = TwoStageLocalPartitioner::new(
+                TlpConfig::new().seed(1).selection_strategy(strategy),
+            );
+            b.iter(|| tlp.partition(&graph, 10).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reseed_policy(c: &mut Criterion) {
+    // A disconnected graph stresses the frontier-exhaustion path.
+    let mut builder = tlp_graph::GraphBuilder::new();
+    for island in 0..40u32 {
+        let base = island * 100;
+        let g = power_law_community(100, 500, 2.1, 4, 0.3, island as u64);
+        for e in g.edges() {
+            builder.push_edge(base + e.source(), base + e.target());
+        }
+    }
+    let graph = builder.build();
+    let mut group = c.benchmark_group("ablation_reseed_policy");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("reseed", ReseedPolicy::Reseed),
+        ("break_and_sweep", ReseedPolicy::Break),
+    ] {
+        group.bench_function(name, |b| {
+            let tlp =
+                TwoStageLocalPartitioner::new(TlpConfig::new().seed(1).reseed_policy(policy));
+            b.iter(|| tlp.partition(&graph, 10).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tlp_r(c: &mut Criterion) {
+    let graph = power_law_community(3_000, 18_000, 2.1, 30, 0.25, 9);
+    let mut group = c.benchmark_group("tlp_r_ratio");
+    group.sample_size(10);
+    for r in [0.0, 0.3, 0.5, 0.7, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let algo = EdgeRatioLocalPartitioner::new(TlpConfig::new().seed(1), r).unwrap();
+            b.iter(|| algo.partition(&graph, 10).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontier_cap(c: &mut Criterion) {
+    // The paper's sliding-window future-work idea: cap the candidate
+    // frontier and measure the speed side of the speed/quality trade-off.
+    let graph = power_law_community(4_000, 24_000, 2.1, 40, 0.25, 7);
+    let mut group = c.benchmark_group("ablation_frontier_cap");
+    group.sample_size(10);
+    for cap in [64usize, 512, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            let tlp =
+                TwoStageLocalPartitioner::new(TlpConfig::new().seed(1).frontier_cap(cap));
+            b.iter(|| tlp.partition(&graph, 10).unwrap())
+        });
+    }
+    group.bench_function("uncapped", |b| {
+        let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(1));
+        b.iter(|| tlp.partition(&graph, 10).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selection_strategy,
+    bench_reseed_policy,
+    bench_tlp_r,
+    bench_frontier_cap
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Scaling of TLP with graph size and partition count (the paper's §III-E
+//! complexity analysis, measured).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tlp_core::{EdgePartitioner, TlpConfig, TwoStageLocalPartitioner};
+use tlp_graph::generators::power_law_community;
+
+fn bench_edges_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlp_scaling_edges");
+    group.sample_size(10);
+    for edges in [5_000usize, 10_000, 20_000, 40_000] {
+        let n = edges / 6;
+        let graph = power_law_community(n, edges, 2.1, n / 50 + 2, 0.25, 3);
+        group.throughput(Throughput::Elements(edges as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &graph, |b, g| {
+            let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(1));
+            b.iter(|| tlp.partition(g, 10).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_count(c: &mut Criterion) {
+    let graph = power_law_community(4_000, 24_000, 2.1, 40, 0.25, 3);
+    let mut group = c.benchmark_group("tlp_scaling_p");
+    group.sample_size(10);
+    for p in [5usize, 10, 15, 20, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(1));
+            b.iter(|| tlp.partition(&graph, p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edges_scaling, bench_partition_count);
+criterion_main!(benches);

@@ -1,0 +1,240 @@
+//! Configuration for the local partitioning drivers.
+
+use crate::PartitionError;
+
+/// What to do when the frontier `N(P_k)` empties before the partition is
+/// full (Algorithm 1, line 11).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ReseedPolicy {
+    /// Pick a fresh random seed vertex with residual edges and keep filling
+    /// the same partition. This is the behaviour consistent with Fig. 3
+    /// ("expand until the local partition is full") and is required for
+    /// disconnected graphs to produce balanced partitions. **Default.**
+    #[default]
+    Reseed,
+    /// Stop the round immediately, as literally written in Algorithm 1.
+    /// Edges left unassigned after the final round are swept into the
+    /// least-loaded partitions.
+    Break,
+}
+
+/// How the optimal vertex is located inside the frontier `N(P_k)`.
+///
+/// Both strategies compute the **exact same argmax** (including tie-breaks)
+/// and therefore produce identical partitions; they differ only in cost.
+/// The paper notes (§III-E) that "the selection of the optimal vertex in
+/// `N(P_k)` requires traversing all the vertices in `N(P_k)`, which may
+/// degrade time performance when `N(P_k)` is very large" — `IndexedHeap`
+/// removes that scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SelectionStrategy {
+    /// Priority structures over the frontier: a lazy max-heap on the Stage I
+    /// score and per-`e_in` lazy min-heaps on `e_ext` for Stage II (only the
+    /// Pareto-optimal representative of each `e_in` bucket can win, because
+    /// the Stage II objective is increasing in `e_in` and decreasing in
+    /// `e_ext`). Selection cost per step: `O(distinct e_in values + stale
+    /// entries)` instead of `O(|N(P_k)|)`. **Default.**
+    #[default]
+    IndexedHeap,
+    /// Scan every frontier vertex per step, exactly as Algorithm 1 is
+    /// written (`O(|N(P_k)|)` per step, `O(L^2 d^2)` per partition). Kept
+    /// for the complexity ablation benches and as the reference the indexed
+    /// strategy is tested against.
+    LinearScan,
+}
+
+/// Configuration shared by [`crate::TwoStageLocalPartitioner`] and the
+/// TLP_R / single-stage variants.
+///
+/// `TlpConfig` is a small consuming builder:
+///
+/// ```
+/// use tlp_core::{ReseedPolicy, TlpConfig};
+///
+/// let config = TlpConfig::new()
+///     .seed(42)
+///     .capacity_factor(1.05)
+///     .reseed_policy(ReseedPolicy::Break)
+///     .record_trace(true);
+/// assert_eq!(config.seed_value(), 42);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TlpConfig {
+    seed: u64,
+    capacity_factor: f64,
+    reseed: ReseedPolicy,
+    record_trace: bool,
+    selection: SelectionStrategy,
+    frontier_cap: Option<usize>,
+}
+
+impl Default for TlpConfig {
+    fn default() -> Self {
+        TlpConfig {
+            seed: 0,
+            capacity_factor: 1.0,
+            reseed: ReseedPolicy::default(),
+            record_trace: false,
+            selection: SelectionStrategy::default(),
+            frontier_cap: None,
+        }
+    }
+}
+
+impl TlpConfig {
+    /// Creates the default configuration (seed 0, capacity `ceil(m/p)`,
+    /// reseeding enabled, no trace).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the RNG seed used for seed-vertex selection.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scales the per-partition capacity: `C = ceil(factor * m / p)`.
+    ///
+    /// Values above 1 trade balance for quality; the paper uses exactly
+    /// `m / p` (factor 1). The value is validated by the partitioner.
+    #[must_use]
+    pub fn capacity_factor(mut self, factor: f64) -> Self {
+        self.capacity_factor = factor;
+        self
+    }
+
+    /// Sets the frontier-exhaustion policy.
+    #[must_use]
+    pub fn reseed_policy(mut self, policy: ReseedPolicy) -> Self {
+        self.reseed = policy;
+        self
+    }
+
+    /// Enables recording of a per-selection [`crate::Trace`] (needed for the
+    /// Table VI experiment). Off by default because it allocates per vertex.
+    #[must_use]
+    pub fn record_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// The configured RNG seed.
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured capacity factor.
+    pub fn capacity_factor_value(&self) -> f64 {
+        self.capacity_factor
+    }
+
+    /// The configured reseed policy.
+    pub fn reseed_policy_value(&self) -> ReseedPolicy {
+        self.reseed
+    }
+
+    /// Whether trace recording is enabled.
+    pub fn records_trace(&self) -> bool {
+        self.record_trace
+    }
+
+    /// Sets the frontier selection strategy (see [`SelectionStrategy`]).
+    #[must_use]
+    pub fn selection_strategy(mut self, strategy: SelectionStrategy) -> Self {
+        self.selection = strategy;
+        self
+    }
+
+    /// The configured selection strategy.
+    pub fn selection_strategy_value(&self) -> SelectionStrategy {
+        self.selection
+    }
+
+    /// Caps the candidate frontier `N(P_k)` at `cap` vertices: once the
+    /// frontier is full, vertices touched by new member edges are not
+    /// enrolled as candidates until admissions free up space.
+    ///
+    /// This is the sliding-window mechanism sketched in the paper's future
+    /// work (§V): it bounds per-round memory and selection effort at a
+    /// quality cost. Unset (no cap) by default; the cap must be at least 1
+    /// (validated when partitioning).
+    #[must_use]
+    pub fn frontier_cap(mut self, cap: usize) -> Self {
+        self.frontier_cap = Some(cap);
+        self
+    }
+
+    /// The configured frontier cap, if any.
+    pub fn frontier_cap_value(&self) -> Option<usize> {
+        self.frontier_cap
+    }
+
+    /// Validates ranges; called by the partitioners before running.
+    pub(crate) fn validate(&self) -> Result<(), PartitionError> {
+        if !(self.capacity_factor.is_finite() && self.capacity_factor >= 1.0) {
+            return Err(PartitionError::InvalidParameter {
+                name: "capacity_factor",
+                value: self.capacity_factor,
+                constraint: "must be finite and >= 1",
+            });
+        }
+        if self.frontier_cap == Some(0) {
+            return Err(PartitionError::InvalidParameter {
+                name: "frontier_cap",
+                value: 0.0,
+                constraint: "must be at least 1",
+            });
+        }
+        Ok(())
+    }
+
+    /// The per-partition edge capacity `C` for a graph with `m` edges split
+    /// `p` ways (at least 1).
+    pub(crate) fn capacity(&self, num_edges: usize, num_partitions: usize) -> usize {
+        let raw = (self.capacity_factor * num_edges as f64 / num_partitions as f64).ceil();
+        (raw as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = TlpConfig::new().seed(9).capacity_factor(1.5).record_trace(true);
+        assert_eq!(c.seed_value(), 9);
+        assert_eq!(c.capacity_factor_value(), 1.5);
+        assert!(c.records_trace());
+        assert_eq!(c.reseed_policy_value(), ReseedPolicy::Reseed);
+    }
+
+    #[test]
+    fn capacity_is_ceiling_and_at_least_one() {
+        let c = TlpConfig::new();
+        assert_eq!(c.capacity(10, 3), 4);
+        assert_eq!(c.capacity(9, 3), 3);
+        assert_eq!(c.capacity(0, 5), 1);
+        assert_eq!(c.capacity(2, 10), 1);
+    }
+
+    #[test]
+    fn capacity_factor_scales() {
+        let c = TlpConfig::new().capacity_factor(2.0);
+        assert_eq!(c.capacity(10, 5), 4);
+    }
+
+    #[test]
+    fn validation_rejects_bad_factors() {
+        assert!(TlpConfig::new().capacity_factor(0.5).validate().is_err());
+        assert!(TlpConfig::new().capacity_factor(f64::NAN).validate().is_err());
+        assert!(TlpConfig::new().capacity_factor(1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn default_matches_new() {
+        assert_eq!(TlpConfig::new(), TlpConfig::default());
+    }
+}

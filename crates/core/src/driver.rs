@@ -1,0 +1,877 @@
+//! The shared local-partitioning engine behind TLP, TLP_R, and the
+//! single-stage ablations (Algorithm 1 of the paper, generalized over the
+//! stage-selection policy).
+//!
+//! One partition is grown per round. The engine maintains:
+//!
+//! * a [`ResidualGraph`] of not-yet-allocated edges (rounds consume edges);
+//! * the member set of the current partition (stamped per round);
+//! * the frontier `N(P_k)`: non-members with at least one residual edge into
+//!   the partition, each carrying
+//!   - `e_in`: residual edges into the partition (Stage II input), and
+//!   - `mu1`: the running maximum of Eq. 7's closeness term (Stage I input),
+//!     updated incrementally as members join;
+//! * exact integer counts of internal and external edges (the modularity).
+//!
+//! # Selection strategies
+//!
+//! Two implementations of "pick the optimal frontier vertex" exist, chosen
+//! by [`SelectionStrategy`]; both compute the identical argmax (ties
+//! included) and thus identical partitions:
+//!
+//! * **LinearScan** — scan the whole frontier per step, exactly as written
+//!   in Algorithm 1 (`O(|N(P_k)|)` per step).
+//! * **IndexedHeap** — a lazy max-heap over the Stage I key, plus one lazy
+//!   min-heap on `e_ext` per `e_in` value for Stage II. The latter is sound
+//!   because a frontier candidate's residual degree never changes while it
+//!   waits (its edges are only consumed when it joins), so `e_in` grows
+//!   monotonically, `e_ext = residual_degree - e_in` shrinks monotonically,
+//!   and the Stage II objective is increasing in `e_in` / decreasing in
+//!   `e_ext` — the bucket minimum is the only candidate of its `e_in` class
+//!   that can win.
+//!
+//! All ties are broken by explicit deterministic keys, so results are
+//! reproducible across runs and platforms under either strategy.
+
+use crate::config::{ReseedPolicy, SelectionStrategy, TlpConfig};
+use crate::modularity::Modularity;
+use crate::partition::{EdgePartition, PartitionId};
+use crate::stage1::closeness_term;
+use crate::stage2::GainRatio;
+use crate::trace::{SelectionRecord, Stage, Trace};
+use crate::PartitionError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tlp_graph::{CsrGraph, ResidualGraph, VertexId};
+
+/// Decides which stage's criterion selects the next vertex.
+pub(crate) trait StagePolicy {
+    /// Chooses the stage given the partition's current state.
+    fn choose(&self, modularity: Modularity, internal: usize, capacity: usize) -> Stage;
+}
+
+/// The paper's TLP policy (Table II): Stage I while `M(P_k) <= 1`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ModularityPolicy;
+
+impl StagePolicy for ModularityPolicy {
+    fn choose(&self, modularity: Modularity, _internal: usize, _capacity: usize) -> Stage {
+        if modularity.is_stage_one() {
+            Stage::One
+        } else {
+            Stage::Two
+        }
+    }
+}
+
+/// The TLP_R policy (Table V): Stage I while `|E(P_k)| <= R * C`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EdgeRatioPolicy {
+    pub ratio: f64,
+}
+
+impl StagePolicy for EdgeRatioPolicy {
+    fn choose(&self, _modularity: Modularity, internal: usize, capacity: usize) -> Stage {
+        if self.ratio > 0.0 && (internal as f64) <= self.ratio * capacity as f64 {
+            Stage::One
+        } else {
+            Stage::Two
+        }
+    }
+}
+
+/// Heap entry for Stage I: ordered by `(mu1, e_in, residual_degree, -id)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Stage1Entry {
+    mu1: f64,
+    e_in: u32,
+    res_deg: u32,
+    vertex: VertexId,
+}
+
+impl Eq for Stage1Entry {}
+
+impl Ord for Stage1Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.mu1
+            .total_cmp(&other.mu1)
+            .then(self.e_in.cmp(&other.e_in))
+            .then(self.res_deg.cmp(&other.res_deg))
+            .then(other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for Stage1Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-graph scratch reused across rounds (one allocation per run).
+struct Workspace {
+    /// Round id if the vertex is a member of the partition currently being
+    /// grown; `u32::MAX` when never selected in the current round. Stamped
+    /// with the round index so it never needs clearing between rounds.
+    member_round: Vec<u32>,
+    /// Whether the vertex is currently in the frontier.
+    in_frontier: Vec<bool>,
+    /// Residual edges from the vertex into the current partition.
+    e_in: Vec<u32>,
+    /// Running maximum of the Stage I closeness term (Eq. 7).
+    mu1: Vec<f64>,
+    /// The frontier as a dense list (deterministic iteration order).
+    frontier: Vec<VertexId>,
+    /// Position of each frontier vertex in `frontier` (for swap-removal).
+    frontier_pos: Vec<u32>,
+    /// Scratch for collecting a vertex's residual incidence.
+    incident_scratch: Vec<(VertexId, tlp_graph::EdgeId)>,
+    /// Stage I priority queue (lazy; entries validated against `mu1`/`e_in`).
+    stage1_heap: BinaryHeap<Stage1Entry>,
+    /// Stage II buckets: `stage2_buckets[e_in]` is a lazy min-heap of
+    /// `(e_ext, vertex)`.
+    stage2_buckets: Vec<BinaryHeap<Reverse<(u32, VertexId)>>>,
+    /// Bucket indices touched in the current round (for iteration/clearing).
+    active_buckets: Vec<u32>,
+    /// Round stamp marking a bucket as listed in `active_buckets`.
+    bucket_stamp: Vec<u32>,
+    /// Which strategy the selection functions use.
+    strategy: SelectionStrategy,
+    /// Maximum candidates held in the frontier (sliding-window mode).
+    frontier_cap: usize,
+}
+
+impl Workspace {
+    fn new(n: usize, strategy: SelectionStrategy, frontier_cap: usize) -> Self {
+        Workspace {
+            member_round: vec![u32::MAX; n],
+            in_frontier: vec![false; n],
+            e_in: vec![0; n],
+            mu1: vec![0.0; n],
+            frontier: Vec::new(),
+            frontier_pos: vec![0; n],
+            incident_scratch: Vec::new(),
+            stage1_heap: BinaryHeap::new(),
+            stage2_buckets: Vec::new(),
+            active_buckets: Vec::new(),
+            bucket_stamp: Vec::new(),
+            strategy,
+            frontier_cap,
+        }
+    }
+
+    fn frontier_remove(&mut self, v: VertexId) {
+        debug_assert!(self.in_frontier[v as usize]);
+        let pos = self.frontier_pos[v as usize] as usize;
+        let last = *self.frontier.last().expect("non-empty frontier");
+        self.frontier.swap_remove(pos);
+        if last != v {
+            self.frontier_pos[last as usize] = pos as u32;
+        }
+        self.in_frontier[v as usize] = false;
+        self.e_in[v as usize] = 0;
+        self.mu1[v as usize] = 0.0;
+    }
+
+    fn frontier_clear(&mut self) {
+        for i in 0..self.frontier.len() {
+            let v = self.frontier[i] as usize;
+            self.in_frontier[v] = false;
+            self.e_in[v] = 0;
+            self.mu1[v] = 0.0;
+        }
+        self.frontier.clear();
+        self.stage1_heap.clear();
+        for &b in &self.active_buckets {
+            self.stage2_buckets[b as usize].clear();
+        }
+        self.active_buckets.clear();
+    }
+
+    /// Pushes the candidate's current state into both priority structures.
+    fn push_candidate_state(&mut self, residual: &ResidualGraph<'_>, v: VertexId, round: u32) {
+        if self.strategy != SelectionStrategy::IndexedHeap {
+            return;
+        }
+        let vi = v as usize;
+        let e_in = self.e_in[vi];
+        let res_deg = residual.residual_degree(v) as u32;
+        self.stage1_heap.push(Stage1Entry {
+            mu1: self.mu1[vi],
+            e_in,
+            res_deg,
+            vertex: v,
+        });
+        let bucket = e_in as usize;
+        if bucket >= self.stage2_buckets.len() {
+            self.stage2_buckets.resize_with(bucket + 1, BinaryHeap::new);
+            self.bucket_stamp.resize(bucket + 1, u32::MAX);
+        }
+        if self.bucket_stamp[bucket] != round {
+            self.bucket_stamp[bucket] = round;
+            self.active_buckets.push(bucket as u32);
+        }
+        self.stage2_buckets[bucket].push(Reverse((res_deg - e_in, v)));
+    }
+}
+
+/// Runs the full local partitioning (all `p` rounds) under `policy`.
+///
+/// Returns the edge partition and, when `config.record_trace()` holds, the
+/// per-selection trace.
+pub(crate) fn run<P: StagePolicy>(
+    graph: &CsrGraph,
+    num_partitions: usize,
+    config: &TlpConfig,
+    policy: &P,
+) -> Result<(EdgePartition, Option<Trace>), PartitionError> {
+    if num_partitions == 0 {
+        return Err(PartitionError::ZeroPartitions);
+    }
+    config.validate()?;
+
+    let m = graph.num_edges();
+    let n = graph.num_vertices();
+    let mut assignment: Vec<PartitionId> = vec![0; m];
+    let mut trace = config.records_trace().then(Trace::new);
+    if m == 0 {
+        return Ok((EdgePartition::new(num_partitions, assignment)?, trace));
+    }
+
+    let capacity = config.capacity(m, num_partitions);
+    let mut residual = ResidualGraph::new(graph);
+    let mut ws = Workspace::new(
+        n,
+        config.selection_strategy_value(),
+        config.frontier_cap_value().unwrap_or(usize::MAX),
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed_value());
+
+    for k in 0..num_partitions as u32 {
+        if residual.is_exhausted() {
+            break;
+        }
+        run_round(
+            graph,
+            &mut residual,
+            &mut ws,
+            &mut assignment,
+            &mut rng,
+            k,
+            capacity,
+            config.reseed_policy_value(),
+            policy,
+            trace.as_mut(),
+        );
+    }
+
+    // Sweep any leftovers (possible only under `ReseedPolicy::Break`):
+    // distribute remaining edges to the least-loaded partitions so the
+    // partition is total.
+    if !residual.is_exhausted() {
+        let mut counts = vec![0usize; num_partitions];
+        for &pid in &assignment {
+            counts[pid as usize] += 1;
+        }
+        for e in 0..m as tlp_graph::EdgeId {
+            if residual.is_free(e) {
+                let (target, _) = counts
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &c)| (c, i))
+                    .expect("at least one partition");
+                assignment[e as usize] = target as PartitionId;
+                counts[target] += 1;
+                residual.allocate(e);
+            }
+        }
+    }
+
+    Ok((EdgePartition::new(num_partitions, assignment)?, trace))
+}
+
+/// Grows partition `k` until capacity is exceeded or edges run out
+/// (Algorithm 1).
+#[allow(clippy::too_many_arguments)]
+fn run_round<P: StagePolicy>(
+    graph: &CsrGraph,
+    residual: &mut ResidualGraph<'_>,
+    ws: &mut Workspace,
+    assignment: &mut [PartitionId],
+    rng: &mut StdRng,
+    k: u32,
+    capacity: usize,
+    reseed_policy: ReseedPolicy,
+    policy: &P,
+    mut trace: Option<&mut Trace>,
+) {
+    let mut internal = 0usize;
+    let mut external = 0usize;
+    let mut step = 0u32;
+
+    // Line 1-3: random seed vertex; its neighbors form the frontier.
+    seed_vertex(graph, residual, ws, rng, assignment, k, &mut internal, &mut external);
+
+    // Line 4: while |E(P_k)| <= C.
+    while internal <= capacity {
+        if ws.frontier.is_empty() {
+            // Line 11-13: frontier exhausted.
+            if residual.is_exhausted() || reseed_policy == ReseedPolicy::Break {
+                break;
+            }
+            seed_vertex(graph, residual, ws, rng, assignment, k, &mut internal, &mut external);
+            continue;
+        }
+
+        // Lines 5-9: pick the stage, then the optimal vertex.
+        let stage = policy.choose(Modularity::new(internal, external), internal, capacity);
+        let v = match (stage, ws.strategy) {
+            (Stage::One, SelectionStrategy::LinearScan) => select_stage_one_scan(ws, residual),
+            (Stage::One, SelectionStrategy::IndexedHeap) => select_stage_one_heap(ws, residual),
+            (Stage::Two, SelectionStrategy::LinearScan) => {
+                select_stage_two_scan(ws, residual, internal, external)
+            }
+            (Stage::Two, SelectionStrategy::IndexedHeap) => {
+                select_stage_two_heap(ws, residual, internal, external)
+            }
+        };
+
+        // Line 10: allocate the edges between v and P_k.
+        admit_vertex(
+            graph,
+            residual,
+            ws,
+            assignment,
+            k,
+            v,
+            &mut internal,
+            &mut external,
+        );
+
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(SelectionRecord {
+                partition: k,
+                step,
+                vertex: v,
+                degree: graph.degree(v) as u32,
+                stage,
+            });
+        }
+        step += 1;
+
+        if residual.is_exhausted() {
+            break;
+        }
+    }
+
+    ws.frontier_clear();
+}
+
+/// Adds a fresh random seed vertex as a member. Admission handles any
+/// residual edges the seed already has towards existing members (possible
+/// under a frontier cap, where a vertex adjacent to the partition may never
+/// have been enrolled as a candidate).
+#[allow(clippy::too_many_arguments)]
+fn seed_vertex(
+    graph: &CsrGraph,
+    residual: &mut ResidualGraph<'_>,
+    ws: &mut Workspace,
+    rng: &mut StdRng,
+    assignment: &mut [PartitionId],
+    k: u32,
+    internal: &mut usize,
+    external: &mut usize,
+) {
+    let n = graph.num_vertices() as u32;
+    let hint: VertexId = rng.gen_range(0..n);
+    let Some(seed) = residual.any_active_vertex_from(hint) else {
+        return;
+    };
+    admit_vertex(graph, residual, ws, assignment, k, seed, internal, external);
+}
+
+/// Registers one new residual edge from frontier candidate `u` into the
+/// partition: bumps `e_in`, inserting `u` (and computing its initial Stage I
+/// score against all current member neighbors) if it was not yet a
+/// candidate. Pushes the refreshed state into the priority structures.
+fn enroll_frontier_edge(
+    graph: &CsrGraph,
+    residual: &ResidualGraph<'_>,
+    ws: &mut Workspace,
+    k: u32,
+    u: VertexId,
+) {
+    let ui = u as usize;
+    debug_assert_ne!(ws.member_round[ui], k, "members cannot be candidates");
+    if ws.in_frontier[ui] {
+        ws.e_in[ui] += 1;
+    } else {
+        // Sliding-window mode: once the frontier is at its cap, further
+        // vertices are not enrolled as candidates. Their edges still count
+        // as external, and they are picked up by later edge events (or
+        // later rounds) once space frees up — coverage is unaffected, only
+        // candidate quality.
+        if ws.frontier.len() >= ws.frontier_cap {
+            return;
+        }
+        ws.in_frontier[ui] = true;
+        ws.frontier_pos[ui] = ws.frontier.len() as u32;
+        ws.frontier.push(u);
+        ws.e_in[ui] = 1;
+        // Initial mu_s1: max closeness term against members already adjacent
+        // (static adjacency — including edges consumed by earlier rounds).
+        let mut best = 0.0f64;
+        for &w in graph.neighbors(u) {
+            if ws.member_round[w as usize] == k {
+                let term = closeness_term(graph, u, w);
+                if term > best {
+                    best = term;
+                }
+            }
+        }
+        ws.mu1[ui] = best;
+    }
+    ws.push_candidate_state(residual, u, k);
+}
+
+type StageOneKey = (f64, u32, usize);
+
+fn stage_one_key(ws: &Workspace, residual: &ResidualGraph<'_>, v: VertexId) -> StageOneKey {
+    (
+        ws.mu1[v as usize],
+        ws.e_in[v as usize],
+        residual.residual_degree(v),
+    )
+}
+
+/// Stage I selection, reference implementation: scan the whole frontier.
+/// Argmax `mu_s1`, ties broken by attachment (`e_in`), then residual degree,
+/// then lowest vertex id. The tie-break chain also serves as the fallback
+/// when every candidate scores 0 (no shared neighbors — e.g. in trees).
+fn select_stage_one_scan(ws: &Workspace, residual: &ResidualGraph<'_>) -> VertexId {
+    let mut best = ws.frontier[0];
+    let mut best_key = stage_one_key(ws, residual, best);
+    for &v in &ws.frontier[1..] {
+        let key = stage_one_key(ws, residual, v);
+        if key > best_key || (key == best_key && v < best) {
+            best = v;
+            best_key = key;
+        }
+    }
+    best
+}
+
+/// Stage I selection via the lazy max-heap: pop until the top entry matches
+/// the candidate's current `(mu1, e_in)` state.
+fn select_stage_one_heap(ws: &mut Workspace, residual: &ResidualGraph<'_>) -> VertexId {
+    while let Some(entry) = ws.stage1_heap.pop() {
+        let vi = entry.vertex as usize;
+        if ws.in_frontier[vi]
+            && ws.e_in[vi] == entry.e_in
+            && ws.mu1[vi].total_cmp(&entry.mu1).is_eq()
+        {
+            debug_assert_eq!(residual.residual_degree(entry.vertex) as u32, entry.res_deg);
+            return entry.vertex;
+        }
+    }
+    unreachable!("frontier non-empty but stage-1 heap exhausted");
+}
+
+type StageTwoKey = (GainRatio, u32, Reverse<usize>);
+
+fn stage_two_key(
+    ws: &Workspace,
+    residual: &ResidualGraph<'_>,
+    internal: usize,
+    external: usize,
+    v: VertexId,
+) -> StageTwoKey {
+    let e_in = ws.e_in[v as usize] as usize;
+    let e_ext = residual.residual_degree(v) - e_in;
+    (
+        GainRatio::new(internal, external, e_in, e_ext),
+        e_in as u32,
+        Reverse(e_ext),
+    )
+}
+
+/// Stage II selection, reference implementation: scan the whole frontier.
+/// Argmax post-admission modularity (exact fraction), ties broken by
+/// attachment, then fewest new external edges, then lowest vertex id.
+fn select_stage_two_scan(
+    ws: &Workspace,
+    residual: &ResidualGraph<'_>,
+    internal: usize,
+    external: usize,
+) -> VertexId {
+    let mut best = ws.frontier[0];
+    let mut best_key = stage_two_key(ws, residual, internal, external, best);
+    for &v in &ws.frontier[1..] {
+        let key = stage_two_key(ws, residual, internal, external, v);
+        if key > best_key || (key == best_key && v < best) {
+            best = v;
+            best_key = key;
+        }
+    }
+    best
+}
+
+/// Stage II selection via the `e_in` buckets: only each bucket's minimum
+/// `(e_ext, id)` candidate can be the argmax within its `e_in` class, so it
+/// suffices to compare one representative per active bucket.
+fn select_stage_two_heap(
+    ws: &mut Workspace,
+    residual: &ResidualGraph<'_>,
+    internal: usize,
+    external: usize,
+) -> VertexId {
+    let mut best: Option<(StageTwoKey, VertexId)> = None;
+    for bi in 0..ws.active_buckets.len() {
+        let bucket = ws.active_buckets[bi] as usize;
+        // Drop stale tops: an entry is valid iff the vertex is still a
+        // candidate with exactly this e_in (then its e_ext is implied by its
+        // constant residual degree).
+        let rep = loop {
+            match ws.stage2_buckets[bucket].peek() {
+                None => break None,
+                Some(&Reverse((_, v))) => {
+                    let vi = v as usize;
+                    if ws.in_frontier[vi] && ws.e_in[vi] as usize == bucket {
+                        break Some(v);
+                    }
+                    ws.stage2_buckets[bucket].pop();
+                }
+            }
+        };
+        let Some(v) = rep else { continue };
+        let key = stage_two_key(ws, residual, internal, external, v);
+        let better = match &best {
+            None => true,
+            Some((bk, bv)) => key > *bk || (key == *bk && v < *bv),
+        };
+        if better {
+            best = Some((key, v));
+        }
+    }
+    best.expect("frontier non-empty but no stage-2 candidate").1
+}
+
+/// Moves `v` from the frontier into the partition: allocates all residual
+/// edges between `v` and members, updates the modularity counters, enrolls
+/// `v`'s remaining residual neighbors, and refreshes Stage I scores of
+/// frontier candidates adjacent to `v`.
+#[allow(clippy::too_many_arguments)]
+fn admit_vertex(
+    graph: &CsrGraph,
+    residual: &mut ResidualGraph<'_>,
+    ws: &mut Workspace,
+    assignment: &mut [PartitionId],
+    k: u32,
+    v: VertexId,
+    internal: &mut usize,
+    external: &mut usize,
+) {
+    // Seed vertices (and, under a frontier cap, reseeds of never-enrolled
+    // vertices) are admitted without having been candidates.
+    if ws.in_frontier[v as usize] {
+        ws.frontier_remove(v);
+    }
+    ws.member_round[v as usize] = k;
+
+    // Allocate edges v -> members (they were external; now internal).
+    ws.incident_scratch.clear();
+    ws.incident_scratch.extend(residual.residual_incident(v));
+    let mut absorbed = 0usize;
+    for i in 0..ws.incident_scratch.len() {
+        let (u, eid) = ws.incident_scratch[i];
+        if ws.member_round[u as usize] == k {
+            residual.allocate(eid);
+            assignment[eid as usize] = k;
+            absorbed += 1;
+        }
+    }
+    *internal += absorbed;
+    *external -= absorbed;
+
+    // Remaining residual edges of v become external; their far endpoints
+    // join (or strengthen) the frontier.
+    ws.incident_scratch.clear();
+    ws.incident_scratch.extend(residual.residual_incident(v));
+    *external += ws.incident_scratch.len();
+    for i in 0..ws.incident_scratch.len() {
+        let (u, _) = ws.incident_scratch[i];
+        enroll_frontier_edge(graph, residual, ws, k, u);
+    }
+
+    // Incremental Stage I refresh: v is a new member, so every frontier
+    // candidate statically adjacent to v gains a candidate term.
+    for &u in graph.neighbors(v) {
+        if ws.in_frontier[u as usize] {
+            let term = closeness_term(graph, u, v);
+            if term > ws.mu1[u as usize] {
+                ws.mu1[u as usize] = term;
+                ws.push_candidate_state(residual, u, k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_graph::GraphBuilder;
+
+    fn small_graph() -> CsrGraph {
+        // Two triangles joined by a bridge.
+        GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+            .build()
+    }
+
+    fn run_tlp(graph: &CsrGraph, p: usize, seed: u64) -> EdgePartition {
+        let config = TlpConfig::new().seed(seed);
+        run(graph, p, &config, &ModularityPolicy).unwrap().0
+    }
+
+    #[test]
+    fn every_edge_is_assigned_exactly_once() {
+        let g = small_graph();
+        for p in 1..=4 {
+            let part = run_tlp(&g, p, 1);
+            assert_eq!(part.num_edges(), g.num_edges());
+            assert_eq!(part.edge_counts().iter().sum::<usize>(), g.num_edges());
+        }
+    }
+
+    #[test]
+    fn single_partition_takes_everything() {
+        let g = small_graph();
+        let part = run_tlp(&g, 1, 3);
+        assert_eq!(part.edge_counts(), vec![g.num_edges()]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = small_graph();
+        assert_eq!(run_tlp(&g, 3, 7), run_tlp(&g, 3, 7));
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        let g = small_graph();
+        let config = TlpConfig::new();
+        assert_eq!(
+            run(&g, 0, &config, &ModularityPolicy).unwrap_err(),
+            PartitionError::ZeroPartitions
+        );
+    }
+
+    #[test]
+    fn empty_graph_produces_empty_partition() {
+        let g = GraphBuilder::new().build();
+        let config = TlpConfig::new();
+        let (part, _) = run(&g, 4, &config, &ModularityPolicy).unwrap();
+        assert_eq!(part.num_edges(), 0);
+        assert_eq!(part.edge_counts(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn disconnected_graph_is_fully_covered_with_reseed() {
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (3, 4), (4, 5), (6, 7)])
+            .build();
+        let part = run_tlp(&g, 2, 5);
+        assert_eq!(part.edge_counts().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn break_policy_sweeps_leftovers() {
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)])
+            .build();
+        let config = TlpConfig::new().reseed_policy(ReseedPolicy::Break).seed(2);
+        let (part, _) = run(&g, 2, &config, &ModularityPolicy).unwrap();
+        // All 5 edges must still be assigned even though each round's
+        // frontier dies immediately in this perfect matching.
+        assert_eq!(part.edge_counts().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn capacity_overshoot_is_bounded_by_last_vertex_degree() {
+        let g = tlp_graph::generators::erdos_renyi(60, 240, 9);
+        let p = 4;
+        let part = run_tlp(&g, p, 11);
+        let capacity = TlpConfig::new().capacity(g.num_edges(), p);
+        let max_degree = (0..60).map(|v| g.degree(v)).max().unwrap();
+        for (pid, &count) in part.edge_counts().iter().enumerate() {
+            assert!(
+                count <= capacity + max_degree,
+                "partition {pid} holds {count} edges, capacity {capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_recorded_when_requested() {
+        let g = small_graph();
+        let config = TlpConfig::new().record_trace(true).seed(1);
+        let (_, trace) = run(&g, 2, &config, &ModularityPolicy).unwrap();
+        let trace = trace.expect("trace requested");
+        assert!(!trace.is_empty());
+        // Selections must name real vertices with their true degrees.
+        for r in trace.records() {
+            assert_eq!(r.degree as usize, g.degree(r.vertex));
+            assert!((r.partition as usize) < 2);
+        }
+    }
+
+    #[test]
+    fn no_trace_by_default() {
+        let g = small_graph();
+        let config = TlpConfig::new();
+        let (_, trace) = run(&g, 2, &config, &ModularityPolicy).unwrap();
+        assert!(trace.is_none());
+    }
+
+    #[test]
+    fn edge_ratio_policy_boundaries() {
+        let policy_all_one = EdgeRatioPolicy { ratio: 1.0 };
+        let policy_all_two = EdgeRatioPolicy { ratio: 0.0 };
+        let m = Modularity::new(5, 1);
+        assert_eq!(policy_all_one.choose(m, 5, 10), Stage::One);
+        assert_eq!(policy_all_two.choose(m, 0, 10), Stage::Two);
+        let half = EdgeRatioPolicy { ratio: 0.5 };
+        assert_eq!(half.choose(m, 4, 10), Stage::One);
+        assert_eq!(half.choose(m, 6, 10), Stage::Two);
+    }
+
+    #[test]
+    fn modularity_policy_switches_at_one() {
+        assert_eq!(
+            ModularityPolicy.choose(Modularity::new(3, 4), 3, 100),
+            Stage::One
+        );
+        assert_eq!(
+            ModularityPolicy.choose(Modularity::new(5, 4), 5, 100),
+            Stage::Two
+        );
+    }
+
+    #[test]
+    fn more_partitions_than_edges_leaves_empties() {
+        let g = GraphBuilder::new().add_edge(0, 1).build();
+        let part = run_tlp(&g, 5, 1);
+        assert_eq!(part.edge_counts().iter().sum::<usize>(), 1);
+        assert_eq!(part.num_partitions(), 5);
+    }
+
+    /// The heap-indexed selection must reproduce the linear scan exactly —
+    /// same argmax, same ties, same partitions — across graph families,
+    /// partition counts, and policies.
+    #[test]
+    fn indexed_selection_equals_linear_scan() {
+        let graphs = [
+            tlp_graph::generators::chung_lu(300, 1500, 2.1, 5),
+            tlp_graph::generators::erdos_renyi(200, 600, 6),
+            tlp_graph::generators::genealogy(400, 650, 7),
+            tlp_graph::generators::barabasi_albert(250, 3, 8),
+        ];
+        for (gi, g) in graphs.iter().enumerate() {
+            for p in [2, 5, 9] {
+                for seed in [0u64, 1, 2] {
+                    let scan = run(
+                        g,
+                        p,
+                        &TlpConfig::new()
+                            .seed(seed)
+                            .selection_strategy(SelectionStrategy::LinearScan),
+                        &ModularityPolicy,
+                    )
+                    .unwrap()
+                    .0;
+                    let heap = run(
+                        g,
+                        p,
+                        &TlpConfig::new()
+                            .seed(seed)
+                            .selection_strategy(SelectionStrategy::IndexedHeap),
+                        &ModularityPolicy,
+                    )
+                    .unwrap()
+                    .0;
+                    assert_eq!(scan, heap, "graph {gi}, p={p}, seed={seed}");
+                }
+            }
+        }
+    }
+
+    /// A frontier cap (the paper's §V sliding-window idea) must never break
+    /// coverage or determinism, only bound the candidate set.
+    #[test]
+    fn frontier_cap_keeps_coverage() {
+        let g = tlp_graph::generators::chung_lu(400, 2000, 2.1, 3);
+        for cap in [1usize, 4, 64, 100_000] {
+            let config = TlpConfig::new().seed(5).frontier_cap(cap);
+            let (part, _) = run(&g, 6, &config, &ModularityPolicy).unwrap();
+            assert_eq!(
+                part.edge_counts().iter().sum::<usize>(),
+                g.num_edges(),
+                "cap {cap} lost edges"
+            );
+            let (part2, _) = run(&g, 6, &config, &ModularityPolicy).unwrap();
+            assert_eq!(part, part2, "cap {cap} nondeterministic");
+        }
+    }
+
+    #[test]
+    fn zero_frontier_cap_is_rejected() {
+        let g = small_graph();
+        let config = TlpConfig::new().frontier_cap(0);
+        assert!(matches!(
+            run(&g, 2, &config, &ModularityPolicy).unwrap_err(),
+            PartitionError::InvalidParameter { name: "frontier_cap", .. }
+        ));
+    }
+
+    /// An uncapped run and a cap larger than any frontier are identical.
+    #[test]
+    fn huge_cap_equals_uncapped() {
+        let g = tlp_graph::generators::erdos_renyi(150, 600, 8);
+        let base = TlpConfig::new().seed(2);
+        let capped = base.frontier_cap(1_000_000);
+        let a = run(&g, 5, &base, &ModularityPolicy).unwrap().0;
+        let b = run(&g, 5, &capped, &ModularityPolicy).unwrap().0;
+        assert_eq!(a, b);
+    }
+
+    /// Same equivalence for the TLP_R stage policy across the R sweep.
+    #[test]
+    fn indexed_selection_equals_linear_scan_for_tlp_r() {
+        let g = tlp_graph::generators::chung_lu(250, 1200, 2.2, 9);
+        for r in [0.0, 0.3, 0.7, 1.0] {
+            let policy = EdgeRatioPolicy { ratio: r };
+            let scan = run(
+                &g,
+                6,
+                &TlpConfig::new()
+                    .seed(4)
+                    .selection_strategy(SelectionStrategy::LinearScan),
+                &policy,
+            )
+            .unwrap()
+            .0;
+            let heap = run(
+                &g,
+                6,
+                &TlpConfig::new()
+                    .seed(4)
+                    .selection_strategy(SelectionStrategy::IndexedHeap),
+                &policy,
+            )
+            .unwrap()
+            .0;
+            assert_eq!(scan, heap, "R = {r}");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Partition modularity `M(P_k) = |E(P_k)| / |E_out(P_k)|` (Definition 8).
+
+use std::fmt;
+
+/// The modularity of a growing local partition, kept in exact integer form.
+///
+/// The paper's stage criterion (`M <= 1` vs `M >= 1`, Table II) reduces to
+/// an integer comparison of internal vs. external edge counts, so no
+/// floating-point boundary cases can misclassify a stage.
+///
+/// # Example
+///
+/// ```
+/// use tlp_core::Modularity;
+///
+/// let m = Modularity::new(2, 3); // Fig. 5(a): |E|=2, |E_out|=3
+/// assert!(m.is_stage_one());
+/// assert!((m.value() - 0.6667).abs() < 1e-3);
+///
+/// let m = Modularity::new(5, 1); // Fig. 5(b)-style tight partition
+/// assert!(!m.is_stage_one());
+/// assert_eq!(m.value(), 5.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Modularity {
+    internal: usize,
+    external: usize,
+}
+
+impl Modularity {
+    /// Creates a modularity from internal and external edge counts.
+    pub fn new(internal: usize, external: usize) -> Self {
+        Modularity { internal, external }
+    }
+
+    /// `|E(P_k)|`: edges allocated to the partition.
+    pub fn internal(&self) -> usize {
+        self.internal
+    }
+
+    /// `|E_out(P_k)|`: unallocated edges with exactly one endpoint inside.
+    pub fn external(&self) -> usize {
+        self.external
+    }
+
+    /// The ratio `M = internal / external`; `+inf` when `external == 0` and
+    /// `internal > 0`, and `0` for the empty partition.
+    pub fn value(&self) -> f64 {
+        if self.external == 0 {
+            if self.internal == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.internal as f64 / self.external as f64
+        }
+    }
+
+    /// Stage criterion of Table II: Stage I iff `M <= 1`, i.e. iff
+    /// `internal <= external` (with the empty partition counted as Stage I).
+    pub fn is_stage_one(&self) -> bool {
+        self.internal <= self.external && !(self.internal > 0 && self.external == 0)
+    }
+}
+
+impl Default for Modularity {
+    fn default() -> Self {
+        Modularity::new(0, 0)
+    }
+}
+
+impl fmt::Display for Modularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} = {:.4}", self.internal, self.external, self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig5_examples() {
+        // Fig 5(a): 2 internal, 3 external -> M = 0.67, Stage I.
+        let a = Modularity::new(2, 3);
+        assert!(a.is_stage_one());
+        assert!((a.value() - 2.0 / 3.0).abs() < 1e-12);
+        // Fig 5(b): M = 5, Stage II.
+        let b = Modularity::new(5, 1);
+        assert!(!b.is_stage_one());
+        assert_eq!(b.value(), 5.0);
+    }
+
+    #[test]
+    fn boundary_m_equals_one_is_stage_one() {
+        // Table II overlaps at M = 1; we resolve to Stage I, so the switch
+        // to Stage II happens strictly after internal edges exceed external.
+        let m = Modularity::new(4, 4);
+        assert!(m.is_stage_one());
+        assert_eq!(m.value(), 1.0);
+    }
+
+    #[test]
+    fn empty_partition_is_stage_one() {
+        let m = Modularity::default();
+        assert!(m.is_stage_one());
+        assert_eq!(m.value(), 0.0);
+    }
+
+    #[test]
+    fn zero_external_is_stage_two_with_infinite_value() {
+        let m = Modularity::new(3, 0);
+        assert!(!m.is_stage_one());
+        assert!(m.value().is_infinite());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = Modularity::new(1, 2);
+        assert_eq!(format!("{m}"), "1/2 = 0.5000");
+    }
+}

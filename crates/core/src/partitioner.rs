@@ -1,0 +1,85 @@
+//! The `EdgePartitioner` trait implemented by TLP and all comparators.
+
+use crate::{EdgePartition, PartitionError};
+use tlp_graph::CsrGraph;
+
+/// A balanced `p`-edge graph partitioner (Definition 5 of the paper).
+///
+/// Implementors assign every edge of the input graph to one of `p`
+/// partitions, aiming to keep partition loads near `|E|/p` while minimizing
+/// the replication factor.
+///
+/// The trait is object-safe, so heterogeneous partitioner line-ups (as in
+/// the Fig. 8 experiment) can be stored as `Vec<Box<dyn EdgePartitioner>>`.
+///
+/// # Example
+///
+/// ```
+/// use tlp_core::{EdgePartitioner, TlpConfig, TwoStageLocalPartitioner};
+/// use tlp_graph::generators::erdos_renyi;
+///
+/// let graph = erdos_renyi(100, 400, 3);
+/// let partitioner: Box<dyn EdgePartitioner> =
+///     Box::new(TwoStageLocalPartitioner::new(TlpConfig::new()));
+/// let partition = partitioner.partition(&graph, 4)?;
+/// assert_eq!(partition.num_edges(), 400);
+/// # Ok::<(), tlp_core::PartitionError>(())
+/// ```
+pub trait EdgePartitioner {
+    /// Short human-readable algorithm name ("TLP", "METIS", "DBH", ...).
+    fn name(&self) -> &str;
+
+    /// Partitions every edge of `graph` into `num_partitions` parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::ZeroPartitions`] when `num_partitions == 0`
+    /// and implementation-specific [`PartitionError`]s for invalid
+    /// configurations.
+    fn partition(
+        &self,
+        graph: &CsrGraph,
+        num_partitions: usize,
+    ) -> Result<EdgePartition, PartitionError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PartitionId;
+
+    /// A trivial round-robin partitioner used to exercise the trait object.
+    struct RoundRobin;
+
+    impl EdgePartitioner for RoundRobin {
+        fn name(&self) -> &str {
+            "RoundRobin"
+        }
+
+        fn partition(
+            &self,
+            graph: &CsrGraph,
+            num_partitions: usize,
+        ) -> Result<EdgePartition, PartitionError> {
+            if num_partitions == 0 {
+                return Err(PartitionError::ZeroPartitions);
+            }
+            let assignment = (0..graph.num_edges())
+                .map(|e| (e % num_partitions) as PartitionId)
+                .collect();
+            EdgePartition::new(num_partitions, assignment)
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_usable() {
+        let graph = tlp_graph::GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (2, 3)])
+            .build();
+        let boxed: Box<dyn EdgePartitioner> = Box::new(RoundRobin);
+        assert_eq!(boxed.name(), "RoundRobin");
+        let partition = boxed.partition(&graph, 2).unwrap();
+        assert_eq!(partition.edge_counts(), vec![2, 1]);
+        assert!(boxed.partition(&graph, 0).is_err());
+    }
+}

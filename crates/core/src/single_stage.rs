@@ -1,0 +1,103 @@
+//! Single-stage ablations: pure Stage I and pure Stage II partitioners.
+//!
+//! These are the `R = 1` and `R = 0` extremes of TLP_R, named for use in
+//! ablation line-ups (the paper's conclusions (1)-(2) in Section IV-C show
+//! both are dominated by the two-stage method).
+
+use crate::{
+    EdgePartition, EdgePartitioner, EdgeRatioLocalPartitioner, PartitionError, TlpConfig,
+};
+use tlp_graph::CsrGraph;
+
+/// Local partitioner that always applies the Stage I criterion (Eq. 7).
+///
+/// Equivalent to TLP_R with `R = 1`.
+#[derive(Clone, Copy, Debug)]
+pub struct StageOneOnlyPartitioner {
+    inner: EdgeRatioLocalPartitioner,
+}
+
+impl StageOneOnlyPartitioner {
+    /// Creates the pure Stage I partitioner.
+    pub fn new(config: TlpConfig) -> Self {
+        let inner = EdgeRatioLocalPartitioner::new(config, 1.0)
+            .expect("1.0 is a valid ratio")
+            .with_name("StageI-only");
+        StageOneOnlyPartitioner { inner }
+    }
+}
+
+impl EdgePartitioner for StageOneOnlyPartitioner {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn partition(
+        &self,
+        graph: &CsrGraph,
+        num_partitions: usize,
+    ) -> Result<EdgePartition, PartitionError> {
+        self.inner.partition(graph, num_partitions)
+    }
+}
+
+/// Local partitioner that always applies the Stage II criterion (Eq. 9).
+///
+/// Equivalent to TLP_R with `R = 0`.
+#[derive(Clone, Copy, Debug)]
+pub struct StageTwoOnlyPartitioner {
+    inner: EdgeRatioLocalPartitioner,
+}
+
+impl StageTwoOnlyPartitioner {
+    /// Creates the pure Stage II partitioner.
+    pub fn new(config: TlpConfig) -> Self {
+        let inner = EdgeRatioLocalPartitioner::new(config, 0.0)
+            .expect("0.0 is a valid ratio")
+            .with_name("StageII-only");
+        StageTwoOnlyPartitioner { inner }
+    }
+}
+
+impl EdgePartitioner for StageTwoOnlyPartitioner {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn partition(
+        &self,
+        graph: &CsrGraph,
+        num_partitions: usize,
+    ) -> Result<EdgePartition, PartitionError> {
+        self.inner.partition(graph, num_partitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_graph::generators::erdos_renyi;
+
+    #[test]
+    fn names_are_distinct() {
+        let one = StageOneOnlyPartitioner::new(TlpConfig::new());
+        let two = StageTwoOnlyPartitioner::new(TlpConfig::new());
+        assert_eq!(one.name(), "StageI-only");
+        assert_eq!(two.name(), "StageII-only");
+    }
+
+    #[test]
+    fn both_produce_total_partitions() {
+        let g = erdos_renyi(120, 480, 4);
+        for part in [
+            StageOneOnlyPartitioner::new(TlpConfig::new().seed(1))
+                .partition(&g, 6)
+                .unwrap(),
+            StageTwoOnlyPartitioner::new(TlpConfig::new().seed(1))
+                .partition(&g, 6)
+                .unwrap(),
+        ] {
+            assert_eq!(part.edge_counts().iter().sum::<usize>(), g.num_edges());
+        }
+    }
+}

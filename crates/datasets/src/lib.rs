@@ -1,0 +1,30 @@
+//! The nine evaluation datasets of the TLP paper (Table III).
+//!
+//! The paper evaluates on eight SNAP graphs (G1–G8) plus the huapu
+//! genealogy graph (G9). Those files are not redistributable with this
+//! repository, so each dataset is described by a [`DatasetSpec`] that can be
+//! **instantiated synthetically** — a seeded generator matched to the real
+//! graph's vertex count, edge count, and degree-distribution family — or
+//! **loaded from disk** when the real SNAP file is present under a data
+//! directory (see [`loader`]). The substitution rationale lives in
+//! `DESIGN.md` §4.
+//!
+//! # Example
+//!
+//! ```
+//! use tlp_datasets::{DatasetId, DatasetSpec};
+//!
+//! let spec = DatasetSpec::get(DatasetId::G1);
+//! assert_eq!(spec.name, "email-Eu-core");
+//! // A 10% scale instance for quick tests:
+//! let g = spec.instantiate(0.1, 42);
+//! assert!(g.num_vertices() >= 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+pub mod loader;
+
+pub use catalog::{DatasetId, DatasetSpec, GraphFamily};

@@ -1,0 +1,129 @@
+//! Loading datasets: real SNAP files when available, synthetic otherwise.
+
+use crate::DatasetSpec;
+use std::path::{Path, PathBuf};
+use tlp_graph::{io, CsrGraph};
+
+/// Where a loaded graph came from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Provenance {
+    /// Parsed from a real edge-list file at this path.
+    Real(PathBuf),
+    /// Generated synthetically (see `DESIGN.md` §4) at this scale.
+    Synthetic {
+        /// Instantiation scale in `(0, 1]`.
+        scale_milli: u32,
+    },
+}
+
+/// A dataset instance plus its provenance.
+#[derive(Clone, Debug)]
+pub struct LoadedDataset {
+    /// The graph.
+    pub graph: CsrGraph,
+    /// Real file or synthetic stand-in.
+    pub provenance: Provenance,
+}
+
+/// Candidate file names for a dataset inside the data directory.
+fn candidate_paths(dir: &Path, spec: &DatasetSpec) -> Vec<PathBuf> {
+    vec![
+        dir.join(format!("{}.txt", spec.name)),
+        dir.join(format!("{}.edges", spec.name)),
+        dir.join(format!("{}.txt", spec.id)),
+    ]
+}
+
+/// Loads a dataset: the real file from `data_dir` when one exists
+/// (`<name>.txt`, `<name>.edges`, or `<Gk>.txt`), otherwise the synthetic
+/// stand-in at `scale`.
+///
+/// # Errors
+///
+/// Returns a [`tlp_graph::GraphError`] only when a real file exists but
+/// fails to parse; the synthetic path is infallible.
+///
+/// # Example
+///
+/// ```
+/// use tlp_datasets::{loader::load, DatasetId, DatasetSpec};
+///
+/// let spec = DatasetSpec::get(DatasetId::G1);
+/// let ds = load(spec, "/nonexistent-dir", 0.05, 1)?;
+/// assert!(ds.graph.num_edges() > 0);
+/// # Ok::<(), tlp_graph::GraphError>(())
+/// ```
+pub fn load<P: AsRef<Path>>(
+    spec: &DatasetSpec,
+    data_dir: P,
+    scale: f64,
+    seed: u64,
+) -> Result<LoadedDataset, tlp_graph::GraphError> {
+    for path in candidate_paths(data_dir.as_ref(), spec) {
+        if path.is_file() {
+            let loaded = io::read_edge_list_file(&path)?;
+            return Ok(LoadedDataset {
+                graph: loaded.graph,
+                provenance: Provenance::Real(path),
+            });
+        }
+    }
+    Ok(LoadedDataset {
+        graph: spec.instantiate(scale, seed),
+        provenance: Provenance::Synthetic {
+            scale_milli: (scale * 1000.0).round() as u32,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetId;
+    use std::io::Write;
+
+    #[test]
+    fn falls_back_to_synthetic_when_no_file() {
+        let spec = DatasetSpec::get(DatasetId::G1);
+        let ds = load(spec, "/definitely/missing", 0.1, 3).unwrap();
+        assert!(matches!(ds.provenance, Provenance::Synthetic { .. }));
+        assert!(ds.graph.num_edges() > 0);
+    }
+
+    #[test]
+    fn prefers_real_file_when_present() {
+        let dir = std::env::temp_dir().join(format!("tlp-loader-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("email-Eu-core.txt");
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "# tiny stand-in\n0 1\n1 2").unwrap();
+        drop(f);
+
+        let spec = DatasetSpec::get(DatasetId::G1);
+        let ds = load(spec, &dir, 1.0, 0).unwrap();
+        assert_eq!(ds.provenance, Provenance::Real(path.clone()));
+        assert_eq!(ds.graph.num_edges(), 2);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_real_file_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("tlp-loader-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("Wiki-Vote.txt");
+        std::fs::write(&path, "not an edge list\n").unwrap();
+
+        let spec = DatasetSpec::get(DatasetId::G2);
+        assert!(load(spec, &dir, 1.0, 0).is_err());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn provenance_scale_is_recorded() {
+        let spec = DatasetSpec::get(DatasetId::G1);
+        let ds = load(spec, "/missing", 0.25, 1).unwrap();
+        assert_eq!(ds.provenance, Provenance::Synthetic { scale_milli: 250 });
+    }
+}

@@ -1,0 +1,293 @@
+//! Compressed-sparse-row representation of an undirected simple graph.
+
+use crate::{Edge, EdgeId, VertexId};
+
+/// An immutable undirected simple graph in compressed-sparse-row form.
+///
+/// Every undirected edge is stored once in a canonical edge table (indexed by
+/// [`EdgeId`]) and twice in the adjacency array (once per direction), with
+/// both directions carrying the same `EdgeId`. This makes `EdgeId`-indexed
+/// partition assignments and residual-edge bookkeeping cheap.
+///
+/// Construct via [`crate::GraphBuilder`], [`crate::io`], or a generator in
+/// [`crate::generators`].
+///
+/// # Example
+///
+/// ```
+/// use tlp_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new().add_edge(0, 1).add_edge(0, 2).build();
+/// let mut neighbors: Vec<_> = g.neighbors(0).to_vec();
+/// neighbors.sort_unstable();
+/// assert_eq!(neighbors, vec![1, 2]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` is the adjacency range of vertex `v`.
+    offsets: Vec<usize>,
+    /// Neighbor endpoint for each directed arc.
+    adj_vertex: Vec<VertexId>,
+    /// Undirected edge id for each directed arc (parallel to `adj_vertex`).
+    adj_edge: Vec<EdgeId>,
+    /// Canonical edge table indexed by `EdgeId`.
+    edges: Vec<Edge>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from a deduplicated, loop-free canonical edge list.
+    ///
+    /// This is the low-level constructor used by [`crate::GraphBuilder`];
+    /// `edges` must already be simple (no duplicates, no self-loops), and
+    /// every endpoint must be `< num_vertices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or a self-loop is present.
+    /// Duplicate detection is the builder's job and is only debug-asserted
+    /// here.
+    pub(crate) fn from_canonical_edges(num_vertices: usize, edges: Vec<Edge>) -> Self {
+        let mut degrees = vec![0usize; num_vertices];
+        for e in &edges {
+            assert!(
+                (e.target() as usize) < num_vertices,
+                "edge {e:?} endpoint out of range (num_vertices = {num_vertices})"
+            );
+            assert!(!e.is_self_loop(), "self-loop {e:?} passed to CsrGraph");
+            degrees[e.source() as usize] += 1;
+            degrees[e.target() as usize] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(num_vertices + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        let mut cursor = offsets.clone();
+        let mut adj_vertex = vec![0 as VertexId; acc];
+        let mut adj_edge = vec![0 as EdgeId; acc];
+        for (id, e) in edges.iter().enumerate() {
+            let id = id as EdgeId;
+            let (u, v) = e.endpoints();
+            let cu = &mut cursor[u as usize];
+            adj_vertex[*cu] = v;
+            adj_edge[*cu] = id;
+            *cu += 1;
+            let cv = &mut cursor[v as usize];
+            adj_vertex[*cv] = u;
+            adj_edge[*cv] = id;
+            *cv += 1;
+        }
+
+        CsrGraph {
+            offsets,
+            adj_vertex,
+            adj_edge,
+            edges,
+        }
+    }
+
+    /// Number of vertices `n = |V|`, including isolated ones.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m = |E|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The neighbors of `v` as a slice (one entry per incident edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.adj_vertex[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Iterates over `(neighbor, edge_id)` pairs incident to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn incident(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        let v = v as usize;
+        let range = self.offsets[v]..self.offsets[v + 1];
+        self.adj_vertex[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.adj_edge[range].iter().copied())
+    }
+
+    /// The canonical [`Edge`] for an [`EdgeId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= num_edges`.
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e as usize]
+    }
+
+    /// All canonical edges, indexed by [`EdgeId`].
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterates over all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Average degree `2m / n`, or `0.0` for a vertex-free graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Whether vertices `a` and `b` are adjacent (linear in `min` degree).
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        let (probe, other) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.neighbors(probe).contains(&other)
+    }
+
+    /// Looks up the [`EdgeId`] connecting `a` and `b`, if any.
+    pub fn edge_id(&self, a: VertexId, b: VertexId) -> Option<EdgeId> {
+        let (probe, other) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.incident(probe)
+            .find(|&(w, _)| w == other)
+            .map(|(_, id)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> crate::CsrGraph {
+        // 0-1, 1-2, 2-0, 2-3
+        GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 0)
+            .add_edge(2, 3)
+            .build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn degrees() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = triangle_plus_tail();
+        for v in g.vertices() {
+            for &w in g.neighbors(v) {
+                assert!(g.neighbors(w).contains(&v), "{w} missing backlink to {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn incident_edge_ids_match_edge_table() {
+        let g = triangle_plus_tail();
+        for v in g.vertices() {
+            for (w, id) in g.incident(v) {
+                let e = g.edge(id);
+                assert!(e.contains(v) && e.contains(w));
+                assert_eq!(e.other(v), w);
+            }
+        }
+    }
+
+    #[test]
+    fn each_edge_id_appears_twice_in_adjacency() {
+        let g = triangle_plus_tail();
+        let mut count = vec![0usize; g.num_edges()];
+        for v in g.vertices() {
+            for (_, id) in g.incident(v) {
+                count[id as usize] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn has_edge_and_edge_id() {
+        let g = triangle_plus_tail();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        let id = g.edge_id(2, 3).expect("edge 2-3 exists");
+        assert_eq!(g.edge(id).endpoints(), (2, 3));
+        assert_eq!(g.edge_id(0, 3), None);
+    }
+
+    #[test]
+    fn average_degree() {
+        let g = triangle_plus_tail();
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn isolated_vertices_are_retained() {
+        let g = GraphBuilder::new()
+            .reserve_vertices(10)
+            .add_edge(0, 1)
+            .build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(9), 0);
+        assert!(g.neighbors(9).is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Degree statistics and distributions.
+//!
+//! The paper's motivation leans on power-law degree distributions (§I) and
+//! its Table VI analyses the average degree of vertices selected in each TLP
+//! stage, so degree tooling is a first-class substrate feature.
+
+use crate::{CsrGraph, VertexId};
+
+/// Summary statistics over the degree sequence of a graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree `2m/n`.
+    pub mean: f64,
+    /// Median degree.
+    pub median: f64,
+}
+
+impl DegreeStats {
+    /// Computes degree statistics; returns `None` for a vertex-free graph.
+    pub fn of(graph: &CsrGraph) -> Option<Self> {
+        if graph.num_vertices() == 0 {
+            return None;
+        }
+        let mut degrees: Vec<usize> = graph.vertices().map(|v| graph.degree(v)).collect();
+        degrees.sort_unstable();
+        let n = degrees.len();
+        let median = if n % 2 == 1 {
+            degrees[n / 2] as f64
+        } else {
+            (degrees[n / 2 - 1] + degrees[n / 2]) as f64 / 2.0
+        };
+        Some(DegreeStats {
+            min: degrees[0],
+            max: degrees[n - 1],
+            mean: graph.average_degree(),
+            median,
+        })
+    }
+}
+
+/// Degree histogram: `histogram[d]` counts vertices of degree `d`.
+pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
+    let max = graph
+        .vertices()
+        .map(|v| graph.degree(v))
+        .max()
+        .unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for v in graph.vertices() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Returns the `k` highest-degree vertices, descending by degree (ties by
+/// ascending vertex id). Returns fewer if the graph has fewer vertices.
+pub fn top_degree_vertices(graph: &CsrGraph, k: usize) -> Vec<VertexId> {
+    let mut vs: Vec<VertexId> = graph.vertices().collect();
+    vs.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+    vs.truncate(k);
+    vs
+}
+
+/// Estimates the power-law exponent `alpha` of the degree distribution with
+/// the discrete maximum-likelihood estimator (Clauset–Shalizi–Newman, with
+/// the continuous approximation), over vertices of degree >= `d_min`.
+///
+/// Returns `None` if fewer than two vertices reach `d_min`.
+pub fn power_law_exponent_mle(graph: &CsrGraph, d_min: usize) -> Option<f64> {
+    let d_min = d_min.max(1);
+    let mut count = 0usize;
+    let mut log_sum = 0.0f64;
+    for v in graph.vertices() {
+        let d = graph.degree(v);
+        if d >= d_min {
+            count += 1;
+            log_sum += (d as f64 / (d_min as f64 - 0.5)).ln();
+        }
+    }
+    if count < 2 || log_sum <= 0.0 {
+        return None;
+    }
+    Some(1.0 + count as f64 / log_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn star(n: usize) -> CsrGraph {
+        GraphBuilder::new()
+            .add_edges((1..n as VertexId + 1).map(|v| (0, v)))
+            .build()
+    }
+
+    #[test]
+    fn stats_on_star() {
+        let g = star(4); // center degree 4, leaves degree 1
+        let s = DegreeStats::of(&g).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.median, 1.0);
+    }
+
+    #[test]
+    fn stats_none_for_empty() {
+        let g = GraphBuilder::new().build();
+        assert!(DegreeStats::of(&g).is_none());
+    }
+
+    #[test]
+    fn median_of_even_count() {
+        // degrees: 1,1,2,2 -> median 1.5
+        let g = GraphBuilder::new().add_edges([(0, 1), (1, 2), (2, 3)]).build();
+        let s = DegreeStats::of(&g).unwrap();
+        assert_eq!(s.median, 1.5);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let g = star(3);
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 3, 0, 1]); // three leaves of degree 1, center degree 3
+    }
+
+    #[test]
+    fn top_degree_vertices_ordering() {
+        let g = star(3);
+        assert_eq!(top_degree_vertices(&g, 2), vec![0, 1]);
+        assert_eq!(top_degree_vertices(&g, 100).len(), 4);
+    }
+
+    #[test]
+    fn mle_requires_enough_vertices() {
+        let g = GraphBuilder::new().add_edge(0, 1).build();
+        // Both vertices have degree 1; log_sum over d_min=1 is positive.
+        let alpha = power_law_exponent_mle(&g, 1);
+        assert!(alpha.is_some());
+        let g_empty = GraphBuilder::new().build();
+        assert!(power_law_exponent_mle(&g_empty, 1).is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! Fundamental identifier and edge types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a vertex, dense in `0..num_vertices`.
+pub type VertexId = u32;
+
+/// Identifier of an undirected edge, dense in `0..num_edges`.
+///
+/// Both directed arcs of an undirected edge share one `EdgeId`, which is what
+/// lets an edge partition be stored as a flat `Vec` indexed by `EdgeId`.
+pub type EdgeId = u32;
+
+/// An undirected edge in canonical form (`u <= v`).
+///
+/// `Edge::new` normalizes endpoint order, so two edges constructed from the
+/// endpoints in either order compare equal:
+///
+/// ```
+/// use tlp_graph::Edge;
+/// assert_eq!(Edge::new(3, 1), Edge::new(1, 3));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    u: VertexId,
+    v: VertexId,
+}
+
+impl Edge {
+    /// Creates a canonical undirected edge between `a` and `b`.
+    ///
+    /// The smaller endpoint becomes [`Edge::source`]. Self-loops are
+    /// representable here; [`crate::GraphBuilder`] is responsible for
+    /// dropping them from simple graphs.
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        if a <= b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// The smaller endpoint.
+    pub fn source(self) -> VertexId {
+        self.u
+    }
+
+    /// The larger endpoint.
+    pub fn target(self) -> VertexId {
+        self.v
+    }
+
+    /// Both endpoints as a `(source, target)` pair with `source <= target`.
+    pub fn endpoints(self) -> (VertexId, VertexId) {
+        (self.u, self.v)
+    }
+
+    /// Whether both endpoints coincide.
+    pub fn is_self_loop(self) -> bool {
+        self.u == self.v
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn other(self, x: VertexId) -> VertexId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("vertex {x} is not an endpoint of {self:?}");
+        }
+    }
+
+    /// Whether `x` is one of the two endpoints.
+    pub fn contains(self, x: VertexId) -> bool {
+        x == self.u || x == self.v
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.u, self.v)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.u, self.v)
+    }
+}
+
+impl From<(VertexId, VertexId)> for Edge {
+    fn from((a, b): (VertexId, VertexId)) -> Self {
+        Edge::new(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_is_canonicalized() {
+        let e = Edge::new(5, 2);
+        assert_eq!(e.source(), 2);
+        assert_eq!(e.target(), 5);
+        assert_eq!(e.endpoints(), (2, 5));
+    }
+
+    #[test]
+    fn edges_from_either_order_are_equal() {
+        assert_eq!(Edge::new(1, 9), Edge::new(9, 1));
+        assert_eq!(Edge::from((9, 1)), Edge::new(1, 9));
+    }
+
+    #[test]
+    fn other_returns_opposite_endpoint() {
+        let e = Edge::new(3, 7);
+        assert_eq!(e.other(3), 7);
+        assert_eq!(e.other(7), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_panics_for_non_endpoint() {
+        Edge::new(3, 7).other(4);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Edge::new(4, 4).is_self_loop());
+        assert!(!Edge::new(4, 5).is_self_loop());
+    }
+
+    #[test]
+    fn contains_endpoint() {
+        let e = Edge::new(0, 2);
+        assert!(e.contains(0));
+        assert!(e.contains(2));
+        assert!(!e.contains(1));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let e = Edge::new(1, 2);
+        assert_eq!(format!("{e}"), "1-2");
+        assert_eq!(format!("{e:?}"), "(1, 2)");
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for graph construction and I/O.
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::io;
+
+/// Errors produced while reading, parsing, or validating graph data.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line in an edge-list file.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Explanation of what failed to parse.
+        message: String,
+    },
+    /// A structural constraint was violated (e.g. vertex id overflow).
+    Invalid(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Invalid(message) => write!(f, "invalid graph: {message}"),
+        }
+    }
+}
+
+impl StdError for GraphError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = GraphError::Parse {
+            line: 3,
+            message: "expected two integers".into(),
+        };
+        assert_eq!(format!("{e}"), "parse error at line 3: expected two integers");
+        let e = GraphError::Invalid("negative id".into());
+        assert!(format!("{e}").contains("invalid graph"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let inner = io::Error::new(io::ErrorKind::NotFound, "nope");
+        let e = GraphError::from(inner);
+        assert!(e.source().is_some());
+        assert!(format!("{e}").contains("nope"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

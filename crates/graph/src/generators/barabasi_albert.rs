@@ -1,0 +1,114 @@
+//! Barabási–Albert preferential-attachment graphs.
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a Barabási–Albert graph: starting from a small clique, each new
+/// vertex attaches `k` edges to existing vertices chosen with probability
+/// proportional to their current degree.
+///
+/// The result has exactly `n` vertices and approximately `k * n` edges
+/// (duplicates within one vertex's attachment round are re-drawn, so the
+/// count is exact except at pathological densities).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `n < k + 1`.
+///
+/// # Example
+///
+/// ```
+/// use tlp_graph::generators::barabasi_albert;
+///
+/// let g = barabasi_albert(200, 3, 9);
+/// assert_eq!(g.num_vertices(), 200);
+/// assert!(g.num_edges() >= 3 * (200 - 4));
+/// ```
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> CsrGraph {
+    assert!(k > 0, "attachment count k must be positive");
+    assert!(n > k, "need at least k + 1 = {} vertices, got {n}", k + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // `targets` holds one entry per edge endpoint; sampling uniformly from it
+    // realizes degree-proportional selection.
+    let mut targets: Vec<VertexId> = Vec::with_capacity(2 * k * n);
+    let mut builder = GraphBuilder::new().reserve_vertices(n);
+
+    // Seed clique on k + 1 vertices.
+    let m0 = k + 1;
+    for a in 0..m0 as VertexId {
+        for b in (a + 1)..m0 as VertexId {
+            builder.push_edge(a, b);
+            targets.push(a);
+            targets.push(b);
+        }
+    }
+
+    for v in m0 as VertexId..n as VertexId {
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(k);
+        let mut guard = 0usize;
+        while chosen.len() < k && guard < 64 * k {
+            guard += 1;
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            builder.push_edge(v, t);
+            targets.push(v);
+            targets.push(t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn vertex_and_edge_counts() {
+        let n = 300;
+        let k = 2;
+        let g = barabasi_albert(n, k, 4);
+        assert_eq!(g.num_vertices(), n);
+        // Clique on k+1 vertices plus k edges per remaining vertex.
+        let expected = k * (k + 1) / 2 + k * (n - k - 1);
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(100, 3, 8), barabasi_albert(100, 3, 8));
+    }
+
+    #[test]
+    fn heavy_tail_emerges() {
+        let g = barabasi_albert(2000, 2, 13);
+        let s = DegreeStats::of(&g).unwrap();
+        assert!(s.max as f64 > 4.0 * s.mean);
+        assert_eq!(s.min, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        barabasi_albert(10, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k + 1")]
+    fn too_few_vertices_panics() {
+        barabasi_albert(3, 3, 1);
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let g = barabasi_albert(500, 1, 21);
+        let cc = crate::traversal::ConnectedComponents::find(&g);
+        assert_eq!(cc.count(), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Uniform random graphs `G(n, m)`.
+
+use super::{collect_unique_edges, max_simple_edges};
+use crate::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a uniform random simple graph with `n` vertices and (up to) `m`
+/// distinct edges.
+///
+/// If `m` exceeds the number of possible simple edges, the result is capped
+/// at the complete graph.
+///
+/// # Example
+///
+/// ```
+/// use tlp_graph::generators::erdos_renyi;
+///
+/// let g = erdos_renyi(100, 300, 42);
+/// assert_eq!(g.num_vertices(), 100);
+/// assert_eq!(g.num_edges(), 300);
+/// // Deterministic per seed:
+/// assert_eq!(g, erdos_renyi(100, 300, 42));
+/// ```
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let m = m.min(max_simple_edges(n));
+    let mut rng = StdRng::seed_from_u64(seed);
+    collect_unique_edges(n, m, 100, || {
+        (
+            rng.gen_range(0..n) as VertexId,
+            rng.gen_range(0..n) as VertexId,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_counts() {
+        let g = erdos_renyi(50, 100, 1);
+        assert_eq!(g.num_vertices(), 50);
+        assert_eq!(g.num_edges(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_different_across_seeds() {
+        let a = erdos_renyi(30, 60, 5);
+        let b = erdos_renyi(30, 60, 5);
+        let c = erdos_renyi(30, 60, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn caps_at_complete_graph() {
+        let g = erdos_renyi(5, 1000, 2);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn zero_edges_and_zero_vertices() {
+        assert_eq!(erdos_renyi(10, 0, 3).num_edges(), 0);
+        let g = erdos_renyi(0, 0, 3);
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Genealogy-style generator for the huapu dataset (G9).
+//!
+//! The huapu system stores Chinese family trees: vertices are people, edges
+//! mostly parent–child links plus occasional cross-family links (marriage,
+//! adoption). Structurally that yields a near-tree with average degree about
+//! `2m/n ≈ 3.3`, short cross links, and mild degree skew (large families).
+//! This generator reproduces those properties:
+//!
+//! * each new vertex attaches to one "parent" chosen from a recency window
+//!   with mild preferential attachment (families grow where recent activity
+//!   is), guaranteeing connectivity of the growth phase;
+//! * extra edges are added between vertices that are close in arrival order
+//!   until the target edge count is met, modeling intra-clan links.
+
+use crate::{CsrGraph, Edge, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Generates a genealogy-style graph with `n` vertices and (up to) `m` edges.
+///
+/// `m` must be at least `n - 1` (the spanning tree); extra edges above that
+/// become local cross links. Deterministic per seed.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `m < n - 1`.
+///
+/// # Example
+///
+/// ```
+/// use tlp_graph::generators::genealogy;
+///
+/// let g = genealogy(1_000, 1_630, 23);
+/// assert_eq!(g.num_vertices(), 1_000);
+/// assert_eq!(g.num_edges(), 1_630);
+/// assert!((g.average_degree() - 3.26).abs() < 0.1);
+/// ```
+pub fn genealogy(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n > 0, "genealogy graph needs at least one vertex");
+    assert!(
+        m >= n.saturating_sub(1),
+        "need at least n - 1 = {} edges for the family tree, got {m}",
+        n - 1
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new().reserve_vertices(n);
+    let mut seen: HashSet<Edge> = HashSet::with_capacity(m * 2);
+
+    // Growth phase: spanning tree with windowed preferential attachment.
+    // `window` controls how "deep" family branches get; a small window makes
+    // long thin chains, a large one makes broad stars.
+    let window = 64usize;
+    for v in 1..n as VertexId {
+        let lo = (v as usize).saturating_sub(window);
+        // Bias towards the newer end of the window: families keep growing
+        // where children were just added.
+        let span = v as usize - lo;
+        let offset = if span <= 1 {
+            0
+        } else {
+            // Square the uniform draw to skew towards `span` (recent).
+            let x: f64 = rng.gen();
+            ((x * x) * span as f64) as usize
+        };
+        let parent = (lo + offset).min(v as usize - 1) as VertexId;
+        builder.push_edge(v, parent);
+        seen.insert(Edge::new(v, parent));
+    }
+
+    // Cross-link phase: connect vertices close in arrival order.
+    let extra = m - (n - 1);
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let budget = extra.saturating_mul(100).max(16);
+    while added < extra && attempts < budget {
+        attempts += 1;
+        let a = rng.gen_range(0..n) as VertexId;
+        let radius = 1 + rng.gen_range(0..window.min(n.max(2) - 1));
+        let b = if rng.gen_bool(0.5) {
+            a.saturating_sub(radius as VertexId)
+        } else {
+            (a as usize + radius).min(n - 1) as VertexId
+        };
+        if a == b {
+            continue;
+        }
+        let e = Edge::new(a, b);
+        if seen.insert(e) {
+            builder.push_edge(a, b);
+            added += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+    use crate::traversal::ConnectedComponents;
+
+    #[test]
+    fn counts_and_determinism() {
+        let g = genealogy(500, 815, 7);
+        assert_eq!(g.num_vertices(), 500);
+        assert_eq!(g.num_edges(), 815);
+        assert_eq!(g, genealogy(500, 815, 7));
+    }
+
+    #[test]
+    fn growth_phase_yields_connected_graph() {
+        let g = genealogy(1000, 1630, 9);
+        let cc = ConnectedComponents::find(&g);
+        assert_eq!(cc.count(), 1);
+    }
+
+    #[test]
+    fn low_average_degree_like_huapu() {
+        let g = genealogy(2000, 3260, 11);
+        let s = DegreeStats::of(&g).unwrap();
+        assert!(s.mean < 4.0);
+        assert!(s.mean > 2.5);
+        // Tree-like: no extreme hubs.
+        assert!(s.max < 100);
+    }
+
+    #[test]
+    fn pure_tree_when_m_equals_n_minus_1() {
+        let g = genealogy(100, 99, 3);
+        assert_eq!(g.num_edges(), 99);
+        assert_eq!(ConnectedComponents::find(&g).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least n - 1")]
+    fn too_few_edges_panics() {
+        genealogy(10, 5, 1);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = genealogy(1, 0, 1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

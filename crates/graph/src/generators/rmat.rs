@@ -1,0 +1,132 @@
+//! R-MAT (recursive matrix) graphs.
+
+use super::{collect_unique_edges, max_simple_edges};
+use crate::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Quadrant probabilities of the R-MAT recursion.
+///
+/// Must sum to (approximately) 1; the classic skewed setting is
+/// `(0.57, 0.19, 0.19, 0.05)`, available as [`RmatProbabilities::default`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatProbabilities {
+    /// Top-left quadrant.
+    pub a: f64,
+    /// Top-right quadrant.
+    pub b: f64,
+    /// Bottom-left quadrant.
+    pub c: f64,
+    /// Bottom-right quadrant.
+    pub d: f64,
+}
+
+impl Default for RmatProbabilities {
+    fn default() -> Self {
+        RmatProbabilities {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+}
+
+impl RmatProbabilities {
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "R-MAT probabilities must sum to 1, got {sum}"
+        );
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
+            "R-MAT probabilities must be non-negative"
+        );
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` vertices and (up to) `m` distinct
+/// edges.
+///
+/// # Panics
+///
+/// Panics if the probabilities do not sum to 1 or `scale >= 32`.
+///
+/// # Example
+///
+/// ```
+/// use tlp_graph::generators::{rmat, RmatProbabilities};
+///
+/// let g = rmat(10, 3_000, RmatProbabilities::default(), 17);
+/// assert_eq!(g.num_vertices(), 1024);
+/// assert_eq!(g.num_edges(), 3_000);
+/// ```
+pub fn rmat(scale: u32, m: usize, probs: RmatProbabilities, seed: u64) -> CsrGraph {
+    assert!(scale < 32, "scale must be < 32, got {scale}");
+    probs.validate();
+    let n = 1usize << scale;
+    let m = m.min(max_simple_edges(n));
+    let mut rng = StdRng::seed_from_u64(seed);
+    collect_unique_edges(n, m, 200, || {
+        let (mut row, mut col) = (0usize, 0usize);
+        for _ in 0..scale {
+            row <<= 1;
+            col <<= 1;
+            let x: f64 = rng.gen();
+            if x < probs.a {
+                // top-left: no bits set
+            } else if x < probs.a + probs.b {
+                col |= 1;
+            } else if x < probs.a + probs.b + probs.c {
+                row |= 1;
+            } else {
+                row |= 1;
+                col |= 1;
+            }
+        }
+        (row as VertexId, col as VertexId)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn counts_and_determinism() {
+        let g = rmat(8, 1000, RmatProbabilities::default(), 3);
+        assert_eq!(g.num_vertices(), 256);
+        assert_eq!(g.num_edges(), 1000);
+        assert_eq!(g, rmat(8, 1000, RmatProbabilities::default(), 3));
+    }
+
+    #[test]
+    fn skewed_quadrants_produce_hubs() {
+        let g = rmat(11, 10_000, RmatProbabilities::default(), 5);
+        let s = DegreeStats::of(&g).unwrap();
+        assert!(s.max as f64 > 4.0 * s.mean);
+    }
+
+    #[test]
+    fn uniform_probabilities_flatten_distribution() {
+        let uniform = RmatProbabilities {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+        };
+        let g = rmat(11, 10_000, uniform, 5);
+        let skewed = rmat(11, 10_000, RmatProbabilities::default(), 5);
+        let su = DegreeStats::of(&g).unwrap();
+        let ss = DegreeStats::of(&skewed).unwrap();
+        assert!(su.max < ss.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_probabilities_panic() {
+        rmat(4, 10, RmatProbabilities { a: 0.9, b: 0.3, c: 0.1, d: 0.1 }, 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Reading and writing SNAP-style edge-list files.
+//!
+//! SNAP datasets (the paper's G1–G8) are whitespace-separated edge lists with
+//! `#`-prefixed comment lines. Vertex ids in those files are arbitrary
+//! integers; [`read_edge_list`] densifies them to `0..n` and returns the
+//! mapping so results can be reported in original ids if needed.
+
+use crate::{CsrGraph, GraphBuilder, GraphError, VertexId};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Result of loading an edge list: the graph plus the original-id mapping.
+#[derive(Clone, Debug)]
+pub struct LoadedGraph {
+    /// The parsed, deduplicated, loop-free graph.
+    pub graph: CsrGraph,
+    /// `original_ids[v]` is the id vertex `v` had in the input file.
+    pub original_ids: Vec<u64>,
+}
+
+/// Reads a SNAP-style edge list from any reader.
+///
+/// Lines starting with `#` or `%` and blank lines are skipped. Each other
+/// line must contain at least two integers (extra columns such as weights or
+/// timestamps are ignored). Directed inputs are symmetrized, duplicates and
+/// self-loops dropped — matching the preprocessing the paper applies.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on read failure and [`GraphError::Parse`] on a
+/// malformed line.
+///
+/// # Example
+///
+/// ```
+/// use tlp_graph::io::read_edge_list;
+///
+/// let data = "# comment\n10 20\n20 30\n10 20\n";
+/// let loaded = read_edge_list(data.as_bytes())?;
+/// assert_eq!(loaded.graph.num_vertices(), 3);
+/// assert_eq!(loaded.graph.num_edges(), 2);
+/// assert_eq!(loaded.original_ids, vec![10, 20, 30]);
+/// # Ok::<(), tlp_graph::GraphError>(())
+/// ```
+pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut remap: HashMap<u64, VertexId> = HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut builder = GraphBuilder::new();
+
+    let mut intern = |raw: u64, original_ids: &mut Vec<u64>| -> Result<VertexId, GraphError> {
+        if let Some(&id) = remap.get(&raw) {
+            return Ok(id);
+        }
+        let id = VertexId::try_from(original_ids.len())
+            .map_err(|_| GraphError::Invalid("more than u32::MAX vertices".into()))?;
+        remap.insert(raw, id);
+        original_ids.push(raw);
+        Ok(id)
+    };
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let a = parse_field(fields.next(), line_no, "source vertex")?;
+        let b = parse_field(fields.next(), line_no, "target vertex")?;
+        let a = intern(a, &mut original_ids)?;
+        let b = intern(b, &mut original_ids)?;
+        builder.push_edge(a, b);
+    }
+
+    Ok(LoadedGraph {
+        graph: builder.build(),
+        original_ids,
+    })
+}
+
+fn parse_field(field: Option<&str>, line: usize, what: &str) -> Result<u64, GraphError> {
+    let text = field.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    text.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("{what} is not an unsigned integer: {text:?}"),
+    })
+}
+
+/// Reads an edge list from a file path. See [`read_edge_list`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] if the file cannot be opened or read, and
+/// [`GraphError::Parse`] on malformed content.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Writes `graph` as a SNAP-style edge list (one `u v` line per edge).
+///
+/// A mutable reference can be passed for `writer` (`&mut Vec<u8>`, `&mut
+/// File`, …).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failure.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
+    writeln!(
+        writer,
+        "# Undirected graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for e in graph.edges() {
+        writeln!(writer, "{}\t{}", e.source(), e.target())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_snap_format_with_comments_and_extra_columns() {
+        let data = "# Directed graph\n% also a comment\n\n1 2 1000\n2 3\n3 1\n";
+        let loaded = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 3);
+        assert_eq!(loaded.graph.num_edges(), 3);
+    }
+
+    #[test]
+    fn symmetrizes_and_dedups_directed_input() {
+        let data = "1 2\n2 1\n1 1\n";
+        let loaded = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 1);
+        assert_eq!(loaded.graph.num_vertices(), 2);
+    }
+
+    #[test]
+    fn preserves_first_seen_order_in_mapping() {
+        let data = "100 7\n7 55\n";
+        let loaded = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(loaded.original_ids, vec![100, 7, 55]);
+    }
+
+    #[test]
+    fn rejects_garbage_line_with_location() {
+        let data = "1 2\nnot numbers\n";
+        let err = read_edge_list(data.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_single_column_line() {
+        let data = "1\n";
+        let err = read_edge_list(data.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn roundtrip_write_then_read() {
+        let g = crate::GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (0, 3)])
+            .build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(loaded.graph.num_edges(), g.num_edges());
+        assert_eq!(loaded.graph.num_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_edge_list_file("/nonexistent/definitely-not-here.txt").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

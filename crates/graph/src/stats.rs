@@ -1,0 +1,88 @@
+//! Whole-graph summary statistics (Table III style).
+
+use crate::degree::DegreeStats;
+use crate::traversal::ConnectedComponents;
+use crate::CsrGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Table-III-style summary of one graph.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// `|V|`, including isolated vertices.
+    pub num_vertices: usize,
+    /// `|E|` after dedup / self-loop removal.
+    pub num_edges: usize,
+    /// `|V| + |E|` (the paper's size column).
+    pub total_size: usize,
+    /// Mean degree `2m/n`.
+    pub average_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of connected components.
+    pub components: usize,
+    /// Vertices in the largest component.
+    pub largest_component: usize,
+}
+
+impl GraphStats {
+    /// Computes all statistics in one pass over the graph.
+    pub fn of(graph: &CsrGraph) -> Self {
+        let degree = DegreeStats::of(graph);
+        let cc = ConnectedComponents::find(graph);
+        GraphStats {
+            num_vertices: graph.num_vertices(),
+            num_edges: graph.num_edges(),
+            total_size: graph.num_vertices() + graph.num_edges(),
+            average_degree: graph.average_degree(),
+            max_degree: degree.map_or(0, |d| d.max),
+            components: cc.count(),
+            largest_component: cc.largest(),
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} |V|+|E|={} avg_deg={:.2} max_deg={} components={}",
+            self.num_vertices,
+            self.num_edges,
+            self.total_size,
+            self.average_degree,
+            self.max_degree,
+            self.components
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (3, 4)])
+            .build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.total_size, 8);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.components, 2);
+        assert_eq!(s.largest_component, 3);
+        assert!(format!("{s}").contains("|V|=5"));
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = GraphStats::of(&GraphBuilder::new().build());
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.num_edges, 0);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.components, 0);
+    }
+}

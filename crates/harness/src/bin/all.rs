@@ -1,0 +1,11 @@
+//! Runs the complete evaluation: Table III, Fig. 8 + Table IV, Figs. 9-11,
+//! and Table VI, writing all CSV/JSON outputs to the results directory.
+fn main() {
+    let ctx = tlp_harness::ExperimentContext::parse(std::env::args().skip(1));
+    tlp_harness::table3::run(&ctx);
+    let records = tlp_harness::fig8::run(&ctx);
+    tlp_harness::table4::from_records(&ctx, &records);
+    tlp_harness::tlp_r_sweep::run(&ctx);
+    tlp_harness::table6::run(&ctx);
+    eprintln!("all experiments complete; outputs in {:?}", ctx.out_dir);
+}

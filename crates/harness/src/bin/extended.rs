@@ -1,0 +1,6 @@
+//! Extended RF comparison across eleven algorithms (beyond the paper).
+fn main() {
+    let ctx = tlp_harness::ExperimentContext::parse(std::env::args().skip(1));
+    let records = tlp_harness::extended::run(&ctx);
+    tlp_harness::extended::print_ranking(&records);
+}

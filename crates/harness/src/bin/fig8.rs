@@ -1,0 +1,5 @@
+//! Regenerates Fig. 8 (RF of the five-algorithm line-up, p = 10/15/20).
+fn main() {
+    let ctx = tlp_harness::ExperimentContext::parse(std::env::args().skip(1));
+    tlp_harness::fig8::run(&ctx);
+}

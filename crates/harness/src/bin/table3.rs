@@ -1,0 +1,5 @@
+//! Regenerates Table III (dataset statistics).
+fn main() {
+    let ctx = tlp_harness::ExperimentContext::parse(std::env::args().skip(1));
+    tlp_harness::table3::run(&ctx);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table IV (delta RF between METIS and TLP); runs Fig. 8 first.
+fn main() {
+    let ctx = tlp_harness::ExperimentContext::parse(std::env::args().skip(1));
+    let records = tlp_harness::fig8::run(&ctx);
+    tlp_harness::table4::from_records(&ctx, &records);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table VI (average selected-vertex degree per TLP stage).
+fn main() {
+    let ctx = tlp_harness::ExperimentContext::parse(std::env::args().skip(1));
+    tlp_harness::table6::run(&ctx);
+}

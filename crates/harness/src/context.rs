@@ -1,0 +1,162 @@
+//! Shared CLI context for the experiment binaries.
+
+use std::path::PathBuf;
+use tlp_datasets::{loader, DatasetId, DatasetSpec};
+use tlp_graph::CsrGraph;
+
+/// Parsed command-line options shared by every experiment binary.
+#[derive(Clone, Debug)]
+pub struct ExperimentContext {
+    /// Directory searched for real SNAP files.
+    pub data_dir: PathBuf,
+    /// Directory where CSV/JSON outputs are written.
+    pub out_dir: PathBuf,
+    /// Base RNG seed for partitioners and generators.
+    pub seed: u64,
+    /// Instantiation scale override (`--scale`).
+    pub scale_override: Option<f64>,
+    /// Cap dataset size for smoke runs (`--quick`).
+    pub quick: bool,
+    /// Datasets to run on.
+    pub datasets: Vec<DatasetId>,
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        ExperimentContext {
+            data_dir: PathBuf::from("data"),
+            out_dir: PathBuf::from("results"),
+            seed: 42,
+            scale_override: None,
+            quick: false,
+            datasets: DatasetId::ALL.to_vec(),
+        }
+    }
+}
+
+impl ExperimentContext {
+    /// Parses the common flags from an argument list (excluding argv[0]).
+    ///
+    /// Unknown flags abort with a usage message, keeping the binaries honest.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut ctx = ExperimentContext::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut value_of = |flag: &str| {
+                iter.next()
+                    .unwrap_or_else(|| panic!("flag {flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--data-dir" => ctx.data_dir = PathBuf::from(value_of("--data-dir")),
+                "--out-dir" => ctx.out_dir = PathBuf::from(value_of("--out-dir")),
+                "--seed" => {
+                    ctx.seed = value_of("--seed").parse().expect("--seed takes an integer")
+                }
+                "--scale" => {
+                    let s: f64 = value_of("--scale").parse().expect("--scale takes a float");
+                    assert!(s > 0.0 && s <= 1.0, "--scale must be in (0, 1]");
+                    ctx.scale_override = Some(s);
+                }
+                "--quick" => ctx.quick = true,
+                "--datasets" => {
+                    let list = value_of("--datasets");
+                    ctx.datasets = list
+                        .split(',')
+                        .map(|tok| parse_dataset(tok.trim()))
+                        .collect();
+                }
+                other => panic!(
+                    "unknown flag {other}; supported: --datasets --scale --seed --quick \
+                     --data-dir --out-dir"
+                ),
+            }
+        }
+        ctx
+    }
+
+    /// The scale a dataset will be instantiated at under these options.
+    pub fn scale_for(&self, spec: &DatasetSpec) -> f64 {
+        let base = self.scale_override.unwrap_or(spec.default_scale);
+        if self.quick {
+            // Cap at ~60k edges for smoke runs.
+            let cap = 60_000.0 / spec.edges as f64;
+            base.min(cap).min(1.0).max(1e-4)
+        } else {
+            base
+        }
+    }
+
+    /// Loads one dataset (real file if present, synthetic otherwise).
+    pub fn load(&self, id: DatasetId) -> (CsrGraph, &'static DatasetSpec, f64) {
+        let spec = DatasetSpec::get(id);
+        let scale = self.scale_for(spec);
+        let ds = loader::load(spec, &self.data_dir, scale, self.seed)
+            .unwrap_or_else(|e| panic!("failed to load {id}: {e}"));
+        (ds.graph, spec, scale)
+    }
+
+    /// Ensures the output directory exists and returns a path inside it.
+    pub fn out_path(&self, file: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.out_dir).expect("create out dir");
+        self.out_dir.join(file)
+    }
+}
+
+fn parse_dataset(token: &str) -> DatasetId {
+    DatasetId::ALL
+        .into_iter()
+        .find(|id| id.to_string().eq_ignore_ascii_case(token))
+        .unwrap_or_else(|| panic!("unknown dataset {token}; expected G1..G9"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ExperimentContext {
+        ExperimentContext::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let ctx = parse(&[]);
+        assert_eq!(ctx.seed, 42);
+        assert_eq!(ctx.datasets.len(), 9);
+        assert!(!ctx.quick);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let ctx = parse(&[
+            "--datasets", "G1,g3", "--scale", "0.5", "--seed", "7", "--quick",
+            "--data-dir", "/d", "--out-dir", "/o",
+        ]);
+        assert_eq!(ctx.datasets, vec![DatasetId::G1, DatasetId::G3]);
+        assert_eq!(ctx.scale_override, Some(0.5));
+        assert_eq!(ctx.seed, 7);
+        assert!(ctx.quick);
+        assert_eq!(ctx.data_dir, PathBuf::from("/d"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--frobnicate"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        parse(&["--datasets", "G42"]);
+    }
+
+    #[test]
+    fn quick_caps_scale() {
+        let ctx = parse(&["--quick"]);
+        let spec = tlp_datasets::DatasetSpec::get(DatasetId::G8); // 905k edges
+        let scale = ctx.scale_for(spec);
+        assert!(scale * spec.edges as f64 <= 61_000.0);
+        let small = tlp_datasets::DatasetSpec::get(DatasetId::G1); // 25k edges
+        assert_eq!(ctx.scale_for(small), 1.0);
+    }
+}

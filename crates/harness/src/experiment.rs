@@ -1,0 +1,95 @@
+//! Running partitioners and collecting records.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use tlp_baselines::{DbhPartitioner, LdgPartitioner, RandomPartitioner, VertexOrder};
+use tlp_core::{
+    EdgePartitioner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner,
+};
+use tlp_datasets::DatasetId;
+use tlp_graph::CsrGraph;
+use tlp_metis::{MetisConfig, MetisPartitioner};
+
+/// One (dataset, algorithm, p) measurement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RfRecord {
+    /// Dataset notation ("G1".."G9").
+    pub dataset: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of partitions.
+    pub p: usize,
+    /// Replication factor.
+    pub rf: f64,
+    /// Load balance (max load over ideal load).
+    pub balance: f64,
+    /// Wall-clock partitioning time in seconds.
+    pub seconds: f64,
+}
+
+/// Runs one partitioner and computes its metrics and wall time.
+///
+/// # Panics
+///
+/// Panics if the partitioner fails (configuration errors are programmer
+/// errors inside the harness).
+pub fn run_one(
+    graph: &CsrGraph,
+    algorithm: &dyn EdgePartitioner,
+    dataset: DatasetId,
+    p: usize,
+) -> RfRecord {
+    let start = Instant::now();
+    let partition = algorithm
+        .partition(graph, p)
+        .unwrap_or_else(|e| panic!("{} failed on {dataset}: {e}", algorithm.name()));
+    let seconds = start.elapsed().as_secs_f64();
+    let metrics = PartitionMetrics::compute(graph, &partition);
+    RfRecord {
+        dataset: dataset.to_string(),
+        algorithm: algorithm.name().to_string(),
+        p,
+        rf: metrics.replication_factor,
+        balance: metrics.balance,
+        seconds,
+    }
+}
+
+/// The paper's Fig. 8 line-up: TLP, METIS, LDG, DBH, Random.
+pub fn paper_lineup(seed: u64) -> Vec<Box<dyn EdgePartitioner>> {
+    vec![
+        Box::new(TwoStageLocalPartitioner::new(TlpConfig::new().seed(seed))),
+        Box::new(MetisPartitioner::new(MetisConfig {
+            seed,
+            ..MetisConfig::default()
+        })),
+        Box::new(LdgPartitioner::new(VertexOrder::Random(seed))),
+        Box::new(DbhPartitioner::new(seed)),
+        Box::new(RandomPartitioner::new(seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_graph::generators::chung_lu;
+
+    #[test]
+    fn run_one_produces_sane_record() {
+        let g = chung_lu(200, 800, 2.2, 1);
+        let algo = RandomPartitioner::new(0);
+        let rec = run_one(&g, &algo, DatasetId::G1, 4);
+        assert_eq!(rec.dataset, "G1");
+        assert_eq!(rec.algorithm, "Random");
+        assert_eq!(rec.p, 4);
+        assert!(rec.rf >= 1.0);
+        assert!(rec.balance >= 1.0);
+        assert!(rec.seconds >= 0.0);
+    }
+
+    #[test]
+    fn lineup_has_the_papers_five_algorithms() {
+        let names: Vec<String> = paper_lineup(0).iter().map(|a| a.name().to_string()).collect();
+        assert_eq!(names, vec!["TLP", "METIS", "LDG", "DBH", "Random"]);
+    }
+}

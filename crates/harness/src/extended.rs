@@ -1,0 +1,152 @@
+//! Extended comparison beyond the paper's Fig. 8 line-up: adds NE (the
+//! paper's reference [13]), PowerGraph Greedy, HDRF, and FENNEL, plus the
+//! single-stage TLP ablations.
+
+use crate::experiment::{run_one, RfRecord};
+use crate::report::{write_csv, TextTable};
+use crate::{ExperimentContext, PARTITION_COUNTS};
+use tlp_baselines::{
+    DbhPartitioner, EdgeOrder, FennelPartitioner, GreedyPartitioner, HdrfPartitioner,
+    LdgPartitioner, NePartitioner, RandomPartitioner, VertexOrder,
+};
+use tlp_core::{
+    EdgePartitioner, StageOneOnlyPartitioner, StageTwoOnlyPartitioner, TlpConfig,
+    TwoStageLocalPartitioner,
+};
+use tlp_metis::{MetisConfig, MetisPartitioner};
+
+/// The full ten-algorithm line-up.
+pub fn extended_lineup(seed: u64) -> Vec<Box<dyn EdgePartitioner>> {
+    vec![
+        Box::new(TwoStageLocalPartitioner::new(TlpConfig::new().seed(seed))),
+        Box::new(StageOneOnlyPartitioner::new(TlpConfig::new().seed(seed))),
+        Box::new(StageTwoOnlyPartitioner::new(TlpConfig::new().seed(seed))),
+        Box::new(MetisPartitioner::new(MetisConfig {
+            seed,
+            ..MetisConfig::default()
+        })),
+        Box::new(NePartitioner::new(seed)),
+        Box::new(GreedyPartitioner::new(EdgeOrder::Random(seed))),
+        Box::new(HdrfPartitioner::default()),
+        Box::new(FennelPartitioner::new(VertexOrder::Random(seed))),
+        Box::new(LdgPartitioner::new(VertexOrder::Random(seed))),
+        Box::new(DbhPartitioner::new(seed)),
+        Box::new(RandomPartitioner::new(seed)),
+    ]
+}
+
+/// Runs the extended comparison, printing one panel per partition count and
+/// writing `extended.csv`.
+pub fn run(ctx: &ExperimentContext) -> Vec<RfRecord> {
+    let lineup = extended_lineup(ctx.seed);
+    let mut records = Vec::new();
+    for &id in &ctx.datasets {
+        let (graph, spec, scale) = ctx.load(id);
+        eprintln!(
+            "extended: {id} ({}) at scale {scale:.4}: {} edges",
+            spec.name,
+            graph.num_edges()
+        );
+        for &p in &PARTITION_COUNTS {
+            for algorithm in &lineup {
+                let record = run_one(&graph, algorithm.as_ref(), id, p);
+                eprintln!(
+                    "  p={p:2} {:>12}: RF = {:.3} ({:.2}s)",
+                    record.algorithm, record.rf, record.seconds
+                );
+                records.push(record);
+            }
+        }
+    }
+
+    for &p in &PARTITION_COUNTS {
+        println!("{}", crate::fig8::render_panel(&records, p));
+    }
+
+    let csv_rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.algorithm.clone(),
+                r.p.to_string(),
+                format!("{}", r.rf),
+                format!("{}", r.balance),
+                format!("{}", r.seconds),
+            ]
+        })
+        .collect();
+    write_csv(
+        ctx.out_path("extended.csv"),
+        &["dataset", "algorithm", "p", "rf", "balance", "seconds"],
+        &csv_rows,
+    )
+    .expect("write extended.csv");
+    records
+}
+
+/// Ranks algorithms by mean RF across all records (ties broken by name).
+pub fn ranking(records: &[RfRecord]) -> Vec<(String, f64)> {
+    let mut sums: std::collections::BTreeMap<String, (f64, usize)> = Default::default();
+    for r in records {
+        let entry = sums.entry(r.algorithm.clone()).or_insert((0.0, 0));
+        entry.0 += r.rf;
+        entry.1 += 1;
+    }
+    let mut out: Vec<(String, f64)> = sums
+        .into_iter()
+        .map(|(name, (sum, count))| (name, sum / count as f64))
+        .collect();
+    out.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// Prints the overall ranking table.
+pub fn print_ranking(records: &[RfRecord]) {
+    let mut table = TextTable::new();
+    table.row(["rank", "algorithm", "mean RF"]);
+    for (i, (name, rf)) in ranking(records).into_iter().enumerate() {
+        table.row([format!("{}", i + 1), name, format!("{rf:.3}")]);
+    }
+    println!("Extended comparison — mean RF across all runs\n{}", table.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(algorithm: &str, rf: f64) -> RfRecord {
+        RfRecord {
+            dataset: "G1".into(),
+            algorithm: algorithm.into(),
+            p: 10,
+            rf,
+            balance: 1.0,
+            seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn lineup_has_eleven_distinct_names() {
+        let names: Vec<String> = extended_lineup(0)
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect();
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate names: {names:?}");
+        assert!(names.contains(&"NE".to_string()));
+        assert!(names.contains(&"HDRF".to_string()));
+    }
+
+    #[test]
+    fn ranking_orders_by_mean_rf() {
+        let records = vec![rec("A", 2.0), rec("B", 1.0), rec("A", 4.0), rec("B", 3.0)];
+        let ranked = ranking(&records);
+        assert_eq!(ranked[0].0, "B");
+        assert_eq!(ranked[0].1, 2.0);
+        assert_eq!(ranked[1].0, "A");
+        assert_eq!(ranked[1].1, 3.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Fig. 8: replication factors of TLP, METIS, LDG, DBH, and Random on every
+//! dataset for p = 10, 15, 20.
+
+use crate::experiment::{paper_lineup, run_one, RfRecord};
+use crate::report::{write_csv, write_json, TextTable};
+use crate::{ExperimentContext, PARTITION_COUNTS};
+
+/// Runs the Fig. 8 comparison and returns all records.
+///
+/// Prints one table per partition count (mirroring Fig. 8's three panels)
+/// and writes `fig8.csv` / `fig8.json` to the output directory.
+pub fn run(ctx: &ExperimentContext) -> Vec<RfRecord> {
+    let lineup = paper_lineup(ctx.seed);
+    let mut records: Vec<RfRecord> = Vec::new();
+
+    for &id in &ctx.datasets {
+        let (graph, spec, scale) = ctx.load(id);
+        eprintln!(
+            "fig8: {id} ({}) at scale {scale:.4}: {} vertices, {} edges",
+            spec.name,
+            graph.num_vertices(),
+            graph.num_edges()
+        );
+        for &p in &PARTITION_COUNTS {
+            for algorithm in &lineup {
+                let record = run_one(&graph, algorithm.as_ref(), id, p);
+                eprintln!(
+                    "  p={p:2} {:>7}: RF = {:.3} ({:.2}s)",
+                    record.algorithm, record.rf, record.seconds
+                );
+                records.push(record);
+            }
+        }
+    }
+
+    for &p in &PARTITION_COUNTS {
+        println!("{}", render_panel(&records, p));
+    }
+
+    let csv_rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.algorithm.clone(),
+                r.p.to_string(),
+                format!("{}", r.rf),
+                format!("{}", r.balance),
+                format!("{}", r.seconds),
+            ]
+        })
+        .collect();
+    write_csv(
+        ctx.out_path("fig8.csv"),
+        &["dataset", "algorithm", "p", "rf", "balance", "seconds"],
+        &csv_rows,
+    )
+    .expect("write fig8.csv");
+    write_json(ctx.out_path("fig8.json"), &records).expect("write fig8.json");
+    records
+}
+
+/// Renders one Fig. 8 panel (a fixed `p`) as a dataset x algorithm table.
+pub fn render_panel(records: &[RfRecord], p: usize) -> String {
+    let mut algorithms: Vec<String> = Vec::new();
+    let mut datasets: Vec<String> = Vec::new();
+    for r in records.iter().filter(|r| r.p == p) {
+        if !algorithms.contains(&r.algorithm) {
+            algorithms.push(r.algorithm.clone());
+        }
+        if !datasets.contains(&r.dataset) {
+            datasets.push(r.dataset.clone());
+        }
+    }
+    let mut table = TextTable::new();
+    let mut header = vec!["dataset".to_string()];
+    header.extend(algorithms.iter().cloned());
+    table.row(header);
+    for d in &datasets {
+        let mut row = vec![d.clone()];
+        for a in &algorithms {
+            let cell = records
+                .iter()
+                .find(|r| r.p == p && &r.dataset == d && &r.algorithm == a)
+                .map(|r| format!("{:.3}", r.rf))
+                .unwrap_or_else(|| "-".to_string());
+            row.push(cell);
+        }
+        table.row(row);
+    }
+    format!("Fig. 8 — replication factor, p = {p}\n{}", table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_panel_formats_grid() {
+        let records = vec![
+            RfRecord {
+                dataset: "G1".into(),
+                algorithm: "TLP".into(),
+                p: 10,
+                rf: 1.5,
+                balance: 1.0,
+                seconds: 0.1,
+            },
+            RfRecord {
+                dataset: "G1".into(),
+                algorithm: "Random".into(),
+                p: 10,
+                rf: 3.2,
+                balance: 1.0,
+                seconds: 0.0,
+            },
+        ];
+        let panel = render_panel(&records, 10);
+        assert!(panel.contains("TLP"));
+        assert!(panel.contains("1.500"));
+        assert!(panel.contains("3.200"));
+        // Missing (dataset, algorithm) combinations render as "-".
+        let empty = render_panel(&records, 15);
+        assert!(empty.contains("p = 15"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Experiment harness: regenerates every table and figure of the TLP paper.
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table III (dataset statistics) | [`table3`] | `table3` |
+//! | Fig. 8 (RF of TLP vs METIS/LDG/DBH/Random, p = 10/15/20) | [`fig8`] | `fig8` |
+//! | Table IV (ΔRF = RF(METIS) − RF(TLP)) | [`table4`] | `table4` |
+//! | Figs. 9–11 (TLP vs TLP_R sweep over R) | [`tlp_r_sweep`] | `fig9_10_11` |
+//! | Table VI (average selected degree per stage) | [`table6`] | `table6` |
+//!
+//! Every binary accepts:
+//!
+//! * `--datasets G1,G2,...` — subset of graphs (default: all nine);
+//! * `--scale X` — instantiation scale override in `(0, 1]`;
+//! * `--seed N` — RNG seed (default 42);
+//! * `--quick` — caps every dataset at 60k edges for smoke runs;
+//! * `--data-dir DIR` — where real SNAP files are searched (default `data`);
+//! * `--out-dir DIR` — where CSV/JSON results land (default `results`).
+//!
+//! Run the whole evaluation with `cargo run --release -p tlp-harness --bin all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+pub mod experiment;
+pub mod extended;
+pub mod fig8;
+pub mod report;
+pub mod table3;
+pub mod table4;
+pub mod table6;
+pub mod tlp_r_sweep;
+
+pub use context::ExperimentContext;
+
+/// The partition counts evaluated throughout the paper.
+pub const PARTITION_COUNTS: [usize; 3] = [10, 15, 20];

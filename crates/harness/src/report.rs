@@ -1,0 +1,143 @@
+//! Plain-text table rendering and CSV/JSON result files.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple fixed-width text table (first row = header).
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a row (the first row is rendered as the header).
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the table with column-aligned cells and a header rule.
+    pub fn render(&self) -> String {
+        if self.rows.is_empty() {
+            return String::new();
+        }
+        let cols = self.rows.iter().map(Vec::len).max().unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        for (r, row) in self.rows.iter().enumerate() {
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = row.get(i).unwrap_or(&empty);
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}");
+            }
+            out.push('\n');
+            if r == 0 {
+                let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Writes rows as an RFC-4180-ish CSV file (values are formatted by the
+/// caller; cells containing commas or quotes are quoted).
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{}", header.join(","))?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|c| escape_csv(c)).collect();
+        writeln!(file, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+fn escape_csv(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Serializes any `Serialize` value as pretty JSON to `path`.
+///
+/// # Errors
+///
+/// Propagates serialization and I/O failures.
+pub fn write_json<P: AsRef<Path>, T: serde::Serialize>(path: P, value: &T) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(value).map_err(std::io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new();
+        t.row(["name", "rf"]);
+        t.row(["G1", "1.23"]);
+        t.row(["G10", "12.3"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        // Right-aligned: "G1" padded to width 4.
+        assert!(lines[2].contains("  G1") || lines[2].starts_with(" G1"));
+    }
+
+    #[test]
+    fn empty_table_renders_empty() {
+        assert_eq!(TextTable::new().render(), "");
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(escape_csv("plain"), "plain");
+        assert_eq!(escape_csv("a,b"), "\"a,b\"");
+        assert_eq!(escape_csv("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let path = std::env::temp_dir().join(format!("tlp-csv-{}.csv", std::process::id()));
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1".into(), "x,y".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,\"x,y\"\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

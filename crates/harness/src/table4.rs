@@ -1,0 +1,107 @@
+//! Table IV: ΔRF = RF(METIS) − RF(TLP) per dataset and partition count.
+
+use crate::experiment::RfRecord;
+use crate::report::{write_csv, TextTable};
+use crate::{ExperimentContext, PARTITION_COUNTS};
+
+/// Computes Table IV from Fig. 8 records (reuses them when the caller
+/// already ran [`crate::fig8::run`]; the `table4` binary runs Fig. 8 first).
+///
+/// A positive ΔRF means TLP beat METIS on that configuration.
+pub fn from_records(ctx: &ExperimentContext, records: &[RfRecord]) -> String {
+    let datasets: Vec<String> = {
+        let mut v = Vec::new();
+        for r in records {
+            if !v.contains(&r.dataset) {
+                v.push(r.dataset.clone());
+            }
+        }
+        v
+    };
+
+    let delta = |dataset: &str, p: usize| -> Option<f64> {
+        let rf_of = |alg: &str| {
+            records
+                .iter()
+                .find(|r| r.dataset == dataset && r.p == p && r.algorithm == alg)
+                .map(|r| r.rf)
+        };
+        Some(rf_of("METIS")? - rf_of("TLP")?)
+    };
+
+    let mut table = TextTable::new();
+    let mut header = vec!["p".to_string()];
+    header.extend(datasets.iter().cloned());
+    header.push("Average".to_string());
+    table.row(header);
+
+    let mut csv_rows = Vec::new();
+    for &p in &PARTITION_COUNTS {
+        let mut row = vec![format!("p={p}")];
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for d in &datasets {
+            match delta(d, p) {
+                Some(dv) => {
+                    row.push(format!("{dv:+.3}"));
+                    csv_rows.push(vec![d.clone(), p.to_string(), format!("{dv}")]);
+                    sum += dv;
+                    count += 1;
+                }
+                None => row.push("-".to_string()),
+            }
+        }
+        let avg = if count == 0 { 0.0 } else { sum / count as f64 };
+        row.push(format!("{avg:+.3}"));
+        csv_rows.push(vec!["Average".into(), p.to_string(), format!("{avg}")]);
+        table.row(row);
+    }
+
+    let rendered = format!(
+        "Table IV — ΔRF = RF(METIS) − RF(TLP)  (positive: TLP wins)\n{}",
+        table.render()
+    );
+    println!("{rendered}");
+    write_csv(
+        ctx.out_path("table4.csv"),
+        &["dataset", "p", "delta_rf"],
+        &csv_rows,
+    )
+    .expect("write table4.csv");
+    rendered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(dataset: &str, algorithm: &str, p: usize, rf: f64) -> RfRecord {
+        RfRecord {
+            dataset: dataset.into(),
+            algorithm: algorithm.into(),
+            p,
+            rf,
+            balance: 1.0,
+            seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn computes_deltas_and_average() {
+        let records = vec![
+            rec("G1", "METIS", 10, 2.0),
+            rec("G1", "TLP", 10, 1.5),
+            rec("G2", "METIS", 10, 1.8),
+            rec("G2", "TLP", 10, 2.0),
+        ];
+        let ctx = ExperimentContext {
+            out_dir: std::env::temp_dir().join(format!("tlp-t4-{}", std::process::id())),
+            ..ExperimentContext::default()
+        };
+        let out = from_records(&ctx, &records);
+        assert!(out.contains("+0.500"), "{out}");
+        assert!(out.contains("-0.200"), "{out}");
+        assert!(out.contains("+0.150"), "missing average: {out}");
+        std::fs::remove_dir_all(&ctx.out_dir).unwrap();
+    }
+}

@@ -1,0 +1,211 @@
+//! Multilevel bisection and recursive k-way partitioning.
+
+use crate::coarsen::coarsen_all;
+use crate::initial::greedy_graph_growing;
+use crate::refine::fm_refine;
+use crate::{MetisConfig, WeightedGraph};
+
+/// Multilevel bisection: coarsen, initial-partition, uncoarsen-and-refine.
+///
+/// `target0` is the vertex weight side 0 should receive. Returns `side[v]`
+/// in `{0, 1}`.
+pub fn multilevel_bisect(graph: &WeightedGraph, target0: u64, config: &MetisConfig) -> Vec<u8> {
+    let levels = coarsen_all(graph, config);
+    let coarsest = levels.last().map(|l| &l.graph).unwrap_or(graph);
+
+    let mut side = greedy_graph_growing(coarsest, target0, config);
+    fm_refine(coarsest, &mut side, target0, config);
+
+    // Project back through the levels, refining at each.
+    for i in (0..levels.len()).rev() {
+        let finer = if i == 0 { graph } else { &levels[i - 1].graph };
+        let map = &levels[i].map;
+        let mut fine_side = vec![0u8; finer.num_vertices()];
+        for v in 0..finer.num_vertices() {
+            fine_side[v] = side[map[v] as usize];
+        }
+        fm_refine(finer, &mut fine_side, target0, config);
+        side = fine_side;
+    }
+    side
+}
+
+/// Recursive bisection into `p` parts with weight-proportional targets.
+///
+/// Returns the vertex assignment (`0..p`) for every vertex of `graph`.
+pub fn recursive_bisection(graph: &WeightedGraph, p: usize, config: &MetisConfig) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut assignment = vec![0u32; n];
+    if p <= 1 || n == 0 {
+        return assignment;
+    }
+    let vertices: Vec<u32> = (0..n as u32).collect();
+    split(graph, &vertices, 0, p, config, &mut assignment, 0);
+    assignment
+}
+
+/// Recursively splits `vertices` (a subset of the original graph) into parts
+/// `[first_part, first_part + parts)`.
+fn split(
+    original: &WeightedGraph,
+    vertices: &[u32],
+    first_part: u32,
+    parts: usize,
+    config: &MetisConfig,
+    assignment: &mut [u32],
+    depth: u64,
+) {
+    if parts <= 1 {
+        for &v in vertices {
+            assignment[v as usize] = first_part;
+        }
+        return;
+    }
+    let left_parts = parts / 2;
+    let right_parts = parts - left_parts;
+
+    // Build the induced subgraph.
+    let (sub, back) = induced_subgraph(original, vertices);
+    let total = sub.total_vertex_weight();
+    let target0 = total * left_parts as u64 / parts as u64;
+
+    // Vary the seed per recursion node so sibling splits decorrelate.
+    let mut local = *config;
+    local.seed = config.seed.wrapping_mul(0x9E37).wrapping_add(depth);
+    let side = multilevel_bisect(&sub, target0, &local);
+
+    let mut left: Vec<u32> = Vec::new();
+    let mut right: Vec<u32> = Vec::new();
+    for (local_id, &orig) in back.iter().enumerate() {
+        if side[local_id] == 0 {
+            left.push(orig);
+        } else {
+            right.push(orig);
+        }
+    }
+    // Degenerate guard: a side must never be empty when parts remain.
+    if left.is_empty() || right.is_empty() {
+        let all = if left.is_empty() { &mut right } else { &mut left };
+        let take = all.len() / 2;
+        let moved: Vec<u32> = all.drain(..take).collect();
+        if left.is_empty() {
+            left = moved;
+        } else {
+            right = moved;
+        }
+    }
+
+    split(original, &left, first_part, left_parts, config, assignment, 2 * depth + 1);
+    split(
+        original,
+        &right,
+        first_part + left_parts as u32,
+        right_parts,
+        config,
+        assignment,
+        2 * depth + 2,
+    );
+}
+
+/// Extracts the subgraph induced by `vertices`; returns it plus the
+/// local-to-original id map.
+fn induced_subgraph(graph: &WeightedGraph, vertices: &[u32]) -> (WeightedGraph, Vec<u32>) {
+    let mut local_of = vec![u32::MAX; graph.num_vertices()];
+    for (i, &v) in vertices.iter().enumerate() {
+        local_of[v as usize] = i as u32;
+    }
+    let vertex_weight: Vec<u64> = vertices.iter().map(|&v| graph.vertex_weight(v)).collect();
+    let adjacency: Vec<Vec<(u32, u64)>> = vertices
+        .iter()
+        .map(|&v| {
+            graph
+                .neighbors(v)
+                .iter()
+                .filter_map(|&(w, wt)| {
+                    let lw = local_of[w as usize];
+                    (lw != u32::MAX).then_some((lw, wt))
+                })
+                .collect()
+        })
+        .collect();
+    (
+        WeightedGraph::from_adjacency(vertex_weight, adjacency),
+        vertices.to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_graph::GraphBuilder;
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build();
+        let wg = WeightedGraph::from_csr(&g);
+        let (sub, back) = induced_subgraph(&wg, &[0, 1, 2]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.total_edge_weight(), 2); // (0,1) and (1,2)
+        assert_eq!(back, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bisect_four_cliques_into_four_parts() {
+        let mut b = GraphBuilder::new();
+        for group in 0..4u32 {
+            let base = group * 5;
+            for a in 0..5 {
+                for c in (a + 1)..5 {
+                    b.push_edge(base + a, base + c);
+                }
+            }
+        }
+        // Ring of bridges.
+        b.push_edge(0, 5);
+        b.push_edge(5, 10);
+        b.push_edge(10, 15);
+        b.push_edge(15, 0);
+        let g = b.build();
+        let wg = WeightedGraph::from_csr(&g);
+        let assign = recursive_bisection(&wg, 4, &MetisConfig::default());
+        // Every clique should be monochromatic.
+        for group in 0..4u32 {
+            let base = (group * 5) as usize;
+            let color = assign[base];
+            for i in 0..5 {
+                assert_eq!(assign[base + i], color, "clique {group} split");
+            }
+        }
+        // And all four parts used.
+        let mut used: Vec<u32> = assign.clone();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used.len(), 4);
+    }
+
+    #[test]
+    fn single_part_assigns_everything_to_zero() {
+        let g = GraphBuilder::new().add_edges([(0, 1), (1, 2)]).build();
+        let wg = WeightedGraph::from_csr(&g);
+        assert_eq!(recursive_bisection(&wg, 1, &MetisConfig::default()), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn odd_part_counts_get_proportional_weights() {
+        let g = tlp_graph::generators::erdos_renyi(300, 900, 3);
+        let wg = WeightedGraph::from_csr(&g);
+        let assign = recursive_bisection(&wg, 3, &MetisConfig::default());
+        let mut counts = [0usize; 3];
+        for &a in &assign {
+            counts[a as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (60..=140).contains(&c),
+                "part sizes far from 100: {counts:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Heavy-edge matching (the coarsening matchmaker of Karypis & Kumar).
+
+use crate::WeightedGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Computes a heavy-edge matching: vertices are visited in random order and
+/// each unmatched vertex grabs its unmatched neighbor along the heaviest
+/// edge (ties: lighter vertex weight, then lower id — merging light vertices
+/// keeps coarse weights even).
+///
+/// Returns `match_of[v]`, where unmatched vertices map to themselves.
+///
+/// # Example
+///
+/// ```
+/// use tlp_graph::GraphBuilder;
+/// use tlp_metis::{matching::heavy_edge_matching, WeightedGraph};
+///
+/// let g = GraphBuilder::new().add_edges([(0, 1), (2, 3)]).build();
+/// let wg = WeightedGraph::from_csr(&g);
+/// let m = heavy_edge_matching(&wg, 7);
+/// assert_eq!(m[0], 1);
+/// assert_eq!(m[1], 0);
+/// assert_eq!(m[2], 3);
+/// ```
+pub fn heavy_edge_matching(graph: &WeightedGraph, seed: u64) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut match_of: Vec<u32> = (0..n as u32).collect();
+    let mut matched = vec![false; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+
+    for &v in &order {
+        if matched[v as usize] {
+            continue;
+        }
+        let mut best: Option<(u64, std::cmp::Reverse<u64>, std::cmp::Reverse<u32>, u32)> = None;
+        for &(w, wt) in graph.neighbors(v) {
+            if w == v || matched[w as usize] {
+                continue;
+            }
+            let key = (
+                wt,
+                std::cmp::Reverse(graph.vertex_weight(w)),
+                std::cmp::Reverse(w),
+                w,
+            );
+            if best.map_or(true, |b| key > b) {
+                best = Some(key);
+            }
+        }
+        if let Some((_, _, _, w)) = best {
+            matched[v as usize] = true;
+            matched[w as usize] = true;
+            match_of[v as usize] = w;
+            match_of[w as usize] = v;
+        }
+    }
+    match_of
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_graph::GraphBuilder;
+
+    #[test]
+    fn matching_is_symmetric_and_disjoint() {
+        let g = tlp_graph::generators::erdos_renyi(100, 300, 5);
+        let wg = WeightedGraph::from_csr(&g);
+        let m = heavy_edge_matching(&wg, 3);
+        for v in 0..100u32 {
+            let w = m[v as usize];
+            assert_eq!(m[w as usize], v, "matching not symmetric at {v}");
+        }
+    }
+
+    #[test]
+    fn heavier_edges_are_preferred() {
+        // Path 0 -(1)- 1 -(5)- 2: vertex 1 should match vertex 2.
+        let wg = WeightedGraph::from_adjacency(
+            vec![1, 1, 1],
+            vec![vec![(1, 1)], vec![(0, 1), (2, 5)], vec![(1, 5)]],
+        );
+        // Whatever visit order, the heavy edge (1,2) is chosen when either
+        // endpoint is visited first; 0 can only match 1.
+        for seed in 0..8 {
+            let m = heavy_edge_matching(&wg, seed);
+            assert!(
+                (m[1] == 2 && m[2] == 1) || (m[0] == 1 && m[1] == 0),
+                "seed {seed}: {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_stay_unmatched() {
+        let g = GraphBuilder::new().reserve_vertices(3).add_edge(0, 1).build();
+        let wg = WeightedGraph::from_csr(&g);
+        let m = heavy_edge_matching(&wg, 1);
+        assert_eq!(m[2], 2);
+    }
+
+    #[test]
+    fn matching_halves_most_vertices_on_dense_graphs() {
+        let g = tlp_graph::generators::erdos_renyi(200, 2000, 8);
+        let wg = WeightedGraph::from_csr(&g);
+        let m = heavy_edge_matching(&wg, 2);
+        let matched = (0..200u32).filter(|&v| m[v as usize] != v).count();
+        assert!(matched >= 150, "only {matched} matched");
+    }
+}

@@ -1,0 +1,191 @@
+//! Fiduccia–Mattheyses boundary refinement for a bisection.
+
+use crate::{MetisConfig, WeightedGraph};
+use std::collections::BinaryHeap;
+
+/// Refines a two-sided assignment in place and returns the final cut.
+///
+/// Classic FM with per-pass hill climbing: vertices move one at a time in
+/// best-gain order (each at most once per pass), the best prefix of the move
+/// sequence is kept, and passes repeat until a pass yields no improvement or
+/// `config.refine_passes` is exhausted. Moves must keep side 0's vertex
+/// weight within `epsilon` of `target0` (moves that reduce an existing
+/// imbalance are always allowed).
+pub fn fm_refine(
+    graph: &WeightedGraph,
+    side: &mut [u8],
+    target0: u64,
+    config: &MetisConfig,
+) -> u64 {
+    let n = graph.num_vertices();
+    debug_assert_eq!(side.len(), n);
+    let total = graph.total_vertex_weight();
+    let slack = (config.epsilon * target0 as f64).ceil() as u64;
+    let lo = target0.saturating_sub(slack);
+    let hi = (target0 + slack).min(total);
+
+    let mut cut = graph.cut(side);
+    for _ in 0..config.refine_passes.max(1) {
+        let improvement = fm_pass(graph, side, lo, hi, target0);
+        if improvement == 0 {
+            break;
+        }
+        cut -= improvement;
+    }
+    cut
+}
+
+/// One FM pass; returns the cut improvement achieved (>= 0).
+fn fm_pass(graph: &WeightedGraph, side: &mut [u8], lo: u64, hi: u64, target0: u64) -> u64 {
+    let n = graph.num_vertices();
+    let mut weight0: u64 = (0..n as u32)
+        .filter(|&v| side[v as usize] == 0)
+        .map(|v| graph.vertex_weight(v))
+        .sum();
+
+    // gain[v] = (external - internal) edge weight; positive moves cut down.
+    let mut gain = vec![0i64; n];
+    let mut heap: BinaryHeap<(i64, u32)> = BinaryHeap::new();
+    for v in 0..n as u32 {
+        let g = vertex_gain(graph, side, v);
+        gain[v as usize] = g;
+        // Seed the heap with boundary vertices only (gain > -deg means some
+        // external edge exists); interior vertices enter when a neighbor
+        // moves.
+        if graph.neighbors(v).iter().any(|&(w, _)| side[w as usize] != side[v as usize]) {
+            heap.push((g, v));
+        }
+    }
+
+    let mut moved = vec![false; n];
+    let mut history: Vec<u32> = Vec::new();
+    let mut cumulative: i64 = 0;
+    let mut best_cumulative: i64 = 0;
+    let mut best_len = 0usize;
+
+    while let Some((g, v)) = heap.pop() {
+        let vi = v as usize;
+        if moved[vi] || g != gain[vi] {
+            continue; // stale entry
+        }
+        // Balance check.
+        let w = graph.vertex_weight(v);
+        let new_weight0 = if side[vi] == 0 { weight0 - w } else { weight0 + w };
+        let balanced_now = (lo..=hi).contains(&weight0);
+        let balanced_after = (lo..=hi).contains(&new_weight0);
+        let improves_balance =
+            new_weight0.abs_diff(target0) < weight0.abs_diff(target0);
+        if !(balanced_after || (!balanced_now && improves_balance)) {
+            continue;
+        }
+        // Stop exploring hopeless tails: once a pass has made many
+        // non-improving moves past the best prefix, cut it off.
+        if history.len() > best_len + 64 && cumulative < best_cumulative {
+            break;
+        }
+
+        // Execute the move.
+        moved[vi] = true;
+        side[vi] = 1 - side[vi];
+        weight0 = new_weight0;
+        cumulative += g;
+        history.push(v);
+        if cumulative > best_cumulative {
+            best_cumulative = cumulative;
+            best_len = history.len();
+        }
+
+        // Refresh neighbor gains (exact recompute, O(deg); the incident
+        // edge just flipped between internal and external for each of them).
+        for &(u, _) in graph.neighbors(v) {
+            let ui = u as usize;
+            if moved[ui] {
+                continue;
+            }
+            let g = vertex_gain(graph, side, u);
+            if g != gain[ui] {
+                gain[ui] = g;
+                heap.push((g, u));
+            }
+        }
+    }
+
+    // Roll back past the best prefix.
+    for &v in &history[best_len..] {
+        side[v as usize] = 1 - side[v as usize];
+    }
+    best_cumulative.max(0) as u64
+}
+
+/// The FM gain of moving `v` to the other side.
+fn vertex_gain(graph: &WeightedGraph, side: &[u8], v: u32) -> i64 {
+    let mut external = 0i64;
+    let mut internal = 0i64;
+    for &(w, wt) in graph.neighbors(v) {
+        if side[w as usize] == side[v as usize] {
+            internal += wt as i64;
+        } else {
+            external += wt as i64;
+        }
+    }
+    external - internal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_graph::GraphBuilder;
+
+    fn two_cliques_bridged() -> WeightedGraph {
+        let mut b = GraphBuilder::new();
+        for a in 0..6u32 {
+            for c in (a + 1)..6 {
+                b.push_edge(a, c);
+                b.push_edge(a + 6, c + 6);
+            }
+        }
+        b.push_edge(0, 6);
+        WeightedGraph::from_csr(&b.build())
+    }
+
+    #[test]
+    fn repairs_a_bad_bisection() {
+        let wg = two_cliques_bridged();
+        // Start with an awful split: odd/even across the cliques.
+        let mut side: Vec<u8> = (0..12).map(|v| (v % 2) as u8).collect();
+        let before = wg.cut(&side);
+        let cut = fm_refine(&wg, &mut side, 6, &MetisConfig::default());
+        assert!(cut < before, "no improvement: {cut} vs {before}");
+        assert_eq!(cut, wg.cut(&side), "returned cut must match actual cut");
+        // The optimum (cut = 1) should be reached on this easy instance.
+        assert_eq!(cut, 1, "side = {side:?}");
+    }
+
+    #[test]
+    fn preserves_an_already_optimal_bisection() {
+        let wg = two_cliques_bridged();
+        let mut side: Vec<u8> = (0..12).map(|v| u8::from(v >= 6)).collect();
+        let cut = fm_refine(&wg, &mut side, 6, &MetisConfig::default());
+        assert_eq!(cut, 1);
+    }
+
+    #[test]
+    fn respects_balance_bounds() {
+        let wg = two_cliques_bridged();
+        let mut side: Vec<u8> = (0..12).map(|v| u8::from(v >= 6)).collect();
+        fm_refine(&wg, &mut side, 6, &MetisConfig::default());
+        let w0 = side.iter().filter(|&&s| s == 0).count();
+        assert!((5..=7).contains(&w0), "unbalanced after refine: {w0}");
+    }
+
+    #[test]
+    fn gain_computation() {
+        let g = GraphBuilder::new().add_edges([(0, 1), (0, 2)]).build();
+        let wg = WeightedGraph::from_csr(&g);
+        let side = [0u8, 1, 0];
+        // Vertex 0: one external (to 1), one internal (to 2) -> gain 0.
+        assert_eq!(vertex_gain(&wg, &side, 0), 0);
+        // Vertex 1: one external edge -> gain 1.
+        assert_eq!(vertex_gain(&wg, &side, 1), 1);
+    }
+}

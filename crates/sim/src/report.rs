@@ -1,0 +1,52 @@
+//! Execution reports: what a run cost and what it computed.
+
+/// The result of one [`crate::Engine::run`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutionReport<S> {
+    /// Supersteps executed (including the final no-change one).
+    pub supersteps: usize,
+    /// Sync messages exchanged per superstep.
+    pub messages_per_superstep: Vec<usize>,
+    /// Total sync messages across the run.
+    pub total_messages: usize,
+    /// Whether a fixed point was reached within the superstep budget.
+    pub converged: bool,
+    /// Final per-vertex states.
+    pub states: Vec<S>,
+}
+
+impl<S> ExecutionReport<S> {
+    /// Average messages per superstep (0 for an empty run).
+    pub fn average_messages(&self) -> f64 {
+        if self.supersteps == 0 {
+            0.0
+        } else {
+            self.total_messages as f64 / self.supersteps as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_messages() {
+        let r = ExecutionReport {
+            supersteps: 2,
+            messages_per_superstep: vec![10, 20],
+            total_messages: 30,
+            converged: true,
+            states: vec![0u32; 4],
+        };
+        assert_eq!(r.average_messages(), 15.0);
+        let empty: ExecutionReport<u32> = ExecutionReport {
+            supersteps: 0,
+            messages_per_superstep: vec![],
+            total_messages: 0,
+            converged: true,
+            states: vec![],
+        };
+        assert_eq!(empty.average_messages(), 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Why the replication factor matters: a PowerGraph-style distributed
+//! PageRank simulation over edge partitions.
+//!
+//! Each partition plays the role of one machine holding its edges plus a
+//! local replica (mirror) of every vertex those edges touch. One PageRank
+//! superstep then costs:
+//!
+//! * **gather**: every machine sums rank/degree over its local edges — free
+//!   of communication;
+//! * **sync**: every replicated vertex sends its partial sum to its master
+//!   and receives the new rank back — `2 * (replicas - masters)` messages.
+//!
+//! Total sync traffic per superstep is therefore proportional to
+//! `(RF - 1) * |V|`: exactly the quantity TLP minimizes. The example runs
+//! the same PageRank over a TLP partition and a Random partition, checks
+//! both produce identical ranks, and reports the traffic each one paid.
+//!
+//! Run with: `cargo run --release --example distributed_pagerank`
+
+use tlp::baselines::RandomPartitioner;
+use tlp::core::{EdgePartition, EdgePartitioner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner};
+use tlp::graph::generators::power_law_community;
+use tlp::graph::CsrGraph;
+
+const DAMPING: f64 = 0.85;
+const SUPERSTEPS: usize = 20;
+
+/// One superstep of edge-partitioned PageRank; returns the new ranks and
+/// the number of sync messages exchanged.
+fn superstep(graph: &CsrGraph, partition: &EdgePartition, ranks: &[f64]) -> (Vec<f64>, usize) {
+    let p = partition.num_partitions();
+    let n = graph.num_vertices();
+    // Per-machine partial sums for each vertex replica.
+    let mut partial = vec![vec![0.0f64; n]; p];
+    let mut has_replica = vec![vec![false; n]; p];
+    for (eid, edge) in graph.edges().iter().enumerate() {
+        let k = partition.partition_of(eid as u32) as usize;
+        let (u, v) = edge.endpoints();
+        // Undirected PageRank: each endpoint contributes along the edge.
+        partial[k][v as usize] += ranks[u as usize] / graph.degree(u) as f64;
+        partial[k][u as usize] += ranks[v as usize] / graph.degree(v) as f64;
+        has_replica[k][u as usize] = true;
+        has_replica[k][v as usize] = true;
+    }
+    // Sync phase: replicas ship partials to the master (1 message each) and
+    // receive the applied rank back (1 message each); the master replica
+    // itself is local.
+    let mut messages = 0usize;
+    let mut new_ranks = vec![(1.0 - DAMPING) / n as f64; n];
+    for v in 0..n {
+        let mut replicas = 0usize;
+        let mut sum = 0.0;
+        for k in 0..p {
+            if has_replica[k][v] {
+                replicas += 1;
+                sum += partial[k][v];
+            }
+        }
+        if replicas > 0 {
+            messages += 2 * (replicas - 1);
+        }
+        new_ranks[v] += DAMPING * sum;
+    }
+    (new_ranks, messages)
+}
+
+fn run_pagerank(graph: &CsrGraph, partition: &EdgePartition) -> (Vec<f64>, usize) {
+    let n = graph.num_vertices();
+    let mut ranks = vec![1.0 / n as f64; n];
+    let mut total_messages = 0usize;
+    for _ in 0..SUPERSTEPS {
+        let (next, messages) = superstep(graph, partition, &ranks);
+        ranks = next;
+        total_messages += messages;
+    }
+    (ranks, total_messages)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = power_law_community(5_000, 30_000, 2.1, 40, 0.2, 3);
+    let p = 10;
+
+    let tlp_part = TwoStageLocalPartitioner::new(TlpConfig::new().seed(1)).partition(&graph, p)?;
+    let rnd_part = RandomPartitioner::new(1).partition(&graph, p)?;
+    let rf_tlp = PartitionMetrics::compute(&graph, &tlp_part).replication_factor;
+    let rf_rnd = PartitionMetrics::compute(&graph, &rnd_part).replication_factor;
+
+    let (ranks_tlp, msgs_tlp) = run_pagerank(&graph, &tlp_part);
+    let (ranks_rnd, msgs_rnd) = run_pagerank(&graph, &rnd_part);
+
+    // The partition must never change the numerical result.
+    let max_diff = ranks_tlp
+        .iter()
+        .zip(&ranks_rnd)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_diff < 1e-12, "partitioning changed PageRank: {max_diff}");
+
+    println!("{SUPERSTEPS} PageRank supersteps over {p} machines\n");
+    println!("{:>10}  {:>8}  {:>16}", "partition", "RF", "sync messages");
+    println!("{:>10}  {:>8.3}  {:>16}", "TLP", rf_tlp, msgs_tlp);
+    println!("{:>10}  {:>8.3}  {:>16}", "Random", rf_rnd, msgs_rnd);
+    println!(
+        "\nTLP cut sync traffic by {:.1}x (ranks identical to 1e-12; \
+         only the communication bill changed)",
+        msgs_rnd as f64 / msgs_tlp as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: load a graph, partition it with TLP, inspect the quality.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tlp::core::{EdgePartitioner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner};
+use tlp::graph::generators::power_law_community;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A power-law graph with planted communities, standing in for a social
+    // network. Any `CsrGraph` works — see `tlp::graph::io::read_edge_list`
+    // for loading SNAP-style edge lists from disk.
+    let graph = power_law_community(10_000, 60_000, 2.1, 50, 0.2, 42);
+    println!(
+        "graph: {} vertices, {} edges, average degree {:.1}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.average_degree()
+    );
+
+    // The two-stage local partitioner (TLP). The seed controls the random
+    // seed-vertex choices; everything else is deterministic.
+    let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(7));
+    let partition = tlp.partition(&graph, 8)?;
+
+    // Quality: the replication factor is the paper's headline metric —
+    // the average number of machines each vertex must be copied to.
+    let metrics = PartitionMetrics::compute(&graph, &partition);
+    println!("replication factor: {:.3}", metrics.replication_factor);
+    println!("balance (max/ideal load): {:.3}", metrics.balance);
+    println!("spanned vertices: {}", metrics.spanned_vertices);
+    for (k, (edges, vertices)) in metrics
+        .edge_counts
+        .iter()
+        .zip(&metrics.vertex_counts)
+        .enumerate()
+    {
+        println!("  partition {k}: {edges} edges, {vertices} vertices");
+    }
+    Ok(())
+}

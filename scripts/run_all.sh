@@ -1,0 +1,12 @@
+#!/bin/bash
+# Full evaluation suite (invoked from the repo root). Large graphs run the R-sweep at half scale (the
+# sweep is 36 partitioning runs per graph); everything else is full scale.
+set -x
+cd /root/repo
+R=results
+cargo run --release -q -p tlp-harness --bin table3 -- --out-dir $R
+cargo run --release -q -p tlp-harness --bin table4 -- --out-dir $R
+cargo run --release -q -p tlp-harness --bin table6 -- --out-dir $R
+cargo run --release -q -p tlp-harness --bin fig9_10_11 -- --datasets G1,G2,G3,G4,G9 --out-dir $R/sweep_small
+cargo run --release -q -p tlp-harness --bin fig9_10_11 -- --datasets G5,G6,G7,G8 --scale 0.5 --out-dir $R/sweep_big
+echo "SUITE COMPLETE"

@@ -1,0 +1,223 @@
+//! `tlp-cli` — partition edge-list files from the command line.
+//!
+//! ```text
+//! tlp-cli partition --input graph.txt --partitions 8 [--algorithm tlp]
+//!                   [--seed 42] [--output assignment.tsv]
+//! tlp-cli stats     --input graph.txt
+//! tlp-cli generate  --family community --vertices 1000 --edges 5000
+//!                   [--seed 42] [--output graph.txt]
+//! ```
+//!
+//! `partition` reads a SNAP-style edge list (comments, duplicate and
+//! directed edges, self-loops all tolerated), runs the chosen algorithm,
+//! prints the quality metrics, and optionally writes one `u v partition`
+//! line per edge (original vertex ids preserved).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+use tlp::baselines::{
+    DbhPartitioner, EdgeOrder, FennelPartitioner, GreedyPartitioner, HdrfPartitioner,
+    LdgPartitioner, NePartitioner, RandomPartitioner, VertexOrder,
+};
+use tlp::core::{EdgePartitioner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner};
+use tlp::graph::generators as gen;
+use tlp::graph::io;
+use tlp::metis::MetisPartitioner;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("partition") => cmd_partition(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+tlp-cli — graph edge partitioning (TLP, ICDCS 2019)
+
+subcommands:
+  partition --input FILE --partitions P [--algorithm NAME] [--seed N] [--output FILE]
+            algorithms: tlp (default), tlp-r=<R>, metis, ne, ldg, fennel,
+                        greedy, hdrf, dbh, random
+  stats     --input FILE
+  generate  --family NAME --vertices N --edges M [--seed N] [--output FILE]
+            families: community, chung-lu, erdos-renyi, barabasi-albert,
+                      rmat, genealogy";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(key) = iter.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got {key:?}"));
+        };
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag --{name} requires a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn parsed<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("flag --{name} has invalid value {raw:?}")),
+    }
+}
+
+fn make_algorithm(name: &str, seed: u64) -> Result<Box<dyn EdgePartitioner>, String> {
+    let algo: Box<dyn EdgePartitioner> = match name {
+        "tlp" => Box::new(TwoStageLocalPartitioner::new(TlpConfig::new().seed(seed))),
+        "metis" => Box::new(MetisPartitioner::default()),
+        "ne" => Box::new(NePartitioner::new(seed)),
+        "ldg" => Box::new(LdgPartitioner::new(VertexOrder::Random(seed))),
+        "fennel" => Box::new(FennelPartitioner::new(VertexOrder::Random(seed))),
+        "greedy" => Box::new(GreedyPartitioner::new(EdgeOrder::Random(seed))),
+        "hdrf" => Box::new(HdrfPartitioner::default()),
+        "dbh" => Box::new(DbhPartitioner::new(seed)),
+        "random" => Box::new(RandomPartitioner::new(seed)),
+        other => {
+            if let Some(r) = other.strip_prefix("tlp-r=") {
+                let r: f64 = r
+                    .parse()
+                    .map_err(|_| format!("invalid TLP_R ratio in {other:?}"))?;
+                Box::new(
+                    tlp::core::EdgeRatioLocalPartitioner::new(TlpConfig::new().seed(seed), r)
+                        .map_err(|e| e.to_string())?,
+                )
+            } else {
+                return Err(format!("unknown algorithm {other:?}\n{USAGE}"));
+            }
+        }
+    };
+    Ok(algo)
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let input = required(&flags, "input")?;
+    let p: usize = parsed(&flags, "partitions", 0)?;
+    if p == 0 {
+        return Err("--partitions must be a positive integer".into());
+    }
+    let seed: u64 = parsed(&flags, "seed", 42)?;
+    let algorithm = flags.get("algorithm").map(String::as_str).unwrap_or("tlp");
+    let algo = make_algorithm(algorithm, seed)?;
+
+    let loaded = io::read_edge_list_file(input).map_err(|e| e.to_string())?;
+    eprintln!(
+        "loaded {}: {} vertices, {} edges",
+        input,
+        loaded.graph.num_vertices(),
+        loaded.graph.num_edges()
+    );
+
+    let start = std::time::Instant::now();
+    let partition = algo
+        .partition(&loaded.graph, p)
+        .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    let metrics = PartitionMetrics::compute(&loaded.graph, &partition);
+
+    println!("algorithm:          {}", algo.name());
+    println!("partitions:         {p}");
+    println!("replication factor: {:.4}", metrics.replication_factor);
+    println!("balance:            {:.4}", metrics.balance);
+    println!("spanned vertices:   {}", metrics.spanned_vertices);
+    println!("time:               {:.2}s", elapsed.as_secs_f64());
+
+    if let Some(output) = flags.get("output") {
+        let mut file = std::fs::File::create(output).map_err(|e| e.to_string())?;
+        writeln!(file, "# source\ttarget\tpartition").map_err(|e| e.to_string())?;
+        for (eid, edge) in loaded.graph.edges().iter().enumerate() {
+            let (u, v) = edge.endpoints();
+            writeln!(
+                file,
+                "{}\t{}\t{}",
+                loaded.original_ids[u as usize],
+                loaded.original_ids[v as usize],
+                partition.partition_of(eid as u32)
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        eprintln!("assignment written to {output}");
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let input = required(&flags, "input")?;
+    let loaded = io::read_edge_list_file(input).map_err(|e| e.to_string())?;
+    let stats = tlp::graph::stats::GraphStats::of(&loaded.graph);
+    println!("{stats}");
+    if let Some(alpha) = tlp::graph::degree::power_law_exponent_mle(&loaded.graph, 5) {
+        println!("power-law exponent (MLE, d_min=5): {alpha:.2}");
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let family = required(&flags, "family")?;
+    let n: usize = parsed(&flags, "vertices", 1000)?;
+    let m: usize = parsed(&flags, "edges", 5000)?;
+    let seed: u64 = parsed(&flags, "seed", 42)?;
+    let graph = match family {
+        "community" => gen::power_law_community(n, m, 2.1, (n / 100).max(2), 0.25, seed),
+        "chung-lu" => gen::chung_lu(n, m, 2.1, seed),
+        "erdos-renyi" => gen::erdos_renyi(n, m, seed),
+        "barabasi-albert" => gen::barabasi_albert(n, (m / n).max(1), seed),
+        "rmat" => gen::rmat(
+            (n as f64).log2().ceil() as u32,
+            m,
+            gen::RmatProbabilities::default(),
+            seed,
+        ),
+        "genealogy" => gen::genealogy(n, m.max(n - 1), seed),
+        other => return Err(format!("unknown family {other:?}\n{USAGE}")),
+    };
+    match flags.get("output") {
+        Some(output) => {
+            let file = std::fs::File::create(output).map_err(|e| e.to_string())?;
+            io::write_edge_list(&graph, file).map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote {} vertices / {} edges to {output}",
+                graph.num_vertices(),
+                graph.num_edges()
+            );
+        }
+        None => {
+            io::write_edge_list(&graph, std::io::stdout().lock()).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
