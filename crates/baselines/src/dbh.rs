@@ -59,7 +59,11 @@ impl EdgePartitioner for DbhPartitioner {
                 let (du, dv) = (graph.degree(u), graph.degree(v));
                 // Hash the lower-degree endpoint; ties by lower vertex id
                 // (deterministic, degree-equivalent).
-                let anchor = if du < dv || (du == dv && u <= v) { u } else { v };
+                let anchor = if du < dv || (du == dv && u <= v) {
+                    u
+                } else {
+                    v
+                };
                 (splitmix64(u64::from(anchor) ^ self.seed) % p) as PartitionId
             })
             .collect();

@@ -72,7 +72,7 @@ impl FennelPartitioner {
         if num_partitions == 0 {
             return Err(PartitionError::ZeroPartitions);
         }
-        if !(self.gamma > 1.0) {
+        if self.gamma.is_nan() || self.gamma <= 1.0 {
             return Err(PartitionError::InvalidParameter {
                 name: "gamma",
                 value: self.gamma,
@@ -106,8 +106,7 @@ impl FennelPartitioner {
                 if sizes[i] as f64 >= capacity {
                     continue;
                 }
-                let penalty =
-                    alpha * self.gamma / 2.0 * (sizes[i] as f64).powf(self.gamma - 1.0);
+                let penalty = alpha * self.gamma / 2.0 * (sizes[i] as f64).powf(self.gamma - 1.0);
                 let score = neighbor_counts[i] as f64 - penalty;
                 if score > best_score {
                     best = i;

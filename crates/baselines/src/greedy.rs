@@ -59,8 +59,9 @@ impl EdgePartitioner for GreedyPartitioner {
             return Err(PartitionError::ZeroPartitions);
         }
         let p = num_partitions;
-        let mut replicas: Vec<PartitionSet> =
-            (0..graph.num_vertices()).map(|_| PartitionSet::new(p)).collect();
+        let mut replicas: Vec<PartitionSet> = (0..graph.num_vertices())
+            .map(|_| PartitionSet::new(p))
+            .collect();
         let mut loads = vec![0usize; p];
         let mut assignment = vec![0 as PartitionId; graph.num_edges()];
 
@@ -100,7 +101,9 @@ mod tests {
     fn reuses_shared_replica_partitions() {
         // Triangle: after two edges, the third must join an existing
         // replica partition rather than opening a new one.
-        let g = GraphBuilder::new().add_edges([(0, 1), (1, 2), (0, 2)]).build();
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (0, 2)])
+            .build();
         let part = GreedyPartitioner::new(EdgeOrder::Natural)
             .partition(&g, 3)
             .unwrap();

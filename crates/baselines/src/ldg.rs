@@ -70,7 +70,7 @@ impl LdgPartitioner {
         if num_partitions == 0 {
             return Err(PartitionError::ZeroPartitions);
         }
-        if !(self.slack >= 1.0) {
+        if self.slack.is_nan() || self.slack < 1.0 {
             return Err(PartitionError::InvalidParameter {
                 name: "slack",
                 value: self.slack,
@@ -196,8 +196,12 @@ mod tests {
     #[test]
     fn deterministic_per_order() {
         let g = erdos_renyi(80, 240, 5);
-        let a = LdgPartitioner::new(VertexOrder::Random(9)).partition(&g, 4).unwrap();
-        let b = LdgPartitioner::new(VertexOrder::Random(9)).partition(&g, 4).unwrap();
+        let a = LdgPartitioner::new(VertexOrder::Random(9))
+            .partition(&g, 4)
+            .unwrap();
+        let b = LdgPartitioner::new(VertexOrder::Random(9))
+            .partition(&g, 4)
+            .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -36,7 +36,7 @@ pub use fennel::FennelPartitioner;
 pub use greedy::GreedyPartitioner;
 pub use hdrf::HdrfPartitioner;
 pub use ldg::LdgPartitioner;
-pub use ne::NePartitioner;
+pub use ne::{NePartitioner, NePolicy};
 pub use random::RandomPartitioner;
 pub use stream::{edge_order, vertex_order, EdgeOrder, VertexOrder};
 pub use vertex_to_edge::{derive_edge_partition, VertexPartition};

@@ -2,19 +2,76 @@
 //! Neighborhood Heuristic", KDD 2017; the paper's reference [13]).
 //!
 //! Like TLP, NE builds partitions one at a time from a random seed, so it
-//! is the most closely related comparator. It maintains a *core* set `C`
-//! and a *boundary* set `S ⊇ C`; each step moves the boundary vertex with
-//! the fewest residual neighbors outside `S` into the core, extends the
-//! boundary with that vertex's neighbors, and allocates every residual
-//! edge between the moved vertex and `S`.
+//! is the most closely related comparator — close enough that it runs on
+//! the same expansion engine ([`tlp_core::engine`]) as TLP itself. NE's
+//! *boundary* set `S` is the engine's member-or-frontier set, its *core*
+//! `C` is the member set, and its eager "allocate every edge between the
+//! joining vertex and `S`" rule is the engine's
+//! [`AdmissionMode::Eager`]. Under that discipline no residual edge ever
+//! connects two `S` vertices, so a candidate's residual degree *is* its
+//! count of neighbors outside `S` — exactly the key NE minimizes — and the
+//! whole algorithm reduces to [`NePolicy`]: a lazy min-heap on
+//! `(residual_degree, vertex)`.
 
-use crate::stream::{edge_order, EdgeOrder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use tlp_core::{EdgePartition, EdgePartitioner, PartitionError, PartitionId};
+use tlp_core::engine::{self, AdmissionMode, GrowthState, Selection, SelectionPolicy, Workspace};
+use tlp_core::{EdgePartition, EdgePartitioner, PartitionError, Stage, TlpConfig};
 use tlp_graph::{CsrGraph, ResidualGraph, VertexId};
+
+/// NE's selection rule as an engine policy: admit the boundary vertex with
+/// the fewest residual neighbors outside the boundary set.
+///
+/// Keys only decrease as `S` grows, so lazy stale heap entries are always
+/// *larger* than the fresh entry pushed on each change and the freshest
+/// (smallest) entry surfaces first; stale pops are discarded by validating
+/// the key against the current residual degree.
+#[derive(Debug, Default)]
+pub struct NePolicy {
+    heap: BinaryHeap<Reverse<(u32, VertexId)>>,
+}
+
+impl SelectionPolicy for NePolicy {
+    fn admission(&self) -> AdmissionMode {
+        AdmissionMode::Eager
+    }
+
+    fn on_candidate(
+        &mut self,
+        _ws: &Workspace,
+        residual: &ResidualGraph<'_>,
+        v: VertexId,
+        _round: u32,
+    ) {
+        self.heap
+            .push(Reverse((residual.residual_degree(v) as u32, v)));
+    }
+
+    fn select(
+        &mut self,
+        ws: &Workspace,
+        residual: &ResidualGraph<'_>,
+        _state: GrowthState,
+    ) -> Selection {
+        loop {
+            let Reverse((c, v)) = self
+                .heap
+                .pop()
+                .expect("non-empty frontier implies a valid heap entry");
+            if ws.is_candidate(v) && residual.residual_degree(v) as u32 == c {
+                // The stage label is trace bookkeeping; NE has no stages.
+                return Selection {
+                    vertex: v,
+                    stage: Stage::One,
+                };
+            }
+        }
+    }
+
+    fn end_round(&mut self) {
+        self.heap.clear();
+    }
+}
 
 /// The NE partitioner.
 ///
@@ -52,156 +109,12 @@ impl EdgePartitioner for NePartitioner {
         graph: &CsrGraph,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
-        if num_partitions == 0 {
-            return Err(PartitionError::ZeroPartitions);
-        }
-        let m = graph.num_edges();
-        let n = graph.num_vertices();
-        let mut assignment: Vec<PartitionId> = vec![0; m];
-        if m == 0 {
-            return EdgePartition::new(num_partitions, assignment);
-        }
-        let capacity = m.div_ceil(num_partitions).max(1);
-        let mut residual = ResidualGraph::new(graph);
-        let mut rng = StdRng::seed_from_u64(self.seed);
-
-        // Round-stamped membership of S (boundary) and C (core).
-        let mut in_s = vec![u32::MAX; n];
-        let mut in_c = vec![u32::MAX; n];
-        // Residual neighbors outside S, per boundary candidate.
-        let mut outside = vec![0u32; n];
-
-        for k in 0..num_partitions as u32 {
-            if residual.is_exhausted() {
-                break;
-            }
-            let mut allocated = 0usize;
-            // Min-heap on (outside-count, vertex): keys only decrease as S
-            // grows, so lazy stale entries are always *larger* and the
-            // freshest (smallest) entry surfaces first.
-            let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> = BinaryHeap::new();
-            let mut scratch: Vec<(VertexId, tlp_graph::EdgeId)> = Vec::new();
-
-            let hint = rng.gen_range(0..n as u32);
-            let seed = residual
-                .any_active_vertex_from(hint)
-                .expect("residual not exhausted");
-            add_to_s(
-                seed, k, &mut residual, &mut assignment, &mut in_s, &in_c, &mut outside,
-                &mut heap, &mut scratch, &mut allocated,
-            );
-
-            while allocated <= capacity && !residual.is_exhausted() {
-                // Pop the boundary vertex with fewest outside neighbors.
-                let x = loop {
-                    match heap.pop() {
-                        None => break None,
-                        Some(Reverse((c, v))) => {
-                            if in_c[v as usize] != k
-                                && in_s[v as usize] == k
-                                && outside[v as usize] == c
-                            {
-                                break Some(v);
-                            }
-                        }
-                    }
-                };
-                let x = match x {
-                    Some(x) => x,
-                    None => {
-                        // Boundary exhausted: reseed within the round.
-                        let hint = rng.gen_range(0..n as u32);
-                        match residual.any_active_vertex_from(hint) {
-                            Some(s) => {
-                                add_to_s(
-                                    s, k, &mut residual, &mut assignment, &mut in_s, &in_c,
-                                    &mut outside, &mut heap, &mut scratch, &mut allocated,
-                                );
-                                continue;
-                            }
-                            None => break,
-                        }
-                    }
-                };
-                in_c[x as usize] = k;
-
-                // Expand: every residual neighbor of x joins S (allocating
-                // each S-internal edge, including the one back to x).
-                let neighbors: Vec<VertexId> =
-                    residual.residual_incident(x).map(|(u, _)| u).collect();
-                for u in neighbors {
-                    add_to_s(
-                        u, k, &mut residual, &mut assignment, &mut in_s, &in_c, &mut outside,
-                        &mut heap, &mut scratch, &mut allocated,
-                    );
-                }
-            }
-        }
-
-        // Any remainder (possible when rounds exhaust early) goes to the
-        // least-loaded partitions, as elsewhere in this workspace.
-        if !residual.is_exhausted() {
-            let mut counts = vec![0usize; num_partitions];
-            for &pid in &assignment {
-                counts[pid as usize] += 1;
-            }
-            for eid in edge_order(graph, EdgeOrder::Natural) {
-                if residual.is_free(eid) {
-                    let (target, _) = counts
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|&(i, &c)| (c, i))
-                        .expect("p >= 1");
-                    assignment[eid as usize] = target as PartitionId;
-                    counts[target] += 1;
-                    residual.allocate(eid);
-                }
-            }
-        }
-
-        EdgePartition::new(num_partitions, assignment)
+        // Default capacity (`ceil(m / p)`), within-round reseeding, and the
+        // engine's least-loaded leftover sweep match NE's published loop.
+        let config = TlpConfig::new().seed(self.seed);
+        let mut policy = NePolicy::default();
+        engine::run(graph, num_partitions, &config, &mut policy).map(|(partition, _)| partition)
     }
-}
-
-/// Adds `v` to the boundary set `S` of round `k`: allocates every residual
-/// edge from `v` to current `S` members (the "both endpoints in S" rule),
-/// updates affected boundary candidates' outside counts, and enrolls `v` as
-/// a candidate keyed by its remaining (outside-`S`) residual degree.
-#[allow(clippy::too_many_arguments)]
-fn add_to_s(
-    v: VertexId,
-    k: u32,
-    residual: &mut ResidualGraph<'_>,
-    assignment: &mut [PartitionId],
-    in_s: &mut [u32],
-    in_c: &[u32],
-    outside: &mut [u32],
-    heap: &mut BinaryHeap<Reverse<(u32, VertexId)>>,
-    scratch: &mut Vec<(VertexId, tlp_graph::EdgeId)>,
-    allocated: &mut usize,
-) {
-    if in_s[v as usize] == k {
-        return;
-    }
-    in_s[v as usize] = k;
-    scratch.clear();
-    scratch.extend(residual.residual_incident(v));
-    for i in 0..scratch.len() {
-        let (u, eid) = scratch[i];
-        if in_s[u as usize] == k {
-            residual.allocate(eid);
-            assignment[eid as usize] = k;
-            *allocated += 1;
-            if in_c[u as usize] != k {
-                outside[u as usize] -= 1;
-                heap.push(Reverse((outside[u as usize], u)));
-            }
-        }
-    }
-    // All of v's surviving residual edges now point outside S.
-    let count = residual.residual_degree(v) as u32;
-    outside[v as usize] = count;
-    heap.push(Reverse((count, v)));
 }
 
 #[cfg(test)]

@@ -147,7 +147,10 @@ mod tests {
     fn natural_orders() {
         let g = graph();
         assert_eq!(edge_order(&g, EdgeOrder::Natural), vec![0, 1, 2, 3]);
-        assert_eq!(vertex_order(&g, VertexOrder::Natural), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(
+            vertex_order(&g, VertexOrder::Natural),
+            vec![0, 1, 2, 3, 4, 5]
+        );
     }
 
     #[test]

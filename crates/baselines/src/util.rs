@@ -70,8 +70,7 @@ mod tests {
         assert_ne!(splitmix64(1), splitmix64(2));
         // Low bits should differ across consecutive inputs.
         let a = splitmix64(100) % 16;
-        let spread: std::collections::HashSet<u64> =
-            (0..64).map(|i| splitmix64(i) % 16).collect();
+        let spread: std::collections::HashSet<u64> = (0..64).map(|i| splitmix64(i) % 16).collect();
         assert!(spread.len() > 8, "poor low-bit spread: {spread:?} {a}");
     }
 

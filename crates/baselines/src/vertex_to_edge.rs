@@ -150,7 +150,9 @@ mod tests {
 
     #[test]
     fn edge_cut_counts_cross_edges() {
-        let g = GraphBuilder::new().add_edges([(0, 1), (1, 2), (0, 2)]).build();
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (0, 2)])
+            .build();
         let vp = VertexPartition::new(2, vec![0, 0, 1]).unwrap();
         assert_eq!(vp.edge_cut(&g), 2); // (1,2) and (0,2)
     }

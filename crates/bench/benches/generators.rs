@@ -2,8 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use tlp_graph::generators::{
-    barabasi_albert, chung_lu, erdos_renyi, genealogy, power_law_community, rmat,
-    RmatProbabilities,
+    barabasi_albert, chung_lu, erdos_renyi, genealogy, power_law_community, rmat, RmatProbabilities,
 };
 
 fn bench_generators(c: &mut Criterion) {

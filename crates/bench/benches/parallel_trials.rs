@@ -1,0 +1,97 @@
+//! Parallel trial runner: wall-clock scaling and best-of-n quality.
+//!
+//! Beyond the usual timing medians, this bench asserts the two properties
+//! the runner is sold on: on a machine with at least 4 cores, 8 trials
+//! finish in under 2x the single-trial wall clock, and the best-of-8
+//! replication factor is never worse than the single-trial one (trial 0
+//! reuses the base seed, so the single run is always in the candidate set).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+use tlp_core::{available_threads, ParallelTrialRunner, TlpConfig};
+use tlp_graph::generators::chung_lu;
+use tlp_graph::CsrGraph;
+
+const EDGES: usize = 100_000;
+const TRIALS: usize = 8;
+const PARTITIONS: usize = 16;
+
+fn bench_graph() -> CsrGraph {
+    chung_lu(EDGES / 5, EDGES, 2.2, 9)
+}
+
+fn runner(trials: usize) -> ParallelTrialRunner {
+    ParallelTrialRunner::new(TlpConfig::new().seed(1).trials(trials))
+}
+
+fn bench_parallel_trials(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut group = c.benchmark_group("parallel_trials");
+    group.sample_size(5);
+    for trials in [1usize, TRIALS] {
+        group.bench_with_input(BenchmarkId::from_parameter(trials), &trials, |b, &t| {
+            let runner = runner(t);
+            b.iter(|| runner.run(&graph, PARTITIONS).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn min_wall_clock(graph: &CsrGraph, trials: usize, repeats: usize) -> Duration {
+    (0..repeats)
+        .map(|_| {
+            let start = Instant::now();
+            runner(trials).run(graph, PARTITIONS).unwrap();
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+fn scaling_checks(_c: &mut Criterion) {
+    let smoke_only = std::env::args().any(|a| a == "--test");
+    let graph = if smoke_only {
+        chung_lu(400, 2_000, 2.2, 9)
+    } else {
+        bench_graph()
+    };
+
+    let single = runner(1).run(&graph, PARTITIONS).unwrap();
+    let best_of_n = runner(TRIALS).run(&graph, PARTITIONS).unwrap();
+    assert!(
+        best_of_n.best_rf() <= single.best_rf(),
+        "best-of-{TRIALS} RF {} must not exceed single-trial RF {}",
+        best_of_n.best_rf(),
+        single.best_rf()
+    );
+    println!(
+        "bench parallel_trials/rf: single {:.4}, best-of-{TRIALS} {:.4}",
+        single.best_rf(),
+        best_of_n.best_rf()
+    );
+
+    if smoke_only {
+        println!("bench parallel_trials/scaling: ok (smoke)");
+        return;
+    }
+
+    let one = min_wall_clock(&graph, 1, 3);
+    let eight = min_wall_clock(&graph, TRIALS, 3);
+    let ratio = eight.as_secs_f64() / one.as_secs_f64().max(f64::EPSILON);
+    println!(
+        "bench parallel_trials/scaling: 1 trial {one:?}, {TRIALS} trials {eight:?} \
+         ({ratio:.2}x on {} threads)",
+        available_threads()
+    );
+    if available_threads() >= 4 {
+        assert!(
+            ratio < 2.0,
+            "{TRIALS} trials took {ratio:.2}x the single-trial wall clock \
+             on {} threads; expected < 2x",
+            available_threads()
+        );
+    }
+}
+
+criterion_group!(benches, bench_parallel_trials, scaling_checks);
+criterion_main!(benches);

@@ -20,11 +20,9 @@ fn bench_lineup(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_lineup_p10");
     group.sample_size(10);
     for algo in &lineup {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(algo.name()),
-            algo,
-            |b, algo| b.iter(|| algo.partition(&graph, p).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), algo, |b, algo| {
+            b.iter(|| algo.partition(&graph, p).unwrap())
+        });
     }
     group.finish();
 }

@@ -45,8 +45,7 @@ fn bench_reseed_policy(c: &mut Criterion) {
         ("break_and_sweep", ReseedPolicy::Break),
     ] {
         group.bench_function(name, |b| {
-            let tlp =
-                TwoStageLocalPartitioner::new(TlpConfig::new().seed(1).reseed_policy(policy));
+            let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(1).reseed_policy(policy));
             b.iter(|| tlp.partition(&graph, 10).unwrap())
         });
     }
@@ -74,8 +73,7 @@ fn bench_frontier_cap(c: &mut Criterion) {
     group.sample_size(10);
     for cap in [64usize, 512, 4096] {
         group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
-            let tlp =
-                TwoStageLocalPartitioner::new(TlpConfig::new().seed(1).frontier_cap(cap));
+            let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(1).frontier_cap(cap));
             b.iter(|| tlp.partition(&graph, 10).unwrap())
         });
     }

@@ -66,6 +66,8 @@ pub struct TlpConfig {
     record_trace: bool,
     selection: SelectionStrategy,
     frontier_cap: Option<usize>,
+    trials: usize,
+    threads: usize,
 }
 
 impl Default for TlpConfig {
@@ -77,6 +79,8 @@ impl Default for TlpConfig {
             record_trace: false,
             selection: SelectionStrategy::default(),
             frontier_cap: None,
+            trials: 1,
+            threads: 0,
         }
     }
 }
@@ -171,6 +175,36 @@ impl TlpConfig {
         self.frontier_cap
     }
 
+    /// Runs `trials` independently seeded partitioning attempts and keeps
+    /// the one with the lowest replication factor (see
+    /// [`crate::ParallelTrialRunner`]). Trial 0 uses the configured seed
+    /// verbatim, so `trials = 1` (the default) is the plain single run.
+    /// Must be at least 1 (validated when partitioning).
+    #[must_use]
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// The configured trial count.
+    pub fn trials_value(&self) -> usize {
+        self.trials
+    }
+
+    /// Caps the worker threads used for multi-trial runs. `0` (the
+    /// default) means "use the machine's available parallelism". A single
+    /// trial always runs on the calling thread regardless of this value.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured thread cap (`0` = auto).
+    pub fn threads_value(&self) -> usize {
+        self.threads
+    }
+
     /// Validates ranges; called by the partitioners before running.
     pub(crate) fn validate(&self) -> Result<(), PartitionError> {
         if !(self.capacity_factor.is_finite() && self.capacity_factor >= 1.0) {
@@ -183,6 +217,13 @@ impl TlpConfig {
         if self.frontier_cap == Some(0) {
             return Err(PartitionError::InvalidParameter {
                 name: "frontier_cap",
+                value: 0.0,
+                constraint: "must be at least 1",
+            });
+        }
+        if self.trials == 0 {
+            return Err(PartitionError::InvalidParameter {
+                name: "trials",
                 value: 0.0,
                 constraint: "must be at least 1",
             });
@@ -204,7 +245,10 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let c = TlpConfig::new().seed(9).capacity_factor(1.5).record_trace(true);
+        let c = TlpConfig::new()
+            .seed(9)
+            .capacity_factor(1.5)
+            .record_trace(true);
         assert_eq!(c.seed_value(), 9);
         assert_eq!(c.capacity_factor_value(), 1.5);
         assert!(c.records_trace());
@@ -229,12 +273,30 @@ mod tests {
     #[test]
     fn validation_rejects_bad_factors() {
         assert!(TlpConfig::new().capacity_factor(0.5).validate().is_err());
-        assert!(TlpConfig::new().capacity_factor(f64::NAN).validate().is_err());
+        assert!(TlpConfig::new()
+            .capacity_factor(f64::NAN)
+            .validate()
+            .is_err());
         assert!(TlpConfig::new().capacity_factor(1.0).validate().is_ok());
     }
 
     #[test]
     fn default_matches_new() {
         assert_eq!(TlpConfig::new(), TlpConfig::default());
+    }
+
+    #[test]
+    fn trial_and_thread_knobs_round_trip() {
+        let c = TlpConfig::new().trials(8).threads(4);
+        assert_eq!(c.trials_value(), 8);
+        assert_eq!(c.threads_value(), 4);
+        assert_eq!(TlpConfig::new().trials_value(), 1);
+        assert_eq!(TlpConfig::new().threads_value(), 0);
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        assert!(TlpConfig::new().trials(0).validate().is_err());
+        assert!(TlpConfig::new().trials(1).validate().is_ok());
     }
 }

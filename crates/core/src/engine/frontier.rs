@@ -1,0 +1,234 @@
+//! Candidate admission and removal, plus the staged selection functions
+//! (linear-scan reference and lazy-heap indexed, for both stages).
+//!
+//! Two admission disciplines exist (see
+//! [`AdmissionMode`](super::AdmissionMode)):
+//!
+//! * **Lazy** ([`enroll_frontier_edge`]): a candidate accumulates `e_in`
+//!   per edge event; its residual edges are allocated only when it is
+//!   selected. This is TLP's discipline.
+//! * **Eager** ([`enroll_eager`]): joining the frontier allocates every
+//!   residual edge into the member-or-frontier set on the spot, so the
+//!   frontier candidate's residual degree *is* its external degree. This
+//!   is NE's discipline (Zhang et al., KDD'17).
+
+use super::policy::SelectionPolicy;
+use super::workspace::{StagedIndex, Workspace};
+use crate::partition::PartitionId;
+use crate::stage1::closeness_term;
+use crate::stage2::GainRatio;
+use std::cmp::Reverse;
+use tlp_graph::{CsrGraph, ResidualGraph, VertexId};
+
+/// Registers one new residual edge from frontier candidate `u` into the
+/// partition: bumps `e_in`, inserting `u` (and computing its initial Stage I
+/// score against all current member neighbors) if it was not yet a
+/// candidate. Notifies the policy of the refreshed state.
+pub(super) fn enroll_frontier_edge<P: SelectionPolicy + ?Sized>(
+    graph: &CsrGraph,
+    residual: &ResidualGraph<'_>,
+    ws: &mut Workspace,
+    policy: &mut P,
+    k: u32,
+    u: VertexId,
+) {
+    let ui = u as usize;
+    debug_assert_ne!(ws.member_round[ui], k, "members cannot be candidates");
+    if ws.in_frontier[ui] {
+        ws.e_in[ui] += 1;
+    } else {
+        // Sliding-window mode: once the frontier is at its cap, further
+        // vertices are not enrolled as candidates. Their edges still count
+        // as external, and they are picked up by later edge events (or
+        // later rounds) once space frees up — coverage is unaffected, only
+        // candidate quality.
+        if ws.frontier.len() >= ws.frontier_cap {
+            return;
+        }
+        ws.in_frontier[ui] = true;
+        ws.frontier_pos[ui] = ws.frontier.len() as u32;
+        ws.frontier.push(u);
+        ws.e_in[ui] = 1;
+        // Initial mu_s1: max closeness term against members already adjacent
+        // (static adjacency — including edges consumed by earlier rounds).
+        let mut best = 0.0f64;
+        for &w in graph.neighbors(u) {
+            if ws.member_round[w as usize] == k {
+                let term = closeness_term(graph, u, w);
+                if term > best {
+                    best = term;
+                }
+            }
+        }
+        ws.mu1[ui] = best;
+    }
+    policy.on_candidate(ws, residual, u, k);
+}
+
+/// Moves `v` into the frontier under eager admission, allocating all of its
+/// residual edges whose far endpoint is already a member or a frontier
+/// candidate (NE's "add to S"). No-op if `v` is already in the set. The
+/// frontier cap does not apply: eager policies need the full boundary, and
+/// skipping enrollment here would silently drop allocations.
+pub(super) fn enroll_eager<P: SelectionPolicy + ?Sized>(
+    residual: &mut ResidualGraph<'_>,
+    ws: &mut Workspace,
+    policy: &mut P,
+    assignment: &mut [PartitionId],
+    k: u32,
+    v: VertexId,
+    internal: &mut usize,
+) {
+    let vi = v as usize;
+    if ws.member_round[vi] == k || ws.in_frontier[vi] {
+        return;
+    }
+    ws.in_frontier[vi] = true;
+    ws.frontier_pos[vi] = ws.frontier.len() as u32;
+    ws.frontier.push(v);
+
+    ws.incident_scratch.clear();
+    ws.incident_scratch.extend(residual.residual_incident(v));
+    for i in 0..ws.incident_scratch.len() {
+        let (u, eid) = ws.incident_scratch[i];
+        let ui = u as usize;
+        if ws.member_round[ui] == k || ws.in_frontier[ui] {
+            residual.allocate(eid);
+            assignment[eid as usize] = k;
+            *internal += 1;
+            // A frontier far-endpoint just lost a residual edge; refresh its
+            // key. Members need no refresh — their edges are all allocated.
+            if ws.member_round[ui] != k {
+                policy.on_candidate(ws, residual, u, k);
+            }
+        }
+    }
+    policy.on_candidate(ws, residual, v, k);
+}
+
+type StageOneKey = (f64, u32, usize);
+
+fn stage_one_key(ws: &Workspace, residual: &ResidualGraph<'_>, v: VertexId) -> StageOneKey {
+    (
+        ws.mu1[v as usize],
+        ws.e_in[v as usize],
+        residual.residual_degree(v),
+    )
+}
+
+/// Stage I selection, reference implementation: scan the whole frontier.
+/// Argmax `mu_s1`, ties broken by attachment (`e_in`), then residual degree,
+/// then lowest vertex id. The tie-break chain also serves as the fallback
+/// when every candidate scores 0 (no shared neighbors — e.g. in trees).
+pub(super) fn select_stage_one_scan(ws: &Workspace, residual: &ResidualGraph<'_>) -> VertexId {
+    let mut best = ws.frontier[0];
+    let mut best_key = stage_one_key(ws, residual, best);
+    for &v in &ws.frontier[1..] {
+        let key = stage_one_key(ws, residual, v);
+        if key > best_key || (key == best_key && v < best) {
+            best = v;
+            best_key = key;
+        }
+    }
+    best
+}
+
+/// Stage I selection via the lazy max-heap: pop until the top entry matches
+/// the candidate's current `(mu1, e_in)` state.
+pub(super) fn select_stage_one_heap(
+    index: &mut StagedIndex,
+    ws: &Workspace,
+    residual: &ResidualGraph<'_>,
+) -> VertexId {
+    while let Some(entry) = index.stage1_heap.pop() {
+        let vi = entry.vertex as usize;
+        if ws.in_frontier[vi]
+            && ws.e_in[vi] == entry.e_in
+            && ws.mu1[vi].total_cmp(&entry.mu1).is_eq()
+        {
+            debug_assert_eq!(residual.residual_degree(entry.vertex) as u32, entry.res_deg);
+            return entry.vertex;
+        }
+    }
+    unreachable!("frontier non-empty but stage-1 heap exhausted");
+}
+
+type StageTwoKey = (GainRatio, u32, Reverse<usize>);
+
+fn stage_two_key(
+    ws: &Workspace,
+    residual: &ResidualGraph<'_>,
+    internal: usize,
+    external: usize,
+    v: VertexId,
+) -> StageTwoKey {
+    let e_in = ws.e_in[v as usize] as usize;
+    let e_ext = residual.residual_degree(v) - e_in;
+    (
+        GainRatio::new(internal, external, e_in, e_ext),
+        e_in as u32,
+        Reverse(e_ext),
+    )
+}
+
+/// Stage II selection, reference implementation: scan the whole frontier.
+/// Argmax post-admission modularity (exact fraction), ties broken by
+/// attachment, then fewest new external edges, then lowest vertex id.
+pub(super) fn select_stage_two_scan(
+    ws: &Workspace,
+    residual: &ResidualGraph<'_>,
+    internal: usize,
+    external: usize,
+) -> VertexId {
+    let mut best = ws.frontier[0];
+    let mut best_key = stage_two_key(ws, residual, internal, external, best);
+    for &v in &ws.frontier[1..] {
+        let key = stage_two_key(ws, residual, internal, external, v);
+        if key > best_key || (key == best_key && v < best) {
+            best = v;
+            best_key = key;
+        }
+    }
+    best
+}
+
+/// Stage II selection via the `e_in` buckets: only each bucket's minimum
+/// `(e_ext, id)` candidate can be the argmax within its `e_in` class, so it
+/// suffices to compare one representative per active bucket.
+pub(super) fn select_stage_two_heap(
+    index: &mut StagedIndex,
+    ws: &Workspace,
+    residual: &ResidualGraph<'_>,
+    internal: usize,
+    external: usize,
+) -> VertexId {
+    let mut best: Option<(StageTwoKey, VertexId)> = None;
+    for bi in 0..index.active_buckets.len() {
+        let bucket = index.active_buckets[bi] as usize;
+        // Drop stale tops: an entry is valid iff the vertex is still a
+        // candidate with exactly this e_in (then its e_ext is implied by its
+        // constant residual degree).
+        let rep = loop {
+            match index.stage2_buckets[bucket].peek() {
+                None => break None,
+                Some(&Reverse((_, v))) => {
+                    let vi = v as usize;
+                    if ws.in_frontier[vi] && ws.e_in[vi] as usize == bucket {
+                        break Some(v);
+                    }
+                    index.stage2_buckets[bucket].pop();
+                }
+            }
+        };
+        let Some(v) = rep else { continue };
+        let key = stage_two_key(ws, residual, internal, external, v);
+        let better = match &best {
+            None => true,
+            Some((bk, bv)) => key > *bk || (key == *bk && v < *bv),
+        };
+        if better {
+            best = Some((key, v));
+        }
+    }
+    best.expect("frontier non-empty but no stage-2 candidate").1
+}

@@ -1,0 +1,76 @@
+//! The reusable local-expansion engine behind TLP, TLP_R, the single-stage
+//! ablations, and the NE baseline (Algorithm 1 of the paper, generalized
+//! over the vertex-selection policy).
+//!
+//! One partition is grown per round. The engine maintains:
+//!
+//! * a [`ResidualGraph`](tlp_graph::ResidualGraph) of not-yet-allocated
+//!   edges (rounds consume edges);
+//! * the member set of the current partition (stamped per round);
+//! * the frontier `N(P_k)`: non-members with at least one residual edge
+//!   into the partition, each carrying
+//!   - `e_in`: residual edges into the partition (Stage II input), and
+//!   - `mu1`: the running maximum of Eq. 7's closeness term (Stage I
+//!     input), updated incrementally as members join;
+//! * exact integer counts of internal and external edges (the modularity).
+//!
+//! What distinguishes the algorithms built on top is only *which frontier
+//! vertex joins next* and *when edges are allocated*; both live in the
+//! [`SelectionPolicy`] a caller passes to [`run`]:
+//!
+//! * [`StagedPolicy`] over a [`StageSwitch`] gives the TLP family
+//!   (two-stage, TLP_R, single-stage ablations) with lazy admission;
+//! * an eager-admission policy keyed on residual degree gives NE
+//!   (implemented as `NePolicy` in the `tlp-baselines` crate).
+//!
+//! # Selection strategies
+//!
+//! Two implementations of "pick the optimal frontier vertex" exist for the
+//! staged policies, chosen by [`SelectionStrategy`]; both compute the
+//! identical argmax (ties included) and thus identical partitions:
+//!
+//! * **LinearScan** — scan the whole frontier per step, exactly as written
+//!   in Algorithm 1 (`O(|N(P_k)|)` per step).
+//! * **IndexedHeap** — a lazy max-heap over the Stage I key, plus one lazy
+//!   min-heap on `e_ext` per `e_in` value for Stage II. The latter is sound
+//!   because a frontier candidate's residual degree never changes while it
+//!   waits (its edges are only consumed when it joins), so `e_in` grows
+//!   monotonically, `e_ext = residual_degree - e_in` shrinks monotonically,
+//!   and the Stage II objective is increasing in `e_in` / decreasing in
+//!   `e_ext` — the bucket minimum is the only candidate of its `e_in` class
+//!   that can win.
+//!
+//! All ties are broken by explicit deterministic keys, so results are
+//! reproducible across runs and platforms under either strategy.
+//!
+//! [`SelectionStrategy`]: crate::SelectionStrategy
+
+mod frontier;
+mod policy;
+mod round;
+mod workspace;
+
+pub use policy::{
+    AdmissionMode, EdgeRatioSwitch, GrowthState, ModularitySwitch, Selection, SelectionPolicy,
+    StageSwitch, StagedPolicy,
+};
+pub use round::run;
+pub use workspace::Workspace;
+
+use crate::config::TlpConfig;
+use crate::partition::EdgePartition;
+use crate::trace::Trace;
+use crate::PartitionError;
+use tlp_graph::CsrGraph;
+
+/// Convenience: runs the staged (TLP-family) policy under `switch` with the
+/// configured selection strategy.
+pub(crate) fn run_staged<S: StageSwitch>(
+    graph: &CsrGraph,
+    num_partitions: usize,
+    config: &TlpConfig,
+    switch: S,
+) -> Result<(EdgePartition, Option<Trace>), PartitionError> {
+    let mut policy = StagedPolicy::new(switch, config.selection_strategy_value());
+    run(graph, num_partitions, config, &mut policy)
+}

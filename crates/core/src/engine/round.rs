@@ -1,0 +1,621 @@
+//! The seed -> grow -> allocate loop (Algorithm 1 of the paper), generic
+//! over the [`SelectionPolicy`] that scores and picks frontier vertices.
+
+use super::frontier::{enroll_eager, enroll_frontier_edge};
+use super::policy::{AdmissionMode, GrowthState, Selection, SelectionPolicy};
+use super::workspace::Workspace;
+use crate::config::{ReseedPolicy, TlpConfig};
+use crate::partition::{EdgePartition, PartitionId};
+use crate::stage1::closeness_term;
+use crate::trace::{SelectionRecord, Trace};
+use crate::PartitionError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tlp_graph::{CsrGraph, ResidualGraph, VertexId};
+
+/// Runs the full local partitioning (all `p` rounds) under `policy`.
+///
+/// Returns the edge partition and, when `config.record_trace()` holds, the
+/// per-selection trace. The RNG is seeded once from `config.seed()` and
+/// consumed only by seed/reseed draws, so the stream a policy observes is a
+/// function of the seed alone.
+pub fn run<P: SelectionPolicy + ?Sized>(
+    graph: &CsrGraph,
+    num_partitions: usize,
+    config: &TlpConfig,
+    policy: &mut P,
+) -> Result<(EdgePartition, Option<Trace>), PartitionError> {
+    if num_partitions == 0 {
+        return Err(PartitionError::ZeroPartitions);
+    }
+    config.validate()?;
+
+    let m = graph.num_edges();
+    let n = graph.num_vertices();
+    let mut assignment: Vec<PartitionId> = vec![0; m];
+    let trace = config.records_trace().then(Trace::new);
+    if m == 0 {
+        return Ok((EdgePartition::new(num_partitions, assignment)?, trace));
+    }
+    let mut trace = trace;
+
+    let capacity = config.capacity(m, num_partitions);
+    let mut residual = ResidualGraph::new(graph);
+    let mut ws = Workspace::new(n, config.frontier_cap_value().unwrap_or(usize::MAX));
+    let mut rng = StdRng::seed_from_u64(config.seed_value());
+
+    for k in 0..num_partitions as u32 {
+        if residual.is_exhausted() {
+            break;
+        }
+        run_round(
+            graph,
+            &mut residual,
+            &mut ws,
+            &mut assignment,
+            &mut rng,
+            k,
+            capacity,
+            config.reseed_policy_value(),
+            policy,
+            trace.as_mut(),
+        );
+    }
+
+    // Sweep any leftovers (possible only under `ReseedPolicy::Break`):
+    // distribute remaining edges to the least-loaded partitions so the
+    // partition is total.
+    if !residual.is_exhausted() {
+        let mut counts = vec![0usize; num_partitions];
+        for &pid in &assignment {
+            counts[pid as usize] += 1;
+        }
+        for e in 0..m as tlp_graph::EdgeId {
+            if residual.is_free(e) {
+                let (target, _) = counts
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &c)| (c, i))
+                    .expect("at least one partition");
+                assignment[e as usize] = target as PartitionId;
+                counts[target] += 1;
+                residual.allocate(e);
+            }
+        }
+    }
+
+    Ok((EdgePartition::new(num_partitions, assignment)?, trace))
+}
+
+/// Grows partition `k` until capacity is exceeded or edges run out
+/// (Algorithm 1).
+#[allow(clippy::too_many_arguments)]
+fn run_round<P: SelectionPolicy + ?Sized>(
+    graph: &CsrGraph,
+    residual: &mut ResidualGraph<'_>,
+    ws: &mut Workspace,
+    assignment: &mut [PartitionId],
+    rng: &mut StdRng,
+    k: u32,
+    capacity: usize,
+    reseed_policy: ReseedPolicy,
+    policy: &mut P,
+    mut trace: Option<&mut Trace>,
+) {
+    let mut internal = 0usize;
+    let mut external = 0usize;
+    let mut step = 0u32;
+
+    // Line 1-3: random seed vertex; its neighbors form the frontier.
+    seed_vertex(
+        graph,
+        residual,
+        ws,
+        rng,
+        assignment,
+        k,
+        policy,
+        &mut internal,
+        &mut external,
+    );
+
+    // Line 4: while |E(P_k)| <= C.
+    while internal <= capacity {
+        if ws.frontier.is_empty() {
+            // Line 11-13: frontier exhausted.
+            if residual.is_exhausted() || reseed_policy == ReseedPolicy::Break {
+                break;
+            }
+            seed_vertex(
+                graph,
+                residual,
+                ws,
+                rng,
+                assignment,
+                k,
+                policy,
+                &mut internal,
+                &mut external,
+            );
+            continue;
+        }
+
+        // Lines 5-9: the policy picks the stage and the optimal vertex.
+        let Selection { vertex: v, stage } = policy.select(
+            ws,
+            residual,
+            GrowthState {
+                internal,
+                external,
+                capacity,
+            },
+        );
+
+        // Line 10: allocate the edges between v and P_k.
+        admit_vertex(
+            graph,
+            residual,
+            ws,
+            assignment,
+            k,
+            v,
+            policy,
+            &mut internal,
+            &mut external,
+        );
+
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(SelectionRecord {
+                partition: k,
+                step,
+                vertex: v,
+                degree: graph.degree(v) as u32,
+                stage,
+            });
+        }
+        step += 1;
+
+        if residual.is_exhausted() {
+            break;
+        }
+    }
+
+    ws.frontier_clear();
+    policy.end_round();
+}
+
+/// Adds a fresh random seed vertex. Under lazy admission the seed becomes a
+/// member immediately (admission handles any residual edges it already has
+/// towards existing members, possible under a frontier cap). Under eager
+/// admission the seed joins the *frontier* — NE's boundary set — and moves
+/// to the member core when selected.
+#[allow(clippy::too_many_arguments)]
+fn seed_vertex<P: SelectionPolicy + ?Sized>(
+    graph: &CsrGraph,
+    residual: &mut ResidualGraph<'_>,
+    ws: &mut Workspace,
+    rng: &mut StdRng,
+    assignment: &mut [PartitionId],
+    k: u32,
+    policy: &mut P,
+    internal: &mut usize,
+    external: &mut usize,
+) {
+    let n = graph.num_vertices() as u32;
+    let hint: VertexId = rng.gen_range(0..n);
+    let Some(seed) = residual.any_active_vertex_from(hint) else {
+        return;
+    };
+    match policy.admission() {
+        AdmissionMode::Lazy => {
+            admit_vertex(
+                graph, residual, ws, assignment, k, seed, policy, internal, external,
+            );
+        }
+        AdmissionMode::Eager => {
+            enroll_eager(residual, ws, policy, assignment, k, seed, internal);
+        }
+    }
+}
+
+/// Moves `v` from the frontier into the partition.
+///
+/// Lazy admission: allocates all residual edges between `v` and members,
+/// updates the modularity counters, enrolls `v`'s remaining residual
+/// neighbors, and refreshes Stage I scores of frontier candidates adjacent
+/// to `v`.
+///
+/// Eager admission: `v`'s edges into the boundary set were already
+/// allocated when each endpoint joined; admission only promotes `v` to
+/// member and eagerly enrolls its remaining residual neighbors.
+#[allow(clippy::too_many_arguments)]
+fn admit_vertex<P: SelectionPolicy + ?Sized>(
+    graph: &CsrGraph,
+    residual: &mut ResidualGraph<'_>,
+    ws: &mut Workspace,
+    assignment: &mut [PartitionId],
+    k: u32,
+    v: VertexId,
+    policy: &mut P,
+    internal: &mut usize,
+    external: &mut usize,
+) {
+    // Seed vertices (and, under a frontier cap, reseeds of never-enrolled
+    // vertices) are admitted without having been candidates.
+    if ws.in_frontier[v as usize] {
+        ws.frontier_remove(v);
+    }
+    ws.member_round[v as usize] = k;
+
+    if policy.admission() == AdmissionMode::Eager {
+        // The selected vertex's residual edges all point outside the
+        // boundary set; each far endpoint now joins it (allocating its own
+        // edges into the set as it enters).
+        let neighbors: Vec<VertexId> = residual.residual_incident(v).map(|(u, _)| u).collect();
+        for u in neighbors {
+            enroll_eager(residual, ws, policy, assignment, k, u, internal);
+        }
+        return;
+    }
+
+    // Allocate edges v -> members (they were external; now internal).
+    ws.incident_scratch.clear();
+    ws.incident_scratch.extend(residual.residual_incident(v));
+    let mut absorbed = 0usize;
+    for i in 0..ws.incident_scratch.len() {
+        let (u, eid) = ws.incident_scratch[i];
+        if ws.member_round[u as usize] == k {
+            residual.allocate(eid);
+            assignment[eid as usize] = k;
+            absorbed += 1;
+        }
+    }
+    *internal += absorbed;
+    *external -= absorbed;
+
+    // Remaining residual edges of v become external; their far endpoints
+    // join (or strengthen) the frontier.
+    ws.incident_scratch.clear();
+    ws.incident_scratch.extend(residual.residual_incident(v));
+    *external += ws.incident_scratch.len();
+    for i in 0..ws.incident_scratch.len() {
+        let (u, _) = ws.incident_scratch[i];
+        enroll_frontier_edge(graph, residual, ws, policy, k, u);
+    }
+
+    // Incremental Stage I refresh: v is a new member, so every frontier
+    // candidate statically adjacent to v gains a candidate term.
+    for &u in graph.neighbors(v) {
+        if ws.in_frontier[u as usize] {
+            let term = closeness_term(graph, u, v);
+            if term > ws.mu1[u as usize] {
+                ws.mu1[u as usize] = term;
+                policy.on_candidate(ws, residual, u, k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{run_staged, EdgeRatioSwitch, ModularitySwitch};
+    use super::*;
+    use crate::config::SelectionStrategy;
+    use crate::trace::Stage;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    use tlp_graph::GraphBuilder;
+
+    fn small_graph() -> CsrGraph {
+        // Two triangles joined by a bridge.
+        GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+            .build()
+    }
+
+    fn run_tlp(graph: &CsrGraph, p: usize, seed: u64) -> EdgePartition {
+        let config = TlpConfig::new().seed(seed);
+        run_staged(graph, p, &config, ModularitySwitch).unwrap().0
+    }
+
+    #[test]
+    fn every_edge_is_assigned_exactly_once() {
+        let g = small_graph();
+        for p in 1..=4 {
+            let part = run_tlp(&g, p, 1);
+            assert_eq!(part.num_edges(), g.num_edges());
+            assert_eq!(part.edge_counts().iter().sum::<usize>(), g.num_edges());
+        }
+    }
+
+    #[test]
+    fn single_partition_takes_everything() {
+        let g = small_graph();
+        let part = run_tlp(&g, 1, 3);
+        assert_eq!(part.edge_counts(), vec![g.num_edges()]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = small_graph();
+        assert_eq!(run_tlp(&g, 3, 7), run_tlp(&g, 3, 7));
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        let g = small_graph();
+        let config = TlpConfig::new();
+        assert_eq!(
+            run_staged(&g, 0, &config, ModularitySwitch).unwrap_err(),
+            PartitionError::ZeroPartitions
+        );
+    }
+
+    #[test]
+    fn empty_graph_produces_empty_partition() {
+        let g = GraphBuilder::new().build();
+        let config = TlpConfig::new();
+        let (part, _) = run_staged(&g, 4, &config, ModularitySwitch).unwrap();
+        assert_eq!(part.num_edges(), 0);
+        assert_eq!(part.edge_counts(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn disconnected_graph_is_fully_covered_with_reseed() {
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (3, 4), (4, 5), (6, 7)])
+            .build();
+        let part = run_tlp(&g, 2, 5);
+        assert_eq!(part.edge_counts().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn break_policy_sweeps_leftovers() {
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)])
+            .build();
+        let config = TlpConfig::new().reseed_policy(ReseedPolicy::Break).seed(2);
+        let (part, _) = run_staged(&g, 2, &config, ModularitySwitch).unwrap();
+        // All 5 edges must still be assigned even though each round's
+        // frontier dies immediately in this perfect matching.
+        assert_eq!(part.edge_counts().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn capacity_overshoot_is_bounded_by_last_vertex_degree() {
+        let g = tlp_graph::generators::erdos_renyi(60, 240, 9);
+        let p = 4;
+        let part = run_tlp(&g, p, 11);
+        let capacity = TlpConfig::new().capacity(g.num_edges(), p);
+        let max_degree = (0..60).map(|v| g.degree(v)).max().unwrap();
+        for (pid, &count) in part.edge_counts().iter().enumerate() {
+            assert!(
+                count <= capacity + max_degree,
+                "partition {pid} holds {count} edges, capacity {capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_recorded_when_requested() {
+        let g = small_graph();
+        let config = TlpConfig::new().record_trace(true).seed(1);
+        let (_, trace) = run_staged(&g, 2, &config, ModularitySwitch).unwrap();
+        let trace = trace.expect("trace requested");
+        assert!(!trace.is_empty());
+        // Selections must name real vertices with their true degrees.
+        for r in trace.records() {
+            assert_eq!(r.degree as usize, g.degree(r.vertex));
+            assert!((r.partition as usize) < 2);
+        }
+    }
+
+    #[test]
+    fn no_trace_by_default() {
+        let g = small_graph();
+        let config = TlpConfig::new();
+        let (_, trace) = run_staged(&g, 2, &config, ModularitySwitch).unwrap();
+        assert!(trace.is_none());
+    }
+
+    #[test]
+    fn more_partitions_than_edges_leaves_empties() {
+        let g = GraphBuilder::new().add_edge(0, 1).build();
+        let part = run_tlp(&g, 5, 1);
+        assert_eq!(part.edge_counts().iter().sum::<usize>(), 1);
+        assert_eq!(part.num_partitions(), 5);
+    }
+
+    /// The heap-indexed selection must reproduce the linear scan exactly —
+    /// same argmax, same ties, same partitions — across every generator
+    /// family, both reseed policies, partition counts, and seeds.
+    #[test]
+    fn indexed_selection_equals_linear_scan() {
+        use tlp_graph::generators as g;
+        let graphs = [
+            g::chung_lu(300, 1500, 2.1, 5),
+            g::erdos_renyi(200, 600, 6),
+            g::genealogy(400, 650, 7),
+            g::barabasi_albert(250, 3, 8),
+            g::rmat(8, 900, g::RmatProbabilities::default(), 9),
+            g::power_law_community(300, 1200, 2.1, 6, 0.25, 10),
+        ];
+        for (gi, graph) in graphs.iter().enumerate() {
+            for reseed in [ReseedPolicy::Reseed, ReseedPolicy::Break] {
+                for p in [2, 5, 9] {
+                    for seed in [0u64, 1, 2] {
+                        let base = TlpConfig::new().seed(seed).reseed_policy(reseed);
+                        let scan = run_staged(
+                            graph,
+                            p,
+                            &base.selection_strategy(SelectionStrategy::LinearScan),
+                            ModularitySwitch,
+                        )
+                        .unwrap()
+                        .0;
+                        let heap = run_staged(
+                            graph,
+                            p,
+                            &base.selection_strategy(SelectionStrategy::IndexedHeap),
+                            ModularitySwitch,
+                        )
+                        .unwrap()
+                        .0;
+                        assert_eq!(
+                            scan, heap,
+                            "graph {gi}, reseed {reseed:?}, p={p}, seed={seed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A frontier cap (the paper's §V sliding-window idea) must never break
+    /// coverage or determinism, only bound the candidate set.
+    #[test]
+    fn frontier_cap_keeps_coverage() {
+        let g = tlp_graph::generators::chung_lu(400, 2000, 2.1, 3);
+        for cap in [1usize, 4, 64, 100_000] {
+            let config = TlpConfig::new().seed(5).frontier_cap(cap);
+            let (part, _) = run_staged(&g, 6, &config, ModularitySwitch).unwrap();
+            assert_eq!(
+                part.edge_counts().iter().sum::<usize>(),
+                g.num_edges(),
+                "cap {cap} lost edges"
+            );
+            let (part2, _) = run_staged(&g, 6, &config, ModularitySwitch).unwrap();
+            assert_eq!(part, part2, "cap {cap} nondeterministic");
+        }
+    }
+
+    #[test]
+    fn zero_frontier_cap_is_rejected() {
+        let g = small_graph();
+        let config = TlpConfig::new().frontier_cap(0);
+        assert!(matches!(
+            run_staged(&g, 2, &config, ModularitySwitch).unwrap_err(),
+            PartitionError::InvalidParameter {
+                name: "frontier_cap",
+                ..
+            }
+        ));
+    }
+
+    /// An uncapped run and a cap larger than any frontier are identical.
+    #[test]
+    fn huge_cap_equals_uncapped() {
+        let g = tlp_graph::generators::erdos_renyi(150, 600, 8);
+        let base = TlpConfig::new().seed(2);
+        let capped = base.frontier_cap(1_000_000);
+        let a = run_staged(&g, 5, &base, ModularitySwitch).unwrap().0;
+        let b = run_staged(&g, 5, &capped, ModularitySwitch).unwrap().0;
+        assert_eq!(a, b);
+    }
+
+    /// Same equivalence for the TLP_R stage policy across the R sweep.
+    #[test]
+    fn indexed_selection_equals_linear_scan_for_tlp_r() {
+        let g = tlp_graph::generators::chung_lu(250, 1200, 2.2, 9);
+        for r in [0.0, 0.3, 0.7, 1.0] {
+            let switch = EdgeRatioSwitch { ratio: r };
+            let scan = run_staged(
+                &g,
+                6,
+                &TlpConfig::new()
+                    .seed(4)
+                    .selection_strategy(SelectionStrategy::LinearScan),
+                switch,
+            )
+            .unwrap()
+            .0;
+            let heap = run_staged(
+                &g,
+                6,
+                &TlpConfig::new()
+                    .seed(4)
+                    .selection_strategy(SelectionStrategy::IndexedHeap),
+                switch,
+            )
+            .unwrap()
+            .0;
+            assert_eq!(scan, heap, "R = {r}");
+        }
+    }
+
+    /// A minimal eager-admission policy (NE's selection rule, inlined):
+    /// exercises the eager path without depending on the baselines crate.
+    struct MinResidualDegree {
+        heap: BinaryHeap<Reverse<(u32, VertexId)>>,
+    }
+
+    impl SelectionPolicy for MinResidualDegree {
+        fn admission(&self) -> AdmissionMode {
+            AdmissionMode::Eager
+        }
+
+        fn on_candidate(
+            &mut self,
+            _ws: &Workspace,
+            residual: &ResidualGraph<'_>,
+            v: VertexId,
+            _round: u32,
+        ) {
+            self.heap
+                .push(Reverse((residual.residual_degree(v) as u32, v)));
+        }
+
+        fn select(
+            &mut self,
+            ws: &Workspace,
+            residual: &ResidualGraph<'_>,
+            _state: GrowthState,
+        ) -> Selection {
+            loop {
+                let Reverse((c, v)) = self
+                    .heap
+                    .pop()
+                    .expect("frontier non-empty but heap exhausted");
+                if ws.is_candidate(v) && residual.residual_degree(v) as u32 == c {
+                    return Selection {
+                        vertex: v,
+                        stage: Stage::One,
+                    };
+                }
+            }
+        }
+
+        fn end_round(&mut self) {
+            self.heap.clear();
+        }
+    }
+
+    #[test]
+    fn eager_admission_covers_all_edges_deterministically() {
+        for g in [
+            small_graph(),
+            tlp_graph::generators::chung_lu(200, 900, 2.2, 4),
+            GraphBuilder::new()
+                .add_edges([(0, 1), (1, 2), (3, 4), (4, 5), (6, 7)])
+                .build(),
+        ] {
+            for p in [1, 3, 6] {
+                let mut policy = MinResidualDegree {
+                    heap: BinaryHeap::new(),
+                };
+                let config = TlpConfig::new().seed(9);
+                let (part, _) = run(&g, p, &config, &mut policy).unwrap();
+                assert_eq!(
+                    part.edge_counts().iter().sum::<usize>(),
+                    g.num_edges(),
+                    "eager run lost edges at p={p}"
+                );
+                let mut policy2 = MinResidualDegree {
+                    heap: BinaryHeap::new(),
+                };
+                let (part2, _) = run(&g, p, &config, &mut policy2).unwrap();
+                assert_eq!(part, part2, "eager run nondeterministic at p={p}");
+            }
+        }
+    }
+}

@@ -35,10 +35,10 @@
 #![warn(missing_docs)]
 
 mod config;
-mod driver;
 mod error;
 mod metrics;
 mod modularity;
+mod parallel;
 mod partition;
 mod partitioner;
 mod single_stage;
@@ -46,6 +46,7 @@ mod tlp;
 mod tlp_r;
 mod trace;
 
+pub mod engine;
 pub mod stage1;
 pub mod stage2;
 
@@ -53,6 +54,7 @@ pub use config::{ReseedPolicy, SelectionStrategy, TlpConfig};
 pub use error::PartitionError;
 pub use metrics::PartitionMetrics;
 pub use modularity::Modularity;
+pub use parallel::{available_threads, parallel_map, trial_seed, ParallelTrialRunner, TrialReport};
 pub use partition::{EdgePartition, PartitionId};
 pub use partitioner::EdgePartitioner;
 pub use single_stage::{StageOneOnlyPartitioner, StageTwoOnlyPartitioner};

@@ -72,7 +72,13 @@ impl Default for Modularity {
 
 impl fmt::Display for Modularity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} = {:.4}", self.internal, self.external, self.value())
+        write!(
+            f,
+            "{}/{} = {:.4}",
+            self.internal,
+            self.external,
+            self.value()
+        )
     }
 }
 

@@ -1,0 +1,309 @@
+//! Thread-parallel execution utilities: an order-preserving `parallel_map`
+//! built on scoped threads, and the [`ParallelTrialRunner`] that races `t`
+//! independently seeded TLP runs and keeps the best-RF partition.
+//!
+//! Everything here is deterministic given the same inputs: per-trial seeds
+//! are derived from the base seed by a fixed mixing function (independent
+//! of thread count and scheduling), each trial is itself deterministic, and
+//! the winner is chosen by `(replication factor, trial index)` — so a run
+//! with 1 thread and a run with 16 produce bit-identical partitions.
+
+use crate::engine::{run_staged, ModularitySwitch};
+use crate::metrics::PartitionMetrics;
+use crate::partition::EdgePartition;
+use crate::{PartitionError, TlpConfig};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tlp_graph::CsrGraph;
+
+/// The number of worker threads a `0 = auto` setting resolves to.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to `threads` scoped worker threads and
+/// returns the results in item order.
+///
+/// Items are handed out dynamically (an atomic cursor), so uneven item
+/// costs still fill all workers. With `threads <= 1` or a single item the
+/// map runs inline on the calling thread. Panics in `f` propagate.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                *slots[i].lock().expect("no poisoned result slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned result slot")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+/// SplitMix64 finalizer — decorrelates sequential trial indices.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The seed trial `index` runs with. Trial 0 is the base seed itself, so a
+/// single-trial runner is bit-identical to a plain run with `base`.
+pub fn trial_seed(base: u64, index: usize) -> u64 {
+    if index == 0 {
+        base
+    } else {
+        splitmix64(base ^ (index as u64))
+    }
+}
+
+/// The outcome of a multi-trial run: the winning partition plus the
+/// per-trial replication factors (for spread reporting).
+#[derive(Clone, Debug)]
+pub struct TrialReport {
+    /// The best partition found (lowest replication factor; ties go to the
+    /// lowest trial index).
+    pub partition: EdgePartition,
+    /// Index of the winning trial in `[0, trials)`.
+    pub best_trial: usize,
+    /// Replication factor of every trial, indexed by trial.
+    pub trial_rfs: Vec<f64>,
+}
+
+impl TrialReport {
+    /// The winning trial's replication factor.
+    pub fn best_rf(&self) -> f64 {
+        self.trial_rfs[self.best_trial]
+    }
+
+    /// `(min, max)` replication factor over all trials.
+    pub fn rf_spread(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &rf in &self.trial_rfs {
+            min = min.min(rf);
+            max = max.max(rf);
+        }
+        (min, max)
+    }
+}
+
+/// Runs `config.trials()` independently seeded TLP partitionings across
+/// worker threads and keeps the partition with the lowest replication
+/// factor.
+///
+/// Seed growth is cheap but seed-sensitive (the paper reports averages
+/// over runs for exactly this reason); racing a handful of seeds and
+/// keeping the best is an embarrassingly parallel way to buy quality with
+/// cores instead of wall-clock. Trial 0 uses the configured seed verbatim,
+/// so `trials = 1` reproduces the plain single run bit for bit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelTrialRunner {
+    config: TlpConfig,
+}
+
+impl ParallelTrialRunner {
+    /// Creates a runner; `config.trials()` / `config.threads()` control the
+    /// trial count and worker cap.
+    pub fn new(config: TlpConfig) -> Self {
+        ParallelTrialRunner { config }
+    }
+
+    /// The configuration this runner uses.
+    pub fn config(&self) -> &TlpConfig {
+        &self.config
+    }
+
+    /// Runs all trials and returns the best partition plus per-trial RFs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing trial's [`PartitionError`] (in trial
+    /// order), or the config/partition-count validation errors of a plain
+    /// run.
+    pub fn run(
+        &self,
+        graph: &CsrGraph,
+        num_partitions: usize,
+    ) -> Result<TrialReport, PartitionError> {
+        self.config.validate()?;
+        let trials = self.config.trials_value();
+        let threads = match self.config.threads_value() {
+            0 => available_threads(),
+            t => t,
+        };
+        let seeds: Vec<u64> = (0..trials)
+            .map(|i| trial_seed(self.config.seed_value(), i))
+            .collect();
+        // Trace recording is a single-run concern; trials race plain runs.
+        let base = self.config.record_trace(false);
+        let outcomes = parallel_map(threads, &seeds, |_, &seed| {
+            let config = base.seed(seed);
+            run_staged(graph, num_partitions, &config, ModularitySwitch).map(|(partition, _)| {
+                let rf = PartitionMetrics::compute(graph, &partition).replication_factor;
+                (partition, rf)
+            })
+        });
+
+        let mut partitions = Vec::with_capacity(trials);
+        let mut trial_rfs = Vec::with_capacity(trials);
+        for outcome in outcomes {
+            let (partition, rf) = outcome?;
+            partitions.push(partition);
+            trial_rfs.push(rf);
+        }
+        let best_trial = trial_rfs
+            .iter()
+            .enumerate()
+            .min_by(|(ai, a), (bi, b)| a.total_cmp(b).then(ai.cmp(bi)))
+            .map(|(i, _)| i)
+            .expect("at least one trial");
+        Ok(TrialReport {
+            partition: partitions.swap_remove(best_trial),
+            best_trial,
+            trial_rfs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgePartitioner, TwoStageLocalPartitioner};
+    use tlp_graph::generators::chung_lu;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 7] {
+            let out = parallel_map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(4, &[9u32], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn trial_zero_keeps_the_base_seed() {
+        assert_eq!(trial_seed(42, 0), 42);
+        assert_ne!(trial_seed(42, 1), 42);
+        assert_ne!(trial_seed(42, 1), trial_seed(42, 2));
+        assert_ne!(trial_seed(42, 1), trial_seed(43, 1));
+    }
+
+    #[test]
+    fn single_trial_matches_plain_run() {
+        let g = chung_lu(200, 800, 2.2, 3);
+        let config = TlpConfig::new().seed(7);
+        let plain = TwoStageLocalPartitioner::new(config)
+            .partition(&g, 5)
+            .unwrap();
+        let report = ParallelTrialRunner::new(config.trials(1))
+            .run(&g, 5)
+            .unwrap();
+        assert_eq!(report.partition, plain);
+        assert_eq!(report.best_trial, 0);
+        assert_eq!(report.trial_rfs.len(), 1);
+    }
+
+    #[test]
+    fn best_of_n_is_no_worse_than_trial_zero() {
+        let g = chung_lu(300, 1200, 2.2, 5);
+        let config = TlpConfig::new().seed(11);
+        let single = ParallelTrialRunner::new(config.trials(1))
+            .run(&g, 8)
+            .unwrap();
+        let multi = ParallelTrialRunner::new(config.trials(6))
+            .run(&g, 8)
+            .unwrap();
+        assert!(
+            multi.best_rf() <= single.best_rf() + 1e-12,
+            "best-of-6 RF {} worse than single-trial RF {}",
+            multi.best_rf(),
+            single.best_rf()
+        );
+        // Trial 0 of the multi run IS the single run.
+        assert_eq!(multi.trial_rfs[0], single.trial_rfs[0]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let g = chung_lu(250, 1000, 2.1, 9);
+        let base = TlpConfig::new().seed(3).trials(5);
+        let one = ParallelTrialRunner::new(base.threads(1))
+            .run(&g, 6)
+            .unwrap();
+        let many = ParallelTrialRunner::new(base.threads(4))
+            .run(&g, 6)
+            .unwrap();
+        assert_eq!(one.partition, many.partition);
+        assert_eq!(one.best_trial, many.best_trial);
+        assert_eq!(one.trial_rfs, many.trial_rfs);
+    }
+
+    /// Two runs with identical configs must be bit-identical even when the
+    /// trials race across worker threads — scheduling must never leak into
+    /// the result.
+    #[test]
+    fn same_seed_runs_are_bit_identical_with_parallel_trials() {
+        let g = chung_lu(250, 1000, 2.1, 4);
+        let config = TlpConfig::new().seed(13).trials(4).threads(3);
+        let first = ParallelTrialRunner::new(config).run(&g, 6).unwrap();
+        let second = ParallelTrialRunner::new(config).run(&g, 6).unwrap();
+        assert_eq!(first.partition, second.partition);
+        assert_eq!(first.best_trial, second.best_trial);
+        assert_eq!(first.trial_rfs, second.trial_rfs);
+        // The same holds through the public partitioner facade.
+        let a = TwoStageLocalPartitioner::new(config)
+            .partition(&g, 6)
+            .unwrap();
+        let b = TwoStageLocalPartitioner::new(config)
+            .partition(&g, 6)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, first.partition);
+    }
+
+    #[test]
+    fn zero_trials_is_rejected() {
+        let g = chung_lu(50, 150, 2.2, 1);
+        let err = ParallelTrialRunner::new(TlpConfig::new().trials(0))
+            .run(&g, 2)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PartitionError::InvalidParameter { name: "trials", .. }
+        ));
+    }
+}

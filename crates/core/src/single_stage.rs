@@ -4,9 +4,7 @@
 //! ablation line-ups (the paper's conclusions (1)-(2) in Section IV-C show
 //! both are dominated by the two-stage method).
 
-use crate::{
-    EdgePartition, EdgePartitioner, EdgeRatioLocalPartitioner, PartitionError, TlpConfig,
-};
+use crate::{EdgePartition, EdgePartitioner, EdgeRatioLocalPartitioner, PartitionError, TlpConfig};
 use tlp_graph::CsrGraph;
 
 /// Local partitioner that always applies the Stage I criterion (Eq. 7).

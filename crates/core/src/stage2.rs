@@ -47,10 +47,13 @@ impl GainRatio {
     /// * `e_in` — candidate's residual edges into `P_k` (all become internal)
     /// * `e_ext` — candidate's residual edges leaving `P_k` (become external)
     ///
+    /// `e_in > external` is a caller bug (a candidate cannot absorb more
+    /// external edges than exist); the subtraction saturates to zero in
+    /// every build mode, with a `debug_assert` to surface the bug in tests.
+    ///
     /// # Panics
     ///
-    /// Panics in debug builds if `e_in > external` (the candidate cannot
-    /// absorb more external edges than exist).
+    /// Panics in debug builds if `e_in > external`.
     pub fn new(internal: usize, external: usize, e_in: usize, e_ext: usize) -> Self {
         debug_assert!(
             e_in <= external,
@@ -58,7 +61,7 @@ impl GainRatio {
         );
         GainRatio {
             num: (internal + e_in) as u64,
-            den: (external - e_in.min(external) + e_ext) as u64,
+            den: (external.saturating_sub(e_in) + e_ext) as u64,
         }
     }
 
@@ -189,6 +192,20 @@ mod tests {
         assert!(high > low);
         assert!((0.0..=1.0).contains(&low));
         assert!((0.0..=1.0).contains(&high));
+    }
+
+    #[test]
+    fn e_in_equal_to_external_is_exact_in_both_build_modes() {
+        // The candidate absorbs every external edge: den must be exactly
+        // e_ext, and the saturating subtraction must not kick in. This is
+        // the boundary right below the debug_assert, so it has to produce
+        // identical values in debug and release.
+        let boundary = GainRatio::new(6, 3, 3, 2);
+        assert_eq!(boundary.to_f64(), 9.0 / 2.0);
+        assert_eq!(boundary, GainRatio::new(7, 4, 2, 0));
+        // With no new external edges either, the ratio is +inf.
+        let absorbed = GainRatio::new(6, 3, 3, 0);
+        assert_eq!(absorbed.to_f64(), f64::INFINITY);
     }
 
     #[test]

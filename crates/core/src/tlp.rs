@@ -1,8 +1,10 @@
 //! The paper's TLP algorithm: modularity-switched two-stage local
 //! partitioning.
 
-use crate::driver::{self, ModularityPolicy};
-use crate::{EdgePartition, EdgePartitioner, PartitionError, TlpConfig, Trace};
+use crate::engine::{run_staged, ModularitySwitch};
+use crate::{
+    EdgePartition, EdgePartitioner, ParallelTrialRunner, PartitionError, TlpConfig, Trace,
+};
 use tlp_graph::CsrGraph;
 
 /// The two-stage local partitioner (TLP, Algorithm 1 of the paper).
@@ -42,6 +44,8 @@ impl TwoStageLocalPartitioner {
 
     /// Partitions and returns the per-selection [`Trace`] (used by the
     /// Table VI experiment), regardless of the configured trace flag.
+    /// Always a single run with the configured seed — the multi-trial
+    /// racing of [`EdgePartitioner::partition`] does not apply here.
     ///
     /// # Errors
     ///
@@ -52,7 +56,7 @@ impl TwoStageLocalPartitioner {
         num_partitions: usize,
     ) -> Result<(EdgePartition, Trace), PartitionError> {
         let config = self.config.record_trace(true);
-        let (partition, trace) = driver::run(graph, num_partitions, &config, &ModularityPolicy)?;
+        let (partition, trace) = run_staged(graph, num_partitions, &config, ModularitySwitch)?;
         Ok((partition, trace.expect("trace was requested")))
     }
 }
@@ -67,7 +71,12 @@ impl EdgePartitioner for TwoStageLocalPartitioner {
         graph: &CsrGraph,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
-        driver::run(graph, num_partitions, &self.config, &ModularityPolicy)
+        if self.config.trials_value() > 1 {
+            return ParallelTrialRunner::new(self.config)
+                .run(graph, num_partitions)
+                .map(|report| report.partition);
+        }
+        run_staged(graph, num_partitions, &self.config, ModularitySwitch)
             .map(|(partition, _)| partition)
     }
 }

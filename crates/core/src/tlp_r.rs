@@ -1,7 +1,7 @@
 //! TLP_R: the edge-count-based stage division used in the paper's ablation
 //! (Section IV-C, Figs. 9-11).
 
-use crate::driver::{self, EdgeRatioPolicy};
+use crate::engine::{run_staged, EdgeRatioSwitch};
 use crate::{EdgePartition, EdgePartitioner, PartitionError, TlpConfig, Trace};
 use tlp_graph::CsrGraph;
 
@@ -74,8 +74,8 @@ impl EdgeRatioLocalPartitioner {
         num_partitions: usize,
     ) -> Result<(EdgePartition, Trace), PartitionError> {
         let config = self.config.record_trace(true);
-        let policy = EdgeRatioPolicy { ratio: self.ratio };
-        let (partition, trace) = driver::run(graph, num_partitions, &config, &policy)?;
+        let switch = EdgeRatioSwitch { ratio: self.ratio };
+        let (partition, trace) = run_staged(graph, num_partitions, &config, switch)?;
         Ok((partition, trace.expect("trace was requested")))
     }
 
@@ -95,9 +95,8 @@ impl EdgePartitioner for EdgeRatioLocalPartitioner {
         graph: &CsrGraph,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
-        let policy = EdgeRatioPolicy { ratio: self.ratio };
-        driver::run(graph, num_partitions, &self.config, &policy)
-            .map(|(partition, _)| partition)
+        let switch = EdgeRatioSwitch { ratio: self.ratio };
+        run_staged(graph, num_partitions, &self.config, switch).map(|(partition, _)| partition)
     }
 }
 

@@ -140,7 +140,11 @@ static CATALOG: [DatasetSpec; 9] = [
         name: "email-Eu-core",
         vertices: 1_005,
         edges: 25_571,
-        family: GraphFamily::PowerLaw { gamma: 1.9, communities: 42, mixing: 0.25 },
+        family: GraphFamily::PowerLaw {
+            gamma: 1.9,
+            communities: 42,
+            mixing: 0.25,
+        },
         default_scale: 1.0,
     },
     DatasetSpec {
@@ -148,7 +152,11 @@ static CATALOG: [DatasetSpec; 9] = [
         name: "Wiki-Vote",
         vertices: 7_115,
         edges: 103_689,
-        family: GraphFamily::PowerLaw { gamma: 2.0, communities: 40, mixing: 0.35 },
+        family: GraphFamily::PowerLaw {
+            gamma: 2.0,
+            communities: 40,
+            mixing: 0.35,
+        },
         default_scale: 1.0,
     },
     DatasetSpec {
@@ -156,7 +164,11 @@ static CATALOG: [DatasetSpec; 9] = [
         name: "CA-HepPh",
         vertices: 12_008,
         edges: 118_521,
-        family: GraphFamily::PowerLaw { gamma: 2.2, communities: 120, mixing: 0.15 },
+        family: GraphFamily::PowerLaw {
+            gamma: 2.2,
+            communities: 120,
+            mixing: 0.15,
+        },
         default_scale: 1.0,
     },
     DatasetSpec {
@@ -164,7 +176,11 @@ static CATALOG: [DatasetSpec; 9] = [
         name: "Email-Enron",
         vertices: 36_692,
         edges: 183_831,
-        family: GraphFamily::PowerLaw { gamma: 2.1, communities: 180, mixing: 0.25 },
+        family: GraphFamily::PowerLaw {
+            gamma: 2.1,
+            communities: 180,
+            mixing: 0.25,
+        },
         default_scale: 1.0,
     },
     DatasetSpec {
@@ -172,7 +188,11 @@ static CATALOG: [DatasetSpec; 9] = [
         name: "Slashdot081106",
         vertices: 77_357,
         edges: 516_575,
-        family: GraphFamily::PowerLaw { gamma: 2.2, communities: 350, mixing: 0.3 },
+        family: GraphFamily::PowerLaw {
+            gamma: 2.2,
+            communities: 350,
+            mixing: 0.3,
+        },
         default_scale: 1.0,
     },
     DatasetSpec {
@@ -180,7 +200,11 @@ static CATALOG: [DatasetSpec; 9] = [
         name: "soc_Epinions1",
         vertices: 75_879,
         edges: 508_837,
-        family: GraphFamily::PowerLaw { gamma: 2.0, communities: 350, mixing: 0.3 },
+        family: GraphFamily::PowerLaw {
+            gamma: 2.0,
+            communities: 350,
+            mixing: 0.3,
+        },
         default_scale: 1.0,
     },
     DatasetSpec {
@@ -188,7 +212,11 @@ static CATALOG: [DatasetSpec; 9] = [
         name: "Slashdot090221",
         vertices: 82_144,
         edges: 549_202,
-        family: GraphFamily::PowerLaw { gamma: 2.2, communities: 380, mixing: 0.3 },
+        family: GraphFamily::PowerLaw {
+            gamma: 2.2,
+            communities: 380,
+            mixing: 0.3,
+        },
         default_scale: 1.0,
     },
     DatasetSpec {
@@ -196,7 +224,11 @@ static CATALOG: [DatasetSpec; 9] = [
         name: "Slashdot0811",
         vertices: 77_360,
         edges: 905_468,
-        family: GraphFamily::PowerLaw { gamma: 2.1, communities: 350, mixing: 0.3 },
+        family: GraphFamily::PowerLaw {
+            gamma: 2.1,
+            communities: 350,
+            mixing: 0.3,
+        },
         default_scale: 1.0,
     },
     DatasetSpec {

@@ -44,11 +44,7 @@ impl DegreeStats {
 
 /// Degree histogram: `histogram[d]` counts vertices of degree `d`.
 pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
-    let max = graph
-        .vertices()
-        .map(|v| graph.degree(v))
-        .max()
-        .unwrap_or(0);
+    let max = graph.vertices().map(|v| graph.degree(v)).max().unwrap_or(0);
     let mut hist = vec![0usize; max + 1];
     for v in graph.vertices() {
         hist[graph.degree(v)] += 1;
@@ -117,7 +113,9 @@ mod tests {
     #[test]
     fn median_of_even_count() {
         // degrees: 1,1,2,2 -> median 1.5
-        let g = GraphBuilder::new().add_edges([(0, 1), (1, 2), (2, 3)]).build();
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (2, 3)])
+            .build();
         let s = DegreeStats::of(&g).unwrap();
         assert_eq!(s.median, 1.5);
     }

@@ -58,7 +58,10 @@ mod tests {
             line: 3,
             message: "expected two integers".into(),
         };
-        assert_eq!(format!("{e}"), "parse error at line 3: expected two integers");
+        assert_eq!(
+            format!("{e}"),
+            "parse error at line 3: expected two integers"
+        );
         let e = GraphError::Invalid("negative id".into());
         assert!(format!("{e}").contains("invalid graph"));
     }

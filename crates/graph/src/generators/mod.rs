@@ -78,7 +78,10 @@ mod tests {
     fn collect_unique_edges_hits_target_when_feasible() {
         let mut rng = StdRng::seed_from_u64(7);
         let g = collect_unique_edges(10, 20, 64, || {
-            (rng.gen_range(0..10) as VertexId, rng.gen_range(0..10) as VertexId)
+            (
+                rng.gen_range(0..10) as VertexId,
+                rng.gen_range(0..10) as VertexId,
+            )
         });
         assert_eq!(g.num_edges(), 20);
         assert_eq!(g.num_vertices(), 10);
@@ -89,7 +92,10 @@ mod tests {
         // Only 3 distinct edges exist on 3 vertices; asking for 10 must stop.
         let mut rng = StdRng::seed_from_u64(7);
         let g = collect_unique_edges(3, 10, 8, || {
-            (rng.gen_range(0..3) as VertexId, rng.gen_range(0..3) as VertexId)
+            (
+                rng.gen_range(0..3) as VertexId,
+                rng.gen_range(0..3) as VertexId,
+            )
         });
         assert!(g.num_edges() <= 3);
     }

@@ -127,6 +127,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn bad_probabilities_panic() {
-        rmat(4, 10, RmatProbabilities { a: 0.9, b: 0.3, c: 0.1, d: 0.1 }, 1);
+        rmat(
+            4,
+            10,
+            RmatProbabilities {
+                a: 0.9,
+                b: 0.3,
+                c: 0.1,
+                d: 0.1,
+            },
+            1,
+        );
     }
 }

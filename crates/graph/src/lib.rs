@@ -53,3 +53,16 @@ pub use csr::CsrGraph;
 pub use edge::{Edge, EdgeId, VertexId};
 pub use error::GraphError;
 pub use residual::ResidualGraph;
+
+// Parallel trial runners share one `CsrGraph` across worker threads and
+// give each worker its own `ResidualGraph` view; these bounds are part of
+// the crate's public contract, so losing them (e.g. by adding an `Rc` or
+// `Cell` field) must fail to compile rather than surface downstream.
+#[allow(dead_code)]
+fn _assert_thread_safety() {
+    fn shared<T: Send + Sync>() {}
+    fn owned<T: Send>() {}
+    shared::<CsrGraph>();
+    shared::<GraphBuilder>();
+    owned::<ResidualGraph<'static>>();
+}

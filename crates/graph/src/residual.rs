@@ -35,10 +35,7 @@ pub struct ResidualGraph<'g> {
 impl<'g> ResidualGraph<'g> {
     /// Creates a residual view in which every edge of `graph` is free.
     pub fn new(graph: &'g CsrGraph) -> Self {
-        let residual_degree = graph
-            .vertices()
-            .map(|v| graph.degree(v) as u32)
-            .collect();
+        let residual_degree = graph.vertices().map(|v| graph.degree(v) as u32).collect();
         ResidualGraph {
             graph,
             free: vec![true; graph.num_edges()],
@@ -103,10 +100,7 @@ impl<'g> ResidualGraph<'g> {
     /// # Panics
     ///
     /// Panics if `v >= num_vertices`.
-    pub fn residual_incident(
-        &self,
-        v: VertexId,
-    ) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+    pub fn residual_incident(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
         self.graph
             .incident(v)
             .filter(move |&(_, id)| self.free[id as usize])
@@ -143,7 +137,9 @@ mod tests {
     use crate::GraphBuilder;
 
     fn path4() -> CsrGraph {
-        GraphBuilder::new().add_edges([(0, 1), (1, 2), (2, 3)]).build()
+        GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (2, 3)])
+            .build()
     }
 
     #[test]

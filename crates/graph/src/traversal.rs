@@ -23,7 +23,10 @@ use std::collections::VecDeque;
 /// assert_eq!(bfs_order(&g, 0), vec![0, 1, 2]);
 /// ```
 pub fn bfs_order(graph: &CsrGraph, start: VertexId) -> Vec<VertexId> {
-    assert!((start as usize) < graph.num_vertices(), "start out of range");
+    assert!(
+        (start as usize) < graph.num_vertices(),
+        "start out of range"
+    );
     let mut visited = vec![false; graph.num_vertices()];
     let mut order = Vec::new();
     let mut queue = VecDeque::new();
@@ -47,7 +50,10 @@ pub fn bfs_order(graph: &CsrGraph, start: VertexId) -> Vec<VertexId> {
 ///
 /// Panics if `start >= graph.num_vertices()`.
 pub fn bfs_distances(graph: &CsrGraph, start: VertexId) -> Vec<Option<u32>> {
-    assert!((start as usize) < graph.num_vertices(), "start out of range");
+    assert!(
+        (start as usize) < graph.num_vertices(),
+        "start out of range"
+    );
     let mut dist: Vec<Option<u32>> = vec![None; graph.num_vertices()];
     let mut queue = VecDeque::new();
     dist[start as usize] = Some(0);
@@ -188,7 +194,10 @@ mod tests {
 
     #[test]
     fn isolated_vertices_are_their_own_components() {
-        let g = GraphBuilder::new().reserve_vertices(3).add_edge(0, 1).build();
+        let g = GraphBuilder::new()
+            .reserve_vertices(3)
+            .add_edge(0, 1)
+            .build();
         let cc = ConnectedComponents::find(&g);
         assert_eq!(cc.count(), 2);
         assert_eq!(cc.largest(), 2);

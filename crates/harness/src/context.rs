@@ -19,6 +19,8 @@ pub struct ExperimentContext {
     pub quick: bool,
     /// Datasets to run on.
     pub datasets: Vec<DatasetId>,
+    /// Worker threads for the experiment matrix (`--threads`, 0 = auto).
+    pub threads: usize,
 }
 
 impl Default for ExperimentContext {
@@ -30,6 +32,7 @@ impl Default for ExperimentContext {
             scale_override: None,
             quick: false,
             datasets: DatasetId::ALL.to_vec(),
+            threads: 0,
         }
     }
 }
@@ -49,15 +52,18 @@ impl ExperimentContext {
             match arg.as_str() {
                 "--data-dir" => ctx.data_dir = PathBuf::from(value_of("--data-dir")),
                 "--out-dir" => ctx.out_dir = PathBuf::from(value_of("--out-dir")),
-                "--seed" => {
-                    ctx.seed = value_of("--seed").parse().expect("--seed takes an integer")
-                }
+                "--seed" => ctx.seed = value_of("--seed").parse().expect("--seed takes an integer"),
                 "--scale" => {
                     let s: f64 = value_of("--scale").parse().expect("--scale takes a float");
                     assert!(s > 0.0 && s <= 1.0, "--scale must be in (0, 1]");
                     ctx.scale_override = Some(s);
                 }
                 "--quick" => ctx.quick = true,
+                "--threads" => {
+                    ctx.threads = value_of("--threads")
+                        .parse()
+                        .expect("--threads takes an integer")
+                }
                 "--datasets" => {
                     let list = value_of("--datasets");
                     ctx.datasets = list
@@ -67,11 +73,20 @@ impl ExperimentContext {
                 }
                 other => panic!(
                     "unknown flag {other}; supported: --datasets --scale --seed --quick \
-                     --data-dir --out-dir"
+                     --threads --data-dir --out-dir"
                 ),
             }
         }
         ctx
+    }
+
+    /// The worker-thread count experiments should use (`--threads`, with 0
+    /// resolved to the machine's available parallelism).
+    pub fn worker_threads(&self) -> usize {
+        match self.threads {
+            0 => tlp_core::available_threads(),
+            t => t,
+        }
     }
 
     /// The scale a dataset will be instantiated at under these options.
@@ -80,7 +95,7 @@ impl ExperimentContext {
         if self.quick {
             // Cap at ~60k edges for smoke runs.
             let cap = 60_000.0 / spec.edges as f64;
-            base.min(cap).min(1.0).max(1e-4)
+            base.min(cap).clamp(1e-4, 1.0)
         } else {
             base
         }
@@ -128,13 +143,26 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let ctx = parse(&[
-            "--datasets", "G1,g3", "--scale", "0.5", "--seed", "7", "--quick",
-            "--data-dir", "/d", "--out-dir", "/o",
+            "--datasets",
+            "G1,g3",
+            "--scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--quick",
+            "--threads",
+            "3",
+            "--data-dir",
+            "/d",
+            "--out-dir",
+            "/o",
         ]);
         assert_eq!(ctx.datasets, vec![DatasetId::G1, DatasetId::G3]);
         assert_eq!(ctx.scale_override, Some(0.5));
         assert_eq!(ctx.seed, 7);
         assert!(ctx.quick);
+        assert_eq!(ctx.threads, 3);
+        assert_eq!(ctx.worker_threads(), 3);
         assert_eq!(ctx.data_dir, PathBuf::from("/d"));
     }
 

@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use tlp_baselines::{DbhPartitioner, LdgPartitioner, RandomPartitioner, VertexOrder};
 use tlp_core::{
-    EdgePartitioner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner,
+    parallel_map, EdgePartitioner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner,
 };
 use tlp_datasets::DatasetId;
 use tlp_graph::CsrGraph;
@@ -55,6 +55,34 @@ pub fn run_one(
     }
 }
 
+/// Runs the full `(p, algorithm)` matrix for one graph across worker
+/// threads, returning records in the same order as the sequential
+/// `for p { for algorithm { ... } }` loop.
+///
+/// `make(i)` constructs the `i`-th line-up algorithm; each cell builds its
+/// own instance, so partitioners need not be `Sync`. Wall-clock columns are
+/// per-cell (they measure the partitioner, not the matrix), so parallel
+/// execution does not distort them beyond ordinary scheduling noise.
+pub fn run_matrix<F>(
+    graph: &CsrGraph,
+    dataset: DatasetId,
+    partition_counts: &[usize],
+    lineup_size: usize,
+    threads: usize,
+    make: F,
+) -> Vec<RfRecord>
+where
+    F: Fn(usize) -> Box<dyn EdgePartitioner> + Sync,
+{
+    let cells: Vec<(usize, usize)> = partition_counts
+        .iter()
+        .flat_map(|&p| (0..lineup_size).map(move |a| (p, a)))
+        .collect();
+    parallel_map(threads, &cells, |_, &(p, a)| {
+        run_one(graph, make(a).as_ref(), dataset, p)
+    })
+}
+
 /// The paper's Fig. 8 line-up: TLP, METIS, LDG, DBH, Random.
 pub fn paper_lineup(seed: u64) -> Vec<Box<dyn EdgePartitioner>> {
     vec![
@@ -89,7 +117,10 @@ mod tests {
 
     #[test]
     fn lineup_has_the_papers_five_algorithms() {
-        let names: Vec<String> = paper_lineup(0).iter().map(|a| a.name().to_string()).collect();
+        let names: Vec<String> = paper_lineup(0)
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect();
         assert_eq!(names, vec!["TLP", "METIS", "LDG", "DBH", "Random"]);
     }
 }

@@ -2,7 +2,7 @@
 //! paper's reference [13]), PowerGraph Greedy, HDRF, and FENNEL, plus the
 //! single-stage TLP ablations.
 
-use crate::experiment::{run_one, RfRecord};
+use crate::experiment::{run_matrix, RfRecord};
 use crate::report::{write_csv, TextTable};
 use crate::{ExperimentContext, PARTITION_COUNTS};
 use tlp_baselines::{
@@ -35,10 +35,10 @@ pub fn extended_lineup(seed: u64) -> Vec<Box<dyn EdgePartitioner>> {
     ]
 }
 
-/// Runs the extended comparison, printing one panel per partition count and
-/// writing `extended.csv`.
+/// Runs the extended comparison across `ctx.worker_threads()` threads,
+/// printing one panel per partition count and writing `extended.csv`.
 pub fn run(ctx: &ExperimentContext) -> Vec<RfRecord> {
-    let lineup = extended_lineup(ctx.seed);
+    let lineup_size = extended_lineup(ctx.seed).len();
     let mut records = Vec::new();
     for &id in &ctx.datasets {
         let (graph, spec, scale) = ctx.load(id);
@@ -47,15 +47,20 @@ pub fn run(ctx: &ExperimentContext) -> Vec<RfRecord> {
             spec.name,
             graph.num_edges()
         );
-        for &p in &PARTITION_COUNTS {
-            for algorithm in &lineup {
-                let record = run_one(&graph, algorithm.as_ref(), id, p);
-                eprintln!(
-                    "  p={p:2} {:>12}: RF = {:.3} ({:.2}s)",
-                    record.algorithm, record.rf, record.seconds
-                );
-                records.push(record);
-            }
+        let dataset_records = run_matrix(
+            &graph,
+            id,
+            &PARTITION_COUNTS,
+            lineup_size,
+            ctx.worker_threads(),
+            |a| extended_lineup(ctx.seed).swap_remove(a),
+        );
+        for record in dataset_records {
+            eprintln!(
+                "  p={:2} {:>12}: RF = {:.3} ({:.2}s)",
+                record.p, record.algorithm, record.rf, record.seconds
+            );
+            records.push(record);
         }
     }
 
@@ -108,7 +113,10 @@ pub fn print_ranking(records: &[RfRecord]) {
     for (i, (name, rf)) in ranking(records).into_iter().enumerate() {
         table.row([format!("{}", i + 1), name, format!("{rf:.3}")]);
     }
-    println!("Extended comparison — mean RF across all runs\n{}", table.render());
+    println!(
+        "Extended comparison — mean RF across all runs\n{}",
+        table.render()
+    );
 }
 
 #[cfg(test)]

@@ -1,16 +1,18 @@
 //! Fig. 8: replication factors of TLP, METIS, LDG, DBH, and Random on every
 //! dataset for p = 10, 15, 20.
 
-use crate::experiment::{paper_lineup, run_one, RfRecord};
+use crate::experiment::{paper_lineup, run_matrix, RfRecord};
 use crate::report::{write_csv, write_json, TextTable};
 use crate::{ExperimentContext, PARTITION_COUNTS};
 
 /// Runs the Fig. 8 comparison and returns all records.
 ///
-/// Prints one table per partition count (mirroring Fig. 8's three panels)
-/// and writes `fig8.csv` / `fig8.json` to the output directory.
+/// The `(p, algorithm)` matrix of each dataset runs across
+/// `ctx.worker_threads()` threads. Prints one table per partition count
+/// (mirroring Fig. 8's three panels) and writes `fig8.csv` / `fig8.json`
+/// to the output directory.
 pub fn run(ctx: &ExperimentContext) -> Vec<RfRecord> {
-    let lineup = paper_lineup(ctx.seed);
+    let lineup_size = paper_lineup(ctx.seed).len();
     let mut records: Vec<RfRecord> = Vec::new();
 
     for &id in &ctx.datasets {
@@ -21,15 +23,20 @@ pub fn run(ctx: &ExperimentContext) -> Vec<RfRecord> {
             graph.num_vertices(),
             graph.num_edges()
         );
-        for &p in &PARTITION_COUNTS {
-            for algorithm in &lineup {
-                let record = run_one(&graph, algorithm.as_ref(), id, p);
-                eprintln!(
-                    "  p={p:2} {:>7}: RF = {:.3} ({:.2}s)",
-                    record.algorithm, record.rf, record.seconds
-                );
-                records.push(record);
-            }
+        let dataset_records = run_matrix(
+            &graph,
+            id,
+            &PARTITION_COUNTS,
+            lineup_size,
+            ctx.worker_threads(),
+            |a| paper_lineup(ctx.seed).swap_remove(a),
+        );
+        for record in dataset_records {
+            eprintln!(
+                "  p={:2} {:>7}: RF = {:.3} ({:.2}s)",
+                record.p, record.algorithm, record.rf, record.seconds
+            );
+            records.push(record);
         }
     }
 

@@ -14,6 +14,8 @@
 //! * `--scale X` — instantiation scale override in `(0, 1]`;
 //! * `--seed N` — RNG seed (default 42);
 //! * `--quick` — caps every dataset at 60k edges for smoke runs;
+//! * `--threads N` — worker threads for the experiment matrix (default:
+//!   all available cores);
 //! * `--data-dir DIR` — where real SNAP files are searched (default `data`);
 //! * `--out-dir DIR` — where CSV/JSON results land (default `results`).
 //!

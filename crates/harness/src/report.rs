@@ -130,12 +130,7 @@ mod tests {
     #[test]
     fn csv_roundtrip_to_disk() {
         let path = std::env::temp_dir().join(format!("tlp-csv-{}.csv", std::process::id()));
-        write_csv(
-            &path,
-            &["a", "b"],
-            &[vec!["1".into(), "x,y".into()]],
-        )
-        .unwrap();
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), "x,y".into()]]).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "a,b\n1,\"x,y\"\n");
         std::fs::remove_file(&path).unwrap();

@@ -2,7 +2,7 @@
 
 use crate::report::{write_csv, TextTable};
 use crate::{ExperimentContext, PARTITION_COUNTS};
-use tlp_core::{TlpConfig, TwoStageLocalPartitioner};
+use tlp_core::{parallel_map, TlpConfig, TwoStageLocalPartitioner};
 
 /// One Table VI cell pair.
 #[derive(Clone, Debug, PartialEq)]
@@ -28,19 +28,20 @@ pub fn run(ctx: &ExperimentContext) -> Vec<StageDegreeRow> {
     for &id in &ctx.datasets {
         let (graph, _, scale) = ctx.load(id);
         eprintln!("table6: {id} at scale {scale:.4}");
-        for &p in &PARTITION_COUNTS {
+        let per_p = parallel_map(ctx.worker_threads(), &PARTITION_COUNTS, |_, &p| {
             let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(ctx.seed));
             let (_, trace) = tlp
                 .partition_with_trace(&graph, p)
                 .expect("TLP run for Table VI");
             let summary = trace.stage_degree_summary();
-            rows.push(StageDegreeRow {
+            StageDegreeRow {
                 dataset: id.to_string(),
                 p,
                 stage1: summary.stage1_avg_degree,
                 stage2: summary.stage2_avg_degree,
-            });
-        }
+            }
+        });
+        rows.extend(per_p);
     }
 
     let mut table = TextTable::new();

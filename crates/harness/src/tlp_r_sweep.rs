@@ -59,9 +59,8 @@ pub fn run(ctx: &ExperimentContext) -> Vec<SweepSeries> {
 
             let mut curve = Vec::with_capacity(ratios.len());
             for &r in &ratios {
-                let algo =
-                    EdgeRatioLocalPartitioner::new(TlpConfig::new().seed(ctx.seed), r)
-                        .expect("valid ratio");
+                let algo = EdgeRatioLocalPartitioner::new(TlpConfig::new().seed(ctx.seed), r)
+                    .expect("valid ratio");
                 let part = algo.partition(&graph, p).expect("TLP_R");
                 let rf = PartitionMetrics::compute(&graph, &part).replication_factor;
                 curve.push((r, rf));

@@ -100,7 +100,9 @@ mod tests {
     #[test]
     fn contract_merges_weights_and_removes_internal_edges() {
         // Path 0-1-2-3, match (0,1) and (2,3): coarse graph is one edge.
-        let g = GraphBuilder::new().add_edges([(0, 1), (1, 2), (2, 3)]).build();
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (2, 3)])
+            .build();
         let wg = WeightedGraph::from_csr(&g);
         let level = contract(&wg, &[1, 0, 3, 2]);
         assert_eq!(level.graph.num_vertices(), 2);
@@ -143,7 +145,9 @@ mod tests {
         let coarse_side: Vec<u8> = (0..level.graph.num_vertices())
             .map(|c| (c % 2) as u8)
             .collect();
-        let fine_side: Vec<u8> = (0..100).map(|v| coarse_side[level.map[v] as usize]).collect();
+        let fine_side: Vec<u8> = (0..100)
+            .map(|v| coarse_side[level.map[v] as usize])
+            .collect();
         assert_eq!(level.graph.cut(&coarse_side), wg.cut(&fine_side));
     }
 

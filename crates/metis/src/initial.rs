@@ -13,11 +13,7 @@ use std::collections::VecDeque;
 ///
 /// The growth frontier is prioritized by *gain* (internal minus external
 /// edge weight), the "greedy" in greedy graph growing.
-pub fn greedy_graph_growing(
-    graph: &WeightedGraph,
-    target0: u64,
-    config: &MetisConfig,
-) -> Vec<u8> {
+pub fn greedy_graph_growing(graph: &WeightedGraph, target0: u64, config: &MetisConfig) -> Vec<u8> {
     let n = graph.num_vertices();
     if n == 0 {
         return Vec::new();

@@ -85,7 +85,11 @@ fn split(
     }
     // Degenerate guard: a side must never be empty when parts remain.
     if left.is_empty() || right.is_empty() {
-        let all = if left.is_empty() { &mut right } else { &mut left };
+        let all = if left.is_empty() {
+            &mut right
+        } else {
+            &mut left
+        };
         let take = all.len() / 2;
         let moved: Vec<u32> = all.drain(..take).collect();
         if left.is_empty() {
@@ -95,7 +99,15 @@ fn split(
         }
     }
 
-    split(original, &left, first_part, left_parts, config, assignment, 2 * depth + 1);
+    split(
+        original,
+        &left,
+        first_part,
+        left_parts,
+        config,
+        assignment,
+        2 * depth + 1,
+    );
     split(
         original,
         &right,
@@ -189,7 +201,10 @@ mod tests {
     fn single_part_assigns_everything_to_zero() {
         let g = GraphBuilder::new().add_edges([(0, 1), (1, 2)]).build();
         let wg = WeightedGraph::from_csr(&g);
-        assert_eq!(recursive_bisection(&wg, 1, &MetisConfig::default()), vec![0, 0, 0]);
+        assert_eq!(
+            recursive_bisection(&wg, 1, &MetisConfig::default()),
+            vec![0, 0, 0]
+        );
     }
 
     #[test]

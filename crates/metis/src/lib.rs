@@ -160,14 +160,18 @@ mod tests {
         }
         b.push_edge(0, 8);
         let g = b.build();
-        let vp = MetisPartitioner::default().partition_vertices(&g, 2).unwrap();
+        let vp = MetisPartitioner::default()
+            .partition_vertices(&g, 2)
+            .unwrap();
         assert_eq!(vp.edge_cut(&g), 1, "only the bridge should be cut");
     }
 
     #[test]
     fn vertex_partition_is_balanced() {
         let g = erdos_renyi(600, 2400, 5);
-        let vp = MetisPartitioner::default().partition_vertices(&g, 4).unwrap();
+        let vp = MetisPartitioner::default()
+            .partition_vertices(&g, 4)
+            .unwrap();
         let counts = vp.vertex_counts();
         let max = *counts.iter().max().unwrap();
         assert!(max <= 600 / 4 + 600 / 10, "imbalanced: {counts:?}");
@@ -197,11 +201,16 @@ mod tests {
     fn handles_non_power_of_two_k() {
         let g = erdos_renyi(300, 1200, 9);
         for p in [3, 5, 7, 10, 15, 20] {
-            let vp = MetisPartitioner::default().partition_vertices(&g, p).unwrap();
+            let vp = MetisPartitioner::default()
+                .partition_vertices(&g, p)
+                .unwrap();
             let counts = vp.vertex_counts();
             assert_eq!(counts.iter().sum::<usize>(), 300);
             assert_eq!(counts.len(), p);
-            assert!(counts.iter().all(|&c| c > 0), "empty side for p={p}: {counts:?}");
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "empty side for p={p}: {counts:?}"
+            );
         }
     }
 }

@@ -47,7 +47,7 @@ pub fn heavy_edge_matching(graph: &WeightedGraph, seed: u64) -> Vec<u32> {
                 std::cmp::Reverse(w),
                 w,
             );
-            if best.map_or(true, |b| key > b) {
+            if best.is_none_or(|b| key > b) {
                 best = Some(key);
             }
         }
@@ -97,7 +97,10 @@ mod tests {
 
     #[test]
     fn isolated_vertices_stay_unmatched() {
-        let g = GraphBuilder::new().reserve_vertices(3).add_edge(0, 1).build();
+        let g = GraphBuilder::new()
+            .reserve_vertices(3)
+            .add_edge(0, 1)
+            .build();
         let wg = WeightedGraph::from_csr(&g);
         let m = heavy_edge_matching(&wg, 1);
         assert_eq!(m[2], 2);

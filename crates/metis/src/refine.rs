@@ -52,7 +52,11 @@ fn fm_pass(graph: &WeightedGraph, side: &mut [u8], lo: u64, hi: u64, target0: u6
         // Seed the heap with boundary vertices only (gain > -deg means some
         // external edge exists); interior vertices enter when a neighbor
         // moves.
-        if graph.neighbors(v).iter().any(|&(w, _)| side[w as usize] != side[v as usize]) {
+        if graph
+            .neighbors(v)
+            .iter()
+            .any(|&(w, _)| side[w as usize] != side[v as usize])
+        {
             heap.push((g, v));
         }
     }
@@ -70,11 +74,14 @@ fn fm_pass(graph: &WeightedGraph, side: &mut [u8], lo: u64, hi: u64, target0: u6
         }
         // Balance check.
         let w = graph.vertex_weight(v);
-        let new_weight0 = if side[vi] == 0 { weight0 - w } else { weight0 + w };
+        let new_weight0 = if side[vi] == 0 {
+            weight0 - w
+        } else {
+            weight0 + w
+        };
         let balanced_now = (lo..=hi).contains(&weight0);
         let balanced_after = (lo..=hi).contains(&new_weight0);
-        let improves_balance =
-            new_weight0.abs_diff(target0) < weight0.abs_diff(target0);
+        let improves_balance = new_weight0.abs_diff(target0) < weight0.abs_diff(target0);
         if !(balanced_after || (!balanced_now && improves_balance)) {
             continue;
         }

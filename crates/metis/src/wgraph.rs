@@ -41,10 +41,7 @@ impl WeightedGraph {
     ///
     /// Each undirected edge must appear in both endpoints' lists with the
     /// same weight; `total_edge_weight` is half the sum of list weights.
-    pub(crate) fn from_adjacency(
-        vertex_weight: Vec<u64>,
-        adjacency: Vec<Vec<(u32, u64)>>,
-    ) -> Self {
+    pub(crate) fn from_adjacency(vertex_weight: Vec<u64>, adjacency: Vec<Vec<(u32, u64)>>) -> Self {
         let n = adjacency.len();
         assert_eq!(vertex_weight.len(), n);
         let mut offsets = Vec::with_capacity(n + 1);
@@ -129,7 +126,9 @@ mod tests {
 
     #[test]
     fn cut_counts_weighted_cross_edges() {
-        let g = GraphBuilder::new().add_edges([(0, 1), (1, 2), (0, 2)]).build();
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (0, 2)])
+            .build();
         let wg = WeightedGraph::from_csr(&g);
         assert_eq!(wg.cut(&[0, 0, 1]), 2);
         assert_eq!(wg.cut(&[0, 0, 0]), 0);
@@ -138,10 +137,7 @@ mod tests {
     #[test]
     fn from_adjacency_merges_weights() {
         // Two vertices joined by a weight-3 edge.
-        let wg = WeightedGraph::from_adjacency(
-            vec![2, 5],
-            vec![vec![(1, 3)], vec![(0, 3)]],
-        );
+        let wg = WeightedGraph::from_adjacency(vec![2, 5], vec![vec![(1, 3)], vec![(0, 3)]]);
         assert_eq!(wg.total_edge_weight(), 3);
         assert_eq!(wg.vertex_weight(1), 5);
         assert_eq!(wg.cut(&[0, 1]), 3);

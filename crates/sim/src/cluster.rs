@@ -132,7 +132,9 @@ mod tests {
 
     fn cluster_of(assign: Vec<u32>, p: usize) -> (CsrGraph, EdgePartition) {
         // Path 0-1-2-3.
-        let g = GraphBuilder::new().add_edges([(0, 1), (1, 2), (2, 3)]).build();
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (2, 3)])
+            .build();
         let part = EdgePartition::new(p, assign).unwrap();
         (g, part)
     }
@@ -166,7 +168,10 @@ mod tests {
 
     #[test]
     fn isolated_vertices_have_no_master() {
-        let g = GraphBuilder::new().reserve_vertices(3).add_edge(0, 1).build();
+        let g = GraphBuilder::new()
+            .reserve_vertices(3)
+            .add_edge(0, 1)
+            .build();
         let part = EdgePartition::new(1, vec![0]).unwrap();
         let c = Cluster::new(&g, &part);
         assert_eq!(c.master(2), None);

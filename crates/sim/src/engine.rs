@@ -150,7 +150,9 @@ mod tests {
 
     #[test]
     fn single_machine_run_sends_no_messages() {
-        let g = GraphBuilder::new().add_edges([(0, 1), (1, 2), (2, 3)]).build();
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (2, 3)])
+            .build();
         let part = EdgePartition::new(1, vec![0, 0, 0]).unwrap();
         let cluster = Cluster::new(&g, &part);
         let run = Engine::new(&cluster).run(&ConnectedComponents, 50);
@@ -160,13 +162,13 @@ mod tests {
 
     #[test]
     fn split_run_pays_messages_but_computes_the_same() {
-        let g = GraphBuilder::new().add_edges([(0, 1), (1, 2), (2, 3)]).build();
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (2, 3)])
+            .build();
         let whole = EdgePartition::new(1, vec![0, 0, 0]).unwrap();
         let split = EdgePartition::new(3, vec![0, 1, 2]).unwrap();
-        let run_whole =
-            Engine::new(&Cluster::new(&g, &whole)).run(&ConnectedComponents, 50);
-        let run_split =
-            Engine::new(&Cluster::new(&g, &split)).run(&ConnectedComponents, 50);
+        let run_whole = Engine::new(&Cluster::new(&g, &whole)).run(&ConnectedComponents, 50);
+        let run_split = Engine::new(&Cluster::new(&g, &split)).run(&ConnectedComponents, 50);
         assert_eq!(run_whole.states, run_split.states);
         assert!(run_split.total_messages > 0);
     }

@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example analytics_suite`
 
 use tlp::baselines::{NePartitioner, RandomPartitioner};
-use tlp::core::{EdgePartition, EdgePartitioner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner};
+use tlp::core::{
+    EdgePartition, EdgePartitioner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner,
+};
 use tlp::graph::generators::power_law_community;
 use tlp::graph::CsrGraph;
 use tlp::sim::{programs, Cluster, Engine};

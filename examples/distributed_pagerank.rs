@@ -18,7 +18,9 @@
 //! Run with: `cargo run --release --example distributed_pagerank`
 
 use tlp::baselines::RandomPartitioner;
-use tlp::core::{EdgePartition, EdgePartitioner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner};
+use tlp::core::{
+    EdgePartition, EdgePartitioner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner,
+};
 use tlp::graph::generators::power_law_community;
 use tlp::graph::CsrGraph;
 
@@ -94,7 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .zip(&ranks_rnd)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
-    assert!(max_diff < 1e-12, "partitioning changed PageRank: {max_diff}");
+    assert!(
+        max_diff < 1e-12,
+        "partitioning changed PageRank: {max_diff}"
+    );
 
     println!("{SUPERSTEPS} PageRank supersteps over {p} machines\n");
     println!("{:>10}  {:>8}  {:>16}", "partition", "RF", "sync messages");

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example streaming_vs_local`
 
-use tlp::baselines::{DbhPartitioner, GreedyPartitioner, LdgPartitioner, EdgeOrder, VertexOrder};
+use tlp::baselines::{DbhPartitioner, EdgeOrder, GreedyPartitioner, LdgPartitioner, VertexOrder};
 use tlp::core::{EdgePartitioner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner};
 use tlp::graph::generators::power_law_community;
 use tlp::metis::MetisPartitioner;

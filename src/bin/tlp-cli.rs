@@ -20,7 +20,9 @@ use tlp::baselines::{
     DbhPartitioner, EdgeOrder, FennelPartitioner, GreedyPartitioner, HdrfPartitioner,
     LdgPartitioner, NePartitioner, RandomPartitioner, VertexOrder,
 };
-use tlp::core::{EdgePartitioner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner};
+use tlp::core::{
+    EdgePartitioner, ParallelTrialRunner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner,
+};
 use tlp::graph::generators as gen;
 use tlp::graph::io;
 use tlp::metis::MetisPartitioner;
@@ -51,8 +53,12 @@ tlp-cli — graph edge partitioning (TLP, ICDCS 2019)
 
 subcommands:
   partition --input FILE --partitions P [--algorithm NAME] [--seed N] [--output FILE]
+            [--trials T] [--threads N]
             algorithms: tlp (default), tlp-r=<R>, metis, ne, ldg, fennel,
                         greedy, hdrf, dbh, random
+            --trials runs T independently seeded TLP trials (tlp only) and
+            keeps the best replication factor; --threads caps the worker
+            threads (default: all available cores)
   stats     --input FILE
   generate  --family NAME --vertices N --edges M [--seed N] [--output FILE]
             families: community, chung-lu, erdos-renyi, barabasi-albert,
@@ -129,7 +135,17 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         return Err("--partitions must be a positive integer".into());
     }
     let seed: u64 = parsed(&flags, "seed", 42)?;
+    let trials: usize = parsed(&flags, "trials", 1)?;
+    let threads: usize = parsed(&flags, "threads", 0)?;
     let algorithm = flags.get("algorithm").map(String::as_str).unwrap_or("tlp");
+    if trials == 0 {
+        return Err("--trials must be a positive integer".into());
+    }
+    if trials > 1 && algorithm != "tlp" {
+        return Err(format!(
+            "--trials is only supported for the tlp algorithm, not {algorithm:?}"
+        ));
+    }
     let algo = make_algorithm(algorithm, seed)?;
 
     let loaded = io::read_edge_list_file(input).map_err(|e| e.to_string())?;
@@ -141,9 +157,31 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     );
 
     let start = std::time::Instant::now();
-    let partition = algo
-        .partition(&loaded.graph, p)
-        .map_err(|e| e.to_string())?;
+    let partition = if trials > 1 {
+        let config = TlpConfig::new().seed(seed).trials(trials).threads(threads);
+        let report = ParallelTrialRunner::new(config)
+            .run(&loaded.graph, p)
+            .map_err(|e| e.to_string())?;
+        let (best, worst) = report.rf_spread();
+        println!("trials:             {trials}");
+        println!(
+            "per-trial RF:       {}",
+            report
+                .trial_rfs
+                .iter()
+                .map(|rf| format!("{rf:.4}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        println!(
+            "RF spread:          best {best:.4}, worst {worst:.4} (trial {} kept)",
+            report.best_trial
+        );
+        report.partition
+    } else {
+        algo.partition(&loaded.graph, p)
+            .map_err(|e| e.to_string())?
+    };
     let elapsed = start.elapsed();
     let metrics = PartitionMetrics::compute(&loaded.graph, &partition);
 

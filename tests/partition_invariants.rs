@@ -2,7 +2,7 @@
 //! produce valid, total, well-measured partitions no matter the input.
 
 use proptest::prelude::*;
-use tlp::baselines::{DbhPartitioner, GreedyPartitioner, EdgeOrder, RandomPartitioner};
+use tlp::baselines::{DbhPartitioner, EdgeOrder, GreedyPartitioner, RandomPartitioner};
 use tlp::core::{EdgePartitioner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner};
 use tlp::graph::{CsrGraph, GraphBuilder};
 use tlp::metis::MetisPartitioner;

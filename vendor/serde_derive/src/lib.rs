@@ -1,0 +1,168 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Expands `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` crate. Supports exactly the shapes this workspace
+//! derives on: structs with named fields and enums whose variants are all
+//! unit variants. Anything else is a compile error by construction (the
+//! parser panics with a message naming the limitation), which is the
+//! desired behavior for a deliberately minimal shim.
+//!
+//! No `syn`/`quote`: the input item is walked as raw [`TokenTree`]s and the
+//! impl is emitted as a source string parsed back into a [`TokenStream`].
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    /// Struct name plus its named fields.
+    Struct(String, Vec<String>),
+    /// Enum name plus its unit variants.
+    Enum(String, Vec<String>),
+}
+
+/// Extracts comma-separated top-level idents from a brace group, skipping
+/// `#[...]` attributes and `pub` visibility. For struct bodies the ident
+/// captured per item is the one immediately before the first `:` (the field
+/// name); for enum bodies it is the sole ident (the variant name).
+fn names_in_body(body: &proc_macro::Group, stop_at_colon: bool) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut tokens = body.stream().into_iter().peekable();
+    loop {
+        // One field/variant per iteration.
+        let mut name: Option<String> = None;
+        let mut done = true;
+        while let Some(tree) = tokens.next() {
+            done = false;
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == ',' => break,
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    // Skip the attribute's bracket group.
+                    let _ = tokens.next();
+                }
+                TokenTree::Punct(p) if stop_at_colon && p.as_char() == ':' => {
+                    // Everything until the comma is the field type.
+                    for rest in tokens.by_ref() {
+                        if matches!(&rest, TokenTree::Punct(q) if q.as_char() == ',') {
+                            break;
+                        }
+                    }
+                    break;
+                }
+                TokenTree::Ident(id) => {
+                    let text = id.to_string();
+                    if text == "pub" {
+                        // A following parenthesized group is `pub(crate)` etc.
+                        if matches!(
+                            tokens.peek(),
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                        ) {
+                            let _ = tokens.next();
+                        }
+                    } else if name.is_none() {
+                        name = Some(text);
+                    } else if !stop_at_colon {
+                        panic!(
+                            "serde_derive shim: enum variant `{}` is not a unit variant",
+                            names.last().map(String::as_str).unwrap_or("?")
+                        );
+                    }
+                }
+                TokenTree::Group(_) if !stop_at_colon => {
+                    panic!("serde_derive shim: only unit enum variants are supported");
+                }
+                _ => {}
+            }
+        }
+        if let Some(n) = name {
+            names.push(n);
+        }
+        if done {
+            break;
+        }
+    }
+    names
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tree) = tokens.next() {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                let kind = id.to_string();
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde_derive shim: expected item name, got {other:?}"),
+                };
+                if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    panic!("serde_derive shim: generic items are not supported");
+                }
+                let body = loop {
+                    match tokens.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+                        Some(_) => continue,
+                        None => panic!(
+                            "serde_derive shim: `{name}` has no braced body (tuple structs unsupported)"
+                        ),
+                    }
+                };
+                return if kind == "struct" {
+                    Item::Struct(name, names_in_body(&body, true))
+                } else {
+                    Item::Enum(name, names_in_body(&body, false))
+                };
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive shim: input is not a struct or enum");
+}
+
+/// Derives the vendored `serde::Serialize` (lowering to `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct(name, fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::String(\"{v}\".to_string())"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive shim: generated impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_item(input) {
+        Item::Struct(name, _) | Item::Enum(name, _) => name,
+    };
+    format!("impl serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for `serde_json`: renders the vendored `serde`
+//! [`Value`](serde::Value) tree as pretty-printed JSON. Only serialization
+//! is provided — nothing in this workspace parses JSON at runtime.
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The current encoder is total (every `Value`
+/// renders), so this is never constructed, but the public API mirrors the
+/// real crate's fallible signature so call sites keep their `?`/`map_err`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    // Pretty output is valid JSON; compact callers only need validity, but
+    // render without indentation anyway for parity with the real crate.
+    let mut out = String::new();
+    write_compact(&mut out, &value.to_value());
+    Ok(out)
+}
+
+fn write_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let text = format!("{x}");
+        out.push_str(&text);
+        // `1.0` formats as "1"; keep it a JSON number either way (it is),
+        // so no fixup needed — but NaN/inf are not JSON.
+    } else {
+        // Match serde_json's lossy behavior of refusing non-finite floats,
+        // minus the error plumbing: emit null, which keeps reports readable.
+        out.push_str("null");
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => write_float(out, *x),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                write_indent(out, depth + 1);
+                write_value(out, item, depth + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            write_indent(out, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                write_indent(out, depth + 1);
+                write_escaped(out, key);
+                out.push_str(": ");
+                write_value(out, item, depth + 1);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            write_indent(out, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn write_compact(out: &mut String, value: &Value) {
+    match value {
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, key);
+                out.push(':');
+                write_compact(out, item);
+            }
+            out.push('}');
+        }
+        other => write_value(out, other, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_structures() {
+        let value = Value::Object(vec![
+            ("name".into(), Value::String("G1".into())),
+            (
+                "rf".into(),
+                Value::Array(vec![Value::Float(1.5), Value::UInt(2)]),
+            ),
+        ]);
+        let json = to_string_pretty(&WrappedValue(value)).unwrap();
+        assert_eq!(
+            json,
+            "{\n  \"name\": \"G1\",\n  \"rf\": [\n    1.5,\n    2\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn compact_roundtrips_shapes() {
+        let value = Value::Array(vec![Value::Bool(true), Value::Null, Value::Int(-2)]);
+        assert_eq!(to_string(&WrappedValue(value)).unwrap(), "[true,null,-2]");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let json = to_string(&"a\"b\\c\nd\u{1}").unwrap();
+        assert_eq!(json, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    struct WrappedValue(Value);
+
+    impl Serialize for WrappedValue {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}
