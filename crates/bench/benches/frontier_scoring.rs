@@ -1,0 +1,167 @@
+//! Frontier-scoring bench: incremental selection vs. full-frontier rescan.
+//!
+//! Measures the three `SelectionStrategy` variants end to end on the
+//! Chung–Lu and R-MAT generators at p = 32 — the regime the paper calls
+//! out (§III-E) where scanning `N(P_k)` per step dominates. Beyond the
+//! criterion timings, the full run asserts the PR's headline claim — the
+//! dirty-marking `Incremental` strategy is at least 2x faster than the
+//! `LinearScan` reference on both generators — and emits the measured
+//! trajectory to `BENCH_frontier_scoring.json` at the workspace root
+//! (see EXPERIMENTS.md for the refresh procedure).
+//!
+//! `cargo bench -p tlp-bench --bench frontier_scoring -- --test` runs a
+//! downsized smoke pass: output equality is still asserted, timings are
+//! neither trusted nor written.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+use tlp_core::{EdgePartitioner, SelectionStrategy, TlpConfig, TwoStageLocalPartitioner};
+use tlp_graph::generators::{chung_lu, rmat, RmatProbabilities};
+use tlp_graph::CsrGraph;
+
+const PARTITIONS: usize = 32;
+const SEED: u64 = 9;
+
+const STRATEGIES: [(&str, SelectionStrategy); 3] = [
+    ("linear_scan", SelectionStrategy::LinearScan),
+    ("indexed_heap", SelectionStrategy::IndexedHeap),
+    ("incremental", SelectionStrategy::Incremental),
+];
+
+fn graphs(smoke: bool) -> Vec<(&'static str, CsrGraph)> {
+    if smoke {
+        vec![
+            ("chung_lu", chung_lu(600, 3_000, 2.2, SEED)),
+            ("rmat", rmat(9, 2_000, RmatProbabilities::default(), SEED)),
+        ]
+    } else {
+        vec![
+            ("chung_lu", chung_lu(120_000, 400_000, 2.2, SEED)),
+            (
+                "rmat",
+                rmat(18, 400_000, RmatProbabilities::default(), SEED),
+            ),
+        ]
+    }
+}
+
+fn run_once(graph: &CsrGraph, strategy: SelectionStrategy) -> tlp_core::EdgePartition {
+    let config = TlpConfig::new().seed(1).selection_strategy(strategy);
+    TwoStageLocalPartitioner::new(config)
+        .partition(graph, PARTITIONS)
+        .expect("partitioning failed")
+}
+
+fn min_wall_clock(graph: &CsrGraph, strategy: SelectionStrategy, repeats: usize) -> Duration {
+    (0..repeats)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(run_once(graph, strategy));
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+fn bench_frontier_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontier_scoring");
+    group.sample_size(5);
+    for (gname, graph) in graphs(true) {
+        for (sname, strategy) in STRATEGIES {
+            let id = BenchmarkId::new(gname, sname);
+            group.bench_with_input(id, &strategy, |b, &s| b.iter(|| run_once(&graph, s)));
+        }
+    }
+    group.finish();
+}
+
+/// One measured generator in the emitted baseline.
+#[derive(Serialize)]
+struct BaselineEntry {
+    graph: &'static str,
+    vertices: usize,
+    edges: usize,
+    linear_scan_ms: f64,
+    indexed_heap_ms: f64,
+    incremental_ms: f64,
+    speedup_incremental_vs_scan: f64,
+    speedup_indexed_vs_scan: f64,
+}
+
+/// The `BENCH_frontier_scoring.json` trajectory file.
+#[derive(Serialize)]
+struct Baseline {
+    bench: &'static str,
+    partitions: usize,
+    seed: u64,
+    entries: Vec<BaselineEntry>,
+}
+
+fn speedup_checks(_c: &mut Criterion) {
+    let smoke_only = std::env::args().any(|a| a == "--test");
+    let mut entries = Vec::new();
+
+    for (gname, graph) in graphs(smoke_only) {
+        // The fast paths must stay bit-identical to the reference scan on
+        // the exact workloads being timed.
+        let reference = run_once(&graph, SelectionStrategy::LinearScan);
+        for (sname, strategy) in &STRATEGIES[1..] {
+            assert_eq!(
+                reference,
+                run_once(&graph, *strategy),
+                "{gname}: {sname} diverged from linear_scan"
+            );
+        }
+        if smoke_only {
+            println!("bench frontier_scoring/{gname}: ok (smoke)");
+            continue;
+        }
+
+        let scan = min_wall_clock(&graph, SelectionStrategy::LinearScan, 3);
+        let indexed = min_wall_clock(&graph, SelectionStrategy::IndexedHeap, 3);
+        let incremental = min_wall_clock(&graph, SelectionStrategy::Incremental, 3);
+        let speedup_inc = scan.as_secs_f64() / incremental.as_secs_f64().max(f64::EPSILON);
+        let speedup_idx = scan.as_secs_f64() / indexed.as_secs_f64().max(f64::EPSILON);
+        println!(
+            "bench frontier_scoring/{gname}: scan {scan:?}, indexed {indexed:?}, \
+             incremental {incremental:?} ({speedup_inc:.2}x vs scan)"
+        );
+        assert!(
+            speedup_inc >= 2.0,
+            "{gname}: incremental selection is only {speedup_inc:.2}x faster than the \
+             full-frontier rescan at p = {PARTITIONS}; expected >= 2x"
+        );
+        entries.push(BaselineEntry {
+            graph: gname,
+            vertices: graph.num_vertices(),
+            edges: graph.num_edges(),
+            linear_scan_ms: scan.as_secs_f64() * 1e3,
+            indexed_heap_ms: indexed.as_secs_f64() * 1e3,
+            incremental_ms: incremental.as_secs_f64() * 1e3,
+            speedup_incremental_vs_scan: speedup_inc,
+            speedup_indexed_vs_scan: speedup_idx,
+        });
+    }
+
+    if smoke_only {
+        return;
+    }
+    let baseline = Baseline {
+        bench: "frontier_scoring",
+        partitions: PARTITIONS,
+        seed: SEED,
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
+    // crates/bench -> workspace root.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_frontier_scoring.json"
+    );
+    std::fs::write(path, json + "\n").expect("write baseline");
+    println!("bench frontier_scoring: baseline written to BENCH_frontier_scoring.json");
+}
+
+criterion_group!(benches, bench_frontier_scoring, speedup_checks);
+criterion_main!(benches);

@@ -41,6 +41,15 @@ pub enum SelectionStrategy {
     /// for the complexity ablation benches and as the reference the indexed
     /// strategy is tested against.
     LinearScan,
+    /// Dirty-marking on top of the `IndexedHeap` structures: candidate
+    /// state changes only *mark* the vertex dirty, and all dirty
+    /// candidates are flushed into the heaps in one batch at selection
+    /// time. Between two selections a candidate contributes at most one
+    /// heap entry no matter how many edge events touched it, so hub
+    /// candidates (whose `e_in` is bumped once per admitted neighbor)
+    /// stop flooding the heaps with stale entries. Same argmax, ties
+    /// included.
+    Incremental,
 }
 
 /// Configuration shared by [`crate::TwoStageLocalPartitioner`] and the

@@ -15,7 +15,6 @@
 use super::policy::SelectionPolicy;
 use super::workspace::{StagedIndex, Workspace};
 use crate::partition::PartitionId;
-use crate::stage1::closeness_term;
 use crate::stage2::GainRatio;
 use std::cmp::Reverse;
 use tlp_graph::{CsrGraph, ResidualGraph, VertexId};
@@ -51,16 +50,16 @@ pub(super) fn enroll_frontier_edge<P: SelectionPolicy + ?Sized>(
         ws.e_in[ui] = 1;
         // Initial mu_s1: max closeness term against members already adjacent
         // (static adjacency — including edges consumed by earlier rounds).
-        let mut best = 0.0f64;
+        // `refresh_mu1` folds each term into the running maximum, pruning
+        // and caching where provably value-neutral; the term against the
+        // member being admitted right now is served by the loaded kernel
+        // and memoized for the admission's refresh pass.
+        ws.mu1[ui] = 0.0;
         for &w in graph.neighbors(u) {
             if ws.member_round[w as usize] == k {
-                let term = closeness_term(graph, u, w);
-                if term > best {
-                    best = term;
-                }
+                ws.refresh_mu1(graph, u, w);
             }
         }
-        ws.mu1[ui] = best;
     }
     policy.on_candidate(ws, residual, u, k);
 }

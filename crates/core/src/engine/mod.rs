@@ -25,8 +25,8 @@
 //!
 //! # Selection strategies
 //!
-//! Two implementations of "pick the optimal frontier vertex" exist for the
-//! staged policies, chosen by [`SelectionStrategy`]; both compute the
+//! Three implementations of "pick the optimal frontier vertex" exist for
+//! the staged policies, chosen by [`SelectionStrategy`]; all compute the
 //! identical argmax (ties included) and thus identical partitions:
 //!
 //! * **LinearScan** — scan the whole frontier per step, exactly as written
@@ -39,9 +39,24 @@
 //!   and the Stage II objective is increasing in `e_in` / decreasing in
 //!   `e_ext` — the bucket minimum is the only candidate of its `e_in` class
 //!   that can win.
+//! * **Incremental** — the same heaps, fed by dirty-marking: candidate
+//!   state changes between two selections only mark the vertex, and every
+//!   pending mark is flushed as one current-state entry at selection time.
+//!   A hub touched by `d` edge events costs one heap entry instead of `d`
+//!   stale ones. The pop-time validation is unchanged, so stale entries
+//!   from earlier flushes are discarded exactly as under `IndexedHeap`.
+//!
+//! Independent of the strategy, Stage I scores (`mu1`) are maintained
+//! incrementally by `Workspace::refresh_mu1`: when a member is admitted,
+//! only frontier vertices adjacent to it are rescored, each term is pruned
+//! by a degree upper bound when it provably cannot raise the candidate's
+//! running maximum, and intersections against the admitted member run on
+//! the loaded [`IntersectionKernel`](tlp_graph::intersect::IntersectionKernel)
+//! with per-admission memoization. All of these are value-neutral, so
+//! every strategy still sees the exact Eq. 7 scores.
 //!
 //! All ties are broken by explicit deterministic keys, so results are
-//! reproducible across runs and platforms under either strategy.
+//! reproducible across runs and platforms under any strategy.
 //!
 //! [`SelectionStrategy`]: crate::SelectionStrategy
 

@@ -150,8 +150,12 @@ impl<S: StageSwitch> SelectionPolicy for StagedPolicy<S> {
         v: VertexId,
         round: u32,
     ) {
-        if self.strategy == SelectionStrategy::IndexedHeap {
-            self.index.push_candidate_state(ws, residual, v, round);
+        match self.strategy {
+            SelectionStrategy::IndexedHeap => {
+                self.index.push_candidate_state(ws, residual, v, round);
+            }
+            SelectionStrategy::Incremental => self.index.mark_dirty(v, round),
+            SelectionStrategy::LinearScan => {}
         }
     }
 
@@ -166,23 +170,31 @@ impl<S: StageSwitch> SelectionPolicy for StagedPolicy<S> {
             state.internal,
             state.capacity,
         );
+        // Incremental: all candidate-state changes since the last selection
+        // were only *marked*; materialize each pending candidate's current
+        // state as one heap entry, then select exactly as `IndexedHeap`.
+        if self.strategy == SelectionStrategy::Incremental {
+            self.index.flush_dirty(ws, residual);
+        }
         let vertex = match (stage, self.strategy) {
             (Stage::One, SelectionStrategy::LinearScan) => {
                 frontier::select_stage_one_scan(ws, residual)
             }
-            (Stage::One, SelectionStrategy::IndexedHeap) => {
+            (Stage::One, SelectionStrategy::IndexedHeap | SelectionStrategy::Incremental) => {
                 frontier::select_stage_one_heap(&mut self.index, ws, residual)
             }
             (Stage::Two, SelectionStrategy::LinearScan) => {
                 frontier::select_stage_two_scan(ws, residual, state.internal, state.external)
             }
-            (Stage::Two, SelectionStrategy::IndexedHeap) => frontier::select_stage_two_heap(
-                &mut self.index,
-                ws,
-                residual,
-                state.internal,
-                state.external,
-            ),
+            (Stage::Two, SelectionStrategy::IndexedHeap | SelectionStrategy::Incremental) => {
+                frontier::select_stage_two_heap(
+                    &mut self.index,
+                    ws,
+                    residual,
+                    state.internal,
+                    state.external,
+                )
+            }
         };
         Selection { vertex, stage }
     }

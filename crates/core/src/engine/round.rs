@@ -3,11 +3,10 @@
 
 use super::frontier::{enroll_eager, enroll_frontier_edge};
 use super::policy::{AdmissionMode, GrowthState, Selection, SelectionPolicy};
-use super::workspace::Workspace;
+use super::workspace::{ScoringCounters, Workspace};
 use crate::config::{ReseedPolicy, TlpConfig};
 use crate::partition::{EdgePartition, PartitionId};
-use crate::stage1::closeness_term;
-use crate::trace::{SelectionRecord, Trace};
+use crate::trace::{RoundScoring, SelectionRecord, Trace};
 use crate::PartitionError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -105,6 +104,7 @@ fn run_round<P: SelectionPolicy + ?Sized>(
     let mut internal = 0usize;
     let mut external = 0usize;
     let mut step = 0u32;
+    ws.scoring = ScoringCounters::default();
 
     // Line 1-3: random seed vertex; its neighbors form the frontier.
     seed_vertex(
@@ -180,6 +180,14 @@ fn run_round<P: SelectionPolicy + ?Sized>(
         }
     }
 
+    if let Some(t) = trace {
+        t.push_round_scoring(RoundScoring {
+            partition: k,
+            rescored: ws.scoring.rescored,
+            skipped: ws.scoring.skipped,
+            cache_hits: ws.scoring.cache_hits,
+        });
+    }
     ws.frontier_clear();
     policy.end_round();
 }
@@ -258,6 +266,11 @@ fn admit_vertex<P: SelectionPolicy + ?Sized>(
         return;
     }
 
+    // Load the new member's neighborhood into the intersection kernel: the
+    // enrollments and Stage I refreshes below all intersect against N(v),
+    // sharing one marked scratch and one count per (candidate, v) pair.
+    ws.kernel.load(graph, v);
+
     // Allocate edges v -> members (they were external; now internal).
     ws.incident_scratch.clear();
     ws.incident_scratch.extend(residual.residual_incident(v));
@@ -284,14 +297,12 @@ fn admit_vertex<P: SelectionPolicy + ?Sized>(
     }
 
     // Incremental Stage I refresh: v is a new member, so every frontier
-    // candidate statically adjacent to v gains a candidate term.
+    // candidate statically adjacent to v gains a candidate term. Candidates
+    // enrolled moments ago already folded this term in (their scan hit the
+    // kernel cache), so only previously existing candidates can improve.
     for &u in graph.neighbors(v) {
-        if ws.in_frontier[u as usize] {
-            let term = closeness_term(graph, u, v);
-            if term > ws.mu1[u as usize] {
-                ws.mu1[u as usize] = term;
-                policy.on_candidate(ws, residual, u, k);
-            }
+        if ws.in_frontier[u as usize] && ws.refresh_mu1(graph, u, v) {
+            policy.on_candidate(ws, residual, u, k);
         }
     }
 }
@@ -513,7 +524,8 @@ mod tests {
         assert_eq!(a, b);
     }
 
-    /// Same equivalence for the TLP_R stage policy across the R sweep.
+    /// Same equivalence for the TLP_R stage policy across the R sweep,
+    /// for both indexed strategies.
     #[test]
     fn indexed_selection_equals_linear_scan_for_tlp_r() {
         let g = tlp_graph::generators::chung_lu(250, 1200, 2.2, 9);
@@ -529,17 +541,20 @@ mod tests {
             )
             .unwrap()
             .0;
-            let heap = run_staged(
-                &g,
-                6,
-                &TlpConfig::new()
-                    .seed(4)
-                    .selection_strategy(SelectionStrategy::IndexedHeap),
-                switch,
-            )
-            .unwrap()
-            .0;
-            assert_eq!(scan, heap, "R = {r}");
+            for strategy in [
+                SelectionStrategy::IndexedHeap,
+                SelectionStrategy::Incremental,
+            ] {
+                let indexed = run_staged(
+                    &g,
+                    6,
+                    &TlpConfig::new().seed(4).selection_strategy(strategy),
+                    switch,
+                )
+                .unwrap()
+                .0;
+                assert_eq!(scan, indexed, "R = {r}, strategy {strategy:?}");
+            }
         }
     }
 

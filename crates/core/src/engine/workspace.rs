@@ -4,7 +4,20 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use tlp_graph::{EdgeId, ResidualGraph, VertexId};
+use tlp_graph::intersect::{sorted_intersection_size, IntersectionKernel};
+use tlp_graph::{CsrGraph, EdgeId, ResidualGraph, VertexId};
+
+/// Frontier-scoring effort counters, accumulated per round (see
+/// [`RoundScoring`](crate::trace::RoundScoring) for field semantics).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ScoringCounters {
+    /// Closeness terms computed with a real intersection.
+    pub(crate) rescored: u64,
+    /// Closeness terms pruned by the degree upper bound.
+    pub(crate) skipped: u64,
+    /// Closeness terms served from the admitted-member cache.
+    pub(crate) cache_hits: u64,
+}
 
 /// Per-graph scratch reused across rounds (one allocation per run).
 ///
@@ -32,6 +45,11 @@ pub struct Workspace {
     pub(crate) incident_scratch: Vec<(VertexId, EdgeId)>,
     /// Maximum candidates held in the frontier (sliding-window mode).
     pub(crate) frontier_cap: usize,
+    /// Intersection kernel holding the most recently admitted member's
+    /// neighborhood (lazy admission only).
+    pub(crate) kernel: IntersectionKernel,
+    /// Scoring-effort counters for the current round.
+    pub(crate) scoring: ScoringCounters,
 }
 
 impl Workspace {
@@ -46,6 +64,60 @@ impl Workspace {
             frontier_pos: vec![0; n],
             incident_scratch: Vec::new(),
             frontier_cap,
+            kernel: IntersectionKernel::new(n),
+            scoring: ScoringCounters::default(),
+        }
+    }
+
+    /// Folds the closeness term of candidate `u` against member `w` into
+    /// `mu1[u]`, returning whether the running maximum improved.
+    ///
+    /// This is the engine's single entry point for Stage I scoring work,
+    /// and where all three cost savers live — each provably changing no
+    /// term value, so selection stays bit-identical to a from-scratch
+    /// `closeness_term` evaluation:
+    ///
+    /// * **Degree pruning.** `u` and `w` are adjacent in a simple graph,
+    ///   so `|N(u) ∩ N(w)| <= min(deg u, deg w) - 1` (`w ∈ N(u)` but
+    ///   `w ∉ N(w)`, and vice versa). If even that bound over `|N(w)|`
+    ///   cannot beat the current maximum, the term is skipped — the
+    ///   maximum provably would not change.
+    /// * **Admitted-member cache.** When `w` is the kernel-loaded member,
+    ///   the count is served from (or stored into) the kernel's per-load
+    ///   cache, so enrolling and refreshing against the same admission
+    ///   computes each pair's intersection once.
+    /// * **Kernel dispatch.** Counts against the loaded member use the
+    ///   marked-neighborhood scratch (or galloping for very high-degree
+    ///   candidates); all kernels return the same exact integer count.
+    pub(crate) fn refresh_mu1(&mut self, graph: &CsrGraph, u: VertexId, w: VertexId) -> bool {
+        let ui = u as usize;
+        let dw = graph.degree(w);
+        if dw == 0 {
+            return false;
+        }
+        let du = graph.degree(u);
+        let bound = (du.min(dw) - 1) as f64 / dw as f64;
+        if bound <= self.mu1[ui] {
+            self.scoring.skipped += 1;
+            return false;
+        }
+        let count = if self.kernel.loaded() == Some(w) {
+            if self.kernel.cached_with_loaded(u).is_some() {
+                self.scoring.cache_hits += 1;
+            } else {
+                self.scoring.rescored += 1;
+            }
+            self.kernel.count_with_loaded(graph, u)
+        } else {
+            self.scoring.rescored += 1;
+            sorted_intersection_size(graph.neighbors(u), graph.neighbors(w))
+        };
+        let term = count as f64 / dw as f64;
+        if term > self.mu1[ui] {
+            self.mu1[ui] = term;
+            true
+        } else {
+            false
         }
     }
 
@@ -142,6 +214,13 @@ pub(crate) struct StagedIndex {
     pub(crate) active_buckets: Vec<u32>,
     /// Round stamp marking a bucket as listed in `active_buckets`.
     pub(crate) bucket_stamp: Vec<u32>,
+    /// Dirty flag per vertex (`Incremental` strategy): state changed since
+    /// the candidate's last heap push.
+    pub(crate) dirty: Vec<bool>,
+    /// Dirty vertices awaiting a flush, deduplicated via `dirty`.
+    pub(crate) dirty_list: Vec<VertexId>,
+    /// Round the pending dirty marks belong to (for the flushed pushes).
+    pub(crate) dirty_round: u32,
 }
 
 impl StagedIndex {
@@ -174,6 +253,41 @@ impl StagedIndex {
         self.stage2_buckets[bucket].push(Reverse((res_deg - e_in, v)));
     }
 
+    /// Records that candidate `v`'s state changed (`Incremental` strategy):
+    /// instead of pushing a heap entry per event, the vertex is queued once
+    /// and its *final* state is pushed by [`flush_dirty`](Self::flush_dirty)
+    /// at selection time. Hub candidates touched by many edge events between
+    /// two selections thus cost one entry, not one per event.
+    pub(crate) fn mark_dirty(&mut self, v: VertexId, round: u32) {
+        let vi = v as usize;
+        if vi >= self.dirty.len() {
+            self.dirty.resize(vi + 1, false);
+        }
+        if !self.dirty[vi] {
+            self.dirty[vi] = true;
+            self.dirty_list.push(v);
+        }
+        self.dirty_round = round;
+    }
+
+    /// Pushes the current state of every pending dirty candidate into the
+    /// priority structures and clears the marks. After a flush the heaps
+    /// hold a valid (current-state) entry for every frontier candidate
+    /// whose state changed, so the lazy-heap selectors see exactly what
+    /// they would under `IndexedHeap`.
+    pub(crate) fn flush_dirty(&mut self, ws: &Workspace, residual: &ResidualGraph<'_>) {
+        let mut list = std::mem::take(&mut self.dirty_list);
+        for &v in &list {
+            self.dirty[v as usize] = false;
+            // Admitted while dirty: no longer a candidate, nothing to push.
+            if ws.in_frontier[v as usize] {
+                self.push_candidate_state(ws, residual, v, self.dirty_round);
+            }
+        }
+        list.clear();
+        self.dirty_list = list;
+    }
+
     /// Clears all per-round entries (bucket stamps persist; they are
     /// compared against the round index, which never repeats in a run).
     pub(crate) fn clear(&mut self) {
@@ -182,5 +296,9 @@ impl StagedIndex {
             self.stage2_buckets[b as usize].clear();
         }
         self.active_buckets.clear();
+        for &v in &self.dirty_list {
+            self.dirty[v as usize] = false;
+        }
+        self.dirty_list.clear();
     }
 }

@@ -60,4 +60,4 @@ pub use partitioner::EdgePartitioner;
 pub use single_stage::{StageOneOnlyPartitioner, StageTwoOnlyPartitioner};
 pub use tlp::TwoStageLocalPartitioner;
 pub use tlp_r::EdgeRatioLocalPartitioner;
-pub use trace::{SelectionRecord, Stage, StageDegreeSummary, Trace};
+pub use trace::{RoundScoring, SelectionRecord, Stage, StageDegreeSummary, Trace};

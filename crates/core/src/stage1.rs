@@ -11,62 +11,16 @@
 //! Neighborhoods are those of the input graph (the criterion is a structural
 //! closeness measure borrowed from local community detection, not a residual
 //! quantity). `tlp-graph` CSR adjacency lists are sorted, so intersections
-//! are computed by linear merges.
+//! run on the kernels in [`tlp_graph::intersect`]: an adaptive merge/gallop
+//! for one-off terms here, and the engine's
+//! [`IntersectionKernel`](tlp_graph::intersect::IntersectionKernel) (marked
+//! scratch + per-admission count cache) on the hot incremental path.
 
 use tlp_graph::{CsrGraph, VertexId};
 
-/// Size of the intersection of two sorted vertex slices.
-///
-/// Adaptive: a linear merge when the lists are of similar length, and a
-/// binary-search probe of the longer list when one side is much shorter.
-/// The probe path is what keeps Stage I affordable on power-law graphs,
-/// where most closeness terms pair a low-degree candidate against a hub.
-///
-/// # Example
-///
-/// ```
-/// use tlp_core::stage1::sorted_intersection_size;
-///
-/// assert_eq!(sorted_intersection_size(&[1, 3, 5, 9], &[2, 3, 4, 5]), 2);
-/// assert_eq!(sorted_intersection_size(&[], &[1]), 0);
-/// ```
-pub fn sorted_intersection_size(a: &[VertexId], b: &[VertexId]) -> usize {
-    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    if short.is_empty() {
-        return 0;
-    }
-    // Galloping pays off once the length ratio exceeds ~log2(long).
-    if long.len() / short.len() >= 8 {
-        let mut count = 0;
-        let mut rest = long;
-        for &x in short {
-            match rest.binary_search(&x) {
-                Ok(pos) => {
-                    count += 1;
-                    rest = &rest[pos + 1..];
-                }
-                Err(pos) => rest = &rest[pos..],
-            }
-        }
-        count
-    } else {
-        let mut i = 0;
-        let mut j = 0;
-        let mut count = 0;
-        while i < short.len() && j < long.len() {
-            match short[i].cmp(&long[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    count += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        count
-    }
-}
+// The adaptive intersection primitive lives in the graph crate's kernel
+// layer; re-exported because `mu_s1`'s definition is stated in terms of it.
+pub use tlp_graph::intersect::sorted_intersection_size;
 
 /// The single-member closeness term `|N(v_i) ∩ N(v_j)| / |N(v_j)|`.
 ///

@@ -44,6 +44,7 @@ mod residual;
 
 pub mod degree;
 pub mod generators;
+pub mod intersect;
 pub mod io;
 pub mod stats;
 pub mod traversal;

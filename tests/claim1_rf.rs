@@ -1,0 +1,139 @@
+//! End-to-end check of the paper's Claim 1: the replication factor of a
+//! partitioning decomposes as `RF = 1 + (1/p) Σ_k 1/M(P_k)` over a
+//! per-partition compactness quantity `M(P_k)`.
+//!
+//! The derivation pinning the exact form used here: with `N` the number of
+//! covered vertices and `S_v` the set of partitions vertex `v` appears in,
+//!
+//! ```text
+//! RF = (1/N) Σ_v |S_v| = 1 + (1/N) Σ_v (|S_v| - 1).
+//! ```
+//!
+//! Attributing each vertex's `|S_v| - 1` *extra* replicas to the non-home
+//! partitions it appears in (home = lowest partition id in `S_v`) gives
+//! per-partition counts `R_k` with `Σ_k R_k = Σ_v (|S_v| - 1)`, hence with
+//! `M(P_k) := (N/p) / R_k` (average covered vertices per partition over
+//! the extra replicas partition k caused):
+//!
+//! ```text
+//! RF = 1 + (1/N) Σ_k R_k = 1 + (1/p) Σ_k 1/M(P_k)    — exactly.
+//! ```
+//!
+//! A partition whose every vertex is home-owned has `R_k = 0`, i.e.
+//! `M(P_k) = ∞` and a zero contribution — the same convention
+//! `Modularity::value()` uses for `external == 0`, which is unit-tested
+//! here alongside the end-to-end identity.
+
+use tlp::core::{
+    EdgePartition, EdgePartitioner, Modularity, PartitionMetrics, TlpConfig,
+    TwoStageLocalPartitioner,
+};
+use tlp::graph::generators::{chung_lu, erdos_renyi, genealogy, rmat, RmatProbabilities};
+use tlp::graph::CsrGraph;
+
+/// Extra (non-home) replicas attributed to each partition: vertex `v`
+/// counts once towards every partition in `S_v` except the lowest id.
+fn extra_replicas_per_partition(graph: &CsrGraph, partition: &EdgePartition) -> Vec<usize> {
+    let mut extra = vec![0usize; partition.num_partitions()];
+    let mut pids: Vec<u32> = Vec::new();
+    for v in graph.vertices() {
+        pids.clear();
+        pids.extend(graph.incident(v).map(|(_, e)| partition.partition_of(e)));
+        pids.sort_unstable();
+        pids.dedup();
+        // Home partition = lowest id; every other appearance is a replica.
+        for &pid in pids.iter().skip(1) {
+            extra[pid as usize] += 1;
+        }
+    }
+    extra
+}
+
+/// Asserts Claim 1's decomposition on a finished partitioning.
+fn assert_claim1(graph: &CsrGraph, partition: &EdgePartition, label: &str) {
+    let metrics = PartitionMetrics::compute(graph, partition);
+    let p = partition.num_partitions();
+    let n = metrics.covered_vertices as f64;
+    let extra = extra_replicas_per_partition(graph, partition);
+
+    // Σ_k R_k must equal the total number of extra replicas.
+    assert_eq!(
+        extra.iter().sum::<usize>(),
+        metrics.total_replicas - metrics.covered_vertices,
+        "{label}: replica attribution lost replicas"
+    );
+
+    // RF = 1 + (1/p) Σ_k 1/M(P_k) with M(P_k) = (N/p) / R_k; partitions
+    // with R_k = 0 have infinite compactness and contribute nothing.
+    let sum_inverse: f64 = extra
+        .iter()
+        .map(|&r_k| {
+            let m_k = (n / p as f64) / r_k as f64; // ∞ when r_k == 0
+            1.0 / m_k
+        })
+        .sum();
+    let claimed_rf = 1.0 + sum_inverse / p as f64;
+    assert!(
+        (claimed_rf - metrics.replication_factor).abs() < 1e-9,
+        "{label}: Claim 1 violated: decomposition {claimed_rf} vs measured RF {}",
+        metrics.replication_factor
+    );
+}
+
+#[test]
+fn claim1_holds_on_generated_graphs() {
+    let graphs: Vec<(&str, CsrGraph)> = vec![
+        ("chung_lu", chung_lu(300, 1400, 2.1, 3)),
+        ("erdos_renyi", erdos_renyi(200, 700, 4)),
+        ("genealogy", genealogy(350, 580, 5)),
+        ("rmat", rmat(8, 800, RmatProbabilities::default(), 6)),
+    ];
+    for (name, graph) in &graphs {
+        for p in [2, 4, 8] {
+            for seed in [0u64, 1] {
+                let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(seed));
+                let partition = tlp.partition(graph, p).expect("partitioning failed");
+                assert_claim1(graph, &partition, &format!("{name} p={p} seed={seed}"));
+            }
+        }
+    }
+}
+
+/// Claim 1's boundary case: a single partition replicates nothing, so the
+/// sum of inverse compactness is zero and RF is exactly 1.
+#[test]
+fn claim1_single_partition_is_exact_one() {
+    let graph = chung_lu(200, 900, 2.2, 7);
+    let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(1));
+    let partition = tlp.partition(&graph, 1).expect("partitioning failed");
+    let metrics = PartitionMetrics::compute(&graph, &partition);
+    assert_eq!(metrics.replication_factor, 1.0);
+    assert_claim1(&graph, &partition, "single partition");
+}
+
+/// The identity also holds for hand-built (non-TLP) assignments — it is a
+/// property of the decomposition, not of the algorithm.
+#[test]
+fn claim1_holds_for_arbitrary_assignment() {
+    let graph = erdos_renyi(120, 500, 9);
+    let assignment: Vec<u32> = (0..graph.num_edges() as u32).map(|e| e % 5).collect();
+    let partition = EdgePartition::new(5, assignment).expect("valid assignment");
+    assert_claim1(&graph, &partition, "round-robin assignment");
+}
+
+/// `Modularity::value()` at `external == 0`: an allocated-but-isolated
+/// partition is infinitely modular (and Stage II), while the empty
+/// partition is 0 (and Stage I) — no division-by-zero NaN in either case.
+#[test]
+fn modularity_value_with_zero_external_edge_cases() {
+    let isolated = Modularity::new(7, 0);
+    assert!(isolated.value().is_infinite());
+    assert!(isolated.value() > 0.0, "must be +inf, not -inf");
+    assert!(!isolated.value().is_nan());
+    assert!(!isolated.is_stage_one());
+
+    let empty = Modularity::new(0, 0);
+    assert_eq!(empty.value(), 0.0);
+    assert!(!empty.value().is_nan());
+    assert!(empty.is_stage_one());
+}
