@@ -1,8 +1,9 @@
 //! Degree-based hashing (DBH), Xie et al., NIPS 2014.
 
-use crate::util::splitmix64;
-use tlp_core::{EdgePartition, EdgePartitioner, PartitionError, PartitionId};
+use crate::streaming::{partition_stream, DbhState};
+use tlp_core::{EdgePartition, EdgePartitioner, PartitionError};
 use tlp_graph::CsrGraph;
+use tlp_store::CsrEdgeStream;
 
 /// Degree-based hashing: each edge is placed by hashing its *lower-degree*
 /// endpoint.
@@ -47,27 +48,12 @@ impl EdgePartitioner for DbhPartitioner {
         graph: &CsrGraph,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
-        if num_partitions == 0 {
-            return Err(PartitionError::ZeroPartitions);
-        }
-        let p = num_partitions as u64;
-        let assignment = graph
-            .edges()
-            .iter()
-            .map(|e| {
-                let (u, v) = e.endpoints();
-                let (du, dv) = (graph.degree(u), graph.degree(v));
-                // Hash the lower-degree endpoint; ties by lower vertex id
-                // (deterministic, degree-equivalent).
-                let anchor = if du < dv || (du == dv && u <= v) {
-                    u
-                } else {
-                    v
-                };
-                (splitmix64(u64::from(anchor) ^ self.seed) % p) as PartitionId
-            })
-            .collect();
-        EdgePartition::new(num_partitions, assignment)
+        let degrees: Vec<u32> = graph.vertices().map(|v| graph.degree(v) as u32).collect();
+        let mut placer = DbhState::new(degrees, num_partitions, self.seed)?;
+        let mut stream = CsrEdgeStream::new(graph, usize::MAX);
+        partition_stream(&mut placer, &mut stream)
+            .map_err(|e| PartitionError::InvalidAssignment(e.to_string()))?
+            .into_partition()
     }
 }
 

@@ -1,9 +1,10 @@
 //! PowerGraph's greedy streaming edge placement (Gonzalez et al., OSDI 2012).
 
 use crate::stream::{edge_order, EdgeOrder};
-use crate::util::{least_loaded, PartitionSet};
+use crate::streaming::{partition_stream, GreedyState};
 use tlp_core::{EdgePartition, EdgePartitioner, PartitionError, PartitionId};
 use tlp_graph::CsrGraph;
+use tlp_store::CsrEdgeStream;
 
 /// The greedy heuristic of PowerGraph's "oblivious" edge placement.
 ///
@@ -55,38 +56,17 @@ impl EdgePartitioner for GreedyPartitioner {
         graph: &CsrGraph,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
-        if num_partitions == 0 {
-            return Err(PartitionError::ZeroPartitions);
-        }
-        let p = num_partitions;
-        let mut replicas: Vec<PartitionSet> = (0..graph.num_vertices())
-            .map(|_| PartitionSet::new(p))
-            .collect();
-        let mut loads = vec![0usize; p];
+        let mut placer = GreedyState::new(graph.num_vertices(), num_partitions)?;
+        let order = edge_order(graph, self.order);
+        let mut stream = CsrEdgeStream::with_order(graph, order.clone(), usize::MAX);
+        let streamed = partition_stream(&mut placer, &mut stream)
+            .map_err(|e| PartitionError::InvalidAssignment(e.to_string()))?;
+        // Scatter arrival-order decisions back to edge ids.
         let mut assignment = vec![0 as PartitionId; graph.num_edges()];
-
-        for eid in edge_order(graph, self.order) {
-            let edge = graph.edge(eid);
-            let (u, v) = edge.endpoints();
-            let (au, av) = (&replicas[u as usize], &replicas[v as usize]);
-            let pid = if let Some(pid) = least_loaded(&loads, au.intersection(av)) {
-                pid
-            } else {
-                match (au.is_empty(), av.is_empty()) {
-                    (false, false) => {
-                        least_loaded(&loads, au.iter().chain(av.iter())).expect("non-empty")
-                    }
-                    (false, true) => least_loaded(&loads, au.iter()).expect("non-empty"),
-                    (true, false) => least_loaded(&loads, av.iter()).expect("non-empty"),
-                    (true, true) => least_loaded(&loads, 0..p).expect("p >= 1"),
-                }
-            };
-            assignment[eid as usize] = pid as PartitionId;
-            loads[pid] += 1;
-            replicas[u as usize].insert(pid);
-            replicas[v as usize].insert(pid);
+        for (i, &eid) in order.iter().enumerate() {
+            assignment[eid as usize] = streamed.assignments[i];
         }
-        EdgePartition::new(p, assignment)
+        EdgePartition::new(num_partitions, assignment)
     }
 }
 

@@ -1,9 +1,10 @@
 //! HDRF: High-Degree (are) Replicated First (Petroni et al., CIKM 2015).
 
 use crate::stream::{edge_order, EdgeOrder};
-use crate::util::PartitionSet;
+use crate::streaming::{partition_stream, HdrfState};
 use tlp_core::{EdgePartition, EdgePartitioner, PartitionError, PartitionId};
 use tlp_graph::CsrGraph;
+use tlp_store::CsrEdgeStream;
 
 /// HDRF streaming edge placement.
 ///
@@ -76,55 +77,17 @@ impl EdgePartitioner for HdrfPartitioner {
         graph: &CsrGraph,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
-        if num_partitions == 0 {
-            return Err(PartitionError::ZeroPartitions);
-        }
-        let p = num_partitions;
-        let n = graph.num_vertices();
-        let mut replicas: Vec<PartitionSet> = (0..n).map(|_| PartitionSet::new(p)).collect();
-        // Partial degrees: how many stream edges of each vertex have been
-        // seen so far (HDRF is defined over the stream, not the final graph).
-        let mut partial_degree = vec![0u32; n];
-        let mut loads = vec![0usize; p];
+        let mut placer = HdrfState::new(graph.num_vertices(), num_partitions, self.lambda)?;
+        let order = edge_order(graph, self.order);
+        let mut stream = CsrEdgeStream::with_order(graph, order.clone(), usize::MAX);
+        let streamed = partition_stream(&mut placer, &mut stream)
+            .map_err(|e| PartitionError::InvalidAssignment(e.to_string()))?;
+        // Scatter arrival-order decisions back to edge ids.
         let mut assignment = vec![0 as PartitionId; graph.num_edges()];
-        const EPSILON: f64 = 1e-9;
-
-        for eid in edge_order(graph, self.order) {
-            let edge = graph.edge(eid);
-            let (u, v) = edge.endpoints();
-            partial_degree[u as usize] += 1;
-            partial_degree[v as usize] += 1;
-            let du = f64::from(partial_degree[u as usize]);
-            let dv = f64::from(partial_degree[v as usize]);
-            let theta_u = du / (du + dv);
-            let theta_v = 1.0 - theta_u;
-            let max_load = loads.iter().copied().max().expect("p >= 1") as f64;
-            let min_load = loads.iter().copied().min().expect("p >= 1") as f64;
-
-            let mut best = 0usize;
-            let mut best_score = f64::NEG_INFINITY;
-            for q in 0..p {
-                let mut c_rep = 0.0;
-                if replicas[u as usize].contains(q) {
-                    c_rep += 1.0 + (1.0 - theta_u);
-                }
-                if replicas[v as usize].contains(q) {
-                    c_rep += 1.0 + (1.0 - theta_v);
-                }
-                let c_bal =
-                    self.lambda * (max_load - loads[q] as f64) / (EPSILON + max_load - min_load);
-                let score = c_rep + c_bal;
-                if score > best_score || (score == best_score && loads[q] < loads[best]) {
-                    best = q;
-                    best_score = score;
-                }
-            }
-            assignment[eid as usize] = best as PartitionId;
-            loads[best] += 1;
-            replicas[u as usize].insert(best);
-            replicas[v as usize].insert(best);
+        for (i, &eid) in order.iter().enumerate() {
+            assignment[eid as usize] = streamed.assignments[i];
         }
-        EdgePartition::new(p, assignment)
+        EdgePartition::new(num_partitions, assignment)
     }
 }
 

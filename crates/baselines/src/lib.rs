@@ -16,6 +16,14 @@
 //!
 //! All partitioners implement [`tlp_core::EdgePartitioner`] and are
 //! deterministic given their seeds.
+//!
+//! The edge-streaming heuristics (Random, DBH, Greedy, HDRF) are factored
+//! into [`StreamingPlacer`] state machines in [`streaming`], so the same
+//! placement code also runs out-of-core over any [`tlp_store::EdgeStream`]
+//! (including `.tlpg` files on disk) via [`partition_stream`], holding at
+//! most a caller-chosen budget of edges in memory. Streamed and
+//! materialized runs of the same heuristic over the same arrival order are
+//! bit-identical.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +36,7 @@ mod ldg;
 mod ne;
 mod random;
 mod stream;
+pub mod streaming;
 mod util;
 mod vertex_to_edge;
 
@@ -39,4 +48,8 @@ pub use ldg::LdgPartitioner;
 pub use ne::{NePartitioner, NePolicy};
 pub use random::RandomPartitioner;
 pub use stream::{edge_order, vertex_order, EdgeOrder, VertexOrder};
+pub use streaming::{
+    partition_stream, DbhState, GreedyState, HdrfState, RandomState, StreamedPartition,
+    StreamingPlacer,
+};
 pub use vertex_to_edge::{derive_edge_partition, VertexPartition};

@@ -1,8 +1,9 @@
 //! Uniform random edge assignment (the paper's "Random" baseline).
 
-use crate::util::splitmix64;
-use tlp_core::{EdgePartition, EdgePartitioner, PartitionError, PartitionId};
+use crate::streaming::{partition_stream, RandomState};
+use tlp_core::{EdgePartition, EdgePartitioner, PartitionError};
 use tlp_graph::CsrGraph;
+use tlp_store::CsrEdgeStream;
 
 /// Assigns every edge to a uniformly random partition.
 ///
@@ -45,13 +46,11 @@ impl EdgePartitioner for RandomPartitioner {
         graph: &CsrGraph,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
-        if num_partitions == 0 {
-            return Err(PartitionError::ZeroPartitions);
-        }
-        let assignment = (0..graph.num_edges() as u64)
-            .map(|e| (splitmix64(e ^ self.seed) % num_partitions as u64) as PartitionId)
-            .collect();
-        EdgePartition::new(num_partitions, assignment)
+        let mut placer = RandomState::new(num_partitions, self.seed)?;
+        let mut stream = CsrEdgeStream::new(graph, usize::MAX);
+        partition_stream(&mut placer, &mut stream)
+            .map_err(|e| PartitionError::InvalidAssignment(e.to_string()))?
+            .into_partition()
     }
 }
 

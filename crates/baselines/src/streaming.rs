@@ -1,0 +1,365 @@
+//! Out-of-core drivers for the streaming baselines.
+//!
+//! Each streaming heuristic is factored into a [`StreamingPlacer`] — the
+//! per-edge placement state machine — so the same decision code runs in two
+//! harnesses:
+//!
+//! * the materialized `EdgePartitioner::partition` paths (which now pump a
+//!   [`CsrEdgeStream`] in the requested arrival order and scatter the
+//!   decisions back to edge ids), and
+//! * [`partition_stream`], which pumps any [`EdgeStream`] — including
+//!   [`tlp_store::BinaryEdgeStream`] reading a `.tlpg` file chunk by chunk —
+//!   holding at most `budget` edges in memory.
+//!
+//! Because both paths execute the identical placer over the identical
+//! arrival sequence, a streamed run is bit-identical to the materialized
+//! one at any buffer budget.
+
+use crate::util::{least_loaded, splitmix64, PartitionSet};
+use tlp_core::{EdgePartition, PartitionError, PartitionId};
+use tlp_graph::VertexId;
+use tlp_store::{for_each_chunk, EdgeStream, StoreError, StreamMeta};
+
+/// Per-edge placement state of a streaming heuristic.
+///
+/// `place` is called once per arriving edge, in arrival order, and must
+/// fold the decision into its own state (loads, replica sets, …).
+pub trait StreamingPlacer {
+    /// Number of partitions this placer assigns into.
+    fn num_partitions(&self) -> usize;
+
+    /// Places the arriving edge `(u, v)` and returns its partition.
+    fn place(&mut self, u: VertexId, v: VertexId) -> PartitionId;
+}
+
+/// Result of driving a placer over an edge stream.
+#[derive(Clone, Debug)]
+pub struct StreamedPartition {
+    /// Number of partitions.
+    pub num_partitions: usize,
+    /// Partition of each edge **in arrival order** (for natural-order
+    /// streams this is `EdgeId` order, so it doubles as an assignment).
+    pub assignments: Vec<PartitionId>,
+    /// Number of edges seen.
+    pub edges_seen: usize,
+    /// Largest chunk buffer observed — bounded by the stream's budget.
+    pub peak_buffer: usize,
+}
+
+impl StreamedPartition {
+    /// Interprets the arrival-order assignments as an [`EdgePartition`]
+    /// (valid when the stream arrived in natural `EdgeId` order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EdgePartition::new`] validation errors.
+    pub fn into_partition(self) -> Result<EdgePartition, PartitionError> {
+        EdgePartition::new(self.num_partitions, self.assignments)
+    }
+}
+
+/// Drives `placer` over every edge of `stream`.
+///
+/// # Errors
+///
+/// Propagates stream errors ([`StoreError`]) — placement itself is total.
+pub fn partition_stream<S: EdgeStream + ?Sized>(
+    placer: &mut dyn StreamingPlacer,
+    stream: &mut S,
+) -> Result<StreamedPartition, StoreError> {
+    let mut assignments = Vec::new();
+    let (edges_seen, peak_buffer) = for_each_chunk(stream, |chunk| {
+        for e in chunk {
+            assignments.push(placer.place(e.source(), e.target()));
+        }
+        Ok(())
+    })?;
+    Ok(StreamedPartition {
+        num_partitions: placer.num_partitions(),
+        assignments,
+        edges_seen,
+        peak_buffer,
+    })
+}
+
+/// HDRF placement state (see [`crate::HdrfPartitioner`] for the scoring
+/// rule). State is `O(n + p)`: replica sets, partial degrees, loads.
+#[derive(Clone, Debug)]
+pub struct HdrfState {
+    lambda: f64,
+    replicas: Vec<PartitionSet>,
+    partial_degree: Vec<u32>,
+    loads: Vec<usize>,
+}
+
+impl HdrfState {
+    const EPSILON: f64 = 1e-9;
+
+    /// Creates HDRF state for `num_vertices` vertices and `num_partitions`
+    /// partitions.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::ZeroPartitions`] and the same `lambda` validation
+    /// as [`crate::HdrfPartitioner::new`].
+    pub fn new(
+        num_vertices: usize,
+        num_partitions: usize,
+        lambda: f64,
+    ) -> Result<Self, PartitionError> {
+        if num_partitions == 0 {
+            return Err(PartitionError::ZeroPartitions);
+        }
+        if !lambda.is_finite() || lambda < 0.0 {
+            return Err(PartitionError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        Ok(HdrfState {
+            lambda,
+            replicas: (0..num_vertices)
+                .map(|_| PartitionSet::new(num_partitions))
+                .collect(),
+            partial_degree: vec![0u32; num_vertices],
+            loads: vec![0usize; num_partitions],
+        })
+    }
+}
+
+impl StreamingPlacer for HdrfState {
+    fn num_partitions(&self) -> usize {
+        self.loads.len()
+    }
+
+    fn place(&mut self, u: VertexId, v: VertexId) -> PartitionId {
+        let p = self.loads.len();
+        self.partial_degree[u as usize] += 1;
+        self.partial_degree[v as usize] += 1;
+        let du = f64::from(self.partial_degree[u as usize]);
+        let dv = f64::from(self.partial_degree[v as usize]);
+        let theta_u = du / (du + dv);
+        let theta_v = 1.0 - theta_u;
+        let max_load = self.loads.iter().copied().max().expect("p >= 1") as f64;
+        let min_load = self.loads.iter().copied().min().expect("p >= 1") as f64;
+
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for q in 0..p {
+            let mut c_rep = 0.0;
+            if self.replicas[u as usize].contains(q) {
+                c_rep += 1.0 + (1.0 - theta_u);
+            }
+            if self.replicas[v as usize].contains(q) {
+                c_rep += 1.0 + (1.0 - theta_v);
+            }
+            let c_bal = self.lambda * (max_load - self.loads[q] as f64)
+                / (Self::EPSILON + max_load - min_load);
+            let score = c_rep + c_bal;
+            if score > best_score || (score == best_score && self.loads[q] < self.loads[best]) {
+                best = q;
+                best_score = score;
+            }
+        }
+        self.loads[best] += 1;
+        self.replicas[u as usize].insert(best);
+        self.replicas[v as usize].insert(best);
+        best as PartitionId
+    }
+}
+
+/// PowerGraph-greedy placement state (see [`crate::GreedyPartitioner`]).
+#[derive(Clone, Debug)]
+pub struct GreedyState {
+    replicas: Vec<PartitionSet>,
+    loads: Vec<usize>,
+}
+
+impl GreedyState {
+    /// Creates greedy state for `num_vertices` vertices.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::ZeroPartitions`].
+    pub fn new(num_vertices: usize, num_partitions: usize) -> Result<Self, PartitionError> {
+        if num_partitions == 0 {
+            return Err(PartitionError::ZeroPartitions);
+        }
+        Ok(GreedyState {
+            replicas: (0..num_vertices)
+                .map(|_| PartitionSet::new(num_partitions))
+                .collect(),
+            loads: vec![0usize; num_partitions],
+        })
+    }
+}
+
+impl StreamingPlacer for GreedyState {
+    fn num_partitions(&self) -> usize {
+        self.loads.len()
+    }
+
+    fn place(&mut self, u: VertexId, v: VertexId) -> PartitionId {
+        let p = self.loads.len();
+        let (au, av) = (&self.replicas[u as usize], &self.replicas[v as usize]);
+        let pid = if let Some(pid) = least_loaded(&self.loads, au.intersection(av)) {
+            pid
+        } else {
+            match (au.is_empty(), av.is_empty()) {
+                (false, false) => {
+                    least_loaded(&self.loads, au.iter().chain(av.iter())).expect("non-empty")
+                }
+                (false, true) => least_loaded(&self.loads, au.iter()).expect("non-empty"),
+                (true, false) => least_loaded(&self.loads, av.iter()).expect("non-empty"),
+                (true, true) => least_loaded(&self.loads, 0..p).expect("p >= 1"),
+            }
+        };
+        self.loads[pid] += 1;
+        self.replicas[u as usize].insert(pid);
+        self.replicas[v as usize].insert(pid);
+        pid as PartitionId
+    }
+}
+
+/// DBH placement state (see [`crate::DbhPartitioner`]). Needs the *final*
+/// vertex degrees up front, which streams provide via [`StreamMeta`].
+#[derive(Clone, Debug)]
+pub struct DbhState {
+    degrees: Vec<u32>,
+    seed: u64,
+    num_partitions: usize,
+}
+
+impl DbhState {
+    /// Creates DBH state from final vertex degrees.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::ZeroPartitions`].
+    pub fn new(
+        degrees: Vec<u32>,
+        num_partitions: usize,
+        seed: u64,
+    ) -> Result<Self, PartitionError> {
+        if num_partitions == 0 {
+            return Err(PartitionError::ZeroPartitions);
+        }
+        Ok(DbhState {
+            degrees,
+            seed,
+            num_partitions,
+        })
+    }
+
+    /// Creates DBH state from a stream's metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingDegrees`] if the source cannot provide final
+    /// degrees (e.g. a one-pass text stream), plus [`DbhState::new`] errors
+    /// mapped to [`StoreError::Corrupt`].
+    pub fn from_meta(
+        meta: &StreamMeta,
+        num_partitions: usize,
+        seed: u64,
+    ) -> Result<Self, StoreError> {
+        let degrees = meta.degrees.clone().ok_or(StoreError::MissingDegrees)?;
+        DbhState::new(degrees, num_partitions, seed).map_err(|e| StoreError::Corrupt(e.to_string()))
+    }
+}
+
+impl StreamingPlacer for DbhState {
+    fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    fn place(&mut self, u: VertexId, v: VertexId) -> PartitionId {
+        let (du, dv) = (self.degrees[u as usize], self.degrees[v as usize]);
+        let anchor = if du < dv || (du == dv && u <= v) {
+            u
+        } else {
+            v
+        };
+        (splitmix64(u64::from(anchor) ^ self.seed) % self.num_partitions as u64) as PartitionId
+    }
+}
+
+/// Random placement state (see [`crate::RandomPartitioner`]): a stateless
+/// hash of the arrival index, which on a natural-order stream equals the
+/// `EdgeId` the materialized path hashes.
+#[derive(Clone, Debug)]
+pub struct RandomState {
+    seed: u64,
+    num_partitions: usize,
+    next_index: u64,
+}
+
+impl RandomState {
+    /// Creates random placement state.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::ZeroPartitions`].
+    pub fn new(num_partitions: usize, seed: u64) -> Result<Self, PartitionError> {
+        if num_partitions == 0 {
+            return Err(PartitionError::ZeroPartitions);
+        }
+        Ok(RandomState {
+            seed,
+            num_partitions,
+            next_index: 0,
+        })
+    }
+}
+
+impl StreamingPlacer for RandomState {
+    fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    fn place(&mut self, _u: VertexId, _v: VertexId) -> PartitionId {
+        let index = self.next_index;
+        self.next_index += 1;
+        (splitmix64(index ^ self.seed) % self.num_partitions as u64) as PartitionId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_store::CsrEdgeStream;
+
+    #[test]
+    fn peak_buffer_is_bounded_by_budget() {
+        let g = tlp_graph::generators::erdos_renyi(100, 400, 3);
+        for budget in [1usize, 7, 64] {
+            let mut placer = GreedyState::new(g.num_vertices(), 4).unwrap();
+            let mut stream = CsrEdgeStream::new(&g, budget);
+            let streamed = partition_stream(&mut placer, &mut stream).unwrap();
+            assert_eq!(streamed.edges_seen, g.num_edges());
+            assert!(
+                streamed.peak_buffer <= budget,
+                "peak {} exceeds budget {budget}",
+                streamed.peak_buffer
+            );
+        }
+    }
+
+    #[test]
+    fn zero_partitions_rejected_everywhere() {
+        assert!(HdrfState::new(4, 0, 1.1).is_err());
+        assert!(GreedyState::new(4, 0).is_err());
+        assert!(DbhState::new(vec![1, 1], 0, 0).is_err());
+        assert!(RandomState::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn dbh_from_meta_requires_degrees() {
+        let meta = StreamMeta::default();
+        assert!(matches!(
+            DbhState::from_meta(&meta, 4, 0),
+            Err(StoreError::MissingDegrees)
+        ));
+    }
+}

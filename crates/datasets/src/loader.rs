@@ -1,14 +1,42 @@
 //! Loading datasets: real SNAP files when available, synthetic otherwise.
+//!
+//! Real text edge lists are parsed **once**: the first load writes a
+//! `.tlpg` binary cache next to the source file, and later loads open the
+//! binary (validated against the source's length + mtime stamp) instead of
+//! re-parsing text. Experiment grids that load the same dataset per cell
+//! thus pay the text-parse cost once per file, not once per cell.
 
 use crate::DatasetSpec;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use tlp_graph::{io, CsrGraph};
+use tlp_store::format::SourceStamp;
+use tlp_store::{write_graph, StoreReader, WriteOptions};
+
+/// Process-wide count of text edge-list parses performed by [`load`].
+/// Observable via [`text_parse_count`] so tests can assert the binary
+/// cache actually prevents re-parsing.
+static TEXT_PARSES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of text edge-list parses [`load`] has performed in this process.
+pub fn text_parse_count() -> u64 {
+    TEXT_PARSES.load(Ordering::Relaxed)
+}
 
 /// Where a loaded graph came from.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Provenance {
-    /// Parsed from a real edge-list file at this path.
+    /// Parsed from a real edge-list file at this path (and, when possible,
+    /// a `.tlpg` binary cache was written beside it).
     Real(PathBuf),
+    /// Loaded from the `.tlpg` binary cache of a real edge-list file —
+    /// no text parsing happened.
+    BinaryCache {
+        /// The original text file the cache was derived from.
+        source: PathBuf,
+        /// The `.tlpg` cache file that was actually read.
+        cache: PathBuf,
+    },
     /// Generated synthetically (see `DESIGN.md` §4) at this scale.
     Synthetic {
         /// Instantiation scale in `(0, 1]`.
@@ -21,7 +49,7 @@ pub enum Provenance {
 pub struct LoadedDataset {
     /// The graph.
     pub graph: CsrGraph,
-    /// Real file or synthetic stand-in.
+    /// Real file, its binary cache, or synthetic stand-in.
     pub provenance: Provenance,
 }
 
@@ -34,9 +62,35 @@ fn candidate_paths(dir: &Path, spec: &DatasetSpec) -> Vec<PathBuf> {
     ]
 }
 
+/// The `.tlpg` cache path for a text dataset file.
+fn cache_path(source: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.tlpg", source.display()))
+}
+
+/// Tries to satisfy a load from the binary cache beside `source`. Returns
+/// `None` (never an error) when the cache is absent, stale, or unreadable —
+/// the caller falls back to the text parse.
+fn load_from_cache(source: &Path) -> Option<CsrGraph> {
+    let cache = cache_path(source);
+    if !cache.is_file() {
+        return None;
+    }
+    let reader = StoreReader::open(&cache).ok()?;
+    let stamp = SourceStamp::of_file(source).ok()?;
+    if reader.header().source != stamp {
+        return None; // text file changed since the cache was written
+    }
+    Some(reader.read_graph().ok()?.graph)
+}
+
 /// Loads a dataset: the real file from `data_dir` when one exists
 /// (`<name>.txt`, `<name>.edges`, or `<Gk>.txt`), otherwise the synthetic
 /// stand-in at `scale`.
+///
+/// When a real file is found, a valid sibling `.tlpg` cache short-circuits
+/// the text parse; otherwise the text is parsed and the cache (re)written
+/// best-effort (cache-write failures are ignored — e.g. a read-only data
+/// directory just means every load parses text).
 ///
 /// # Errors
 ///
@@ -60,13 +114,29 @@ pub fn load<P: AsRef<Path>>(
     seed: u64,
 ) -> Result<LoadedDataset, tlp_graph::GraphError> {
     for path in candidate_paths(data_dir.as_ref(), spec) {
-        if path.is_file() {
-            let loaded = io::read_edge_list_file(&path)?;
+        if !path.is_file() {
+            continue;
+        }
+        if let Some(graph) = load_from_cache(&path) {
             return Ok(LoadedDataset {
-                graph: loaded.graph,
-                provenance: Provenance::Real(path),
+                graph,
+                provenance: Provenance::BinaryCache {
+                    cache: cache_path(&path),
+                    source: path,
+                },
             });
         }
+        TEXT_PARSES.fetch_add(1, Ordering::Relaxed);
+        let loaded = io::read_edge_list_file(&path)?;
+        let options = WriteOptions {
+            original_ids: Some(loaded.original_ids),
+            source: SourceStamp::of_file(&path).ok(),
+        };
+        let _ = write_graph(&cache_path(&path), &loaded.graph, &options);
+        return Ok(LoadedDataset {
+            graph: loaded.graph,
+            provenance: Provenance::Real(path),
+        });
     }
     Ok(LoadedDataset {
         graph: spec.instantiate(scale, seed),
@@ -81,6 +151,15 @@ mod tests {
     use super::*;
     use crate::DatasetId;
     use std::io::Write;
+    use std::sync::Mutex;
+
+    /// Tests asserting on the process-global parse counter must not run
+    /// concurrently with other tests that call [`load`] on real files.
+    static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+    fn counter_guard() -> std::sync::MutexGuard<'static, ()> {
+        COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn falls_back_to_synthetic_when_no_file() {
@@ -92,6 +171,7 @@ mod tests {
 
     #[test]
     fn prefers_real_file_when_present() {
+        let _guard = counter_guard();
         let dir = std::env::temp_dir().join(format!("tlp-loader-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("email-Eu-core.txt");
@@ -109,6 +189,7 @@ mod tests {
 
     #[test]
     fn corrupt_real_file_is_an_error() {
+        let _guard = counter_guard();
         let dir = std::env::temp_dir().join(format!("tlp-loader-bad-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("Wiki-Vote.txt");
@@ -125,5 +206,88 @@ mod tests {
         let spec = DatasetSpec::get(DatasetId::G1);
         let ds = load(spec, "/missing", 0.25, 1).unwrap();
         assert_eq!(ds.provenance, Provenance::Synthetic { scale_milli: 250 });
+    }
+
+    #[test]
+    fn second_load_hits_the_binary_cache_without_reparsing() {
+        let _guard = counter_guard();
+        let dir = std::env::temp_dir().join(format!("tlp-loader-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("email-Eu-core.txt");
+        std::fs::write(&path, "# stand-in\n0 1\n1 2\n2 3\n").unwrap();
+
+        let spec = DatasetSpec::get(DatasetId::G1);
+        let first = load(spec, &dir, 1.0, 0).unwrap();
+        assert_eq!(first.provenance, Provenance::Real(path.clone()));
+        assert!(cache_path(&path).is_file(), "cache not written");
+
+        let parses_after_first = text_parse_count();
+        let second = load(spec, &dir, 1.0, 0).unwrap();
+        let third = load(spec, &dir, 1.0, 0).unwrap();
+        assert_eq!(
+            text_parse_count(),
+            parses_after_first,
+            "cached loads re-parsed the text file"
+        );
+        assert_eq!(
+            second.provenance,
+            Provenance::BinaryCache {
+                source: path.clone(),
+                cache: cache_path(&path),
+            }
+        );
+        assert_eq!(
+            second.graph, first.graph,
+            "cache returned a different graph"
+        );
+        assert_eq!(third.graph, first.graph);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_cache_is_ignored_and_rewritten() {
+        let _guard = counter_guard();
+        let dir = std::env::temp_dir().join(format!("tlp-loader-stale-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("email-Eu-core.txt");
+        std::fs::write(&path, "0 1\n1 2\n").unwrap();
+
+        let spec = DatasetSpec::get(DatasetId::G1);
+        load(spec, &dir, 1.0, 0).unwrap(); // writes the cache
+
+        // Change the source (different length => different stamp).
+        std::fs::write(&path, "0 1\n1 2\n2 3\n3 4\n").unwrap();
+        let before = text_parse_count();
+        let ds = load(spec, &dir, 1.0, 0).unwrap();
+        assert_eq!(ds.provenance, Provenance::Real(path.clone()));
+        assert_eq!(ds.graph.num_edges(), 4, "stale cache served old graph");
+        assert_eq!(text_parse_count(), before + 1);
+
+        // And the rewritten cache now serves the new content.
+        let again = load(spec, &dir, 1.0, 0).unwrap();
+        assert!(matches!(again.provenance, Provenance::BinaryCache { .. }));
+        assert_eq!(again.graph, ds.graph);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_cache_degrades_to_text_parse() {
+        let _guard = counter_guard();
+        let dir = std::env::temp_dir().join(format!("tlp-loader-ccache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("email-Eu-core.txt");
+        std::fs::write(&path, "0 1\n1 2\n").unwrap();
+
+        let spec = DatasetSpec::get(DatasetId::G1);
+        load(spec, &dir, 1.0, 0).unwrap();
+        std::fs::write(cache_path(&path), b"garbage").unwrap();
+
+        let ds = load(spec, &dir, 1.0, 0).unwrap();
+        assert_eq!(ds.provenance, Provenance::Real(path.clone()));
+        assert_eq!(ds.graph.num_edges(), 2);
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

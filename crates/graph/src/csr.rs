@@ -1,6 +1,6 @@
 //! Compressed-sparse-row representation of an undirected simple graph.
 
-use crate::{Edge, EdgeId, VertexId};
+use crate::{Edge, EdgeId, GraphError, VertexId};
 
 /// An immutable undirected simple graph in compressed-sparse-row form.
 ///
@@ -88,6 +88,41 @@ impl CsrGraph {
             adj_edge,
             edges,
         }
+    }
+
+    /// Builds a CSR graph from an edge list that is already in canonical
+    /// form: sorted ascending, deduplicated, loop-free, endpoints `< n`.
+    ///
+    /// This is the zero-copy ingestion path for trusted on-disk formats
+    /// (`tlp-store` binary blocks): unlike [`crate::GraphBuilder`] it never
+    /// re-sorts, so reconstruction from a canonical dump is `O(n + m)` and
+    /// bit-identical to the graph the dump was written from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Invalid`] if the list is out of order, contains
+    /// a duplicate or self-loop, or mentions an endpoint `>= num_vertices`.
+    pub fn from_sorted_canonical_edges(
+        num_vertices: usize,
+        edges: Vec<Edge>,
+    ) -> Result<Self, GraphError> {
+        for (i, e) in edges.iter().enumerate() {
+            if e.is_self_loop() {
+                return Err(GraphError::Invalid(format!("self-loop {e:?} at index {i}")));
+            }
+            if e.target() as usize >= num_vertices {
+                return Err(GraphError::Invalid(format!(
+                    "edge {e:?} endpoint out of range (num_vertices = {num_vertices})"
+                )));
+            }
+            if i > 0 && edges[i - 1] >= *e {
+                return Err(GraphError::Invalid(format!(
+                    "edge list not strictly sorted at index {i}: {:?} then {e:?}",
+                    edges[i - 1]
+                )));
+            }
+        }
+        Ok(CsrGraph::from_canonical_edges(num_vertices, edges))
     }
 
     /// Number of vertices `n = |V|`, including isolated ones.
@@ -278,6 +313,28 @@ mod tests {
         assert_eq!(g.num_edges(), 0);
         assert!(g.is_empty());
         assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn from_sorted_canonical_edges_round_trips_builder_output() {
+        let g = triangle_plus_tail();
+        let rebuilt =
+            crate::CsrGraph::from_sorted_canonical_edges(g.num_vertices(), g.edges().to_vec())
+                .unwrap();
+        assert_eq!(g, rebuilt);
+    }
+
+    #[test]
+    fn from_sorted_canonical_edges_rejects_bad_input() {
+        use crate::Edge;
+        let sorted_dup = vec![Edge::new(0, 1), Edge::new(0, 1)];
+        assert!(crate::CsrGraph::from_sorted_canonical_edges(2, sorted_dup).is_err());
+        let unsorted = vec![Edge::new(1, 2), Edge::new(0, 1)];
+        assert!(crate::CsrGraph::from_sorted_canonical_edges(3, unsorted).is_err());
+        let loop_edge = vec![Edge::new(1, 1)];
+        assert!(crate::CsrGraph::from_sorted_canonical_edges(2, loop_edge).is_err());
+        let out_of_range = vec![Edge::new(0, 9)];
+        assert!(crate::CsrGraph::from_sorted_canonical_edges(2, out_of_range).is_err());
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Convert graphs between text edge lists and the `.tlpg` binary format.
+//!
+//! ```text
+//! tlp-convert to-bin <input.txt> <output.tlpg>    text edge list -> binary
+//! tlp-convert to-text <input.tlpg> <output.txt>   binary -> text edge list
+//! tlp-convert info <input.tlpg>                   print header summary
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+use tlp_store::format::SourceStamp;
+use tlp_store::{write_graph, StoreReader, WriteOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["to-bin", input, output] => to_bin(Path::new(input), Path::new(output)),
+        ["to-text", input, output] => to_text(Path::new(input), Path::new(output)),
+        ["info", input] => info(Path::new(input)),
+        _ => {
+            eprintln!(
+                "usage: tlp-convert to-bin <input.txt> <output.tlpg>\n       \
+                 tlp-convert to-text <input.tlpg> <output.txt>\n       \
+                 tlp-convert info <input.tlpg>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("tlp-convert: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn to_bin(input: &Path, output: &Path) -> Result<(), String> {
+    let loaded = tlp_graph::io::read_edge_list_file(input)
+        .map_err(|e| format!("reading {}: {e}", input.display()))?;
+    let options = WriteOptions {
+        original_ids: Some(loaded.original_ids),
+        source: SourceStamp::of_file(input).ok(),
+    };
+    write_graph(output, &loaded.graph, &options)
+        .map_err(|e| format!("writing {}: {e}", output.display()))?;
+    println!(
+        "wrote {} ({} vertices, {} edges)",
+        output.display(),
+        loaded.graph.num_vertices(),
+        loaded.graph.num_edges()
+    );
+    Ok(())
+}
+
+fn to_text(input: &Path, output: &Path) -> Result<(), String> {
+    let reader =
+        StoreReader::open(input).map_err(|e| format!("opening {}: {e}", input.display()))?;
+    let stored = reader
+        .read_graph()
+        .map_err(|e| format!("reading {}: {e}", input.display()))?;
+    let file =
+        std::fs::File::create(output).map_err(|e| format!("creating {}: {e}", output.display()))?;
+    tlp_graph::io::write_edge_list(&stored.graph, std::io::BufWriter::new(file))
+        .map_err(|e| format!("writing {}: {e}", output.display()))?;
+    println!(
+        "wrote {} ({} vertices, {} edges)",
+        output.display(),
+        stored.graph.num_vertices(),
+        stored.graph.num_edges()
+    );
+    Ok(())
+}
+
+fn info(input: &Path) -> Result<(), String> {
+    let reader =
+        StoreReader::open(input).map_err(|e| format!("opening {}: {e}", input.display()))?;
+    let header = reader.header();
+    println!("file:         {}", input.display());
+    println!("format:       tlpg v{}", tlp_store::VERSION);
+    println!("vertices:     {}", header.num_vertices);
+    println!("edges:        {}", header.num_edges);
+    println!(
+        "original ids: {}",
+        if header.has_original_ids { "yes" } else { "no" }
+    );
+    let source = header.source;
+    if source == SourceStamp::UNKNOWN {
+        println!("source:       unknown");
+    } else {
+        println!("source:       len={} mtime={}", source.len, source.mtime);
+    }
+    Ok(())
+}

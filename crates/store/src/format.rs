@@ -1,0 +1,408 @@
+//! The `.tlpg` binary graph format: constants, header layout, checksums.
+//!
+//! # Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! [ 0.. 8)  magic           b"TLPSTORE"
+//! [ 8..12)  version         u32 (= 1)
+//! [12..16)  flags           u32 (bit 0: original-ids section present)
+//! [16..24)  num_vertices    u64
+//! [24..32)  num_edges       u64
+//! [32..40)  source_len      u64 (byte length of the text source, 0 = unknown)
+//! [40..48)  source_mtime    u64 (mtime of the text source in unix seconds)
+//! [48..56)  header_checksum u64 ([`Checksum`] over bytes [0..48))
+//! ```
+//!
+//! followed by sections, each framed as
+//!
+//! ```text
+//! tag u32 | reserved u32 | payload_len u64 | payload_checksum u64 | payload
+//! ```
+//!
+//! in fixed order: `DEGS` (one `u32` degree per vertex — the CSR offset
+//! array in delta form), `EDGE` (the canonical sorted edge table, one
+//! `(u: u32, v: u32)` pair per undirected edge, written and read in
+//! bounded-size chunks of [`CHUNK_EDGES`]), and optionally `OIDS` (one
+//! `u64` original id per vertex, for graphs densified from text files).
+//!
+//! Every section carries its own [`Checksum`] (a word-folded FNV-1a 64)
+//! so a single flipped byte anywhere in the file is detected as a typed
+//! [`StoreError::ChecksumMismatch`](crate::StoreError::ChecksumMismatch),
+//! never as a wrong answer.
+
+use crate::StoreError;
+use std::io::Read;
+
+/// File magic for the binary graph format.
+pub const MAGIC: [u8; 8] = *b"TLPSTORE";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Header flag: the file carries an `OIDS` section.
+pub const FLAG_ORIGINAL_IDS: u32 = 1;
+/// Byte length of the fixed header (including its checksum).
+pub const HEADER_LEN: usize = 56;
+/// Edges per write/read chunk: bounds writer and reader buffers to
+/// `CHUNK_EDGES * 8` bytes (512 KiB) regardless of graph size.
+pub const CHUNK_EDGES: usize = 65_536;
+
+/// Section tag: per-vertex degrees.
+pub const TAG_DEGREES: u32 = u32::from_le_bytes(*b"DEGS");
+/// Section tag: canonical edge table.
+pub const TAG_EDGES: u32 = u32::from_le_bytes(*b"EDGE");
+/// Section tag: original vertex ids.
+pub const TAG_ORIGINAL_IDS: u32 = u32::from_le_bytes(*b"OIDS");
+
+/// Incremental FNV-1a 64 checksum, folded one little-endian `u64` word at
+/// a time; a tail shorter than a word is folded byte-wise. Word folding
+/// keeps the serial multiply chain ~8x shorter than the classic per-byte
+/// variant, which matters on multi-megabyte edge sections. Each step is a
+/// bijection of the running hash, so any single flipped byte changes the
+/// final value. The result is independent of how the input is split
+/// across [`Checksum::update`] calls.
+#[derive(Clone, Copy, Debug)]
+pub struct Checksum {
+    hash: u64,
+    pending: [u8; 8],
+    pending_len: usize,
+}
+
+impl Checksum {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Checksum {
+            hash: Self::OFFSET,
+            pending: [0; 8],
+            pending_len: 0,
+        }
+    }
+
+    fn fold(h: u64, word: u64) -> u64 {
+        (h ^ word).wrapping_mul(Self::PRIME)
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        if self.pending_len > 0 {
+            let take = (8 - self.pending_len).min(bytes.len());
+            self.pending[self.pending_len..self.pending_len + take].copy_from_slice(&bytes[..take]);
+            self.pending_len += take;
+            bytes = &bytes[take..];
+            if self.pending_len < 8 {
+                return;
+            }
+            self.hash = Self::fold(self.hash, u64::from_le_bytes(self.pending));
+            self.pending_len = 0;
+        }
+        let mut h = self.hash;
+        let mut words = bytes.chunks_exact(8);
+        for word in &mut words {
+            h = Self::fold(h, u64::from_le_bytes(word.try_into().expect("8 bytes")));
+        }
+        self.hash = h;
+        let tail = words.remainder();
+        self.pending[..tail.len()].copy_from_slice(tail);
+        self.pending_len = tail.len();
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn value(&self) -> u64 {
+        self.pending[..self.pending_len]
+            .iter()
+            .fold(self.hash, |h, &b| Self::fold(h, u64::from(b)))
+    }
+
+    /// One-shot convenience: the checksum of `bytes`.
+    pub fn of(bytes: &[u8]) -> u64 {
+        let mut c = Checksum::new();
+        c.update(bytes);
+        c.value()
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Checksum::new()
+    }
+}
+
+/// Provenance stamp of the text file a binary store was converted from,
+/// used to detect stale caches. `UNKNOWN` marks stores not derived from a
+/// text source (e.g. written straight from a generator).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SourceStamp {
+    /// Byte length of the source file (0 = unknown).
+    pub len: u64,
+    /// Modification time of the source in unix seconds (0 = unknown).
+    pub mtime: u64,
+}
+
+impl SourceStamp {
+    /// A stamp for stores without a text provenance.
+    pub const UNKNOWN: SourceStamp = SourceStamp { len: 0, mtime: 0 };
+
+    /// Reads the stamp of a file on disk (len + mtime in unix seconds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the file's metadata is unreadable.
+    pub fn of_file(path: &std::path::Path) -> Result<SourceStamp, StoreError> {
+        let meta = std::fs::metadata(path).map_err(StoreError::Io)?;
+        let mtime = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        Ok(SourceStamp {
+            len: meta.len(),
+            mtime,
+        })
+    }
+}
+
+/// The decoded fixed header of a `.tlpg` file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Number of vertices (including isolated ones).
+    pub num_vertices: u64,
+    /// Number of undirected edges.
+    pub num_edges: u64,
+    /// Whether an original-ids section follows the edge section.
+    pub has_original_ids: bool,
+    /// Provenance stamp of the converted text source.
+    pub source: SourceStamp,
+}
+
+impl Header {
+    /// Encodes the header, including its trailing checksum.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0..8].copy_from_slice(&MAGIC);
+        out[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        let flags = if self.has_original_ids {
+            FLAG_ORIGINAL_IDS
+        } else {
+            0
+        };
+        out[12..16].copy_from_slice(&flags.to_le_bytes());
+        out[16..24].copy_from_slice(&self.num_vertices.to_le_bytes());
+        out[24..32].copy_from_slice(&self.num_edges.to_le_bytes());
+        out[32..40].copy_from_slice(&self.source.len.to_le_bytes());
+        out[40..48].copy_from_slice(&self.source.mtime.to_le_bytes());
+        let checksum = Checksum::of(&out[0..48]);
+        out[48..56].copy_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a header read from the start of a file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadMagic`], [`StoreError::UnsupportedVersion`], or
+    /// [`StoreError::ChecksumMismatch`] for the respective defects.
+    pub fn decode(bytes: &[u8; HEADER_LEN]) -> Result<Header, StoreError> {
+        if bytes[0..8] != MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(&bytes[0..8]);
+            return Err(StoreError::BadMagic { found });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+        let expected = u64::from_le_bytes(bytes[48..56].try_into().expect("8 bytes"));
+        let actual = Checksum::of(&bytes[0..48]);
+        if expected != actual {
+            return Err(StoreError::ChecksumMismatch {
+                section: "header",
+                expected,
+                actual,
+            });
+        }
+        let flags = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+        Ok(Header {
+            num_vertices: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+            num_edges: u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
+            has_original_ids: flags & FLAG_ORIGINAL_IDS != 0,
+            source: SourceStamp {
+                len: u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes")),
+                mtime: u64::from_le_bytes(bytes[40..48].try_into().expect("8 bytes")),
+            },
+        })
+    }
+}
+
+/// A decoded section frame (tag + length + declared checksum).
+#[derive(Clone, Copy, Debug)]
+pub struct SectionFrame {
+    /// Section tag (one of the `TAG_*` constants).
+    pub tag: u32,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+    /// Declared FNV-1a 64 checksum of the payload.
+    pub checksum: u64,
+}
+
+/// Byte length of an encoded section frame.
+pub const SECTION_FRAME_LEN: usize = 24;
+
+impl SectionFrame {
+    /// Encodes the frame header preceding a section payload.
+    pub fn encode(&self) -> [u8; SECTION_FRAME_LEN] {
+        let mut out = [0u8; SECTION_FRAME_LEN];
+        out[0..4].copy_from_slice(&self.tag.to_le_bytes());
+        out[8..16].copy_from_slice(&self.payload_len.to_le_bytes());
+        out[16..24].copy_from_slice(&self.checksum.to_le_bytes());
+        out
+    }
+
+    /// Reads a frame, verifying it carries the expected tag.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] on short read, [`StoreError::Corrupt`] on a
+    /// tag mismatch.
+    pub fn read_expecting<R: Read>(
+        reader: &mut R,
+        expected_tag: u32,
+        what: &'static str,
+    ) -> Result<SectionFrame, StoreError> {
+        let mut bytes = [0u8; SECTION_FRAME_LEN];
+        read_exact_or_truncated(reader, &mut bytes, what)?;
+        let tag = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        if tag != expected_tag {
+            return Err(StoreError::Corrupt(format!(
+                "expected section {:?}, found tag {tag:#010x}",
+                tag_name(expected_tag)
+            )));
+        }
+        Ok(SectionFrame {
+            tag,
+            payload_len: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+            checksum: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+        })
+    }
+}
+
+/// Human-readable name of a section tag.
+pub fn tag_name(tag: u32) -> &'static str {
+    match tag {
+        TAG_DEGREES => "DEGS",
+        TAG_EDGES => "EDGE",
+        TAG_ORIGINAL_IDS => "OIDS",
+        _ => "unknown",
+    }
+}
+
+/// `read_exact` that reports a short read as [`StoreError::Truncated`]
+/// (with context) instead of a bare I/O error.
+pub fn read_exact_or_truncated<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), StoreError> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated { what }
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_deterministic_and_incremental() {
+        let oneshot = Checksum::of(b"hello world");
+        let mut inc = Checksum::new();
+        inc.update(b"hello ");
+        inc.update(b"world");
+        assert_eq!(oneshot, inc.value());
+        assert_ne!(oneshot, Checksum::of(b"hello worle"));
+        // Known FNV-1a 64 vector.
+        assert_eq!(Checksum::of(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header {
+            num_vertices: 10,
+            num_edges: 25,
+            has_original_ids: true,
+            source: SourceStamp { len: 99, mtime: 7 },
+        };
+        let decoded = Header::decode(&h.encode()).unwrap();
+        assert_eq!(h, decoded);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_version_and_checksum() {
+        let h = Header {
+            num_vertices: 1,
+            num_edges: 0,
+            has_original_ids: false,
+            source: SourceStamp::UNKNOWN,
+        };
+        let good = h.encode();
+
+        let mut bad_magic = good;
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            Header::decode(&bad_magic),
+            Err(StoreError::BadMagic { .. })
+        ));
+
+        let mut bad_version = good;
+        bad_version[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Header::decode(&bad_version),
+            Err(StoreError::UnsupportedVersion { found: 99 })
+        ));
+
+        let mut flipped = good;
+        flipped[20] ^= 0x40; // inside num_vertices
+        assert!(matches!(
+            Header::decode(&flipped),
+            Err(StoreError::ChecksumMismatch {
+                section: "header",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn section_frame_roundtrip_and_tag_check() {
+        let frame = SectionFrame {
+            tag: TAG_EDGES,
+            payload_len: 80,
+            checksum: 0xdead_beef,
+        };
+        let bytes = frame.encode();
+        let mut cursor = &bytes[..];
+        let back = SectionFrame::read_expecting(&mut cursor, TAG_EDGES, "edges").unwrap();
+        assert_eq!(back.payload_len, 80);
+        assert_eq!(back.checksum, 0xdead_beef);
+
+        let mut cursor = &bytes[..];
+        let err = SectionFrame::read_expecting(&mut cursor, TAG_DEGREES, "degrees").unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+
+        let mut short = &bytes[..10];
+        let err = SectionFrame::read_expecting(&mut short, TAG_EDGES, "edges").unwrap_err();
+        assert!(matches!(err, StoreError::Truncated { .. }));
+    }
+
+    #[test]
+    fn tag_names() {
+        assert_eq!(tag_name(TAG_DEGREES), "DEGS");
+        assert_eq!(tag_name(TAG_EDGES), "EDGE");
+        assert_eq!(tag_name(TAG_ORIGINAL_IDS), "OIDS");
+        assert_eq!(tag_name(0), "unknown");
+    }
+}

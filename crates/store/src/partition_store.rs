@@ -1,0 +1,526 @@
+//! On-disk partition stores: per-partition edge segments plus a manifest
+//! from which every headline metric is recomputable.
+//!
+//! A store directory holds one segment file per partition (the edges that
+//! partition owns, in canonical order) and a `MANIFEST.tlp` describing the
+//! segments together with the replica/ownership summary (`Σ_k |V(P_k)|`
+//! and the covered-vertex count). Replication factor and balance are
+//! recomputable **from the manifest alone**; loading the segments
+//! reconstructs the exact `(graph, assignment)` pair, so the full
+//! [`PartitionMetrics`] — including the paper's Claim 1 modularity — round
+//! trips bit-identically.
+//!
+//! The manifest is a versioned, line-oriented text format parsed by this
+//! module (the vendored `serde_json` is serialize-only, so JSON is not an
+//! option for data we must read back).
+
+use crate::format::Checksum;
+use crate::StoreError;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use tlp_core::{EdgePartition, PartitionId, PartitionMetrics};
+use tlp_graph::{CsrGraph, Edge};
+
+/// Name of the manifest file inside a store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST.tlp";
+/// First line of a valid manifest.
+const MANIFEST_HEADER: &str = "tlp-partition-store v1";
+/// Magic prefix of a segment file.
+const SEGMENT_MAGIC: [u8; 8] = *b"TLPSEG\x00\x01";
+
+/// One per-partition edge segment as recorded in the manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// The partition this segment holds.
+    pub partition: PartitionId,
+    /// File name inside the store directory.
+    pub file: String,
+    /// Number of edges in the segment.
+    pub edges: usize,
+    /// FNV-1a 64 checksum of the segment's edge payload.
+    pub checksum: u64,
+}
+
+/// The parsed replica/ownership manifest of a partition store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionManifest {
+    /// Number of partitions `p`.
+    pub num_partitions: usize,
+    /// Number of vertices of the partitioned graph (including isolated).
+    pub num_vertices: usize,
+    /// Number of edges of the partitioned graph.
+    pub num_edges: usize,
+    /// Vertices incident to at least one edge (the RF denominator).
+    pub covered_vertices: usize,
+    /// `Σ_k |V(P_k)|` (the RF numerator).
+    pub total_replicas: usize,
+    /// One entry per partition, ordered by partition id.
+    pub segments: Vec<SegmentEntry>,
+}
+
+impl PartitionManifest {
+    /// Replication factor recomputed purely from the manifest — the exact
+    /// expression [`PartitionMetrics::compute`] uses, so the value is
+    /// bit-identical to the live run's.
+    pub fn replication_factor(&self) -> f64 {
+        if self.covered_vertices == 0 {
+            1.0
+        } else {
+            self.total_replicas as f64 / self.covered_vertices as f64
+        }
+    }
+
+    /// Load balance recomputed purely from the manifest (same expression as
+    /// the live metrics: max segment size over ideal `m / p`).
+    pub fn balance(&self) -> f64 {
+        if self.num_edges == 0 {
+            1.0
+        } else {
+            let ideal = self.num_edges as f64 / self.num_partitions as f64;
+            self.segments.iter().map(|s| s.edges).max().unwrap_or(0) as f64 / ideal
+        }
+    }
+
+    /// Renders the manifest in its on-disk format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MANIFEST_HEADER);
+        out.push('\n');
+        out.push_str(&format!("partitions {}\n", self.num_partitions));
+        out.push_str(&format!("vertices {}\n", self.num_vertices));
+        out.push_str(&format!("edges {}\n", self.num_edges));
+        out.push_str(&format!("covered {}\n", self.covered_vertices));
+        out.push_str(&format!("replicas {}\n", self.total_replicas));
+        for s in &self.segments {
+            out.push_str(&format!(
+                "segment {} {} {} {:016x}\n",
+                s.partition, s.file, s.edges, s.checksum
+            ));
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a manifest from its on-disk text.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Manifest`] naming the offending line, or
+    /// [`StoreError::Truncated`] if the `end` sentinel is missing.
+    pub fn parse(text: &str) -> Result<PartitionManifest, StoreError> {
+        let bad = |line: usize, message: String| StoreError::Manifest { line, message };
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+
+        let (line, header) = lines
+            .next()
+            .ok_or(StoreError::Truncated { what: "manifest" })?;
+        if header.trim() != MANIFEST_HEADER {
+            return Err(bad(line, format!("expected {MANIFEST_HEADER:?}")));
+        }
+
+        let mut fields: [Option<usize>; 5] = [None; 5];
+        const NAMES: [&str; 5] = ["partitions", "vertices", "edges", "covered", "replicas"];
+        let mut segments: Vec<SegmentEntry> = Vec::new();
+        let mut ended = false;
+
+        for (line, raw) in lines {
+            let tokens: Vec<&str> = raw.split_whitespace().collect();
+            match tokens.as_slice() {
+                [] => continue,
+                ["end"] => {
+                    ended = true;
+                    break;
+                }
+                [name, value] if NAMES.contains(name) => {
+                    let idx = NAMES.iter().position(|n| n == name).expect("checked");
+                    let parsed: usize = value
+                        .parse()
+                        .map_err(|_| bad(line, format!("{name} is not an integer: {value:?}")))?;
+                    if fields[idx].replace(parsed).is_some() {
+                        return Err(bad(line, format!("duplicate {name} line")));
+                    }
+                }
+                ["segment", k, file, edges, checksum] => {
+                    let partition: PartitionId = k
+                        .parse()
+                        .map_err(|_| bad(line, format!("bad partition id {k:?}")))?;
+                    let edges: usize = edges
+                        .parse()
+                        .map_err(|_| bad(line, format!("bad edge count {edges:?}")))?;
+                    let checksum = u64::from_str_radix(checksum, 16)
+                        .map_err(|_| bad(line, format!("bad checksum {checksum:?}")))?;
+                    if partition as usize != segments.len() {
+                        return Err(bad(
+                            line,
+                            format!(
+                                "segment {partition} out of order (expected {})",
+                                segments.len()
+                            ),
+                        ));
+                    }
+                    segments.push(SegmentEntry {
+                        partition,
+                        file: (*file).to_string(),
+                        edges,
+                        checksum,
+                    });
+                }
+                _ => return Err(bad(line, format!("unrecognized line {raw:?}"))),
+            }
+        }
+        if !ended {
+            return Err(StoreError::Truncated { what: "manifest" });
+        }
+        let [partitions, vertices, edges, covered, replicas] = fields;
+        let require =
+            |name: &str, v: Option<usize>| v.ok_or_else(|| bad(0, format!("missing {name} line")));
+        let manifest = PartitionManifest {
+            num_partitions: require("partitions", partitions)?,
+            num_vertices: require("vertices", vertices)?,
+            num_edges: require("edges", edges)?,
+            covered_vertices: require("covered", covered)?,
+            total_replicas: require("replicas", replicas)?,
+            segments,
+        };
+        if manifest.segments.len() != manifest.num_partitions {
+            return Err(bad(
+                0,
+                format!(
+                    "manifest declares {} partitions but lists {} segments",
+                    manifest.num_partitions,
+                    manifest.segments.len()
+                ),
+            ));
+        }
+        let listed: usize = manifest.segments.iter().map(|s| s.edges).sum();
+        if listed != manifest.num_edges {
+            return Err(bad(
+                0,
+                format!(
+                    "segment edge counts sum to {listed}, manifest declares {}",
+                    manifest.num_edges
+                ),
+            ));
+        }
+        Ok(manifest)
+    }
+}
+
+/// Writes `partition` of `graph` as an on-disk partition store in `dir`.
+///
+/// One segment file per partition plus `MANIFEST.tlp`. Returns the written
+/// manifest.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] if the partition does not cover the graph,
+/// [`StoreError::Io`] on write failures.
+pub fn write_partition_store(
+    dir: &Path,
+    graph: &CsrGraph,
+    partition: &EdgePartition,
+) -> Result<PartitionManifest, StoreError> {
+    if partition.num_edges() != graph.num_edges() {
+        return Err(StoreError::Corrupt(format!(
+            "partition covers {} edges but graph has {}",
+            partition.num_edges(),
+            graph.num_edges()
+        )));
+    }
+    std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
+    let metrics = PartitionMetrics::compute(graph, partition);
+    let p = partition.num_partitions();
+
+    let mut segments = Vec::with_capacity(p);
+    for k in 0..p {
+        let file = format!("part-{k:05}.seg");
+        let seg_path = dir.join(&file);
+        let out = std::fs::File::create(&seg_path).map_err(StoreError::Io)?;
+        let mut out = BufWriter::new(out);
+        let edge_count = metrics.edge_counts[k];
+
+        out.write_all(&SEGMENT_MAGIC).map_err(StoreError::Io)?;
+        out.write_all(&(k as u32).to_le_bytes())
+            .map_err(StoreError::Io)?;
+        out.write_all(&0u32.to_le_bytes()).map_err(StoreError::Io)?;
+        out.write_all(&(edge_count as u64).to_le_bytes())
+            .map_err(StoreError::Io)?;
+
+        let mut checksum = Checksum::new();
+        let mut written = 0usize;
+        for (eid, edge) in graph.edges().iter().enumerate() {
+            if partition.partition_of(eid as u32) as usize != k {
+                continue;
+            }
+            let mut pair = [0u8; 8];
+            pair[0..4].copy_from_slice(&edge.source().to_le_bytes());
+            pair[4..8].copy_from_slice(&edge.target().to_le_bytes());
+            checksum.update(&pair);
+            out.write_all(&pair).map_err(StoreError::Io)?;
+            written += 1;
+        }
+        debug_assert_eq!(written, edge_count);
+        out.write_all(&checksum.value().to_le_bytes())
+            .map_err(StoreError::Io)?;
+        out.flush().map_err(StoreError::Io)?;
+
+        segments.push(SegmentEntry {
+            partition: k as PartitionId,
+            file,
+            edges: edge_count,
+            checksum: checksum.value(),
+        });
+    }
+
+    let manifest = PartitionManifest {
+        num_partitions: p,
+        num_vertices: graph.num_vertices(),
+        num_edges: graph.num_edges(),
+        covered_vertices: metrics.covered_vertices,
+        total_replicas: metrics.total_replicas,
+        segments,
+    };
+    std::fs::write(dir.join(MANIFEST_NAME), manifest.render()).map_err(StoreError::Io)?;
+    Ok(manifest)
+}
+
+/// Reader over an on-disk partition store.
+#[derive(Debug)]
+pub struct PartitionStoreReader {
+    dir: PathBuf,
+    manifest: PartitionManifest,
+}
+
+impl PartitionStoreReader {
+    /// Opens a store directory and parses its manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the manifest is unreadable,
+    /// [`StoreError::Manifest`]/[`StoreError::Truncated`] if malformed.
+    pub fn open(dir: &Path) -> Result<PartitionStoreReader, StoreError> {
+        let text = std::fs::read_to_string(dir.join(MANIFEST_NAME)).map_err(StoreError::Io)?;
+        Ok(PartitionStoreReader {
+            dir: dir.to_path_buf(),
+            manifest: PartitionManifest::parse(&text)?,
+        })
+    }
+
+    /// The parsed manifest.
+    pub fn manifest(&self) -> &PartitionManifest {
+        &self.manifest
+    }
+
+    /// Loads every segment and reconstructs the exact `(graph, assignment)`
+    /// pair the store was written from.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`StoreError`]s for missing/corrupt segments or inconsistent
+    /// edge sets.
+    pub fn load(&self) -> Result<(CsrGraph, EdgePartition), StoreError> {
+        let m = self.manifest.num_edges;
+        let mut labeled: Vec<(Edge, PartitionId)> = Vec::with_capacity(m);
+        for entry in &self.manifest.segments {
+            self.read_segment(entry, &mut labeled)?;
+        }
+        labeled.sort_unstable();
+        for pair in labeled.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(StoreError::Corrupt(format!(
+                    "edge {:?} appears in partitions {} and {}",
+                    pair[0].0, pair[0].1, pair[1].1
+                )));
+            }
+        }
+        let edges: Vec<Edge> = labeled.iter().map(|&(e, _)| e).collect();
+        let assignment: Vec<PartitionId> = labeled.iter().map(|&(_, pid)| pid).collect();
+        let graph = CsrGraph::from_sorted_canonical_edges(self.manifest.num_vertices, edges)?;
+        let partition = EdgePartition::new(self.manifest.num_partitions, assignment)
+            .map_err(|e| StoreError::Corrupt(format!("invalid stored assignment: {e}")))?;
+        Ok((graph, partition))
+    }
+
+    /// Recomputes the full quality metrics (RF, balance, per-partition
+    /// Claim 1 modularity, replica counts) from the stored segments. The
+    /// result is bit-identical to [`PartitionMetrics::compute`] on the live
+    /// run that wrote the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PartitionStoreReader::load`] errors.
+    pub fn recompute_metrics(&self) -> Result<PartitionMetrics, StoreError> {
+        let (graph, partition) = self.load()?;
+        Ok(PartitionMetrics::compute(&graph, &partition))
+    }
+
+    fn read_segment(
+        &self,
+        entry: &SegmentEntry,
+        out: &mut Vec<(Edge, PartitionId)>,
+    ) -> Result<(), StoreError> {
+        let bytes = std::fs::read(self.dir.join(&entry.file)).map_err(StoreError::Io)?;
+        let expected_len = 8 + 4 + 4 + 8 + 8 * entry.edges + 8;
+        if bytes.len() < 24 {
+            return Err(StoreError::Truncated {
+                what: "segment header",
+            });
+        }
+        if bytes[0..8] != SEGMENT_MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(&bytes[0..8]);
+            return Err(StoreError::BadMagic { found });
+        }
+        let partition = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if partition != entry.partition {
+            return Err(StoreError::Corrupt(format!(
+                "segment file {} labels itself partition {partition}, manifest says {}",
+                entry.file, entry.partition
+            )));
+        }
+        let count = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+        if count != entry.edges {
+            return Err(StoreError::Corrupt(format!(
+                "segment {} holds {count} edges, manifest says {}",
+                entry.file, entry.edges
+            )));
+        }
+        if bytes.len() != expected_len {
+            return Err(StoreError::Truncated {
+                what: "segment payload",
+            });
+        }
+        let payload = &bytes[24..24 + 8 * count];
+        let declared = u64::from_le_bytes(bytes[expected_len - 8..].try_into().expect("8 bytes"));
+        let actual = Checksum::of(payload);
+        if declared != actual {
+            return Err(StoreError::ChecksumMismatch {
+                section: "segment",
+                expected: declared,
+                actual,
+            });
+        }
+        for pair in payload.chunks_exact(8) {
+            let u = u32::from_le_bytes(pair[0..4].try_into().expect("4 bytes"));
+            let v = u32::from_le_bytes(pair[4..8].try_into().expect("4 bytes"));
+            if u >= v || v as usize >= self.manifest.num_vertices {
+                return Err(StoreError::Corrupt(format!(
+                    "segment {} contains invalid edge ({u}, {v})",
+                    entry.file
+                )));
+            }
+            out.push((Edge::new(u, v), entry.partition));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_graph::GraphBuilder;
+
+    fn graph_and_partition() -> (CsrGraph, EdgePartition) {
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
+            .build();
+        let part = EdgePartition::new(2, vec![0, 0, 0, 1, 1, 1]).unwrap();
+        (g, part)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tlp-pstore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_load_roundtrip_is_exact() {
+        let (g, part) = graph_and_partition();
+        let dir = temp_dir("rt");
+        let manifest = write_partition_store(&dir, &g, &part).unwrap();
+        assert_eq!(manifest.num_partitions, 2);
+
+        let reader = PartitionStoreReader::open(&dir).unwrap();
+        assert_eq!(reader.manifest(), &manifest);
+        let (g2, part2) = reader.load().unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(part, part2);
+
+        let live = PartitionMetrics::compute(&g, &part);
+        assert_eq!(reader.recompute_metrics().unwrap(), live);
+        assert_eq!(manifest.replication_factor(), live.replication_factor);
+        assert_eq!(manifest.balance(), live.balance);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_text_roundtrip() {
+        let (g, part) = graph_and_partition();
+        let dir = temp_dir("mt");
+        let manifest = write_partition_store(&dir, &g, &part).unwrap();
+        let reparsed = PartitionManifest::parse(&manifest.render()).unwrap();
+        assert_eq!(manifest, reparsed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_rejects_malformed_input() {
+        assert!(matches!(
+            PartitionManifest::parse("not a manifest\n"),
+            Err(StoreError::Manifest { line: 1, .. })
+        ));
+        // Missing `end` sentinel = truncated.
+        let text = "tlp-partition-store v1\npartitions 1\nvertices 2\nedges 1\ncovered 2\nreplicas 2\nsegment 0 part-00000.seg 1 0000000000000000\n";
+        assert!(matches!(
+            PartitionManifest::parse(text),
+            Err(StoreError::Truncated { .. })
+        ));
+        // Garbage line.
+        let text = "tlp-partition-store v1\nwat 3 4\nend\n";
+        assert!(matches!(
+            PartitionManifest::parse(text),
+            Err(StoreError::Manifest { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn segment_corruption_is_typed() {
+        let (g, part) = graph_and_partition();
+        let dir = temp_dir("sc");
+        write_partition_store(&dir, &g, &part).unwrap();
+
+        // Flip one payload byte in segment 0.
+        let seg = dir.join("part-00000.seg");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes[25] ^= 0x01;
+        std::fs::write(&seg, &bytes).unwrap();
+        let reader = PartitionStoreReader::open(&dir).unwrap();
+        let err = reader.load().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::ChecksumMismatch { .. } | StoreError::Corrupt(_)
+            ),
+            "unexpected error {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_segment_is_typed() {
+        let (g, part) = graph_and_partition();
+        let dir = temp_dir("ts");
+        write_partition_store(&dir, &g, &part).unwrap();
+        let seg = dir.join("part-00001.seg");
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 9]).unwrap();
+        let reader = PartitionStoreReader::open(&dir).unwrap();
+        assert!(matches!(
+            reader.load().unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,294 @@
+//! Reading `.tlpg` binary graph files.
+
+use crate::format::{
+    read_exact_or_truncated, Checksum, Header, SectionFrame, CHUNK_EDGES, HEADER_LEN,
+    SECTION_FRAME_LEN, TAG_DEGREES, TAG_EDGES, TAG_ORIGINAL_IDS,
+};
+use crate::StoreError;
+use std::fs::File;
+use std::io::{BufReader, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use tlp_graph::{CsrGraph, Edge, VertexId};
+
+/// A fully loaded binary store: the graph plus optional original ids.
+#[derive(Clone, Debug)]
+pub struct StoredGraph {
+    /// The reconstructed graph, bit-identical to the one written.
+    pub graph: CsrGraph,
+    /// `original_ids[v]` = id of `v` in the text source, when persisted.
+    pub original_ids: Option<Vec<u64>>,
+}
+
+/// Section location inside an open store file.
+#[derive(Clone, Copy, Debug)]
+struct SectionAt {
+    frame: SectionFrame,
+    payload_pos: u64,
+}
+
+/// An opened (header-validated) binary graph store.
+///
+/// Opening validates the magic, version, header checksum, section framing,
+/// and that the file is long enough for every declared section — so a
+/// truncated file fails here with a typed error, not mid-read.
+///
+/// # Example
+///
+/// ```no_run
+/// use tlp_store::StoreReader;
+///
+/// let reader = StoreReader::open("graph.tlpg".as_ref())?;
+/// let stored = reader.read_graph()?;
+/// println!("{} edges", stored.graph.num_edges());
+/// # Ok::<(), tlp_store::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct StoreReader {
+    path: PathBuf,
+    header: Header,
+    degrees: SectionAt,
+    edges: SectionAt,
+    original_ids: Option<SectionAt>,
+}
+
+impl StoreReader {
+    /// Opens and validates a store file's header and section framing.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadMagic`], [`StoreError::UnsupportedVersion`],
+    /// [`StoreError::ChecksumMismatch`] (header), [`StoreError::Truncated`],
+    /// or [`StoreError::Corrupt`] for structural defects.
+    pub fn open(path: &Path) -> Result<StoreReader, StoreError> {
+        let file = File::open(path).map_err(StoreError::Io)?;
+        let file_len = file.metadata().map_err(StoreError::Io)?.len();
+        let mut reader = BufReader::new(file);
+
+        let mut header_bytes = [0u8; HEADER_LEN];
+        read_exact_or_truncated(&mut reader, &mut header_bytes, "header")?;
+        let header = Header::decode(&header_bytes)?;
+
+        let n = header.num_vertices;
+        let m = header.num_edges;
+        let mut pos = HEADER_LEN as u64;
+        let section = |tag: u32,
+                       what: &'static str,
+                       expected_len: u64,
+                       reader: &mut BufReader<File>,
+                       pos: &mut u64|
+         -> Result<SectionAt, StoreError> {
+            reader.seek(SeekFrom::Start(*pos)).map_err(StoreError::Io)?;
+            let frame = SectionFrame::read_expecting(reader, tag, what)?;
+            if frame.payload_len != expected_len {
+                return Err(StoreError::Corrupt(format!(
+                    "{what} section declares {} bytes, expected {expected_len}",
+                    frame.payload_len
+                )));
+            }
+            let payload_pos = *pos + SECTION_FRAME_LEN as u64;
+            *pos = payload_pos + frame.payload_len;
+            if *pos > file_len {
+                return Err(StoreError::Truncated { what });
+            }
+            Ok(SectionAt { frame, payload_pos })
+        };
+
+        let degrees = section(TAG_DEGREES, "degrees", 4 * n, &mut reader, &mut pos)?;
+        let edges = section(TAG_EDGES, "edges", 8 * m, &mut reader, &mut pos)?;
+        let original_ids = if header.has_original_ids {
+            Some(section(
+                TAG_ORIGINAL_IDS,
+                "original ids",
+                8 * n,
+                &mut reader,
+                &mut pos,
+            )?)
+        } else {
+            None
+        };
+
+        Ok(StoreReader {
+            path: path.to_path_buf(),
+            header,
+            degrees,
+            edges,
+            original_ids,
+        })
+    }
+
+    /// The decoded file header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// The path this reader was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads and checksums the degree section.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ChecksumMismatch`] or I/O/truncation errors.
+    pub fn read_degrees(&self) -> Result<Vec<u32>, StoreError> {
+        let mut reader = self.reader_at(self.degrees.payload_pos)?;
+        let n = self.header.num_vertices as usize;
+        let mut degrees = Vec::with_capacity(n);
+        let mut checksum = Checksum::new();
+        let mut remaining = n;
+        let mut buf = vec![0u8; 4 * CHUNK_EDGES.min(n.max(1))];
+        while remaining > 0 {
+            let take = remaining.min(CHUNK_EDGES);
+            let bytes = &mut buf[..4 * take];
+            read_exact_or_truncated(&mut reader, bytes, "degrees")?;
+            checksum.update(bytes);
+            for chunk in bytes.chunks_exact(4) {
+                degrees.push(u32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+            }
+            remaining -= take;
+        }
+        self.check(&self.degrees.frame, checksum.value(), "degrees")?;
+        Ok(degrees)
+    }
+
+    /// Reads the whole store back into memory: edge blocks are read in
+    /// bounded chunks, validated (canonical order, endpoint bounds, no
+    /// self-loops), checksummed, cross-checked against the degree section,
+    /// and reassembled into a [`CsrGraph`] bit-identical to the one written.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] variant matching the defect found.
+    pub fn read_graph(&self) -> Result<StoredGraph, StoreError> {
+        let n = self.header.num_vertices as usize;
+        let m = self.header.num_edges as usize;
+        let stored_degrees = self.read_degrees()?;
+
+        let mut reader = self.reader_at(self.edges.payload_pos)?;
+        let mut edges: Vec<Edge> = Vec::with_capacity(m);
+        let mut checksum = Checksum::new();
+        let mut remaining = m;
+        let mut buf = vec![0u8; 8 * CHUNK_EDGES.min(m.max(1))];
+        while remaining > 0 {
+            let take = remaining.min(CHUNK_EDGES);
+            let bytes = &mut buf[..8 * take];
+            read_exact_or_truncated(&mut reader, bytes, "edges")?;
+            checksum.update(bytes);
+            // Validation (canonical form, bounds, strict order) happens once,
+            // in `from_sorted_canonical_edges` below, after the checksum gate.
+            for pair in bytes.chunks_exact(8) {
+                let u = u32::from_le_bytes(pair[0..4].try_into().expect("4 bytes"));
+                let v = u32::from_le_bytes(pair[4..8].try_into().expect("4 bytes"));
+                edges.push(Edge::new(u, v));
+            }
+            remaining -= take;
+        }
+        self.check(&self.edges.frame, checksum.value(), "edges")?;
+
+        let graph = CsrGraph::from_sorted_canonical_edges(n, edges)?;
+        for (v, &stored) in stored_degrees.iter().enumerate() {
+            let actual = graph.degree(v as VertexId) as u32;
+            if actual != stored {
+                return Err(StoreError::Corrupt(format!(
+                    "degree section disagrees with edge blocks at vertex {v}: \
+                     stored {stored}, edges imply {actual}"
+                )));
+            }
+        }
+
+        let original_ids = match &self.original_ids {
+            None => None,
+            Some(section) => {
+                let mut reader = self.reader_at(section.payload_pos)?;
+                let mut ids = Vec::with_capacity(n);
+                let mut checksum = Checksum::new();
+                let mut remaining = n;
+                let mut buf = vec![0u8; 8 * CHUNK_EDGES.min(n.max(1))];
+                while remaining > 0 {
+                    let take = remaining.min(CHUNK_EDGES);
+                    let bytes = &mut buf[..8 * take];
+                    read_exact_or_truncated(&mut reader, bytes, "original ids")?;
+                    checksum.update(bytes);
+                    for chunk in bytes.chunks_exact(8) {
+                        ids.push(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+                    }
+                    remaining -= take;
+                }
+                self.check(&section.frame, checksum.value(), "original ids")?;
+                Some(ids)
+            }
+        };
+
+        Ok(StoredGraph {
+            graph,
+            original_ids,
+        })
+    }
+
+    /// A fresh buffered reader positioned at `pos` in the store file.
+    pub(crate) fn reader_at(&self, pos: u64) -> Result<BufReader<File>, StoreError> {
+        let mut reader = BufReader::new(File::open(&self.path).map_err(StoreError::Io)?);
+        reader.seek(SeekFrom::Start(pos)).map_err(StoreError::Io)?;
+        Ok(reader)
+    }
+
+    /// Byte offset of the edge payload (for streaming readers).
+    pub(crate) fn edges_payload_pos(&self) -> u64 {
+        self.edges.payload_pos
+    }
+
+    /// Declared checksum of the edge payload (for streaming readers).
+    pub(crate) fn edges_checksum(&self) -> u64 {
+        self.edges.frame.checksum
+    }
+
+    fn check(
+        &self,
+        frame: &SectionFrame,
+        actual: u64,
+        section: &'static str,
+    ) -> Result<(), StoreError> {
+        if frame.checksum != actual {
+            return Err(StoreError::ChecksumMismatch {
+                section,
+                expected: frame.checksum,
+                actual,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Decodes and validates one edge against canonical-form invariants.
+pub(crate) fn decode_edge(
+    u: u32,
+    v: u32,
+    num_vertices: usize,
+    prev: Option<Edge>,
+) -> Result<Edge, StoreError> {
+    if u > v {
+        return Err(StoreError::Corrupt(format!(
+            "edge ({u}, {v}) is not in canonical (u <= v) form"
+        )));
+    }
+    if u == v {
+        return Err(StoreError::Corrupt(format!(
+            "self-loop ({u}, {v}) in edge block"
+        )));
+    }
+    if v as usize >= num_vertices {
+        return Err(StoreError::Corrupt(format!(
+            "edge ({u}, {v}) endpoint out of range (num_vertices = {num_vertices})"
+        )));
+    }
+    let edge = Edge::new(u, v);
+    if let Some(p) = prev {
+        if p >= edge {
+            return Err(StoreError::Corrupt(format!(
+                "edge block out of order: {p:?} then {edge:?}"
+            )));
+        }
+    }
+    Ok(edge)
+}

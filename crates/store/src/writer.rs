@@ -1,0 +1,170 @@
+//! Writing `.tlpg` binary graph files.
+
+use crate::format::{
+    Checksum, Header, SectionFrame, SourceStamp, CHUNK_EDGES, SECTION_FRAME_LEN, TAG_DEGREES,
+    TAG_EDGES, TAG_ORIGINAL_IDS,
+};
+use crate::StoreError;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+use tlp_graph::CsrGraph;
+
+/// Options for [`write_graph`].
+#[derive(Clone, Debug, Default)]
+pub struct WriteOptions {
+    /// Original vertex ids to persist (`original_ids[v]` = id of `v` in the
+    /// text source), written as an `OIDS` section when present.
+    pub original_ids: Option<Vec<u64>>,
+    /// Provenance stamp of the converted text source (for cache staleness
+    /// checks); defaults to [`SourceStamp::UNKNOWN`].
+    pub source: Option<SourceStamp>,
+}
+
+/// Writes `graph` to `path` in the versioned binary format.
+///
+/// The edge table is emitted in canonical sorted order in chunks of
+/// [`CHUNK_EDGES`], so the writer's buffer stays bounded regardless of
+/// graph size. Section checksums are computed incrementally while writing;
+/// the section frames are back-patched once the payload sizes are known
+/// (they are known up front here, but streaming checksum values are not).
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on any write failure.
+pub fn write_graph(
+    path: &Path,
+    graph: &CsrGraph,
+    options: &WriteOptions,
+) -> Result<(), StoreError> {
+    if let Some(ids) = &options.original_ids {
+        if ids.len() != graph.num_vertices() {
+            return Err(StoreError::Corrupt(format!(
+                "original_ids has {} entries for {} vertices",
+                ids.len(),
+                graph.num_vertices()
+            )));
+        }
+    }
+    let file = std::fs::File::create(path).map_err(StoreError::Io)?;
+    let mut out = BufWriter::new(file);
+
+    let header = Header {
+        num_vertices: graph.num_vertices() as u64,
+        num_edges: graph.num_edges() as u64,
+        has_original_ids: options.original_ids.is_some(),
+        source: options.source.unwrap_or(SourceStamp::UNKNOWN),
+    };
+    out.write_all(&header.encode()).map_err(StoreError::Io)?;
+
+    // DEGS: one u32 per vertex, chunked.
+    write_section(&mut out, TAG_DEGREES, |sink| {
+        let mut buf = Vec::with_capacity(4 * CHUNK_EDGES.min(graph.num_vertices().max(1)));
+        for v in graph.vertices() {
+            buf.extend_from_slice(&(graph.degree(v) as u32).to_le_bytes());
+            if buf.len() >= 4 * CHUNK_EDGES {
+                sink.write(&buf)?;
+                buf.clear();
+            }
+        }
+        sink.write(&buf)
+    })?;
+
+    // EDGE: canonical sorted (u, v) pairs, chunked.
+    write_section(&mut out, TAG_EDGES, |sink| {
+        let mut buf = Vec::with_capacity(8 * CHUNK_EDGES.min(graph.num_edges().max(1)));
+        for e in graph.edges() {
+            buf.extend_from_slice(&e.source().to_le_bytes());
+            buf.extend_from_slice(&e.target().to_le_bytes());
+            if buf.len() >= 8 * CHUNK_EDGES {
+                sink.write(&buf)?;
+                buf.clear();
+            }
+        }
+        sink.write(&buf)
+    })?;
+
+    if let Some(ids) = &options.original_ids {
+        write_section(&mut out, TAG_ORIGINAL_IDS, |sink| {
+            let mut buf = Vec::with_capacity(8 * CHUNK_EDGES.min(ids.len().max(1)));
+            for &id in ids {
+                buf.extend_from_slice(&id.to_le_bytes());
+                if buf.len() >= 8 * CHUNK_EDGES {
+                    sink.write(&buf)?;
+                    buf.clear();
+                }
+            }
+            sink.write(&buf)
+        })?;
+    }
+
+    out.flush().map_err(StoreError::Io)?;
+    Ok(())
+}
+
+/// Incrementally checksummed section payload sink.
+struct SectionSink<'a, W: Write + Seek> {
+    out: &'a mut W,
+    checksum: Checksum,
+    written: u64,
+}
+
+impl<W: Write + Seek> SectionSink<'_, W> {
+    fn write(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.checksum.update(bytes);
+        self.written += bytes.len() as u64;
+        self.out.write_all(bytes).map_err(StoreError::Io)
+    }
+}
+
+/// Writes one framed section: reserves the frame, streams the payload
+/// through a checksumming sink, then back-patches the frame with the final
+/// length and checksum.
+fn write_section<W, F>(out: &mut BufWriter<W>, tag: u32, emit: F) -> Result<(), StoreError>
+where
+    W: Write + Seek,
+    F: FnOnce(&mut SectionSink<'_, BufWriter<W>>) -> Result<(), StoreError>,
+{
+    let frame_pos = out.stream_position().map_err(StoreError::Io)?;
+    out.write_all(&[0u8; SECTION_FRAME_LEN])
+        .map_err(StoreError::Io)?;
+    let mut sink = SectionSink {
+        out,
+        checksum: Checksum::new(),
+        written: 0,
+    };
+    emit(&mut sink)?;
+    let frame = SectionFrame {
+        tag,
+        payload_len: sink.written,
+        checksum: sink.checksum.value(),
+    };
+    let end = out.stream_position().map_err(StoreError::Io)?;
+    out.seek(SeekFrom::Start(frame_pos))
+        .map_err(StoreError::Io)?;
+    out.write_all(&frame.encode()).map_err(StoreError::Io)?;
+    out.seek(SeekFrom::Start(end)).map_err(StoreError::Io)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_graph::GraphBuilder;
+
+    #[test]
+    fn rejects_mismatched_original_ids() {
+        let g = GraphBuilder::new().add_edge(0, 1).build();
+        let dir = std::env::temp_dir().join(format!("tlp-store-w-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.tlpg");
+        let options = WriteOptions {
+            original_ids: Some(vec![1, 2, 3]), // graph has 2 vertices
+            source: None,
+        };
+        assert!(matches!(
+            write_graph(&path, &g, &options),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,116 @@
+//! Partition-store acceptance: for every generator family and
+//! p ∈ {4, 8, 32}, metrics recomputed from the on-disk store must equal the
+//! live [`PartitionMetrics`] exactly — including the f64 replication factor,
+//! balance, and per-partition Claim 1 modularity, bit for bit.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tlp_core::{EdgePartition, PartitionId, PartitionMetrics};
+use tlp_graph::generators::{barabasi_albert, chung_lu, erdos_renyi, genealogy};
+use tlp_graph::CsrGraph;
+use tlp_store::{write_partition_store, PartitionStoreReader};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tlp-pstore-rt-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// A deterministic but non-trivial assignment (hashed, so partitions get
+/// uneven sizes and scattered edges — a harder case than round-robin).
+fn hashed_partition(graph: &CsrGraph, p: usize, seed: u64) -> EdgePartition {
+    let assignment: Vec<PartitionId> = (0..graph.num_edges() as u64)
+        .map(|e| (splitmix64(e ^ seed) % p as u64) as PartitionId)
+        .collect();
+    EdgePartition::new(p, assignment).unwrap()
+}
+
+#[test]
+fn store_metrics_match_live_metrics_exactly() {
+    let families: [(&str, CsrGraph); 4] = [
+        ("erdos_renyi", erdos_renyi(600, 2400, 21)),
+        ("chung_lu", chung_lu(600, 2400, 2.5, 22)),
+        ("barabasi_albert", barabasi_albert(500, 4, 23)),
+        ("genealogy", genealogy(400, 1200, 24)),
+    ];
+    for (family, graph) in &families {
+        for p in [4usize, 8, 32] {
+            let partition = hashed_partition(graph, p, 0xA5A5 ^ p as u64);
+            let live = PartitionMetrics::compute(graph, &partition);
+
+            let dir = temp_dir();
+            let manifest = write_partition_store(&dir, graph, &partition).unwrap();
+            let reader = PartitionStoreReader::open(&dir).unwrap();
+
+            // Manifest-only metrics: exact f64 equality, no tolerance.
+            assert_eq!(
+                manifest.replication_factor(),
+                live.replication_factor,
+                "{family} p={p}: manifest RF diverged"
+            );
+            assert_eq!(
+                reader.manifest().replication_factor(),
+                live.replication_factor,
+                "{family} p={p}: reparsed RF diverged"
+            );
+            assert_eq!(
+                reader.manifest().balance(),
+                live.balance,
+                "{family} p={p}: manifest balance diverged"
+            );
+            let manifest_counts: Vec<usize> =
+                reader.manifest().segments.iter().map(|s| s.edges).collect();
+            assert_eq!(
+                manifest_counts, live.edge_counts,
+                "{family} p={p}: per-partition edge counts diverged"
+            );
+
+            // Full reload: graph, assignment, and every metric field
+            // (including Claim 1 modularity) round-trip bit-identically.
+            let (g2, part2) = reader.load().unwrap();
+            assert_eq!(&g2, graph, "{family} p={p}: graph diverged");
+            assert_eq!(part2, partition, "{family} p={p}: assignment diverged");
+            let recomputed = reader.recompute_metrics().unwrap();
+            assert_eq!(recomputed, live, "{family} p={p}: metrics diverged");
+
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+#[test]
+fn degenerate_partitions_roundtrip() {
+    let graph = erdos_renyi(100, 300, 31);
+    // Everything on one partition; and p larger than needed with empties.
+    for (p, seed) in [(1usize, 1u64), (64, 2)] {
+        let partition = if p == 1 {
+            EdgePartition::new(1, vec![0; graph.num_edges()]).unwrap()
+        } else {
+            hashed_partition(&graph, p, seed)
+        };
+        let live = PartitionMetrics::compute(&graph, &partition);
+        let dir = temp_dir();
+        write_partition_store(&dir, &graph, &partition).unwrap();
+        let reader = PartitionStoreReader::open(&dir).unwrap();
+        assert_eq!(reader.recompute_metrics().unwrap(), live);
+        assert_eq!(
+            reader.manifest().replication_factor(),
+            live.replication_factor
+        );
+        assert_eq!(reader.manifest().balance(), live.balance);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -9,23 +9,33 @@
 //! ```
 //!
 //! `partition` reads a SNAP-style edge list (comments, duplicate and
-//! directed edges, self-loops all tolerated), runs the chosen algorithm,
+//! directed edges, self-loops all tolerated) or a `.tlpg` binary store
+//! (`--format bin`, or sniffed automatically), runs the chosen algorithm,
 //! prints the quality metrics, and optionally writes one `u v partition`
-//! line per edge (original vertex ids preserved).
+//! line per edge (original vertex ids preserved) and/or an on-disk
+//! partition store (`--out-store DIR`). For the streaming baselines,
+//! `--stream-budget N` runs the placement out-of-core, holding at most `N`
+//! edges in memory (reading `.tlpg` input straight off disk).
 
 use std::collections::HashMap;
 use std::io::Write;
+use std::path::Path;
 use std::process::ExitCode;
 use tlp::baselines::{
-    DbhPartitioner, EdgeOrder, FennelPartitioner, GreedyPartitioner, HdrfPartitioner,
-    LdgPartitioner, NePartitioner, RandomPartitioner, VertexOrder,
+    partition_stream, DbhPartitioner, DbhState, EdgeOrder, FennelPartitioner, GreedyPartitioner,
+    GreedyState, HdrfPartitioner, HdrfState, LdgPartitioner, NePartitioner, RandomPartitioner,
+    RandomState, StreamingPlacer, VertexOrder,
 };
 use tlp::core::{
-    EdgePartitioner, ParallelTrialRunner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner,
+    EdgePartition, EdgePartitioner, ParallelTrialRunner, PartitionMetrics, TlpConfig,
+    TwoStageLocalPartitioner,
 };
 use tlp::graph::generators as gen;
 use tlp::graph::io;
 use tlp::metis::MetisPartitioner;
+use tlp::store::{
+    write_partition_store, BinaryEdgeStream, CsrEdgeStream, EdgeStream, StoreReader, MAGIC,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,12 +63,17 @@ tlp-cli — graph edge partitioning (TLP, ICDCS 2019)
 
 subcommands:
   partition --input FILE --partitions P [--algorithm NAME] [--seed N] [--output FILE]
-            [--trials T] [--threads N]
+            [--trials T] [--threads N] [--format auto|text|bin]
+            [--stream-budget N] [--out-store DIR]
             algorithms: tlp (default), tlp-r=<R>, metis, ne, ldg, fennel,
                         greedy, hdrf, dbh, random
             --trials runs T independently seeded TLP trials (tlp only) and
             keeps the best replication factor; --threads caps the worker
             threads (default: all available cores)
+            --format bin reads a .tlpg binary store (auto sniffs the magic);
+            --stream-budget N streams edges out-of-core in natural order,
+            at most N in memory (hdrf, dbh, greedy, random only);
+            --out-store DIR writes per-partition edge segments + manifest
   stats     --input FILE
   generate  --family NAME --vertices N --edges M [--seed N] [--output FILE]
             families: community, chung-lu, erdos-renyi, barabasi-albert,
@@ -127,6 +142,63 @@ fn make_algorithm(name: &str, seed: u64) -> Result<Box<dyn EdgePartitioner>, Str
     Ok(algo)
 }
 
+/// Input format of the `partition` subcommand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum InputFormat {
+    Text,
+    Bin,
+}
+
+/// Resolves `--format` (sniffing the `.tlpg` magic for `auto`).
+fn resolve_format(flag: Option<&str>, input: &str) -> Result<InputFormat, String> {
+    match flag.unwrap_or("auto") {
+        "text" => Ok(InputFormat::Text),
+        "bin" => Ok(InputFormat::Bin),
+        "auto" => {
+            use std::io::Read;
+            let mut head = [0u8; 8];
+            let mut file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
+            match file.read_exact(&mut head) {
+                Ok(()) if head == MAGIC => Ok(InputFormat::Bin),
+                _ => Ok(InputFormat::Text),
+            }
+        }
+        other => Err(format!(
+            "--format must be auto, text, or bin, got {other:?}"
+        )),
+    }
+}
+
+/// Builds the natural-order streaming placer for `--stream-budget` runs.
+fn make_placer(
+    name: &str,
+    num_vertices: usize,
+    degrees: Option<Vec<u32>>,
+    num_partitions: usize,
+    seed: u64,
+) -> Result<Box<dyn StreamingPlacer>, String> {
+    let placer: Box<dyn StreamingPlacer> = match name {
+        "hdrf" => {
+            Box::new(HdrfState::new(num_vertices, num_partitions, 1.1).map_err(|e| e.to_string())?)
+        }
+        "greedy" => {
+            Box::new(GreedyState::new(num_vertices, num_partitions).map_err(|e| e.to_string())?)
+        }
+        "dbh" => {
+            let degrees =
+                degrees.ok_or("--stream-budget with dbh needs a degree-bearing source")?;
+            Box::new(DbhState::new(degrees, num_partitions, seed).map_err(|e| e.to_string())?)
+        }
+        "random" => Box::new(RandomState::new(num_partitions, seed).map_err(|e| e.to_string())?),
+        other => {
+            return Err(format!(
+                "--stream-budget supports hdrf, dbh, greedy, random — not {other:?}"
+            ))
+        }
+    };
+    Ok(placer)
+}
+
 fn cmd_partition(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let input = required(&flags, "input")?;
@@ -146,18 +218,74 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
             "--trials is only supported for the tlp algorithm, not {algorithm:?}"
         ));
     }
-    let algo = make_algorithm(algorithm, seed)?;
+    let format = resolve_format(flags.get("format").map(String::as_str), input)?;
+    let stream_budget: Option<usize> = match flags.get("stream-budget") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("flag --stream-budget has invalid value {raw:?}"))?,
+        ),
+    };
+    if stream_budget == Some(0) {
+        return Err("--stream-budget must be a positive number of edges".into());
+    }
+    if stream_budget.is_some() && trials > 1 {
+        return Err("--stream-budget cannot be combined with --trials".into());
+    }
 
-    let loaded = io::read_edge_list_file(input).map_err(|e| e.to_string())?;
+    let loaded = match format {
+        InputFormat::Text => io::read_edge_list_file(input).map_err(|e| e.to_string())?,
+        InputFormat::Bin => {
+            let stored = StoreReader::open(Path::new(input))
+                .and_then(|r| r.read_graph())
+                .map_err(|e| e.to_string())?;
+            let original_ids = stored
+                .original_ids
+                .unwrap_or_else(|| (0..stored.graph.num_vertices() as u64).collect());
+            io::LoadedGraph {
+                graph: stored.graph,
+                original_ids,
+            }
+        }
+    };
     eprintln!(
-        "loaded {}: {} vertices, {} edges",
+        "loaded {} ({}): {} vertices, {} edges",
         input,
+        match format {
+            InputFormat::Text => "text",
+            InputFormat::Bin => "bin",
+        },
         loaded.graph.num_vertices(),
         loaded.graph.num_edges()
     );
 
     let start = std::time::Instant::now();
-    let partition = if trials > 1 {
+    let (algo_name, partition) = if let Some(budget) = stream_budget {
+        // Out-of-core path: binary inputs stream straight off disk, text
+        // inputs stream the parsed graph in natural order. Either way the
+        // placer sees at most `budget` edges at a time.
+        let streamed = match format {
+            InputFormat::Bin => {
+                let mut stream =
+                    BinaryEdgeStream::open(Path::new(input), budget).map_err(|e| e.to_string())?;
+                let degrees = stream.meta().degrees.clone();
+                let mut placer =
+                    make_placer(algorithm, loaded.graph.num_vertices(), degrees, p, seed)?;
+                partition_stream(placer.as_mut(), &mut stream).map_err(|e| e.to_string())?
+            }
+            InputFormat::Text => {
+                let mut stream = CsrEdgeStream::new(&loaded.graph, budget);
+                let degrees = stream.meta().degrees.clone();
+                let mut placer =
+                    make_placer(algorithm, loaded.graph.num_vertices(), degrees, p, seed)?;
+                partition_stream(placer.as_mut(), &mut stream).map_err(|e| e.to_string())?
+            }
+        };
+        println!("stream budget:      {budget}");
+        println!("peak edge buffer:   {}", streamed.peak_buffer);
+        let partition: EdgePartition = streamed.into_partition().map_err(|e| e.to_string())?;
+        (algorithm.to_string(), partition)
+    } else if trials > 1 {
         let config = TlpConfig::new().seed(seed).trials(trials).threads(threads);
         let report = ParallelTrialRunner::new(config)
             .run(&loaded.graph, p)
@@ -177,20 +305,35 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
             "RF spread:          best {best:.4}, worst {worst:.4} (trial {} kept)",
             report.best_trial
         );
-        report.partition
+        let algo = make_algorithm(algorithm, seed)?;
+        (algo.name().to_string(), report.partition)
     } else {
-        algo.partition(&loaded.graph, p)
-            .map_err(|e| e.to_string())?
+        let algo = make_algorithm(algorithm, seed)?;
+        let partition = algo
+            .partition(&loaded.graph, p)
+            .map_err(|e| e.to_string())?;
+        (algo.name().to_string(), partition)
     };
     let elapsed = start.elapsed();
     let metrics = PartitionMetrics::compute(&loaded.graph, &partition);
 
-    println!("algorithm:          {}", algo.name());
+    println!("algorithm:          {algo_name}");
     println!("partitions:         {p}");
     println!("replication factor: {:.4}", metrics.replication_factor);
     println!("balance:            {:.4}", metrics.balance);
     println!("spanned vertices:   {}", metrics.spanned_vertices);
     println!("time:               {:.2}s", elapsed.as_secs_f64());
+
+    if let Some(dir) = flags.get("out-store") {
+        let manifest = write_partition_store(Path::new(dir), &loaded.graph, &partition)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "partition store written to {dir} ({} segments, manifest RF {:.4}, balance {:.4})",
+            manifest.segments.len(),
+            manifest.replication_factor(),
+            manifest.balance()
+        );
+    }
 
     if let Some(output) = flags.get("output") {
         let mut file = std::fs::File::create(output).map_err(|e| e.to_string())?;
