@@ -1,0 +1,154 @@
+//! Mid-run snapshots of the expansion engine, for kill-and-resume runs.
+//!
+//! The TLP engine grows one partition per round from a single seeded RNG.
+//! Everything a round consumes is either (a) derived deterministically from
+//! the residual graph and the assignment so far, or (b) the RNG stream.
+//! A checkpoint therefore only needs the assignment, the allocated-edge
+//! bitmap (partition id 0 is a valid assignment, so "assigned" must be
+//! tracked separately), the RNG's internal state, and the index of the
+//! next round — the per-round workspace is rebuilt from scratch and is
+//! bit-identical because all of its state is round-stamped.
+//!
+//! Persistence (the on-disk `checkpoint.tlpc` format) lives in `tlp-store`;
+//! this module owns the in-memory snapshot and its validation against the
+//! run it is resumed into.
+
+use crate::partition::PartitionId;
+use crate::PartitionError;
+
+/// A consistent engine snapshot taken after a completed round.
+///
+/// Resuming a run from a checkpoint taken at round boundary `next_round`
+/// produces the exact partition the uninterrupted run would have produced,
+/// bit for bit — the engine's contract, enforced by the resume tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineCheckpoint {
+    /// Seed the run was started with (resume must match).
+    pub seed: u64,
+    /// Total number of partitions `p` of the run.
+    pub num_partitions: usize,
+    /// Index of the first round that has NOT run yet (`k+1` after round
+    /// `k` completes); `num_partitions` means all rounds are done.
+    pub next_round: u32,
+    /// Internal RNG state at the round boundary.
+    pub rng_state: [u64; 4],
+    /// Edge → partition assignment so far (meaningful only where
+    /// `allocated` is set).
+    pub assignment: Vec<PartitionId>,
+    /// `allocated[e]` = edge `e` has been assigned in a completed round.
+    pub allocated: Vec<bool>,
+    /// Vertex count of the graph the snapshot belongs to.
+    pub num_vertices: usize,
+    /// Edge count of the graph the snapshot belongs to.
+    pub num_edges: usize,
+}
+
+impl EngineCheckpoint {
+    /// Validates the snapshot against the run it is about to resume.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::Checkpoint`] if the checkpoint belongs to a
+    /// different graph, seed, or partition count, or is internally
+    /// inconsistent.
+    pub fn validate_for(
+        &self,
+        num_vertices: usize,
+        num_edges: usize,
+        num_partitions: usize,
+        seed: u64,
+    ) -> Result<(), PartitionError> {
+        let mismatch = |what: &str, have: String, want: String| {
+            PartitionError::Checkpoint(format!("checkpoint {what} is {have}, run expects {want}"))
+        };
+        if self.num_vertices != num_vertices || self.num_edges != num_edges {
+            return Err(mismatch(
+                "graph shape",
+                format!("{} vertices / {} edges", self.num_vertices, self.num_edges),
+                format!("{num_vertices} vertices / {num_edges} edges"),
+            ));
+        }
+        if self.num_partitions != num_partitions {
+            return Err(mismatch(
+                "partition count",
+                self.num_partitions.to_string(),
+                num_partitions.to_string(),
+            ));
+        }
+        if self.seed != seed {
+            return Err(mismatch("seed", self.seed.to_string(), seed.to_string()));
+        }
+        if self.assignment.len() != num_edges || self.allocated.len() != num_edges {
+            return Err(PartitionError::Checkpoint(format!(
+                "checkpoint arrays cover {} / {} edges, graph has {num_edges}",
+                self.assignment.len(),
+                self.allocated.len()
+            )));
+        }
+        if self.next_round as usize > num_partitions {
+            return Err(PartitionError::Checkpoint(format!(
+                "checkpoint next_round {} exceeds partition count {num_partitions}",
+                self.next_round
+            )));
+        }
+        for (e, (&pid, &alloc)) in self.assignment.iter().zip(&self.allocated).enumerate() {
+            if alloc && pid as usize >= num_partitions {
+                return Err(PartitionError::Checkpoint(format!(
+                    "edge {e} assigned to partition {pid}, run has only {num_partitions}"
+                )));
+            }
+            if alloc && pid >= self.next_round {
+                return Err(PartitionError::Checkpoint(format!(
+                    "edge {e} assigned to partition {pid} but only rounds < {} completed",
+                    self.next_round
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> EngineCheckpoint {
+        EngineCheckpoint {
+            seed: 7,
+            num_partitions: 4,
+            next_round: 2,
+            rng_state: [1, 2, 3, 4],
+            assignment: vec![0, 1, 0, 0],
+            allocated: vec![true, true, false, false],
+            num_vertices: 5,
+            num_edges: 4,
+        }
+    }
+
+    #[test]
+    fn valid_snapshot_passes() {
+        snapshot().validate_for(5, 4, 4, 7).unwrap();
+    }
+
+    #[test]
+    fn wrong_graph_seed_or_p_is_rejected() {
+        let s = snapshot();
+        assert!(s.validate_for(6, 4, 4, 7).is_err());
+        assert!(s.validate_for(5, 3, 4, 7).is_err());
+        assert!(s.validate_for(5, 4, 3, 7).is_err());
+        assert!(s.validate_for(5, 4, 4, 8).is_err());
+    }
+
+    #[test]
+    fn inconsistent_rounds_are_rejected() {
+        let mut s = snapshot();
+        s.assignment[1] = 3; // allocated in a round that has not run
+        assert!(matches!(
+            s.validate_for(5, 4, 4, 7),
+            Err(PartitionError::Checkpoint(_))
+        ));
+        let mut s = snapshot();
+        s.next_round = 9;
+        assert!(s.validate_for(5, 4, 4, 7).is_err());
+    }
+}

@@ -69,9 +69,10 @@ pub use policy::{
     AdmissionMode, EdgeRatioSwitch, GrowthState, ModularitySwitch, Selection, SelectionPolicy,
     StageSwitch, StagedPolicy,
 };
-pub use round::run;
+pub use round::{run, run_with_checkpoints, CheckpointSink};
 pub use workspace::Workspace;
 
+use crate::checkpoint::EngineCheckpoint;
 use crate::config::TlpConfig;
 use crate::partition::EdgePartition;
 use crate::trace::Trace;
@@ -88,4 +89,18 @@ pub(crate) fn run_staged<S: StageSwitch>(
 ) -> Result<(EdgePartition, Option<Trace>), PartitionError> {
     let mut policy = StagedPolicy::new(switch, config.selection_strategy_value());
     run(graph, num_partitions, config, &mut policy)
+}
+
+/// [`run_staged`] with kill-and-resume support (see
+/// [`run_with_checkpoints`]).
+pub(crate) fn run_staged_with_checkpoints<S: StageSwitch>(
+    graph: &CsrGraph,
+    num_partitions: usize,
+    config: &TlpConfig,
+    switch: S,
+    resume: Option<&EngineCheckpoint>,
+    sink: Option<CheckpointSink<'_>>,
+) -> Result<(EdgePartition, Option<Trace>), PartitionError> {
+    let mut policy = StagedPolicy::new(switch, config.selection_strategy_value());
+    run_with_checkpoints(graph, num_partitions, config, &mut policy, resume, sink)
 }

@@ -4,6 +4,7 @@
 use super::frontier::{enroll_eager, enroll_frontier_edge};
 use super::policy::{AdmissionMode, GrowthState, Selection, SelectionPolicy};
 use super::workspace::{ScoringCounters, Workspace};
+use crate::checkpoint::EngineCheckpoint;
 use crate::config::{ReseedPolicy, TlpConfig};
 use crate::partition::{EdgePartition, PartitionId};
 use crate::trace::{RoundScoring, SelectionRecord, Trace};
@@ -11,6 +12,10 @@ use crate::PartitionError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tlp_graph::{CsrGraph, ResidualGraph, VertexId};
+
+/// Callback invoked with the engine snapshot after each completed round.
+/// Returning an error aborts the run (persisting a checkpoint failed).
+pub type CheckpointSink<'a> = &'a mut dyn FnMut(&EngineCheckpoint) -> Result<(), PartitionError>;
 
 /// Runs the full local partitioning (all `p` rounds) under `policy`.
 ///
@@ -24,6 +29,35 @@ pub fn run<P: SelectionPolicy + ?Sized>(
     config: &TlpConfig,
     policy: &mut P,
 ) -> Result<(EdgePartition, Option<Trace>), PartitionError> {
+    run_with_checkpoints(graph, num_partitions, config, policy, None, None)
+}
+
+/// [`run`] with kill-and-resume support.
+///
+/// When `resume` is given, the run starts from that snapshot instead of
+/// round 0: the assignment and residual graph are restored from the
+/// checkpoint's arrays and the RNG continues from its saved state, so the
+/// final partition is bit-identical to the uninterrupted run's. When
+/// `sink` is given, it receives a consistent [`EngineCheckpoint`] after
+/// each completed round (and policies may not carry cross-round state of
+/// their own — true of every policy in this workspace, whose state is
+/// per-round and cleared by `end_round`).
+///
+/// A resumed run with `config.record_trace()` only records the rounds it
+/// actually executes; the assignment is still exact.
+///
+/// # Errors
+///
+/// [`PartitionError::Checkpoint`] if `resume` does not match this
+/// graph/config, plus everything [`run`] can return.
+pub fn run_with_checkpoints<P: SelectionPolicy + ?Sized>(
+    graph: &CsrGraph,
+    num_partitions: usize,
+    config: &TlpConfig,
+    policy: &mut P,
+    resume: Option<&EngineCheckpoint>,
+    mut sink: Option<CheckpointSink<'_>>,
+) -> Result<(EdgePartition, Option<Trace>), PartitionError> {
     if num_partitions == 0 {
         return Err(PartitionError::ZeroPartitions);
     }
@@ -31,19 +65,37 @@ pub fn run<P: SelectionPolicy + ?Sized>(
 
     let m = graph.num_edges();
     let n = graph.num_vertices();
-    let mut assignment: Vec<PartitionId> = vec![0; m];
     let trace = config.records_trace().then(Trace::new);
     if m == 0 {
-        return Ok((EdgePartition::new(num_partitions, assignment)?, trace));
+        return Ok((EdgePartition::new(num_partitions, vec![])?, trace));
     }
     let mut trace = trace;
 
     let capacity = config.capacity(m, num_partitions);
     let mut residual = ResidualGraph::new(graph);
     let mut ws = Workspace::new(n, config.frontier_cap_value().unwrap_or(usize::MAX));
-    let mut rng = StdRng::seed_from_u64(config.seed_value());
 
-    for k in 0..num_partitions as u32 {
+    let (mut assignment, mut rng, start_round) = match resume {
+        None => {
+            let assignment: Vec<PartitionId> = vec![0; m];
+            (assignment, StdRng::seed_from_u64(config.seed_value()), 0u32)
+        }
+        Some(ckpt) => {
+            ckpt.validate_for(n, m, num_partitions, config.seed_value())?;
+            for (e, &alloc) in ckpt.allocated.iter().enumerate() {
+                if alloc {
+                    residual.allocate(e as tlp_graph::EdgeId);
+                }
+            }
+            (
+                ckpt.assignment.clone(),
+                StdRng::from_state(ckpt.rng_state),
+                ckpt.next_round,
+            )
+        }
+    };
+
+    for k in start_round..num_partitions as u32 {
         if residual.is_exhausted() {
             break;
         }
@@ -59,6 +111,21 @@ pub fn run<P: SelectionPolicy + ?Sized>(
             policy,
             trace.as_mut(),
         );
+        if let Some(sink) = sink.as_mut() {
+            let snapshot = EngineCheckpoint {
+                seed: config.seed_value(),
+                num_partitions,
+                next_round: k + 1,
+                rng_state: rng.state(),
+                assignment: assignment.clone(),
+                allocated: (0..m as tlp_graph::EdgeId)
+                    .map(|e| !residual.is_free(e))
+                    .collect(),
+                num_vertices: n,
+                num_edges: m,
+            };
+            sink(&snapshot)?;
+        }
     }
 
     // Sweep any leftovers (possible only under `ReseedPolicy::Break`):

@@ -21,6 +21,13 @@ pub enum PartitionError {
     },
     /// An assignment vector did not form a valid partition of the graph.
     InvalidAssignment(String),
+    /// A checkpoint could not be applied to (or emitted during) a run:
+    /// wrong graph/config fingerprint, inconsistent state, or a sink
+    /// failure while persisting.
+    Checkpoint(String),
+    /// Every trial of a best-of-t run failed (panicked or timed out), so
+    /// there is no partition to return. The message lists each failure.
+    AllTrialsFailed(String),
 }
 
 impl fmt::Display for PartitionError {
@@ -36,6 +43,12 @@ impl fmt::Display for PartitionError {
             } => write!(f, "parameter {name} = {value} is invalid: {constraint}"),
             PartitionError::InvalidAssignment(message) => {
                 write!(f, "invalid edge assignment: {message}")
+            }
+            PartitionError::Checkpoint(message) => {
+                write!(f, "checkpoint error: {message}")
+            }
+            PartitionError::AllTrialsFailed(message) => {
+                write!(f, "all trials failed: {message}")
             }
         }
     }

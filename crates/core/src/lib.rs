@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 mod error;
 mod metrics;
@@ -50,11 +51,14 @@ pub mod engine;
 pub mod stage1;
 pub mod stage2;
 
+pub use checkpoint::EngineCheckpoint;
 pub use config::{ReseedPolicy, SelectionStrategy, TlpConfig};
 pub use error::PartitionError;
 pub use metrics::PartitionMetrics;
 pub use modularity::Modularity;
-pub use parallel::{available_threads, parallel_map, trial_seed, ParallelTrialRunner, TrialReport};
+pub use parallel::{
+    available_threads, parallel_map, trial_seed, ParallelTrialRunner, TrialFailure, TrialReport,
+};
 pub use partition::{EdgePartition, PartitionId};
 pub use partitioner::EdgePartitioner;
 pub use single_stage::{StageOneOnlyPartitioner, StageTwoOnlyPartitioner};

@@ -13,8 +13,10 @@ use crate::metrics::PartitionMetrics;
 use crate::partition::EdgePartition;
 use crate::{PartitionError, TlpConfig};
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 use tlp_graph::CsrGraph;
 
 /// The number of worker threads a `0 = auto` setting resolves to.
@@ -80,6 +82,23 @@ pub fn trial_seed(base: u64, index: usize) -> u64 {
     }
 }
 
+/// Why a trial produced no partition: it panicked or overran its deadline.
+/// Failed trials are excluded from winner selection; their slots in
+/// [`TrialReport::trial_rfs`] hold `NaN`.
+#[derive(Clone, Debug)]
+pub struct TrialFailure {
+    /// Index of the failed trial in `[0, trials)`.
+    pub index: usize,
+    /// Panic payload or timeout description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TrialFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trial {}: {}", self.index, self.message)
+    }
+}
+
 /// The outcome of a multi-trial run: the winning partition plus the
 /// per-trial replication factors (for spread reporting).
 #[derive(Clone, Debug)]
@@ -89,8 +108,12 @@ pub struct TrialReport {
     pub partition: EdgePartition,
     /// Index of the winning trial in `[0, trials)`.
     pub best_trial: usize,
-    /// Replication factor of every trial, indexed by trial.
+    /// Replication factor of every trial, indexed by trial; `NaN` for
+    /// trials that failed (see [`TrialReport::failures`]).
     pub trial_rfs: Vec<f64>,
+    /// Trials that panicked or timed out, in trial order. Empty on a fully
+    /// healthy run.
+    pub failures: Vec<TrialFailure>,
 }
 
 impl TrialReport {
@@ -99,7 +122,8 @@ impl TrialReport {
         self.trial_rfs[self.best_trial]
     }
 
-    /// `(min, max)` replication factor over all trials.
+    /// `(min, max)` replication factor over all trials. Failed trials
+    /// (`NaN` slots) are skipped — `f64::min`/`max` ignore `NaN` operands.
     pub fn rf_spread(&self) -> (f64, f64) {
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
@@ -108,6 +132,27 @@ impl TrialReport {
             max = max.max(rf);
         }
         (min, max)
+    }
+}
+
+/// How one isolated trial ended.
+enum TrialOutcome {
+    /// Completed: partition plus its replication factor.
+    Done(EdgePartition, f64),
+    /// Returned a typed error (deterministic; propagated to the caller).
+    Error(PartitionError),
+    /// Panicked or timed out; excluded from winner selection.
+    Poisoned(String),
+}
+
+/// Renders a panic payload as a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("trial panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("trial panicked: {s}")
+    } else {
+        "trial panicked (non-string payload)".to_string()
     }
 }
 
@@ -120,16 +165,34 @@ impl TrialReport {
 /// keeping the best is an embarrassingly parallel way to buy quality with
 /// cores instead of wall-clock. Trial 0 uses the configured seed verbatim,
 /// so `trials = 1` reproduces the plain single run bit for bit.
+///
+/// # Fault isolation
+///
+/// Each trial runs under `catch_unwind`: a panicking trial is recorded in
+/// [`TrialReport::failures`] and excluded from winner selection instead of
+/// aborting the other `t - 1` trials. With a
+/// [`trial_deadline`](ParallelTrialRunner::trial_deadline), trials
+/// additionally run on dedicated watchdogged threads; a trial that overruns
+/// the deadline is excluded the same way (its thread is detached and left
+/// to finish in the background — the engine has no cancellation points).
+/// Only if *every* trial fails does `run` return
+/// [`PartitionError::AllTrialsFailed`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ParallelTrialRunner {
     config: TlpConfig,
+    deadline: Option<Duration>,
+    probe: Option<fn(usize)>,
 }
 
 impl ParallelTrialRunner {
     /// Creates a runner; `config.trials()` / `config.threads()` control the
     /// trial count and worker cap.
     pub fn new(config: TlpConfig) -> Self {
-        ParallelTrialRunner { config }
+        ParallelTrialRunner {
+            config,
+            deadline: None,
+            probe: None,
+        }
     }
 
     /// The configuration this runner uses.
@@ -137,13 +200,33 @@ impl ParallelTrialRunner {
         &self.config
     }
 
+    /// Sets a wall-clock budget per trial. Trials that overrun it are
+    /// reported in [`TrialReport::failures`] and excluded. Note that a
+    /// deadline makes the *set of surviving trials* timing-dependent, so
+    /// runs using one are only deterministic while no trial straddles the
+    /// limit.
+    pub fn trial_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Test hook: called with the trial index at the start of each trial,
+    /// inside its isolation boundary (a panicking probe poisons exactly
+    /// that trial). A plain `fn` pointer so the runner stays `Copy`.
+    pub fn trial_probe(mut self, probe: fn(usize)) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
     /// Runs all trials and returns the best partition plus per-trial RFs.
     ///
     /// # Errors
     ///
-    /// Propagates the first failing trial's [`PartitionError`] (in trial
-    /// order), or the config/partition-count validation errors of a plain
-    /// run.
+    /// Propagates the first trial's typed [`PartitionError`] (in trial
+    /// order — these are deterministic config errors every trial shares),
+    /// the config/partition-count validation errors of a plain run, or
+    /// [`PartitionError::AllTrialsFailed`] when every trial panicked or
+    /// timed out.
     pub fn run(
         &self,
         graph: &CsrGraph,
@@ -160,32 +243,121 @@ impl ParallelTrialRunner {
             .collect();
         // Trace recording is a single-run concern; trials race plain runs.
         let base = self.config.record_trace(false);
-        let outcomes = parallel_map(threads, &seeds, |_, &seed| {
+        let probe = self.probe;
+        // A deadline needs detachable ('static) trial threads, so the graph
+        // is shared by Arc; without one the borrow runs on scoped workers.
+        let shared: Option<Arc<CsrGraph>> = self.deadline.map(|_| Arc::new(graph.clone()));
+
+        let outcomes = parallel_map(threads, &seeds, |i, &seed| {
             let config = base.seed(seed);
-            run_staged(graph, num_partitions, &config, ModularitySwitch).map(|(partition, _)| {
-                let rf = PartitionMetrics::compute(graph, &partition).replication_factor;
-                (partition, rf)
-            })
+            match (self.deadline, &shared) {
+                (Some(deadline), Some(shared)) => run_trial_with_deadline(
+                    Arc::clone(shared),
+                    num_partitions,
+                    config,
+                    probe,
+                    i,
+                    deadline,
+                ),
+                _ => run_trial(graph, num_partitions, config, probe, i),
+            }
         });
 
-        let mut partitions = Vec::with_capacity(trials);
+        let mut partitions: Vec<Option<EdgePartition>> = Vec::with_capacity(trials);
         let mut trial_rfs = Vec::with_capacity(trials);
-        for outcome in outcomes {
-            let (partition, rf) = outcome?;
-            partitions.push(partition);
-            trial_rfs.push(rf);
+        let mut failures = Vec::new();
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                TrialOutcome::Done(partition, rf) => {
+                    partitions.push(Some(partition));
+                    trial_rfs.push(rf);
+                }
+                TrialOutcome::Error(e) => return Err(e),
+                TrialOutcome::Poisoned(message) => {
+                    partitions.push(None);
+                    trial_rfs.push(f64::NAN);
+                    failures.push(TrialFailure { index, message });
+                }
+            }
         }
         let best_trial = trial_rfs
             .iter()
             .enumerate()
+            .filter(|(_, rf)| !rf.is_nan())
             .min_by(|(ai, a), (bi, b)| a.total_cmp(b).then(ai.cmp(bi)))
-            .map(|(i, _)| i)
-            .expect("at least one trial");
+            .map(|(i, _)| i);
+        let Some(best_trial) = best_trial else {
+            let summary = failures
+                .iter()
+                .map(TrialFailure::to_string)
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(PartitionError::AllTrialsFailed(summary));
+        };
         Ok(TrialReport {
-            partition: partitions.swap_remove(best_trial),
+            partition: partitions[best_trial]
+                .take()
+                .expect("winner has a partition"),
             best_trial,
             trial_rfs,
+            failures,
         })
+    }
+}
+
+/// One panic-isolated trial on the calling (scoped worker) thread.
+fn run_trial(
+    graph: &CsrGraph,
+    num_partitions: usize,
+    config: TlpConfig,
+    probe: Option<fn(usize)>,
+    index: usize,
+) -> TrialOutcome {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(probe) = probe {
+            probe(index);
+        }
+        run_staged(graph, num_partitions, &config, ModularitySwitch).map(|(partition, _)| {
+            let rf = PartitionMetrics::compute(graph, &partition).replication_factor;
+            (partition, rf)
+        })
+    }));
+    match result {
+        Ok(Ok((partition, rf))) => TrialOutcome::Done(partition, rf),
+        Ok(Err(e)) => TrialOutcome::Error(e),
+        Err(payload) => TrialOutcome::Poisoned(panic_message(payload)),
+    }
+}
+
+/// One panic-isolated trial on a dedicated thread, abandoned (detached, not
+/// killed) if it outlives `deadline`.
+fn run_trial_with_deadline(
+    graph: Arc<CsrGraph>,
+    num_partitions: usize,
+    config: TlpConfig,
+    probe: Option<fn(usize)>,
+    index: usize,
+    deadline: Duration,
+) -> TrialOutcome {
+    let (tx, rx) = mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name(format!("tlp-trial-{index}"))
+        .spawn(move || {
+            let outcome = run_trial(&graph, num_partitions, config, probe, index);
+            // The receiver is gone if the watchdog already timed out.
+            let _ = tx.send(outcome);
+        });
+    if spawned.is_err() {
+        return TrialOutcome::Poisoned("could not spawn trial thread".to_string());
+    }
+    match rx.recv_timeout(deadline) {
+        Ok(outcome) => outcome,
+        Err(mpsc::RecvTimeoutError::Timeout) => TrialOutcome::Poisoned(format!(
+            "trial exceeded its {deadline:?} deadline and was abandoned"
+        )),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            TrialOutcome::Poisoned("trial thread exited without reporting".to_string())
+        }
     }
 }
 
@@ -293,6 +465,85 @@ mod tests {
             .unwrap();
         assert_eq!(a, b);
         assert_eq!(a, first.partition);
+    }
+
+    fn panic_on_trial_two(index: usize) {
+        if index == 2 {
+            panic!("injected trial poison");
+        }
+    }
+
+    #[test]
+    fn poisoned_trial_is_excluded_not_fatal() {
+        let g = chung_lu(200, 800, 2.2, 7);
+        let config = TlpConfig::new().seed(5).trials(4);
+        let report = ParallelTrialRunner::new(config)
+            .trial_probe(panic_on_trial_two)
+            .run(&g, 6)
+            .unwrap();
+        assert_eq!(report.trial_rfs.len(), 4);
+        assert!(report.trial_rfs[2].is_nan(), "poisoned slot must be NaN");
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].index, 2);
+        assert!(report.failures[0].message.contains("injected trial poison"));
+        assert_ne!(report.best_trial, 2);
+        report.partition.validate_for(&g).unwrap();
+        // The surviving trials are the ones a healthy run would produce.
+        let healthy = ParallelTrialRunner::new(config).run(&g, 6).unwrap();
+        for i in [0usize, 1, 3] {
+            assert_eq!(report.trial_rfs[i], healthy.trial_rfs[i]);
+        }
+    }
+
+    fn panic_always(_index: usize) {
+        panic!("every trial dies");
+    }
+
+    #[test]
+    fn all_trials_failing_is_a_typed_error() {
+        let g = chung_lu(100, 400, 2.2, 1);
+        let err = ParallelTrialRunner::new(TlpConfig::new().trials(3))
+            .trial_probe(panic_always)
+            .run(&g, 4)
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::AllTrialsFailed(_)));
+        assert!(format!("{err}").contains("every trial dies"));
+    }
+
+    fn stall_trial_one(index: usize) {
+        if index == 1 {
+            std::thread::sleep(std::time::Duration::from_millis(500));
+        }
+    }
+
+    #[test]
+    fn deadline_excludes_overrunning_trial() {
+        let g = chung_lu(100, 400, 2.2, 2);
+        let report = ParallelTrialRunner::new(TlpConfig::new().seed(3).trials(2).threads(1))
+            .trial_deadline(std::time::Duration::from_millis(100))
+            .trial_probe(stall_trial_one)
+            .run(&g, 4)
+            .unwrap();
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].index, 1);
+        assert!(report.failures[0].message.contains("deadline"));
+        assert_eq!(report.best_trial, 0);
+        report.partition.validate_for(&g).unwrap();
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let g = chung_lu(150, 600, 2.2, 4);
+        let config = TlpConfig::new().seed(8).trials(3);
+        let plain = ParallelTrialRunner::new(config).run(&g, 5).unwrap();
+        let dead = ParallelTrialRunner::new(config)
+            .trial_deadline(std::time::Duration::from_secs(120))
+            .run(&g, 5)
+            .unwrap();
+        assert_eq!(plain.partition, dead.partition);
+        assert_eq!(plain.best_trial, dead.best_trial);
+        assert_eq!(plain.trial_rfs, dead.trial_rfs);
+        assert!(dead.failures.is_empty());
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The paper's TLP algorithm: modularity-switched two-stage local
 //! partitioning.
 
-use crate::engine::{run_staged, ModularitySwitch};
+use crate::engine::{run_staged, run_staged_with_checkpoints, CheckpointSink, ModularitySwitch};
 use crate::{
-    EdgePartition, EdgePartitioner, ParallelTrialRunner, PartitionError, TlpConfig, Trace,
+    EdgePartition, EdgePartitioner, EngineCheckpoint, ParallelTrialRunner, PartitionError,
+    TlpConfig, Trace,
 };
 use tlp_graph::CsrGraph;
 
@@ -58,6 +59,39 @@ impl TwoStageLocalPartitioner {
         let config = self.config.record_trace(true);
         let (partition, trace) = run_staged(graph, num_partitions, &config, ModularitySwitch)?;
         Ok((partition, trace.expect("trace was requested")))
+    }
+
+    /// Single-trial partitioning with kill-and-resume support.
+    ///
+    /// When `resume` is given, the run continues from that round-boundary
+    /// snapshot; when `sink` is given, it receives an [`EngineCheckpoint`]
+    /// after each completed round. A resumed run produces the exact
+    /// partition the uninterrupted run with the same seed would have (the
+    /// resume bit-identity tests pin this). Multi-trial racing
+    /// (`config.trials() > 1`) is a different execution model and is not
+    /// checkpointable; this method always runs one trial with the
+    /// configured seed.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::Checkpoint`] if `resume` does not match this
+    /// graph/config, plus everything [`EdgePartitioner::partition`] returns.
+    pub fn partition_with_checkpoints(
+        &self,
+        graph: &CsrGraph,
+        num_partitions: usize,
+        resume: Option<&EngineCheckpoint>,
+        sink: Option<CheckpointSink<'_>>,
+    ) -> Result<EdgePartition, PartitionError> {
+        run_staged_with_checkpoints(
+            graph,
+            num_partitions,
+            &self.config,
+            ModularitySwitch,
+            resume,
+            sink,
+        )
+        .map(|(partition, _)| partition)
     }
 }
 

@@ -1,0 +1,125 @@
+//! Resume bit-identity: a run resumed from any round-boundary checkpoint
+//! must produce the exact partition (same assignment, same RF) the
+//! uninterrupted run with the same seed produces, across generator
+//! families and partition counts.
+
+#![allow(clippy::unwrap_used)]
+
+use tlp_core::{
+    EdgePartitioner, EngineCheckpoint, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner,
+};
+use tlp_graph::generators::{
+    barabasi_albert, chung_lu, erdos_renyi, genealogy, power_law_community, rmat, RmatProbabilities,
+};
+use tlp_graph::CsrGraph;
+
+/// One small instance per generator family.
+fn family_graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("chung_lu", chung_lu(300, 1_200, 2.2, 5)),
+        ("erdos_renyi", erdos_renyi(300, 1_200, 6)),
+        ("barabasi_albert", barabasi_albert(300, 4, 7)),
+        ("rmat", rmat(8, 1_200, RmatProbabilities::default(), 8)),
+        (
+            "power_law_community",
+            power_law_community(300, 1_200, 2.1, 6, 0.2, 9),
+        ),
+        ("genealogy", genealogy(400, 700, 10)),
+    ]
+}
+
+fn check_family(name: &str, graph: &CsrGraph, p: usize) {
+    let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(21));
+
+    // Uninterrupted run, capturing every round-boundary checkpoint.
+    let mut checkpoints: Vec<EngineCheckpoint> = Vec::new();
+    let mut sink = |ckpt: &EngineCheckpoint| {
+        checkpoints.push(ckpt.clone());
+        Ok(())
+    };
+    let base = tlp
+        .partition_with_checkpoints(graph, p, None, Some(&mut sink))
+        .unwrap();
+    // One checkpoint per *executed* round: the engine stops early once the
+    // residual is exhausted, so high p on a small graph yields fewer.
+    assert!(
+        !checkpoints.is_empty() && checkpoints.len() <= p,
+        "{name} p={p}: {} checkpoints for {p} rounds",
+        checkpoints.len()
+    );
+
+    // The checkpoint plumbing itself must not perturb the result.
+    let plain = tlp.partition(graph, p).unwrap();
+    assert_eq!(base, plain, "{name} p={p}: sink presence changed the run");
+
+    let base_rf = PartitionMetrics::compute(graph, &base).replication_factor;
+
+    // Resume from the first, a middle, and the last checkpoint (the last
+    // is the degenerate nothing-left-to-do case).
+    let rounds = checkpoints.len();
+    let picks = [0, rounds / 2, rounds.saturating_sub(2), rounds - 1];
+    for &j in &picks {
+        let resumed = tlp
+            .partition_with_checkpoints(graph, p, Some(&checkpoints[j]), None)
+            .unwrap();
+        assert_eq!(
+            resumed,
+            base,
+            "{name} p={p}: resume from round {} diverged",
+            j + 1
+        );
+        let rf = PartitionMetrics::compute(graph, &resumed).replication_factor;
+        assert!(
+            rf == base_rf,
+            "{name} p={p}: resumed RF {rf} != uninterrupted RF {base_rf}"
+        );
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_at_p4() {
+    for (name, graph) in family_graphs() {
+        check_family(name, &graph, 4);
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_at_p8() {
+    for (name, graph) in family_graphs() {
+        check_family(name, &graph, 8);
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_at_p32() {
+    for (name, graph) in family_graphs() {
+        check_family(name, &graph, 32);
+    }
+}
+
+#[test]
+fn mismatched_checkpoint_is_rejected() {
+    let graph = chung_lu(300, 1_200, 2.2, 5);
+    let other = chung_lu(200, 800, 2.2, 5);
+    let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(21));
+
+    let mut checkpoints: Vec<EngineCheckpoint> = Vec::new();
+    let mut sink = |ckpt: &EngineCheckpoint| {
+        checkpoints.push(ckpt.clone());
+        Ok(())
+    };
+    tlp.partition_with_checkpoints(&graph, 4, None, Some(&mut sink))
+        .unwrap();
+
+    // Wrong graph shape.
+    let err = tlp
+        .partition_with_checkpoints(&other, 4, Some(&checkpoints[0]), None)
+        .unwrap_err();
+    assert!(matches!(err, tlp_core::PartitionError::Checkpoint(_)));
+
+    // Wrong partition count.
+    let err = tlp
+        .partition_with_checkpoints(&graph, 8, Some(&checkpoints[0]), None)
+        .unwrap_err();
+    assert!(matches!(err, tlp_core::PartitionError::Checkpoint(_)));
+}

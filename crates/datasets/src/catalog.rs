@@ -243,6 +243,8 @@ static CATALOG: [DatasetSpec; 9] = [
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tlp_graph::degree::DegreeStats;
 

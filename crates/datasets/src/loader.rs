@@ -18,9 +18,18 @@ use tlp_store::{write_graph, StoreReader, WriteOptions};
 /// cache actually prevents re-parsing.
 static TEXT_PARSES: AtomicU64 = AtomicU64::new(0);
 
+/// Process-wide count of stale or corrupt `.tlpg` caches [`load`] has
+/// deleted. Observable via [`cache_eviction_count`].
+static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
 /// Number of text edge-list parses [`load`] has performed in this process.
 pub fn text_parse_count() -> u64 {
     TEXT_PARSES.load(Ordering::Relaxed)
+}
+
+/// Number of invalid `.tlpg` caches [`load`] has evicted in this process.
+pub fn cache_eviction_count() -> u64 {
+    CACHE_EVICTIONS.load(Ordering::Relaxed)
 }
 
 /// Where a loaded graph came from.
@@ -44,6 +53,15 @@ pub enum Provenance {
     },
 }
 
+/// What happened along the way while satisfying a [`load`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// A stale or corrupt `.tlpg` cache was found and deleted during this
+    /// load (it is rewritten from the fresh text parse, so the next load
+    /// hits the cache again instead of re-probing the bad file forever).
+    pub evicted_invalid_cache: bool,
+}
+
 /// A dataset instance plus its provenance.
 #[derive(Clone, Debug)]
 pub struct LoadedDataset {
@@ -51,6 +69,8 @@ pub struct LoadedDataset {
     pub graph: CsrGraph,
     /// Real file, its binary cache, or synthetic stand-in.
     pub provenance: Provenance,
+    /// Side effects of this particular load (cache evictions).
+    pub outcome: LoadOutcome,
 }
 
 /// Candidate file names for a dataset inside the data directory.
@@ -67,20 +87,44 @@ fn cache_path(source: &Path) -> PathBuf {
     PathBuf::from(format!("{}.tlpg", source.display()))
 }
 
-/// Tries to satisfy a load from the binary cache beside `source`. Returns
-/// `None` (never an error) when the cache is absent, stale, or unreadable —
-/// the caller falls back to the text parse.
-fn load_from_cache(source: &Path) -> Option<CsrGraph> {
+/// Result of probing the binary cache beside a text dataset file.
+enum CacheProbe {
+    /// No cache file exists.
+    Absent,
+    /// A valid, up-to-date cache was read.
+    Hit(CsrGraph),
+    /// A cache file existed but was stale, corrupt, or unreadable; it has
+    /// been deleted so later loads don't keep re-probing it.
+    Evicted,
+}
+
+/// Probes the binary cache beside `source`. Never an error — on anything
+/// short of a valid, up-to-date cache the caller falls back to the text
+/// parse. An invalid cache file (stale stamp, corrupt payload, unreadable)
+/// is deleted rather than left in place: the text parse that follows
+/// rewrites it, and leaving it would make every future load pay the failed
+/// probe again.
+fn probe_cache(source: &Path) -> CacheProbe {
     let cache = cache_path(source);
     if !cache.is_file() {
-        return None;
+        return CacheProbe::Absent;
     }
-    let reader = StoreReader::open(&cache).ok()?;
-    let stamp = SourceStamp::of_file(source).ok()?;
-    if reader.header().source != stamp {
-        return None; // text file changed since the cache was written
+    let graph = (|| {
+        let reader = StoreReader::open(&cache).ok()?;
+        let stamp = SourceStamp::of_file(source).ok()?;
+        if reader.header().source != stamp {
+            return None; // text file changed since the cache was written
+        }
+        Some(reader.read_graph().ok()?.graph)
+    })();
+    match graph {
+        Some(graph) => CacheProbe::Hit(graph),
+        None => {
+            let _ = std::fs::remove_file(&cache);
+            CACHE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            CacheProbe::Evicted
+        }
     }
-    Some(reader.read_graph().ok()?.graph)
 }
 
 /// Loads a dataset: the real file from `data_dir` when one exists
@@ -90,7 +134,9 @@ fn load_from_cache(source: &Path) -> Option<CsrGraph> {
 /// When a real file is found, a valid sibling `.tlpg` cache short-circuits
 /// the text parse; otherwise the text is parsed and the cache (re)written
 /// best-effort (cache-write failures are ignored — e.g. a read-only data
-/// directory just means every load parses text).
+/// directory just means every load parses text). A stale or corrupt cache
+/// is **deleted** before the text parse, recorded in the returned
+/// [`LoadOutcome`] and the process-wide [`cache_eviction_count`].
 ///
 /// # Errors
 ///
@@ -117,14 +163,20 @@ pub fn load<P: AsRef<Path>>(
         if !path.is_file() {
             continue;
         }
-        if let Some(graph) = load_from_cache(&path) {
-            return Ok(LoadedDataset {
-                graph,
-                provenance: Provenance::BinaryCache {
-                    cache: cache_path(&path),
-                    source: path,
-                },
-            });
+        let mut outcome = LoadOutcome::default();
+        match probe_cache(&path) {
+            CacheProbe::Hit(graph) => {
+                return Ok(LoadedDataset {
+                    graph,
+                    provenance: Provenance::BinaryCache {
+                        cache: cache_path(&path),
+                        source: path,
+                    },
+                    outcome,
+                });
+            }
+            CacheProbe::Evicted => outcome.evicted_invalid_cache = true,
+            CacheProbe::Absent => {}
         }
         TEXT_PARSES.fetch_add(1, Ordering::Relaxed);
         let loaded = io::read_edge_list_file(&path)?;
@@ -136,6 +188,7 @@ pub fn load<P: AsRef<Path>>(
         return Ok(LoadedDataset {
             graph: loaded.graph,
             provenance: Provenance::Real(path),
+            outcome,
         });
     }
     Ok(LoadedDataset {
@@ -143,11 +196,14 @@ pub fn load<P: AsRef<Path>>(
         provenance: Provenance::Synthetic {
             scale_milli: (scale * 1000.0).round() as u32,
         },
+        outcome: LoadOutcome::default(),
     })
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::DatasetId;
     use std::io::Write;
@@ -259,10 +315,13 @@ mod tests {
         // Change the source (different length => different stamp).
         std::fs::write(&path, "0 1\n1 2\n2 3\n3 4\n").unwrap();
         let before = text_parse_count();
+        let evictions_before = cache_eviction_count();
         let ds = load(spec, &dir, 1.0, 0).unwrap();
         assert_eq!(ds.provenance, Provenance::Real(path.clone()));
         assert_eq!(ds.graph.num_edges(), 4, "stale cache served old graph");
         assert_eq!(text_parse_count(), before + 1);
+        assert_eq!(cache_eviction_count(), evictions_before + 1);
+        assert!(ds.outcome.evicted_invalid_cache, "eviction not reported");
 
         // And the rewritten cache now serves the new content.
         let again = load(spec, &dir, 1.0, 0).unwrap();
@@ -284,9 +343,43 @@ mod tests {
         load(spec, &dir, 1.0, 0).unwrap();
         std::fs::write(cache_path(&path), b"garbage").unwrap();
 
+        let evictions_before = cache_eviction_count();
         let ds = load(spec, &dir, 1.0, 0).unwrap();
         assert_eq!(ds.provenance, Provenance::Real(path.clone()));
         assert_eq!(ds.graph.num_edges(), 2);
+        assert_eq!(cache_eviction_count(), evictions_before + 1);
+        assert!(ds.outcome.evicted_invalid_cache, "eviction not reported");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn evicted_cache_is_rewritten_not_reprobed() {
+        let _guard = counter_guard();
+        let dir = std::env::temp_dir().join(format!("tlp-loader-evict-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("email-Eu-core.txt");
+        std::fs::write(&path, "0 1\n1 2\n").unwrap();
+
+        let spec = DatasetSpec::get(DatasetId::G1);
+        load(spec, &dir, 1.0, 0).unwrap();
+        std::fs::write(cache_path(&path), b"garbage").unwrap();
+
+        // The load that trips over the garbage evicts and rewrites it...
+        let evictions_before = cache_eviction_count();
+        let ds = load(spec, &dir, 1.0, 0).unwrap();
+        assert!(ds.outcome.evicted_invalid_cache);
+        assert!(
+            cache_path(&path).is_file(),
+            "cache not rewritten after eviction"
+        );
+
+        // ...so the next load is a clean cache hit, with no second eviction.
+        let next = load(spec, &dir, 1.0, 0).unwrap();
+        assert!(matches!(next.provenance, Provenance::BinaryCache { .. }));
+        assert!(!next.outcome.evicted_invalid_cache);
+        assert_eq!(cache_eviction_count(), evictions_before + 1);
+        assert_eq!(next.graph, ds.graph);
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

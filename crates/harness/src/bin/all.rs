@@ -1,11 +1,21 @@
 //! Runs the complete evaluation: Table III, Fig. 8 + Table IV, Figs. 9-11,
 //! and Table VI, writing all CSV/JSON outputs to the results directory.
+use tlp_harness::HarnessError;
+
+fn run_all(ctx: &tlp_harness::ExperimentContext) -> Result<(), HarnessError> {
+    tlp_harness::table3::run(ctx)?;
+    let records = tlp_harness::fig8::run(ctx)?;
+    tlp_harness::table4::from_records(ctx, &records)?;
+    tlp_harness::tlp_r_sweep::run(ctx)?;
+    tlp_harness::table6::run(ctx)?;
+    Ok(())
+}
+
 fn main() {
-    let ctx = tlp_harness::ExperimentContext::parse(std::env::args().skip(1));
-    tlp_harness::table3::run(&ctx);
-    let records = tlp_harness::fig8::run(&ctx);
-    tlp_harness::table4::from_records(&ctx, &records);
-    tlp_harness::tlp_r_sweep::run(&ctx);
-    tlp_harness::table6::run(&ctx);
+    let ctx = tlp_harness::ExperimentContext::parse_or_exit(std::env::args().skip(1));
+    if let Err(e) = run_all(&ctx) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
     eprintln!("all experiments complete; outputs in {:?}", ctx.out_dir);
 }

@@ -1,5 +1,6 @@
 //! Shared CLI context for the experiment binaries.
 
+use crate::HarnessError;
 use std::path::PathBuf;
 use tlp_datasets::{loader, DatasetId, DatasetSpec};
 use tlp_graph::CsrGraph;
@@ -40,44 +41,69 @@ impl Default for ExperimentContext {
 impl ExperimentContext {
     /// Parses the common flags from an argument list (excluding argv[0]).
     ///
-    /// Unknown flags abort with a usage message, keeping the binaries honest.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+    /// # Errors
+    ///
+    /// [`HarnessError::Usage`] on an unknown flag, a missing value, or a
+    /// value that fails to parse.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, HarnessError> {
         let mut ctx = ExperimentContext::default();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             let mut value_of = |flag: &str| {
                 iter.next()
-                    .unwrap_or_else(|| panic!("flag {flag} requires a value"))
+                    .ok_or_else(|| HarnessError::Usage(format!("flag {flag} requires a value")))
             };
             match arg.as_str() {
-                "--data-dir" => ctx.data_dir = PathBuf::from(value_of("--data-dir")),
-                "--out-dir" => ctx.out_dir = PathBuf::from(value_of("--out-dir")),
-                "--seed" => ctx.seed = value_of("--seed").parse().expect("--seed takes an integer"),
+                "--data-dir" => ctx.data_dir = PathBuf::from(value_of("--data-dir")?),
+                "--out-dir" => ctx.out_dir = PathBuf::from(value_of("--out-dir")?),
+                "--seed" => {
+                    ctx.seed = value_of("--seed")?
+                        .parse()
+                        .map_err(|_| HarnessError::Usage("--seed takes an integer".to_string()))?
+                }
                 "--scale" => {
-                    let s: f64 = value_of("--scale").parse().expect("--scale takes a float");
-                    assert!(s > 0.0 && s <= 1.0, "--scale must be in (0, 1]");
+                    let s: f64 = value_of("--scale")?
+                        .parse()
+                        .map_err(|_| HarnessError::Usage("--scale takes a float".to_string()))?;
+                    if !(s > 0.0 && s <= 1.0) {
+                        return Err(HarnessError::Usage("--scale must be in (0, 1]".to_string()));
+                    }
                     ctx.scale_override = Some(s);
                 }
                 "--quick" => ctx.quick = true,
                 "--threads" => {
-                    ctx.threads = value_of("--threads")
-                        .parse()
-                        .expect("--threads takes an integer")
+                    ctx.threads = value_of("--threads")?.parse().map_err(|_| {
+                        HarnessError::Usage("--threads takes an integer".to_string())
+                    })?
                 }
                 "--datasets" => {
-                    let list = value_of("--datasets");
+                    let list = value_of("--datasets")?;
                     ctx.datasets = list
                         .split(',')
                         .map(|tok| parse_dataset(tok.trim()))
-                        .collect();
+                        .collect::<Result<_, _>>()?;
                 }
-                other => panic!(
-                    "unknown flag {other}; supported: --datasets --scale --seed --quick \
-                     --threads --data-dir --out-dir"
-                ),
+                other => {
+                    return Err(HarnessError::Usage(format!(
+                        "unknown flag {other}; supported: --datasets --scale --seed --quick \
+                         --threads --data-dir --out-dir"
+                    )))
+                }
             }
         }
-        ctx
+        Ok(ctx)
+    }
+
+    /// [`parse`](Self::parse), but prints the error and exits with status 2
+    /// on failure — the front door for the experiment binaries.
+    pub fn parse_or_exit<I: IntoIterator<Item = String>>(args: I) -> Self {
+        match Self::parse(args) {
+            Ok(ctx) => ctx,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// The worker-thread count experiments should use (`--threads`, with 0
@@ -102,39 +128,56 @@ impl ExperimentContext {
     }
 
     /// Loads one dataset (real file if present, synthetic otherwise).
-    pub fn load(&self, id: DatasetId) -> (CsrGraph, &'static DatasetSpec, f64) {
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Dataset`] when a real file exists but fails to parse
+    /// (the synthetic path is infallible).
+    pub fn load(
+        &self,
+        id: DatasetId,
+    ) -> Result<(CsrGraph, &'static DatasetSpec, f64), HarnessError> {
         let spec = DatasetSpec::get(id);
         let scale = self.scale_for(spec);
         let ds = loader::load(spec, &self.data_dir, scale, self.seed)
-            .unwrap_or_else(|e| panic!("failed to load {id}: {e}"));
-        (ds.graph, spec, scale)
+            .map_err(|source| HarnessError::Dataset { id, source })?;
+        Ok((ds.graph, spec, scale))
     }
 
     /// Ensures the output directory exists and returns a path inside it.
-    pub fn out_path(&self, file: &str) -> PathBuf {
-        std::fs::create_dir_all(&self.out_dir).expect("create out dir");
-        self.out_dir.join(file)
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Io`] when the output directory cannot be created.
+    pub fn out_path(&self, file: &str) -> Result<PathBuf, HarnessError> {
+        std::fs::create_dir_all(&self.out_dir).map_err(|e| {
+            HarnessError::io(
+                format!("create output directory {}", self.out_dir.display()),
+                e,
+            )
+        })?;
+        Ok(self.out_dir.join(file))
     }
 }
 
-fn parse_dataset(token: &str) -> DatasetId {
+fn parse_dataset(token: &str) -> Result<DatasetId, HarnessError> {
     DatasetId::ALL
         .into_iter()
         .find(|id| id.to_string().eq_ignore_ascii_case(token))
-        .unwrap_or_else(|| panic!("unknown dataset {token}; expected G1..G9"))
+        .ok_or_else(|| HarnessError::Usage(format!("unknown dataset {token}; expected G1..G9")))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> ExperimentContext {
+    fn parse(args: &[&str]) -> Result<ExperimentContext, HarnessError> {
         ExperimentContext::parse(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
     fn defaults() {
-        let ctx = parse(&[]);
+        let ctx = parse(&[]).unwrap();
         assert_eq!(ctx.seed, 42);
         assert_eq!(ctx.datasets.len(), 9);
         assert!(!ctx.quick);
@@ -156,7 +199,8 @@ mod tests {
             "/d",
             "--out-dir",
             "/o",
-        ]);
+        ])
+        .unwrap();
         assert_eq!(ctx.datasets, vec![DatasetId::G1, DatasetId::G3]);
         assert_eq!(ctx.scale_override, Some(0.5));
         assert_eq!(ctx.seed, 7);
@@ -167,20 +211,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown flag")]
-    fn unknown_flag_panics() {
-        parse(&["--frobnicate"]);
+    fn unknown_flag_is_a_usage_error() {
+        let err = parse(&["--frobnicate"]).unwrap_err();
+        assert!(matches!(err, HarnessError::Usage(_)));
+        assert!(err.to_string().contains("unknown flag"));
     }
 
     #[test]
-    #[should_panic(expected = "unknown dataset")]
-    fn unknown_dataset_panics() {
-        parse(&["--datasets", "G42"]);
+    fn unknown_dataset_is_a_usage_error() {
+        let err = parse(&["--datasets", "G42"]).unwrap_err();
+        assert!(err.to_string().contains("unknown dataset"));
+    }
+
+    #[test]
+    fn missing_value_and_bad_parse_are_usage_errors() {
+        assert!(parse(&["--seed"])
+            .unwrap_err()
+            .to_string()
+            .contains("requires a value"));
+        assert!(parse(&["--seed", "abc"])
+            .unwrap_err()
+            .to_string()
+            .contains("integer"));
+        assert!(parse(&["--scale", "1.5"])
+            .unwrap_err()
+            .to_string()
+            .contains("(0, 1]"));
     }
 
     #[test]
     fn quick_caps_scale() {
-        let ctx = parse(&["--quick"]);
+        let ctx = parse(&["--quick"]).unwrap();
         let spec = tlp_datasets::DatasetSpec::get(DatasetId::G8); // 905k edges
         let scale = ctx.scale_for(spec);
         assert!(scale * spec.edges as f64 <= 61_000.0);

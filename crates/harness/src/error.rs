@@ -1,0 +1,99 @@
+//! Typed errors for the experiment harness.
+
+use std::fmt;
+
+/// Everything that can go wrong while parsing experiment flags, loading a
+/// dataset, running a partitioner, or writing result files.
+///
+/// The harness binaries render these with [`fmt::Display`] and exit
+/// non-zero instead of panicking, so a typo'd flag or a read-only results
+/// directory produces a one-line diagnosis rather than a backtrace.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// A CLI flag was unknown, malformed, or missing its value.
+    Usage(String),
+    /// A dataset file exists but failed to load or parse.
+    Dataset {
+        /// The dataset being loaded.
+        id: tlp_datasets::DatasetId,
+        /// The underlying load failure.
+        source: tlp_graph::GraphError,
+    },
+    /// A partitioner failed during an experiment run.
+    Partition {
+        /// What was running when it failed.
+        context: String,
+        /// The underlying partitioner error.
+        source: tlp_core::PartitionError,
+    },
+    /// A result file (or the output directory itself) failed to write.
+    Io {
+        /// What was being written.
+        context: String,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+}
+
+impl HarnessError {
+    /// Wraps an I/O error with a description of what was being written.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        HarnessError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Wraps a partitioner error with a description of what was running.
+    pub fn partition(context: impl Into<String>, source: tlp_core::PartitionError) -> Self {
+        HarnessError::Partition {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Usage(message) => write!(f, "{message}"),
+            HarnessError::Dataset { id, source } => {
+                write!(f, "failed to load {id}: {source}")
+            }
+            HarnessError::Partition { context, source } => {
+                write!(f, "{context}: {source}")
+            }
+            HarnessError::Io { context, source } => {
+                write!(f, "{context}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Usage(_) => None,
+            HarnessError::Dataset { source, .. } => Some(source),
+            HarnessError::Partition { source, .. } => Some(source),
+            HarnessError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line_and_sourced() {
+        use std::error::Error as _;
+        let e = HarnessError::io(
+            "write table3.csv",
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        );
+        assert_eq!(e.to_string(), "write table3.csv: denied");
+        assert!(e.source().is_some());
+        assert!(HarnessError::Usage("bad flag".into()).source().is_none());
+    }
+}

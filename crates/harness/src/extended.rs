@@ -4,7 +4,7 @@
 
 use crate::experiment::{run_matrix, RfRecord};
 use crate::report::{write_csv, TextTable};
-use crate::{ExperimentContext, PARTITION_COUNTS};
+use crate::{ExperimentContext, HarnessError, PARTITION_COUNTS};
 use tlp_baselines::{
     DbhPartitioner, EdgeOrder, FennelPartitioner, GreedyPartitioner, HdrfPartitioner,
     LdgPartitioner, NePartitioner, RandomPartitioner, VertexOrder,
@@ -37,11 +37,15 @@ pub fn extended_lineup(seed: u64) -> Vec<Box<dyn EdgePartitioner>> {
 
 /// Runs the extended comparison across `ctx.worker_threads()` threads,
 /// printing one panel per partition count and writing `extended.csv`.
-pub fn run(ctx: &ExperimentContext) -> Vec<RfRecord> {
+///
+/// # Errors
+///
+/// [`HarnessError`] when a dataset fails to load or the CSV fails to write.
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<RfRecord>, HarnessError> {
     let lineup_size = extended_lineup(ctx.seed).len();
     let mut records = Vec::new();
     for &id in &ctx.datasets {
-        let (graph, spec, scale) = ctx.load(id);
+        let (graph, spec, scale) = ctx.load(id)?;
         eprintln!(
             "extended: {id} ({}) at scale {scale:.4}: {} edges",
             spec.name,
@@ -82,12 +86,12 @@ pub fn run(ctx: &ExperimentContext) -> Vec<RfRecord> {
         })
         .collect();
     write_csv(
-        ctx.out_path("extended.csv"),
+        ctx.out_path("extended.csv")?,
         &["dataset", "algorithm", "p", "rf", "balance", "seconds"],
         &csv_rows,
     )
-    .expect("write extended.csv");
-    records
+    .map_err(|e| HarnessError::io("write extended.csv", e))?;
+    Ok(records)
 }
 
 /// Ranks algorithms by mean RF across all records (ties broken by name).

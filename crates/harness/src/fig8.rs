@@ -3,7 +3,7 @@
 
 use crate::experiment::{paper_lineup, run_matrix, RfRecord};
 use crate::report::{write_csv, write_json, TextTable};
-use crate::{ExperimentContext, PARTITION_COUNTS};
+use crate::{ExperimentContext, HarnessError, PARTITION_COUNTS};
 
 /// Runs the Fig. 8 comparison and returns all records.
 ///
@@ -11,12 +11,17 @@ use crate::{ExperimentContext, PARTITION_COUNTS};
 /// `ctx.worker_threads()` threads. Prints one table per partition count
 /// (mirroring Fig. 8's three panels) and writes `fig8.csv` / `fig8.json`
 /// to the output directory.
-pub fn run(ctx: &ExperimentContext) -> Vec<RfRecord> {
+///
+/// # Errors
+///
+/// [`HarnessError`] when a dataset fails to load or a result file fails to
+/// write.
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<RfRecord>, HarnessError> {
     let lineup_size = paper_lineup(ctx.seed).len();
     let mut records: Vec<RfRecord> = Vec::new();
 
     for &id in &ctx.datasets {
-        let (graph, spec, scale) = ctx.load(id);
+        let (graph, spec, scale) = ctx.load(id)?;
         eprintln!(
             "fig8: {id} ({}) at scale {scale:.4}: {} vertices, {} edges",
             spec.name,
@@ -58,13 +63,14 @@ pub fn run(ctx: &ExperimentContext) -> Vec<RfRecord> {
         })
         .collect();
     write_csv(
-        ctx.out_path("fig8.csv"),
+        ctx.out_path("fig8.csv")?,
         &["dataset", "algorithm", "p", "rf", "balance", "seconds"],
         &csv_rows,
     )
-    .expect("write fig8.csv");
-    write_json(ctx.out_path("fig8.json"), &records).expect("write fig8.json");
-    records
+    .map_err(|e| HarnessError::io("write fig8.csv", e))?;
+    write_json(ctx.out_path("fig8.json")?, &records)
+        .map_err(|e| HarnessError::io("write fig8.json", e))?;
+    Ok(records)
 }
 
 /// Renders one Fig. 8 panel (a fixed `p`) as a dataset x algorithm table.

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod context;
+mod error;
 pub mod experiment;
 pub mod extended;
 pub mod fig8;
@@ -35,6 +36,7 @@ pub mod table6;
 pub mod tlp_r_sweep;
 
 pub use context::ExperimentContext;
+pub use error::HarnessError;
 
 /// The partition counts evaluated throughout the paper.
 pub const PARTITION_COUNTS: [usize; 3] = [10, 15, 20];

@@ -1,7 +1,7 @@
 //! Table III: dataset statistics (paper values vs. instantiated graphs).
 
 use crate::report::{write_csv, TextTable};
-use crate::ExperimentContext;
+use crate::{ExperimentContext, HarnessError};
 use tlp_core::parallel_map;
 use tlp_graph::stats::GraphStats;
 
@@ -10,7 +10,11 @@ use tlp_graph::stats::GraphStats;
 ///
 /// Returns the rendered table (also printed to stdout, with a CSV in the
 /// output directory).
-pub fn run(ctx: &ExperimentContext) -> String {
+///
+/// # Errors
+///
+/// [`HarnessError`] when a dataset fails to load or the CSV fails to write.
+pub fn run(ctx: &ExperimentContext) -> Result<String, HarnessError> {
     let mut table = TextTable::new();
     table.row([
         "graph",
@@ -28,11 +32,12 @@ pub fn run(ctx: &ExperimentContext) -> String {
     // Dataset instantiation (file parse or synthetic generation) dominates
     // here, so load and summarize the datasets in parallel.
     let loaded = parallel_map(ctx.worker_threads(), &ctx.datasets, |_, &id| {
-        let (graph, spec, scale) = ctx.load(id);
+        let (graph, spec, scale) = ctx.load(id)?;
         let stats = GraphStats::of(&graph);
-        (id, spec, scale, stats)
+        Ok::<_, HarnessError>((id, spec, scale, stats))
     });
-    for (id, spec, scale, stats) in loaded {
+    for item in loaded {
+        let (id, spec, scale, stats) = item?;
         table.row([
             spec.name.to_string(),
             id.to_string(),
@@ -60,7 +65,7 @@ pub fn run(ctx: &ExperimentContext) -> String {
     let rendered = table.render();
     println!("Table III — dataset statistics\n{rendered}");
     write_csv(
-        ctx.out_path("table3.csv"),
+        ctx.out_path("table3.csv")?,
         &[
             "dataset",
             "name",
@@ -74,8 +79,8 @@ pub fn run(ctx: &ExperimentContext) -> String {
         ],
         &csv_rows,
     )
-    .expect("write table3.csv");
-    rendered
+    .map_err(|e| HarnessError::io("write table3.csv", e))?;
+    Ok(rendered)
 }
 
 #[cfg(test)]
@@ -91,7 +96,7 @@ mod tests {
             out_dir: std::env::temp_dir().join(format!("tlp-t3-{}", std::process::id())),
             ..ExperimentContext::default()
         };
-        let out = run(&ctx);
+        let out = run(&ctx).unwrap();
         assert!(out.contains("email-Eu-core"));
         assert!(ctx.out_dir.join("table3.csv").is_file());
         std::fs::remove_dir_all(&ctx.out_dir).unwrap();

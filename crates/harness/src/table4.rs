@@ -2,13 +2,17 @@
 
 use crate::experiment::RfRecord;
 use crate::report::{write_csv, TextTable};
-use crate::{ExperimentContext, PARTITION_COUNTS};
+use crate::{ExperimentContext, HarnessError, PARTITION_COUNTS};
 
 /// Computes Table IV from Fig. 8 records (reuses them when the caller
 /// already ran [`crate::fig8::run`]; the `table4` binary runs Fig. 8 first).
 ///
 /// A positive ΔRF means TLP beat METIS on that configuration.
-pub fn from_records(ctx: &ExperimentContext, records: &[RfRecord]) -> String {
+///
+/// # Errors
+///
+/// [`HarnessError::Io`] when the CSV fails to write.
+pub fn from_records(ctx: &ExperimentContext, records: &[RfRecord]) -> Result<String, HarnessError> {
     let datasets: Vec<String> = {
         let mut v = Vec::new();
         for r in records {
@@ -63,12 +67,12 @@ pub fn from_records(ctx: &ExperimentContext, records: &[RfRecord]) -> String {
     );
     println!("{rendered}");
     write_csv(
-        ctx.out_path("table4.csv"),
+        ctx.out_path("table4.csv")?,
         &["dataset", "p", "delta_rf"],
         &csv_rows,
     )
-    .expect("write table4.csv");
-    rendered
+    .map_err(|e| HarnessError::io("write table4.csv", e))?;
+    Ok(rendered)
 }
 
 #[cfg(test)]
@@ -98,7 +102,7 @@ mod tests {
             out_dir: std::env::temp_dir().join(format!("tlp-t4-{}", std::process::id())),
             ..ExperimentContext::default()
         };
-        let out = from_records(&ctx, &records);
+        let out = from_records(&ctx, &records).unwrap();
         assert!(out.contains("+0.500"), "{out}");
         assert!(out.contains("-0.200"), "{out}");
         assert!(out.contains("+0.150"), "missing average: {out}");

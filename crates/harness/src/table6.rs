@@ -1,7 +1,7 @@
 //! Table VI: average degree of the vertices selected in each TLP stage.
 
 use crate::report::{write_csv, TextTable};
-use crate::{ExperimentContext, PARTITION_COUNTS};
+use crate::{ExperimentContext, HarnessError, PARTITION_COUNTS};
 use tlp_core::{parallel_map, TlpConfig, TwoStageLocalPartitioner};
 
 /// One Table VI cell pair.
@@ -23,25 +23,32 @@ pub struct StageDegreeRow {
 /// The paper's headline observation — Stage I picks high-degree core
 /// vertices, Stage II expands with low-degree neighbors — shows up as
 /// `stage1 >> stage2` on every row.
-pub fn run(ctx: &ExperimentContext) -> Vec<StageDegreeRow> {
+///
+/// # Errors
+///
+/// [`HarnessError`] when a dataset fails to load, a TLP run fails, or the
+/// CSV fails to write.
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<StageDegreeRow>, HarnessError> {
     let mut rows = Vec::new();
     for &id in &ctx.datasets {
-        let (graph, _, scale) = ctx.load(id);
+        let (graph, _, scale) = ctx.load(id)?;
         eprintln!("table6: {id} at scale {scale:.4}");
         let per_p = parallel_map(ctx.worker_threads(), &PARTITION_COUNTS, |_, &p| {
             let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(ctx.seed));
             let (_, trace) = tlp
                 .partition_with_trace(&graph, p)
-                .expect("TLP run for Table VI");
+                .map_err(|e| HarnessError::partition(format!("TLP on {id} p={p}"), e))?;
             let summary = trace.stage_degree_summary();
-            StageDegreeRow {
+            Ok(StageDegreeRow {
                 dataset: id.to_string(),
                 p,
                 stage1: summary.stage1_avg_degree,
                 stage2: summary.stage2_avg_degree,
-            }
+            })
         });
-        rows.extend(per_p);
+        for row in per_p {
+            rows.push(row?);
+        }
     }
 
     let mut table = TextTable::new();
@@ -94,12 +101,12 @@ pub fn run(ctx: &ExperimentContext) -> Vec<StageDegreeRow> {
         })
         .collect();
     write_csv(
-        ctx.out_path("table6.csv"),
+        ctx.out_path("table6.csv")?,
         &["dataset", "p", "stage1_avg_degree", "stage2_avg_degree"],
         &csv_rows,
     )
-    .expect("write table6.csv");
-    rows
+    .map_err(|e| HarnessError::io("write table6.csv", e))?;
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -115,7 +122,7 @@ mod tests {
             out_dir: std::env::temp_dir().join(format!("tlp-t6-{}", std::process::id())),
             ..ExperimentContext::default()
         };
-        let rows = run(&ctx);
+        let rows = run(&ctx).unwrap();
         assert_eq!(rows.len(), 3);
         for r in &rows {
             assert!(

@@ -1,7 +1,7 @@
 //! Figs. 9–11: TLP vs TLP_R with R swept over [0, 1] in steps of 0.1.
 
 use crate::report::{write_csv, TextTable};
-use crate::{ExperimentContext, PARTITION_COUNTS};
+use crate::{ExperimentContext, HarnessError, PARTITION_COUNTS};
 use tlp_core::{
     EdgePartitioner, EdgeRatioLocalPartitioner, PartitionMetrics, TlpConfig,
     TwoStageLocalPartitioner,
@@ -46,22 +46,31 @@ impl SweepSeries {
 }
 
 /// Runs the full sweep (Figs. 9, 10, 11 correspond to p = 10, 15, 20).
-pub fn run(ctx: &ExperimentContext) -> Vec<SweepSeries> {
+///
+/// # Errors
+///
+/// [`HarnessError`] when a dataset fails to load, a partitioner run fails,
+/// or the CSV fails to write.
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<SweepSeries>, HarnessError> {
     let mut series = Vec::new();
     let ratios = sweep_ratios();
     for &id in &ctx.datasets {
-        let (graph, _, scale) = ctx.load(id);
+        let (graph, _, scale) = ctx.load(id)?;
         eprintln!("tlp_r sweep: {id} at scale {scale:.4}");
         for &p in &PARTITION_COUNTS {
             let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(ctx.seed));
-            let partition = tlp.partition(&graph, p).expect("TLP");
+            let partition = tlp
+                .partition(&graph, p)
+                .map_err(|e| HarnessError::partition(format!("TLP on {id} p={p}"), e))?;
             let tlp_rf = PartitionMetrics::compute(&graph, &partition).replication_factor;
 
             let mut curve = Vec::with_capacity(ratios.len());
             for &r in &ratios {
                 let algo = EdgeRatioLocalPartitioner::new(TlpConfig::new().seed(ctx.seed), r)
-                    .expect("valid ratio");
-                let part = algo.partition(&graph, p).expect("TLP_R");
+                    .map_err(|e| HarnessError::partition(format!("TLP_R R={r}"), e))?;
+                let part = algo.partition(&graph, p).map_err(|e| {
+                    HarnessError::partition(format!("TLP_R R={r} on {id} p={p}"), e)
+                })?;
                 let rf = PartitionMetrics::compute(&graph, &part).replication_factor;
                 curve.push((r, rf));
             }
@@ -111,12 +120,12 @@ pub fn run(ctx: &ExperimentContext) -> Vec<SweepSeries> {
         ]);
     }
     write_csv(
-        ctx.out_path("fig9_10_11.csv"),
+        ctx.out_path("fig9_10_11.csv")?,
         &["dataset", "p", "r", "rf", "algorithm"],
         &csv_rows,
     )
-    .expect("write fig9_10_11.csv");
-    series
+    .map_err(|e| HarnessError::io("write fig9_10_11.csv", e))?;
+    Ok(series)
 }
 
 /// Renders one figure (fixed `p`): datasets as rows, R values as columns,

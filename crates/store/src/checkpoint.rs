@@ -1,0 +1,272 @@
+//! On-disk persistence of engine checkpoints (`checkpoint.tlpc`).
+//!
+//! One fixed-layout little-endian binary file per checkpoint directory,
+//! replaced atomically after every completed round:
+//!
+//! ```text
+//! magic      8 bytes  "TLPCKPT\x01"
+//! seed       u64
+//! partitions u64
+//! next_round u32      (+ 4 reserved bytes)
+//! rng_state  4 x u64
+//! vertices   u64
+//! edges      u64      = m
+//! assignment m x u32
+//! allocated  ceil(m/8) bytes, bit e = edge e assigned (LSB-first)
+//! checksum   u64      FNV-1a over everything above
+//! ```
+//!
+//! The assignment array alone cannot distinguish "edge unassigned" from
+//! "edge in partition 0", hence the separate allocated bitmap. Writes go
+//! through [`crate::atomic_write`], so a crash mid-checkpoint leaves the
+//! previous round's file; a torn or flipped file fails the trailing
+//! checksum and surfaces as a typed [`StoreError`], never as a bogus
+//! resume state.
+
+use crate::atomic::atomic_write;
+use crate::faults::FaultFile;
+use crate::format::Checksum;
+use crate::StoreError;
+use std::io::{Read, Write};
+use std::path::Path;
+use tlp_core::EngineCheckpoint;
+
+/// File name of the checkpoint inside a checkpoint directory.
+pub const CHECKPOINT_NAME: &str = "checkpoint.tlpc";
+
+/// Magic prefix of a checkpoint file.
+const CHECKPOINT_MAGIC: [u8; 8] = *b"TLPCKPT\x01";
+
+/// Fixed-size prefix before the assignment array.
+const FIXED_LEN: usize = 8 + 8 + 8 + 4 + 4 + 32 + 8 + 8;
+
+/// Serialized byte length of `ckpt`.
+fn encoded_len(num_edges: usize) -> usize {
+    FIXED_LEN + 4 * num_edges + num_edges.div_ceil(8) + 8
+}
+
+/// Writes `ckpt` to `dir/checkpoint.tlpc`, atomically replacing any
+/// previous checkpoint.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on write failures (the previous checkpoint, if any,
+/// survives them).
+pub fn write_checkpoint(dir: &Path, ckpt: &EngineCheckpoint) -> Result<(), StoreError> {
+    std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
+    let mut bytes = Vec::with_capacity(encoded_len(ckpt.num_edges));
+    bytes.extend_from_slice(&CHECKPOINT_MAGIC);
+    bytes.extend_from_slice(&ckpt.seed.to_le_bytes());
+    bytes.extend_from_slice(&(ckpt.num_partitions as u64).to_le_bytes());
+    bytes.extend_from_slice(&ckpt.next_round.to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 4]);
+    for word in ckpt.rng_state {
+        bytes.extend_from_slice(&word.to_le_bytes());
+    }
+    bytes.extend_from_slice(&(ckpt.num_vertices as u64).to_le_bytes());
+    bytes.extend_from_slice(&(ckpt.num_edges as u64).to_le_bytes());
+    for &pid in &ckpt.assignment {
+        bytes.extend_from_slice(&pid.to_le_bytes());
+    }
+    let mut bitmap = vec![0u8; ckpt.num_edges.div_ceil(8)];
+    for (e, &alloc) in ckpt.allocated.iter().enumerate() {
+        if alloc {
+            bitmap[e / 8] |= 1 << (e % 8);
+        }
+    }
+    bytes.extend_from_slice(&bitmap);
+    let checksum = Checksum::of(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+
+    atomic_write(&dir.join(CHECKPOINT_NAME), |out| {
+        out.write_all(&bytes).map_err(StoreError::Io)
+    })
+}
+
+/// Reads the checkpoint in `dir`, if one exists.
+///
+/// Returns `Ok(None)` when no checkpoint file is present (a fresh run).
+///
+/// # Errors
+///
+/// [`StoreError::BadMagic`], [`StoreError::Truncated`],
+/// [`StoreError::ChecksumMismatch`], or [`StoreError::Corrupt`] for a
+/// damaged file; [`StoreError::Io`] for unreadable ones.
+pub fn read_checkpoint(dir: &Path) -> Result<Option<EngineCheckpoint>, StoreError> {
+    let path = dir.join(CHECKPOINT_NAME);
+    let mut file = match FaultFile::open(&path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(StoreError::Io)?;
+
+    if bytes.len() < FIXED_LEN + 8 {
+        return Err(StoreError::Truncated { what: "checkpoint" });
+    }
+    if bytes[0..8] != CHECKPOINT_MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[0..8]);
+        return Err(StoreError::BadMagic { found });
+    }
+    let payload = &bytes[..bytes.len() - 8];
+    let declared = u64::from_le_bytes(
+        bytes[bytes.len() - 8..]
+            .try_into()
+            .map_err(|_| StoreError::Truncated { what: "checkpoint" })?,
+    );
+    let actual = Checksum::of(payload);
+    if declared != actual {
+        return Err(StoreError::ChecksumMismatch {
+            section: "checkpoint",
+            expected: declared,
+            actual,
+        });
+    }
+
+    let u64_at = |off: usize| -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[off..off + 8]);
+        u64::from_le_bytes(b)
+    };
+    let seed = u64_at(8);
+    let num_partitions = u64_at(16) as usize;
+    let next_round = u32::from_le_bytes(
+        bytes[24..28]
+            .try_into()
+            .map_err(|_| StoreError::Truncated { what: "checkpoint" })?,
+    );
+    let mut rng_state = [0u64; 4];
+    for (i, word) in rng_state.iter_mut().enumerate() {
+        *word = u64_at(32 + 8 * i);
+    }
+    let num_vertices = u64_at(64) as usize;
+    let num_edges = u64_at(72) as usize;
+
+    if bytes.len() != encoded_len(num_edges) {
+        return Err(StoreError::Corrupt(format!(
+            "checkpoint is {} bytes, {} edges imply {}",
+            bytes.len(),
+            num_edges,
+            encoded_len(num_edges)
+        )));
+    }
+    let mut assignment = Vec::with_capacity(num_edges);
+    for pair in bytes[FIXED_LEN..FIXED_LEN + 4 * num_edges].chunks_exact(4) {
+        assignment.push(u32::from_le_bytes(
+            pair.try_into()
+                .map_err(|_| StoreError::Truncated { what: "checkpoint" })?,
+        ));
+    }
+    let bitmap = &bytes[FIXED_LEN + 4 * num_edges..bytes.len() - 8];
+    let allocated: Vec<bool> = (0..num_edges)
+        .map(|e| bitmap[e / 8] & (1 << (e % 8)) != 0)
+        .collect();
+
+    Ok(Some(EngineCheckpoint {
+        seed,
+        num_partitions,
+        next_round,
+        rng_state,
+        assignment,
+        allocated,
+        num_vertices,
+        num_edges,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::faults;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tlp-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> EngineCheckpoint {
+        EngineCheckpoint {
+            seed: 99,
+            num_partitions: 8,
+            next_round: 3,
+            rng_state: [11, 22, 33, 44],
+            assignment: vec![0, 2, 1, 0, 2, 1, 0, 0, 1],
+            allocated: vec![true, true, true, false, true, true, false, false, true],
+            num_vertices: 12,
+            num_edges: 9,
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let _guard = faults::test_lock();
+        let dir = temp_dir("rt");
+        let ckpt = sample();
+        write_checkpoint(&dir, &ckpt).unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap().unwrap(), ckpt);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        let _guard = faults::test_lock();
+        let dir = temp_dir("none");
+        assert!(read_checkpoint(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_byte_fails_the_checksum() {
+        let _guard = faults::test_lock();
+        let dir = temp_dir("flip");
+        write_checkpoint(&dir, &sample()).unwrap();
+        let path = dir.join(CHECKPOINT_NAME);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[40] ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_checkpoint(&dir).unwrap_err(),
+            StoreError::ChecksumMismatch { .. }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_typed() {
+        let _guard = faults::test_lock();
+        let dir = temp_dir("trunc");
+        write_checkpoint(&dir, &sample()).unwrap();
+        let path = dir.join(CHECKPOINT_NAME);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let err = read_checkpoint(&dir).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. } | StoreError::ChecksumMismatch { .. }
+            ),
+            "unexpected error {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_replaces_previous_checkpoint() {
+        let _guard = faults::test_lock();
+        let dir = temp_dir("rw");
+        let mut ckpt = sample();
+        write_checkpoint(&dir, &ckpt).unwrap();
+        ckpt.next_round = 4;
+        ckpt.allocated[3] = true;
+        ckpt.assignment[3] = 3;
+        write_checkpoint(&dir, &ckpt).unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap().unwrap(), ckpt);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -54,6 +54,16 @@ pub enum StoreError {
     MissingDegrees,
     /// Reconstructing the in-memory graph from stored blocks failed.
     Graph(GraphError),
+    /// A partition store held segment data but no readable commit record
+    /// (its writer crashed mid-write); the directory has been renamed
+    /// aside so the torn data is preserved for inspection but can never be
+    /// read as a valid store.
+    TornStore {
+        /// Where the torn store directory was moved.
+        quarantined: std::path::PathBuf,
+        /// Why the store was judged torn.
+        cause: Box<StoreError>,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -83,6 +93,11 @@ impl fmt::Display for StoreError {
                 write!(f, "stream source does not supply exact vertex degrees")
             }
             StoreError::Graph(e) => write!(f, "graph reconstruction failed: {e}"),
+            StoreError::TornStore { quarantined, cause } => write!(
+                f,
+                "torn partition store quarantined to {}: {cause}",
+                quarantined.display()
+            ),
         }
     }
 }
@@ -92,6 +107,7 @@ impl StdError for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             StoreError::Graph(e) => Some(e),
+            StoreError::TornStore { cause, .. } => Some(cause.as_ref()),
             _ => None,
         }
     }
@@ -115,6 +131,8 @@ impl From<GraphError> for StoreError {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]
@@ -136,6 +154,10 @@ mod tests {
                 message: "bad field".into(),
             },
             StoreError::MissingDegrees,
+            StoreError::TornStore {
+                quarantined: "store.quarantine".into(),
+                cause: Box::new(StoreError::Truncated { what: "manifest" }),
+            },
         ];
         for e in cases {
             assert!(!format!("{e}").is_empty());

@@ -315,6 +315,8 @@ pub fn read_exact_or_truncated<R: Read>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -23,6 +23,18 @@
 //!   metrics (including Claim 1 modularity) from the segments,
 //!   bit-identically to the live run.
 //!
+//! # Fault tolerance
+//!
+//! All durable writes (graphs, segments, manifests, checkpoints) go
+//! through [`atomic_write`]: temp file + fsync + atomic rename, so a crash
+//! leaves the previous file or nothing — never a torn one. The partition
+//! store's manifest doubles as a commit record; an uncommitted store is
+//! quarantined on open ([`StoreError::TornStore`]). The [`faults`] module
+//! provides deterministic fault injection ([`FaultFile`], [`FaultSchedule`])
+//! that every store I/O path is threaded through, which is how the
+//! crash-point sweep tests drive the above guarantees. The [`checkpoint`]
+//! module persists partitioner snapshots for kill-and-resume runs.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -38,16 +50,23 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
+mod atomic;
+mod checkpoint;
 mod error;
 mod partition_store;
 mod reader;
 mod stream;
 mod writer;
 
+pub mod faults;
 pub mod format;
 
+pub use atomic::atomic_write;
+pub use checkpoint::{read_checkpoint, write_checkpoint, CHECKPOINT_NAME};
 pub use error::StoreError;
+pub use faults::{FaultFile, FaultKind, FaultSchedule};
 pub use format::{Header, SourceStamp, CHUNK_EDGES, MAGIC, VERSION};
 pub use partition_store::{
     write_partition_store, PartitionManifest, PartitionStoreReader, SegmentEntry, MANIFEST_NAME,

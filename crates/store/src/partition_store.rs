@@ -13,10 +13,24 @@
 //! The manifest is a versioned, line-oriented text format parsed by this
 //! module (the vendored `serde_json` is serialize-only, so JSON is not an
 //! option for data we must read back).
+//!
+//! # Crash safety
+//!
+//! Stores are written transactionally: every segment file is staged through
+//! a temp file and atomically renamed into place, and the manifest — the
+//! *commit record* — is written last, the same way. A crash at any point
+//! therefore leaves either a committed store (manifest present, all
+//! segments it names present and checksummed) or an uncommitted directory
+//! with no manifest. [`PartitionStoreReader::open`] detects the latter
+//! (segment data present, manifest missing or unreadable), renames the
+//! whole directory aside to `<dir>.quarantine[.N]`, and reports
+//! [`StoreError::TornStore`] — a torn store is never parsed as data and
+//! never silently shadows a later rewrite.
 
+use crate::atomic::atomic_write;
 use crate::format::Checksum;
 use crate::StoreError;
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use tlp_core::{EdgePartition, PartitionId, PartitionMetrics};
 use tlp_graph::{CsrGraph, Edge};
@@ -208,8 +222,11 @@ impl PartitionManifest {
 
 /// Writes `partition` of `graph` as an on-disk partition store in `dir`.
 ///
-/// One segment file per partition plus `MANIFEST.tlp`. Returns the written
-/// manifest.
+/// One segment file per partition plus `MANIFEST.tlp`. Every file is
+/// written atomically (temp + fsync + rename), and the manifest is written
+/// last as the commit record: a crash mid-write leaves an uncommitted
+/// directory that [`PartitionStoreReader::open`] quarantines instead of
+/// parsing. Returns the written manifest.
 ///
 /// # Errors
 ///
@@ -228,6 +245,13 @@ pub fn write_partition_store(
         )));
     }
     std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
+    // A rewrite must not look committed while its segments are being
+    // replaced: retract the commit record first.
+    match std::fs::remove_file(dir.join(MANIFEST_NAME)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(StoreError::Io(e)),
+    }
     let metrics = PartitionMetrics::compute(graph, partition);
     let p = partition.num_partitions();
 
@@ -235,34 +259,33 @@ pub fn write_partition_store(
     for k in 0..p {
         let file = format!("part-{k:05}.seg");
         let seg_path = dir.join(&file);
-        let out = std::fs::File::create(&seg_path).map_err(StoreError::Io)?;
-        let mut out = BufWriter::new(out);
         let edge_count = metrics.edge_counts[k];
-
-        out.write_all(&SEGMENT_MAGIC).map_err(StoreError::Io)?;
-        out.write_all(&(k as u32).to_le_bytes())
-            .map_err(StoreError::Io)?;
-        out.write_all(&0u32.to_le_bytes()).map_err(StoreError::Io)?;
-        out.write_all(&(edge_count as u64).to_le_bytes())
-            .map_err(StoreError::Io)?;
-
         let mut checksum = Checksum::new();
-        let mut written = 0usize;
-        for (eid, edge) in graph.edges().iter().enumerate() {
-            if partition.partition_of(eid as u32) as usize != k {
-                continue;
+
+        atomic_write(&seg_path, |out| {
+            out.write_all(&SEGMENT_MAGIC).map_err(StoreError::Io)?;
+            out.write_all(&(k as u32).to_le_bytes())
+                .map_err(StoreError::Io)?;
+            out.write_all(&0u32.to_le_bytes()).map_err(StoreError::Io)?;
+            out.write_all(&(edge_count as u64).to_le_bytes())
+                .map_err(StoreError::Io)?;
+
+            let mut written = 0usize;
+            for (eid, edge) in graph.edges().iter().enumerate() {
+                if partition.partition_of(eid as u32) as usize != k {
+                    continue;
+                }
+                let mut pair = [0u8; 8];
+                pair[0..4].copy_from_slice(&edge.source().to_le_bytes());
+                pair[4..8].copy_from_slice(&edge.target().to_le_bytes());
+                checksum.update(&pair);
+                out.write_all(&pair).map_err(StoreError::Io)?;
+                written += 1;
             }
-            let mut pair = [0u8; 8];
-            pair[0..4].copy_from_slice(&edge.source().to_le_bytes());
-            pair[4..8].copy_from_slice(&edge.target().to_le_bytes());
-            checksum.update(&pair);
-            out.write_all(&pair).map_err(StoreError::Io)?;
-            written += 1;
-        }
-        debug_assert_eq!(written, edge_count);
-        out.write_all(&checksum.value().to_le_bytes())
-            .map_err(StoreError::Io)?;
-        out.flush().map_err(StoreError::Io)?;
+            debug_assert_eq!(written, edge_count);
+            out.write_all(&checksum.value().to_le_bytes())
+                .map_err(StoreError::Io)
+        })?;
 
         segments.push(SegmentEntry {
             partition: k as PartitionId,
@@ -280,8 +303,50 @@ pub fn write_partition_store(
         total_replicas: metrics.total_replicas,
         segments,
     };
-    std::fs::write(dir.join(MANIFEST_NAME), manifest.render()).map_err(StoreError::Io)?;
+    // Commit record: only after this rename is the store readable.
+    atomic_write(&dir.join(MANIFEST_NAME), |out| {
+        out.write_all(manifest.render().as_bytes())
+            .map_err(StoreError::Io)
+    })?;
     Ok(manifest)
+}
+
+/// True if `dir` holds partition-store content (segments or in-flight temp
+/// files) without necessarily having a manifest.
+fn has_store_content(dir: &Path) -> bool {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return false;
+    };
+    entries.flatten().any(|entry| {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        name.starts_with("part-") || name.ends_with(".tmp")
+    })
+}
+
+/// Renames `dir` aside to `<dir>.quarantine` (or `.quarantine.N` if taken).
+fn quarantine_dir(dir: &Path) -> Result<PathBuf, StoreError> {
+    let base = {
+        let mut name = dir.file_name().unwrap_or_default().to_os_string();
+        name.push(".quarantine");
+        dir.with_file_name(name)
+    };
+    let mut target = base.clone();
+    let mut n = 0u32;
+    while target.exists() {
+        n += 1;
+        if n > 1000 {
+            return Err(StoreError::Corrupt(format!(
+                "too many quarantined stores next to {}",
+                dir.display()
+            )));
+        }
+        let mut name = base.file_name().unwrap_or_default().to_os_string();
+        name.push(format!(".{n}"));
+        target = base.with_file_name(name);
+    }
+    std::fs::rename(dir, &target).map_err(StoreError::Io)?;
+    Ok(target)
 }
 
 /// Reader over an on-disk partition store.
@@ -294,16 +359,48 @@ pub struct PartitionStoreReader {
 impl PartitionStoreReader {
     /// Opens a store directory and parses its manifest.
     ///
+    /// A directory holding segment data but no readable commit record (the
+    /// writer crashed before or while writing `MANIFEST.tlp`) is a *torn
+    /// store*: it is renamed aside to `<dir>.quarantine[.N]` and reported
+    /// as [`StoreError::TornStore`], never parsed as data.
+    ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] if the manifest is unreadable,
-    /// [`StoreError::Manifest`]/[`StoreError::Truncated`] if malformed.
+    /// [`StoreError::TornStore`] for an uncommitted/corrupt store (after
+    /// quarantining it), [`StoreError::Io`] if the directory itself is
+    /// missing or unreadable.
     pub fn open(dir: &Path) -> Result<PartitionStoreReader, StoreError> {
-        let text = std::fs::read_to_string(dir.join(MANIFEST_NAME)).map_err(StoreError::Io)?;
+        let manifest = match std::fs::read_to_string(dir.join(MANIFEST_NAME)) {
+            Ok(text) => match PartitionManifest::parse(&text) {
+                Ok(manifest) => manifest,
+                Err(cause) => return Err(Self::quarantine(dir, cause)),
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && has_store_content(dir) => {
+                return Err(Self::quarantine(
+                    dir,
+                    StoreError::Manifest {
+                        line: 0,
+                        message: "commit record MANIFEST.tlp is missing".into(),
+                    },
+                ));
+            }
+            Err(e) => return Err(StoreError::Io(e)),
+        };
         Ok(PartitionStoreReader {
             dir: dir.to_path_buf(),
-            manifest: PartitionManifest::parse(&text)?,
+            manifest,
         })
+    }
+
+    /// Quarantines a torn store and wraps `cause` in the typed error.
+    fn quarantine(dir: &Path, cause: StoreError) -> StoreError {
+        match quarantine_dir(dir) {
+            Ok(quarantined) => StoreError::TornStore {
+                quarantined,
+                cause: Box::new(cause),
+            },
+            Err(rename_err) => rename_err,
+        }
     }
 
     /// The parsed manifest.
@@ -417,6 +514,8 @@ impl PartitionStoreReader {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tlp_graph::GraphBuilder;
 

@@ -1,11 +1,11 @@
 //! Reading `.tlpg` binary graph files.
 
+use crate::faults::FaultFile;
 use crate::format::{
     read_exact_or_truncated, Checksum, Header, SectionFrame, CHUNK_EDGES, HEADER_LEN,
     SECTION_FRAME_LEN, TAG_DEGREES, TAG_EDGES, TAG_ORIGINAL_IDS,
 };
 use crate::StoreError;
-use std::fs::File;
 use std::io::{BufReader, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use tlp_graph::{CsrGraph, Edge, VertexId};
@@ -60,7 +60,7 @@ impl StoreReader {
     /// [`StoreError::ChecksumMismatch`] (header), [`StoreError::Truncated`],
     /// or [`StoreError::Corrupt`] for structural defects.
     pub fn open(path: &Path) -> Result<StoreReader, StoreError> {
-        let file = File::open(path).map_err(StoreError::Io)?;
+        let file = FaultFile::open(path).map_err(StoreError::Io)?;
         let file_len = file.metadata().map_err(StoreError::Io)?.len();
         let mut reader = BufReader::new(file);
 
@@ -74,7 +74,7 @@ impl StoreReader {
         let section = |tag: u32,
                        what: &'static str,
                        expected_len: u64,
-                       reader: &mut BufReader<File>,
+                       reader: &mut BufReader<FaultFile>,
                        pos: &mut u64|
          -> Result<SectionAt, StoreError> {
             reader.seek(SeekFrom::Start(*pos)).map_err(StoreError::Io)?;
@@ -227,8 +227,8 @@ impl StoreReader {
     }
 
     /// A fresh buffered reader positioned at `pos` in the store file.
-    pub(crate) fn reader_at(&self, pos: u64) -> Result<BufReader<File>, StoreError> {
-        let mut reader = BufReader::new(File::open(&self.path).map_err(StoreError::Io)?);
+    pub(crate) fn reader_at(&self, pos: u64) -> Result<BufReader<FaultFile>, StoreError> {
+        let mut reader = BufReader::new(FaultFile::open(&self.path).map_err(StoreError::Io)?);
         reader.seek(SeekFrom::Start(pos)).map_err(StoreError::Io)?;
         Ok(reader)
     }

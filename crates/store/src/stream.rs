@@ -12,11 +12,11 @@
 //! * [`TextEdgeStream`] — a SNAP-style text edge list, parsed and interned
 //!   on the fly (vertex state is O(n); edge state is O(budget)).
 
+use crate::faults::FaultFile;
 use crate::format::{Checksum, CHUNK_EDGES};
 use crate::reader::{decode_edge, StoreReader};
 use crate::StoreError;
 use std::collections::HashMap;
-use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
 use tlp_graph::{CsrGraph, Edge, EdgeId, VertexId};
@@ -160,7 +160,7 @@ impl EdgeStream for CsrEdgeStream<'_> {
 /// stream reports completion.
 #[derive(Debug)]
 pub struct BinaryEdgeStream {
-    reader: BufReader<File>,
+    reader: BufReader<FaultFile>,
     remaining: usize,
     num_vertices: usize,
     prev: Option<Edge>,
@@ -279,7 +279,7 @@ impl EdgeStream for BinaryEdgeStream {
 /// first (`tlp-convert`), which canonicalizes once.
 #[derive(Debug)]
 pub struct TextEdgeStream {
-    reader: BufReader<File>,
+    reader: BufReader<FaultFile>,
     remap: HashMap<u64, VertexId>,
     line_no: usize,
     done: bool,
@@ -294,7 +294,7 @@ impl TextEdgeStream {
     ///
     /// [`StoreError::Io`] if the file cannot be opened.
     pub fn open(path: &Path, budget: usize) -> Result<Self, StoreError> {
-        let file = File::open(path).map_err(StoreError::Io)?;
+        let file = FaultFile::open(path).map_err(StoreError::Io)?;
         Ok(TextEdgeStream {
             reader: BufReader::new(file),
             remap: HashMap::new(),
@@ -375,6 +375,8 @@ fn parse_vertex(field: Option<&str>, line: usize, what: &str) -> Result<u64, Sto
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tlp_graph::GraphBuilder;
 

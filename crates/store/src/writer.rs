@@ -28,6 +28,11 @@ pub struct WriteOptions {
 /// the section frames are back-patched once the payload sizes are known
 /// (they are known up front here, but streaming checksum values are not).
 ///
+/// The file is written crash-safely: the payload goes to a sibling temp
+/// file that is fsynced and atomically renamed onto `path`, so an
+/// interrupted write leaves the previous file (or nothing) in place,
+/// never a torn `.tlpg`.
+///
 /// # Errors
 ///
 /// Returns [`StoreError::Io`] on any write failure.
@@ -45,9 +50,15 @@ pub fn write_graph(
             )));
         }
     }
-    let file = std::fs::File::create(path).map_err(StoreError::Io)?;
-    let mut out = BufWriter::new(file);
+    crate::atomic::atomic_write(path, |out| write_graph_payload(out, graph, options))
+}
 
+/// Emits the full `.tlpg` byte stream (header + framed sections) to `out`.
+fn write_graph_payload<W: Write + Seek>(
+    out: &mut BufWriter<W>,
+    graph: &CsrGraph,
+    options: &WriteOptions,
+) -> Result<(), StoreError> {
     let header = Header {
         num_vertices: graph.num_vertices() as u64,
         num_edges: graph.num_edges() as u64,
@@ -57,7 +68,7 @@ pub fn write_graph(
     out.write_all(&header.encode()).map_err(StoreError::Io)?;
 
     // DEGS: one u32 per vertex, chunked.
-    write_section(&mut out, TAG_DEGREES, |sink| {
+    write_section(out, TAG_DEGREES, |sink| {
         let mut buf = Vec::with_capacity(4 * CHUNK_EDGES.min(graph.num_vertices().max(1)));
         for v in graph.vertices() {
             buf.extend_from_slice(&(graph.degree(v) as u32).to_le_bytes());
@@ -70,7 +81,7 @@ pub fn write_graph(
     })?;
 
     // EDGE: canonical sorted (u, v) pairs, chunked.
-    write_section(&mut out, TAG_EDGES, |sink| {
+    write_section(out, TAG_EDGES, |sink| {
         let mut buf = Vec::with_capacity(8 * CHUNK_EDGES.min(graph.num_edges().max(1)));
         for e in graph.edges() {
             buf.extend_from_slice(&e.source().to_le_bytes());
@@ -84,7 +95,7 @@ pub fn write_graph(
     })?;
 
     if let Some(ids) = &options.original_ids {
-        write_section(&mut out, TAG_ORIGINAL_IDS, |sink| {
+        write_section(out, TAG_ORIGINAL_IDS, |sink| {
             let mut buf = Vec::with_capacity(8 * CHUNK_EDGES.min(ids.len().max(1)));
             for &id in ids {
                 buf.extend_from_slice(&id.to_le_bytes());
@@ -148,6 +159,8 @@ where
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use tlp_graph::GraphBuilder;
 

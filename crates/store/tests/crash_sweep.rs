@@ -1,0 +1,223 @@
+//! Crash-point sweep: inject a fault at every store I/O operation index in
+//! turn and assert the on-disk state after each failed write is the
+//! previous valid file (graphs, checkpoints) or a quarantined torn store
+//! (partition stores) — never silently corrupt data.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+use tlp_core::{EdgePartition, EngineCheckpoint};
+use tlp_graph::generators::chung_lu;
+use tlp_graph::CsrGraph;
+use tlp_store::faults::{self, FaultKind, FaultSchedule};
+use tlp_store::{
+    read_checkpoint, write_checkpoint, write_graph, write_partition_store, PartitionStoreReader,
+    StoreError, StoreReader, WriteOptions,
+};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tlp-sweep-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn read_back(path: &Path) -> Result<CsrGraph, StoreError> {
+    Ok(StoreReader::open(path)?.read_graph()?.graph)
+}
+
+/// Removes any `<dir>.quarantine[.N]` siblings left by a quarantining open.
+fn sweep_quarantines(dir: &Path) {
+    let name = dir.file_name().unwrap().to_string_lossy().to_string();
+    let parent = dir.parent().unwrap();
+    let Ok(entries) = std::fs::read_dir(parent) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let entry_name = entry.file_name().to_string_lossy().to_string();
+        if entry_name.starts_with(&format!("{name}.quarantine")) {
+            let _ = std::fs::remove_dir_all(entry.path());
+        }
+    }
+}
+
+#[test]
+fn graph_write_sweep_preserves_previous_file() {
+    let _guard = faults::test_lock();
+    let dir = temp_dir("graph");
+    let path = dir.join("g.tlpg");
+    let old = chung_lu(120, 480, 2.2, 7);
+    let new = chung_lu(120, 480, 2.2, 8);
+    let opts = WriteOptions::default();
+
+    write_graph(&path, &old, &opts).unwrap();
+    let (counted, total) = faults::count_ops(|| write_graph(&path, &new, &opts));
+    counted.unwrap();
+    assert!(total > 0, "op counter saw no I/O");
+    write_graph(&path, &old, &opts).unwrap(); // restore the "previous" state
+
+    for kind in [FaultKind::Crash, FaultKind::ShortWrite, FaultKind::Enospc] {
+        for at_op in 0..total {
+            faults::arm(FaultSchedule {
+                at_op,
+                kind,
+                seed: at_op,
+            });
+            let failed = write_graph(&path, &new, &opts);
+            faults::disarm();
+            assert!(
+                failed.is_err(),
+                "{kind:?} at op {at_op} did not fail the write"
+            );
+            let survivor = read_back(&path).unwrap_or_else(|e| {
+                panic!("{kind:?} at op {at_op}: previous file unreadable: {e}")
+            });
+            assert_eq!(
+                survivor, old,
+                "{kind:?} at op {at_op} corrupted the previous file"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn graph_write_bit_flips_are_never_read_back_silently() {
+    let _guard = faults::test_lock();
+    let dir = temp_dir("flip");
+    let path = dir.join("g.tlpg");
+    let graph = chung_lu(120, 480, 2.2, 9);
+    let opts = WriteOptions::default();
+
+    let (counted, total) = faults::count_ops(|| write_graph(&path, &graph, &opts));
+    counted.unwrap();
+
+    for at_op in 0..total {
+        faults::arm(FaultSchedule {
+            at_op,
+            kind: FaultKind::BitFlip,
+            seed: 0xC0FF_EE00 ^ at_op,
+        });
+        let result = write_graph(&path, &graph, &opts);
+        faults::disarm();
+        // A flip never fails the write itself; whatever got committed must
+        // either read back as exactly the written graph (flip landed in
+        // slack the reader ignores) or fail with a typed error — silently
+        // reading back a *different* graph is the one forbidden outcome.
+        result.unwrap();
+        if let Ok(g) = read_back(&path) {
+            assert_eq!(
+                g, graph,
+                "bit flip at op {at_op} silently changed the graph"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn partition_store_rewrite_sweep_quarantines_torn_stores() {
+    let _guard = faults::test_lock();
+    let root = temp_dir("pstore");
+    let store = root.join("store");
+    let graph = chung_lu(120, 480, 2.2, 11);
+    let m = graph.num_edges();
+    let p = 8;
+    let assignment: Vec<u32> = (0..m).map(|e| (e % p) as u32).collect();
+    let partition = EdgePartition::new(p, assignment).unwrap();
+
+    write_partition_store(&store, &graph, &partition).unwrap();
+    let (counted, total) = faults::count_ops(|| write_partition_store(&store, &graph, &partition));
+    counted.unwrap();
+    assert!(total > 0, "op counter saw no I/O");
+
+    for kind in [FaultKind::Crash, FaultKind::ShortWrite, FaultKind::Enospc] {
+        for at_op in 0..total {
+            faults::arm(FaultSchedule {
+                at_op,
+                kind,
+                seed: at_op,
+            });
+            let failed = write_partition_store(&store, &graph, &partition);
+            faults::disarm();
+            assert!(
+                failed.is_err(),
+                "{kind:?} at op {at_op} did not fail the rewrite"
+            );
+            // The commit record was retracted before the rewrite began, so
+            // every crash point leaves an uncommitted store: open must
+            // quarantine it, never parse it as data.
+            let err = PartitionStoreReader::open(&store).unwrap_err();
+            match err {
+                StoreError::TornStore {
+                    ref quarantined, ..
+                } => {
+                    assert!(quarantined.exists(), "quarantine target missing");
+                    assert!(!store.exists(), "torn store left in place");
+                }
+                other => panic!("{kind:?} at op {at_op}: expected TornStore, got {other}"),
+            }
+            sweep_quarantines(&store);
+            // Restore a committed store for the next crash point.
+            write_partition_store(&store, &graph, &partition).unwrap();
+        }
+    }
+
+    // Sanity: the restored store round-trips.
+    let (g2, p2) = PartitionStoreReader::open(&store).unwrap().load().unwrap();
+    assert_eq!(g2, graph);
+    assert_eq!(p2, partition);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn checkpoint_rewrite_sweep_preserves_previous_snapshot() {
+    let _guard = faults::test_lock();
+    let dir = temp_dir("ckpt");
+    let m = 9;
+    let old = EngineCheckpoint {
+        seed: 5,
+        num_partitions: 4,
+        next_round: 2,
+        rng_state: [1, 2, 3, 4],
+        assignment: vec![0, 1, 0, 1, 0, 0, 0, 1, 0],
+        allocated: vec![true, true, false, true, false, false, true, true, false],
+        num_vertices: 8,
+        num_edges: m,
+    };
+    let mut new = old.clone();
+    new.next_round = 3;
+    new.rng_state = [9, 9, 9, 9];
+    new.assignment[2] = 2;
+    new.allocated[2] = true;
+
+    write_checkpoint(&dir, &old).unwrap();
+    let (counted, total) = faults::count_ops(|| write_checkpoint(&dir, &new));
+    counted.unwrap();
+    write_checkpoint(&dir, &old).unwrap();
+
+    for kind in [FaultKind::Crash, FaultKind::ShortWrite, FaultKind::Enospc] {
+        for at_op in 0..total {
+            faults::arm(FaultSchedule {
+                at_op,
+                kind,
+                seed: at_op,
+            });
+            let failed = write_checkpoint(&dir, &new);
+            faults::disarm();
+            assert!(
+                failed.is_err(),
+                "{kind:?} at op {at_op} did not fail the checkpoint write"
+            );
+            let survivor = read_checkpoint(&dir).unwrap_or_else(|e| {
+                panic!("{kind:?} at op {at_op}: previous checkpoint unreadable: {e}")
+            });
+            assert_eq!(
+                survivor.as_ref(),
+                Some(&old),
+                "{kind:?} at op {at_op} lost the previous checkpoint"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

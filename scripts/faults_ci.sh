@@ -1,0 +1,70 @@
+#!/bin/bash
+# CI check for the fault-tolerance pipeline: generate a 100k-edge Chung-Lu
+# graph, SIGKILL a checkpointed TLP run at a seeded (and logged) random
+# point mid-run, resume from the checkpoint directory, and require the
+# final edge assignment to be byte-identical to the uninterrupted run.
+# Invoked from the repo root. Override the kill point with FAULTS_CI_SEED.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# The crash run is killed with SIGKILL, so $! must be the partitioner
+# process itself — build once and background the binary directly. Both
+# `cargo run` and a backgrounded shell function would put an intermediate
+# process in $!, and killing that orphans the partitioner, which then
+# races the resume run for the checkpoint directory.
+cargo build --release -q --bin tlp-cli
+BIN=./target/release/tlp-cli
+cli() { "$BIN" "$@"; }
+metrics() { grep -E '^(replication factor|balance|spanned vertices):' "$1"; }
+
+SEED="${FAULTS_CI_SEED:-11}"
+P=32
+RUN_SEED=7
+
+cli generate --family chung-lu --vertices 30000 --edges 100000 --seed "$SEED" \
+    --output "$WORK/graph.txt"
+
+# Baseline: the uninterrupted run whose assignment the resumed run must
+# reproduce bit for bit.
+cli partition --input "$WORK/graph.txt" --format text --algorithm tlp \
+    --partitions "$P" --seed "$RUN_SEED" --output "$WORK/base.tsv" \
+    > "$WORK/base.txt"
+metrics "$WORK/base.txt" > "$WORK/base.metrics"
+
+# Seeded, logged kill point: 50..999 ms into the checkpointed run (the
+# multiplier is Knuth's 2654435761, so nearby seeds scatter widely).
+KILL_MS=$(( (SEED * 2654435761 + 12345) % 950 + 50 ))
+echo "crash run: SIGKILL after ${KILL_MS}ms (FAULTS_CI_SEED=$SEED)"
+"$BIN" partition --input "$WORK/graph.txt" --format text --algorithm tlp \
+    --partitions "$P" --seed "$RUN_SEED" --checkpoint "$WORK/ckpt" \
+    --output "$WORK/crash.tsv" > "$WORK/crash.txt" 2>&1 &
+PID=$!
+sleep "$(awk -v ms="$KILL_MS" 'BEGIN { printf "%.3f", ms / 1000 }')"
+if kill -9 "$PID" 2>/dev/null; then
+    echo "killed pid $PID mid-run"
+else
+    echo "run finished before the kill fired; resume degenerates to a no-op"
+fi
+wait "$PID" 2>/dev/null || true
+
+if [ -f "$WORK/ckpt/checkpoint.tlpc" ]; then
+    echo "checkpoint survived: $(stat -c%s "$WORK/ckpt/checkpoint.tlpc") bytes"
+else
+    echo "killed before the first round committed; resume restarts from round 0"
+fi
+
+# Resume and require bit-identity with the baseline: same assignment
+# bytes, same metrics lines.
+cli partition --input "$WORK/graph.txt" --format text --algorithm tlp \
+    --partitions "$P" --seed "$RUN_SEED" --checkpoint "$WORK/ckpt" --resume \
+    --output "$WORK/resumed.tsv" > "$WORK/resumed.txt" 2> "$WORK/resumed.log"
+grep -E '^(resuming from|no checkpoint in)' "$WORK/resumed.log"
+metrics "$WORK/resumed.txt" > "$WORK/resumed.metrics"
+cmp "$WORK/base.tsv" "$WORK/resumed.tsv"
+diff "$WORK/base.metrics" "$WORK/resumed.metrics"
+
+rf=$(awk '/^replication factor:/ {print $NF}' "$WORK/resumed.txt")
+echo "faults pipeline OK: resumed run is bit-identical to the baseline, RF $rf"

@@ -34,7 +34,8 @@ use tlp::graph::generators as gen;
 use tlp::graph::io;
 use tlp::metis::MetisPartitioner;
 use tlp::store::{
-    write_partition_store, BinaryEdgeStream, CsrEdgeStream, EdgeStream, StoreReader, MAGIC,
+    read_checkpoint, write_checkpoint, write_partition_store, BinaryEdgeStream, CsrEdgeStream,
+    EdgeStream, StoreReader, MAGIC,
 };
 
 fn main() -> ExitCode {
@@ -65,6 +66,7 @@ subcommands:
   partition --input FILE --partitions P [--algorithm NAME] [--seed N] [--output FILE]
             [--trials T] [--threads N] [--format auto|text|bin]
             [--stream-budget N] [--out-store DIR]
+            [--checkpoint DIR] [--resume]
             algorithms: tlp (default), tlp-r=<R>, metis, ne, ldg, fennel,
                         greedy, hdrf, dbh, random
             --trials runs T independently seeded TLP trials (tlp only) and
@@ -74,10 +76,17 @@ subcommands:
             --stream-budget N streams edges out-of-core in natural order,
             at most N in memory (hdrf, dbh, greedy, random only);
             --out-store DIR writes per-partition edge segments + manifest
+            --checkpoint DIR persists an engine snapshot after every
+            completed partition (tlp only, single trial); --resume continues
+            from DIR's snapshot — the result is bit-identical to the
+            uninterrupted run with the same seed
   stats     --input FILE
   generate  --family NAME --vertices N --edges M [--seed N] [--output FILE]
             families: community, chung-lu, erdos-renyi, barabasi-albert,
                       rmat, genealogy";
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: [&str; 1] = ["resume"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -86,6 +95,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected a --flag, got {key:?}"));
         };
+        if BOOLEAN_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = iter
             .next()
             .ok_or_else(|| format!("flag --{name} requires a value"))?;
@@ -232,6 +245,24 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     if stream_budget.is_some() && trials > 1 {
         return Err("--stream-budget cannot be combined with --trials".into());
     }
+    let checkpoint_dir = flags.get("checkpoint").map(String::as_str);
+    let resume = flags.contains_key("resume");
+    if resume && checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint DIR".into());
+    }
+    if checkpoint_dir.is_some() {
+        if algorithm != "tlp" {
+            return Err(format!(
+                "--checkpoint is only supported for the tlp algorithm, not {algorithm:?}"
+            ));
+        }
+        if trials > 1 {
+            return Err("--checkpoint cannot be combined with --trials".into());
+        }
+        if stream_budget.is_some() {
+            return Err("--checkpoint cannot be combined with --stream-budget".into());
+        }
+    }
 
     let loaded = match format {
         InputFormat::Text => io::read_edge_list_file(input).map_err(|e| e.to_string())?,
@@ -307,6 +338,32 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         );
         let algo = make_algorithm(algorithm, seed)?;
         (algo.name().to_string(), report.partition)
+    } else if let Some(dir) = checkpoint_dir {
+        let dir = Path::new(dir);
+        let snapshot = if resume {
+            let snapshot = read_checkpoint(dir).map_err(|e| e.to_string())?;
+            match &snapshot {
+                Some(ckpt) => eprintln!(
+                    "resuming from {} at round {} of {}",
+                    dir.display(),
+                    ckpt.next_round,
+                    ckpt.num_partitions
+                ),
+                None => eprintln!("no checkpoint in {}, starting from round 0", dir.display()),
+            }
+            snapshot
+        } else {
+            None
+        };
+        let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(seed));
+        let mut persist = |ckpt: &tlp::core::EngineCheckpoint| {
+            write_checkpoint(dir, ckpt)
+                .map_err(|e| tlp::core::PartitionError::Checkpoint(e.to_string()))
+        };
+        let partition = tlp
+            .partition_with_checkpoints(&loaded.graph, p, snapshot.as_ref(), Some(&mut persist))
+            .map_err(|e| e.to_string())?;
+        ("TLP".to_string(), partition)
     } else {
         let algo = make_algorithm(algorithm, seed)?;
         let partition = algo
