@@ -34,6 +34,7 @@ mod greedy;
 mod hdrf;
 mod ldg;
 mod ne;
+mod pipeline;
 mod random;
 mod stream;
 pub mod streaming;
@@ -46,6 +47,7 @@ pub use greedy::GreedyPartitioner;
 pub use hdrf::HdrfPartitioner;
 pub use ldg::LdgPartitioner;
 pub use ne::{NePartitioner, NePolicy};
+pub use pipeline::{StreamingBaseline, StreamingKind, HDRF_LAMBDA};
 pub use random::RandomPartitioner;
 pub use stream::{edge_order, vertex_order, EdgeOrder, VertexOrder};
 pub use streaming::{

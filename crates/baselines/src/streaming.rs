@@ -5,7 +5,7 @@
 //! harnesses:
 //!
 //! * the materialized `EdgePartitioner::partition` paths (which now pump a
-//!   [`CsrEdgeStream`] in the requested arrival order and scatter the
+//!   [`CsrEdgeStream`](tlp_store::CsrEdgeStream) in the requested arrival order and scatter the
 //!   decisions back to edge ids), and
 //! * [`partition_stream`], which pumps any [`EdgeStream`] — including
 //!   [`tlp_store::BinaryEdgeStream`] reading a `.tlpg` file chunk by chunk —

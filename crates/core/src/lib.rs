@@ -42,6 +42,7 @@ mod modularity;
 mod parallel;
 mod partition;
 mod partitioner;
+mod pipeline;
 mod single_stage;
 mod tlp;
 mod tlp_r;
@@ -54,13 +55,17 @@ pub mod stage2;
 pub use checkpoint::EngineCheckpoint;
 pub use config::{ReseedPolicy, SelectionStrategy, TlpConfig};
 pub use error::PartitionError;
-pub use metrics::PartitionMetrics;
+pub use metrics::{PartitionMetrics, StreamedMetrics};
 pub use modularity::Modularity;
 pub use parallel::{
     available_threads, parallel_map, trial_seed, ParallelTrialRunner, TrialFailure, TrialReport,
 };
 pub use partition::{EdgePartition, PartitionId};
 pub use partitioner::EdgePartitioner;
+pub use pipeline::{
+    AlgoConfig, Algorithm, AlgorithmBuilder, AlgorithmEntry, AlgorithmRegistry, Capability,
+    MaterializedAlgorithm, ParamSpec, PipelineError, RunArtifact, TlpAlgorithm,
+};
 pub use single_stage::{StageOneOnlyPartitioner, StageTwoOnlyPartitioner};
 pub use tlp::TwoStageLocalPartitioner;
 pub use tlp_r::EdgeRatioLocalPartitioner;

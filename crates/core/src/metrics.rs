@@ -1,9 +1,9 @@
 //! Partition quality metrics: replication factor, balance, and per-partition
 //! modularity.
 
-use crate::{EdgePartition, Modularity};
+use crate::{EdgePartition, Modularity, PartitionId};
 use serde::{Deserialize, Serialize};
-use tlp_graph::CsrGraph;
+use tlp_graph::{CsrGraph, VertexId};
 
 /// Quality metrics of a finished edge partition.
 ///
@@ -51,6 +51,31 @@ pub struct PartitionMetrics {
 }
 
 impl PartitionMetrics {
+    /// The canonical replication-factor expression: `total_replicas /
+    /// covered_vertices`, with the empty graph defined as `1.0`.
+    ///
+    /// Every RF reported anywhere in the workspace (live runs, partition
+    /// store manifests, streamed recomputation) funnels through this one
+    /// function, so all code paths agree bit-for-bit.
+    pub fn replication_factor_of(total_replicas: usize, covered_vertices: usize) -> f64 {
+        if covered_vertices == 0 {
+            1.0
+        } else {
+            total_replicas as f64 / covered_vertices as f64
+        }
+    }
+
+    /// The canonical balance expression: `max_edges / (num_edges / p)`,
+    /// with the empty graph defined as `1.0`.
+    pub fn balance_of(max_edges: usize, num_edges: usize, num_partitions: usize) -> f64 {
+        if num_edges == 0 {
+            1.0
+        } else {
+            let ideal = num_edges as f64 / num_partitions as f64;
+            max_edges as f64 / ideal
+        }
+    }
+
     /// Computes all metrics in one pass over the graph.
     ///
     /// # Panics
@@ -100,27 +125,148 @@ impl PartitionMetrics {
         }
 
         let edge_counts = partition.edge_counts();
-        let m = graph.num_edges();
-        let balance = if m == 0 {
-            1.0
-        } else {
-            let ideal = m as f64 / p as f64;
-            edge_counts.iter().copied().max().unwrap_or(0) as f64 / ideal
-        };
+        let balance = Self::balance_of(
+            edge_counts.iter().copied().max().unwrap_or(0),
+            graph.num_edges(),
+            p,
+        );
         let modularity = edge_counts
             .iter()
             .zip(&external)
             .map(|(&internal, &ext)| Modularity::new(internal, ext).value())
             .collect();
-        let replication_factor = if covered_vertices == 0 {
-            1.0
-        } else {
-            total_replicas as f64 / covered_vertices as f64
-        };
+        let replication_factor = Self::replication_factor_of(total_replicas, covered_vertices);
 
         PartitionMetrics {
             replication_factor,
             edge_counts,
+            vertex_counts,
+            balance,
+            modularity,
+            spanned_vertices,
+            covered_vertices,
+            total_replicas,
+        }
+    }
+}
+
+/// Two-pass metrics accumulator for assignments produced by streaming
+/// sources, where the graph is never materialized.
+///
+/// Pass 1 ([`observe_assignment`](Self::observe_assignment)) records each
+/// edge's endpoints and partition, building per-vertex partition membership
+/// bitsets and per-partition edge counts. Pass 2
+/// ([`observe_external`](Self::observe_external)) replays the identical
+/// edge/assignment sequence to count external incidences (the denominator
+/// of the paper's Claim 1 modularity), which needs the completed membership
+/// sets. [`finish`](Self::finish) then produces a [`PartitionMetrics`].
+///
+/// Every accumulation is an integer add, and the final divisions are the
+/// canonical expressions ([`PartitionMetrics::replication_factor_of`] and
+/// friends), so the result is **bit-identical** to
+/// [`PartitionMetrics::compute`] on the materialized `(graph, partition)`
+/// pair whenever the arrival order pairs edges with the same assignments.
+#[derive(Clone, Debug)]
+pub struct StreamedMetrics {
+    num_partitions: usize,
+    /// Words per vertex in the membership bitset.
+    words: usize,
+    /// `num_vertices * words` bitset: vertex v belongs to partition q.
+    membership: Vec<u64>,
+    edge_counts: Vec<usize>,
+    external: Vec<usize>,
+}
+
+impl StreamedMetrics {
+    /// Creates an accumulator for `num_vertices` vertices and
+    /// `num_partitions` partitions. Memory is `O(n * p / 64 + p)`.
+    pub fn new(num_vertices: usize, num_partitions: usize) -> Self {
+        let words = num_partitions.div_ceil(64).max(1);
+        StreamedMetrics {
+            num_partitions,
+            words,
+            membership: vec![0u64; num_vertices * words],
+            edge_counts: vec![0usize; num_partitions],
+            external: vec![0usize; num_partitions],
+        }
+    }
+
+    fn set(&mut self, v: VertexId, q: PartitionId) {
+        let base = v as usize * self.words;
+        self.membership[base + q as usize / 64] |= 1u64 << (q as usize % 64);
+    }
+
+    /// Pass 1: edge `(u, v)` was assigned to partition `q`.
+    pub fn observe_assignment(&mut self, u: VertexId, v: VertexId, q: PartitionId) {
+        self.edge_counts[q as usize] += 1;
+        self.set(u, q);
+        self.set(v, q);
+    }
+
+    /// Pass 2 (after every assignment has been observed): replay edge
+    /// `(u, v)` assigned to `q`; each endpoint contributes one external
+    /// incidence to every *other* partition it belongs to.
+    pub fn observe_external(&mut self, u: VertexId, v: VertexId, q: PartitionId) {
+        for w in [u, v] {
+            let base = w as usize * self.words;
+            for word_idx in 0..self.words {
+                let mut word = self.membership[base + word_idx];
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let pid = word_idx * 64 + bit;
+                    if pid != q as usize {
+                        self.external[pid] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finalizes the metrics after both passes.
+    pub fn finish(self) -> PartitionMetrics {
+        let p = self.num_partitions;
+        let mut vertex_counts = vec![0usize; p];
+        let mut total_replicas = 0usize;
+        let mut covered_vertices = 0usize;
+        let mut spanned_vertices = 0usize;
+        for vertex in self.membership.chunks_exact(self.words) {
+            let mut replicas = 0usize;
+            for (word_idx, &word) in vertex.iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    vertex_counts[word_idx * 64 + bit] += 1;
+                    replicas += 1;
+                }
+            }
+            if replicas > 0 {
+                covered_vertices += 1;
+                total_replicas += replicas;
+                if replicas > 1 {
+                    spanned_vertices += 1;
+                }
+            }
+        }
+        let num_edges: usize = self.edge_counts.iter().sum();
+        let balance = PartitionMetrics::balance_of(
+            self.edge_counts.iter().copied().max().unwrap_or(0),
+            num_edges,
+            p,
+        );
+        let modularity = self
+            .edge_counts
+            .iter()
+            .zip(&self.external)
+            .map(|(&internal, &ext)| Modularity::new(internal, ext).value())
+            .collect();
+        PartitionMetrics {
+            replication_factor: PartitionMetrics::replication_factor_of(
+                total_replicas,
+                covered_vertices,
+            ),
+            edge_counts: self.edge_counts,
             vertex_counts,
             balance,
             modularity,
@@ -207,6 +353,29 @@ mod tests {
         assert_eq!(m.edge_counts, vec![0, 1, 0]);
         assert_eq!(m.vertex_counts, vec![0, 2, 0]);
         assert_eq!(m.modularity[0], 0.0);
+    }
+
+    #[test]
+    fn streamed_accumulator_is_bit_identical_to_compute() {
+        let g = triangle_pair();
+        for assignment in [
+            vec![0u32, 0, 0, 1, 1, 1],
+            vec![0, 1, 2, 0, 1, 2],
+            vec![2, 2, 2, 2, 2, 2],
+        ] {
+            let part = EdgePartition::new(3, assignment.clone()).unwrap();
+            let reference = PartitionMetrics::compute(&g, &part);
+            let mut acc = StreamedMetrics::new(g.num_vertices(), 3);
+            for (eid, edge) in g.edges().iter().enumerate() {
+                let (u, v) = edge.endpoints();
+                acc.observe_assignment(u, v, assignment[eid]);
+            }
+            for (eid, edge) in g.edges().iter().enumerate() {
+                let (u, v) = edge.endpoints();
+                acc.observe_external(u, v, assignment[eid]);
+            }
+            assert_eq!(acc.finish(), reference);
+        }
     }
 
     #[test]

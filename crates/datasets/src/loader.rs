@@ -62,6 +62,21 @@ pub struct LoadOutcome {
     pub evicted_invalid_cache: bool,
 }
 
+/// How [`load_with`] treats a real dataset file's `.tlpg` binary cache —
+/// the harness's `--format` flag maps onto this.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Probe the cache, fall back to text, rewrite the cache best-effort
+    /// (the [`load`] default).
+    #[default]
+    Auto,
+    /// Always parse the text file; never probe (or evict) the cache.
+    TextOnly,
+    /// Require a valid, up-to-date binary cache; a real file without one
+    /// is an error instead of a silent re-parse.
+    BinaryOnly,
+}
+
 /// A dataset instance plus its provenance.
 #[derive(Clone, Debug)]
 pub struct LoadedDataset {
@@ -159,32 +174,61 @@ pub fn load<P: AsRef<Path>>(
     scale: f64,
     seed: u64,
 ) -> Result<LoadedDataset, tlp_graph::GraphError> {
+    load_with(spec, data_dir, scale, seed, CachePolicy::Auto)
+}
+
+/// [`load`] with an explicit [`CachePolicy`] ([`CachePolicy::Auto`] is what
+/// plain [`load`] does; the other policies let callers force the text path
+/// or insist on the binary cache).
+///
+/// # Errors
+///
+/// Everything [`load`] reports, plus — under [`CachePolicy::BinaryOnly`] —
+/// an [`Invalid`](tlp_graph::GraphError::Invalid) error when a real file
+/// has no valid binary cache.
+pub fn load_with<P: AsRef<Path>>(
+    spec: &DatasetSpec,
+    data_dir: P,
+    scale: f64,
+    seed: u64,
+    policy: CachePolicy,
+) -> Result<LoadedDataset, tlp_graph::GraphError> {
     for path in candidate_paths(data_dir.as_ref(), spec) {
         if !path.is_file() {
             continue;
         }
         let mut outcome = LoadOutcome::default();
-        match probe_cache(&path) {
-            CacheProbe::Hit(graph) => {
-                return Ok(LoadedDataset {
-                    graph,
-                    provenance: Provenance::BinaryCache {
-                        cache: cache_path(&path),
-                        source: path,
-                    },
-                    outcome,
-                });
+        if policy != CachePolicy::TextOnly {
+            match probe_cache(&path) {
+                CacheProbe::Hit(graph) => {
+                    return Ok(LoadedDataset {
+                        graph,
+                        provenance: Provenance::BinaryCache {
+                            cache: cache_path(&path),
+                            source: path,
+                        },
+                        outcome,
+                    });
+                }
+                CacheProbe::Evicted => outcome.evicted_invalid_cache = true,
+                CacheProbe::Absent => {}
             }
-            CacheProbe::Evicted => outcome.evicted_invalid_cache = true,
-            CacheProbe::Absent => {}
+            if policy == CachePolicy::BinaryOnly {
+                return Err(tlp_graph::GraphError::Invalid(format!(
+                    "binary-only load: no valid .tlpg cache beside {}",
+                    path.display()
+                )));
+            }
         }
         TEXT_PARSES.fetch_add(1, Ordering::Relaxed);
         let loaded = io::read_edge_list_file(&path)?;
-        let options = WriteOptions {
-            original_ids: Some(loaded.original_ids),
-            source: SourceStamp::of_file(&path).ok(),
-        };
-        let _ = write_graph(&cache_path(&path), &loaded.graph, &options);
+        if policy != CachePolicy::TextOnly {
+            let options = WriteOptions {
+                original_ids: Some(loaded.original_ids),
+                source: SourceStamp::of_file(&path).ok(),
+            };
+            let _ = write_graph(&cache_path(&path), &loaded.graph, &options);
+        }
         return Ok(LoadedDataset {
             graph: loaded.graph,
             provenance: Provenance::Real(path),
@@ -380,6 +424,57 @@ mod tests {
         assert!(!next.outcome.evicted_invalid_cache);
         assert_eq!(cache_eviction_count(), evictions_before + 1);
         assert_eq!(next.graph, ds.graph);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn text_only_policy_never_touches_the_cache() {
+        let _guard = counter_guard();
+        let dir = std::env::temp_dir().join(format!("tlp-loader-textonly-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("email-Eu-core.txt");
+        std::fs::write(&path, "0 1\n1 2\n").unwrap();
+
+        let spec = DatasetSpec::get(DatasetId::G1);
+        let before = text_parse_count();
+        let ds = load_with(spec, &dir, 1.0, 0, CachePolicy::TextOnly).unwrap();
+        assert_eq!(ds.provenance, Provenance::Real(path.clone()));
+        assert_eq!(text_parse_count(), before + 1);
+        assert!(!cache_path(&path).is_file(), "text-only load wrote a cache");
+
+        // Even with a garbage cache present, text-only neither reads nor
+        // evicts it.
+        std::fs::write(cache_path(&path), b"garbage").unwrap();
+        let evictions = cache_eviction_count();
+        let ds = load_with(spec, &dir, 1.0, 0, CachePolicy::TextOnly).unwrap();
+        assert_eq!(ds.provenance, Provenance::Real(path.clone()));
+        assert_eq!(cache_eviction_count(), evictions);
+        assert!(cache_path(&path).is_file());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_only_policy_requires_a_valid_cache() {
+        let _guard = counter_guard();
+        let dir = std::env::temp_dir().join(format!("tlp-loader-binonly-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("email-Eu-core.txt");
+        std::fs::write(&path, "0 1\n1 2\n").unwrap();
+
+        let spec = DatasetSpec::get(DatasetId::G1);
+        // No cache yet: binary-only refuses instead of silently parsing.
+        assert!(load_with(spec, &dir, 1.0, 0, CachePolicy::BinaryOnly).is_err());
+
+        // After an auto load writes the cache, binary-only serves it.
+        load(spec, &dir, 1.0, 0).unwrap();
+        let ds = load_with(spec, &dir, 1.0, 0, CachePolicy::BinaryOnly).unwrap();
+        assert!(matches!(ds.provenance, Provenance::BinaryCache { .. }));
+
+        // Synthetic fallback still works when no real file exists.
+        let ds = load_with(spec, "/definitely/missing", 0.1, 3, CachePolicy::BinaryOnly).unwrap();
+        assert!(matches!(ds.provenance, Provenance::Synthetic { .. }));
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -41,6 +41,7 @@ mod csr;
 mod edge;
 mod error;
 mod residual;
+mod source;
 
 pub mod degree;
 pub mod generators;
@@ -54,6 +55,7 @@ pub use csr::CsrGraph;
 pub use edge::{Edge, EdgeId, VertexId};
 pub use error::GraphError;
 pub use residual::ResidualGraph;
+pub use source::{CsrSource, EdgeSource, PassStats, SourceError};
 
 // Parallel trial runners share one `CsrGraph` across worker threads and
 // give each worker its own `ResidualGraph` view; these bounds are part of

@@ -1,0 +1,308 @@
+//! Source-agnostic edge access: the [`EdgeSource`] trait.
+//!
+//! Every partitioning algorithm in the workspace consumes one of two access
+//! patterns:
+//!
+//! * **random access** — the whole graph materialized as a [`CsrGraph`]
+//!   (TLP and the other expansion/multilevel algorithms), or
+//! * **pass-oriented streaming** — one or more sequential sweeps over the
+//!   edge sequence with a bounded buffer (the streaming baselines and the
+//!   streamed metrics accumulator).
+//!
+//! `EdgeSource` is the common handle over both. An in-memory [`CsrGraph`]
+//! implements it directly (random access is free, a streaming pass walks
+//! the edge table in natural `EdgeId` order); the on-disk sources in
+//! `tlp-store` implement it over the bounded-memory `EdgeStream` family,
+//! reporting [`supports_random_access`](EdgeSource::supports_random_access)
+//! `false` when a strict memory budget forbids materialization. The
+//! pipeline layer in `tlp-core` dispatches on that capability instead of
+//! each binary hard-coding which algorithm can read which input.
+//!
+//! Passes are **replayable and deterministic**: every call to
+//! [`stream_pass`](EdgeSource::stream_pass) delivers the same edges in the
+//! same arrival order, which is what lets a two-pass metrics computation
+//! pair its second sweep with the assignments recorded in the first.
+
+use crate::{CsrGraph, Edge};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Error from an [`EdgeSource`] operation.
+#[derive(Debug)]
+pub enum SourceError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The source's bytes or framing are invalid.
+    Corrupt(String),
+    /// Random access was requested from a source whose memory budget
+    /// forbids materializing the graph.
+    NeedsRandomAccess {
+        /// Description of the refusing source (see [`EdgeSource::describe`]).
+        source: String,
+    },
+    /// The source cannot provide a piece of metadata a consumer requires
+    /// (e.g. final degrees for DBH from a one-pass text stream).
+    MissingMeta {
+        /// What was missing ("num_vertices", "degrees", ...).
+        what: &'static str,
+        /// Description of the source.
+        source: String,
+    },
+    /// Any other error from a backing store, boxed to avoid a dependency
+    /// cycle (`tlp-store` errors travel through this variant).
+    Other(Box<dyn StdError + Send + Sync>),
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Io(e) => write!(f, "i/o error: {e}"),
+            SourceError::Corrupt(message) => write!(f, "corrupt edge source: {message}"),
+            SourceError::NeedsRandomAccess { source } => {
+                write!(f, "source {source} is streaming-only (no random access)")
+            }
+            SourceError::MissingMeta { what, source } => {
+                write!(f, "source {source} cannot provide {what}")
+            }
+            SourceError::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl StdError for SourceError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            SourceError::Io(e) => Some(e),
+            SourceError::Other(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SourceError {
+    fn from(e: std::io::Error) -> Self {
+        SourceError::Io(e)
+    }
+}
+
+/// What one completed streaming pass observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PassStats {
+    /// Number of edges delivered.
+    pub edges: usize,
+    /// Largest chunk handed to the sink — bounded by the source's budget.
+    pub peak_buffer: usize,
+}
+
+/// A source of a graph's edges, consumable by random access or by
+/// replayable sequential passes.
+///
+/// Implementations must make repeated [`stream_pass`](Self::stream_pass)
+/// calls deliver the identical edge sequence (same edges, same arrival
+/// order) — consumers rely on this to correlate per-edge state across
+/// passes.
+pub trait EdgeSource {
+    /// Human-readable description of the source (for error messages).
+    fn describe(&self) -> String;
+
+    /// Number of vertices, when known before streaming.
+    fn num_vertices_hint(&self) -> Option<usize>;
+
+    /// Number of edges, when known before streaming.
+    fn num_edges_hint(&self) -> Option<usize>;
+
+    /// Exact final degrees, when the source has them up front (required by
+    /// degree-based streaming consumers like DBH).
+    fn degrees_hint(&self) -> Option<Vec<u32>>;
+
+    /// Whether [`random_access`](Self::random_access) can succeed.
+    fn supports_random_access(&self) -> bool;
+
+    /// Materializes (or returns the already-materialized) graph.
+    ///
+    /// # Errors
+    ///
+    /// [`SourceError::NeedsRandomAccess`] when the source's memory budget
+    /// forbids materialization; otherwise any error from reading the
+    /// backing store.
+    fn random_access(&mut self) -> Result<&CsrGraph, SourceError>;
+
+    /// Runs one sequential pass, handing every edge chunk to `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Any error from reading the backing store.
+    fn stream_pass(&mut self, sink: &mut dyn FnMut(&[Edge])) -> Result<PassStats, SourceError>;
+}
+
+/// Chunk length an in-memory source uses for streaming passes. Chunking an
+/// in-memory slice costs nothing and keeps sink call patterns comparable
+/// to the disk sources.
+const CSR_PASS_CHUNK: usize = 1 << 16;
+
+fn csr_pass(graph: &CsrGraph, sink: &mut dyn FnMut(&[Edge])) -> PassStats {
+    let edges = graph.edges();
+    let mut peak = 0usize;
+    for chunk in edges.chunks(CSR_PASS_CHUNK.max(1)) {
+        peak = peak.max(chunk.len());
+        sink(chunk);
+    }
+    PassStats {
+        edges: edges.len(),
+        peak_buffer: peak,
+    }
+}
+
+fn csr_degrees(graph: &CsrGraph) -> Vec<u32> {
+    graph
+        .vertices()
+        .map(|v| graph.degree(v) as u32)
+        .collect::<Vec<_>>()
+}
+
+/// An owned in-memory graph as an [`EdgeSource`]: random access is free,
+/// streaming passes walk the edge table in natural `EdgeId` order.
+impl EdgeSource for CsrGraph {
+    fn describe(&self) -> String {
+        format!(
+            "csr({} vertices, {} edges)",
+            self.num_vertices(),
+            self.num_edges()
+        )
+    }
+
+    fn num_vertices_hint(&self) -> Option<usize> {
+        Some(self.num_vertices())
+    }
+
+    fn num_edges_hint(&self) -> Option<usize> {
+        Some(self.num_edges())
+    }
+
+    fn degrees_hint(&self) -> Option<Vec<u32>> {
+        Some(csr_degrees(self))
+    }
+
+    fn supports_random_access(&self) -> bool {
+        true
+    }
+
+    fn random_access(&mut self) -> Result<&CsrGraph, SourceError> {
+        Ok(self)
+    }
+
+    fn stream_pass(&mut self, sink: &mut dyn FnMut(&[Edge])) -> Result<PassStats, SourceError> {
+        Ok(csr_pass(self, sink))
+    }
+}
+
+/// A shared borrow of a [`CsrGraph`] as an [`EdgeSource`].
+///
+/// `EdgeSource` consumers take `&mut dyn EdgeSource`, but experiment grids
+/// share one immutable graph across worker threads; this zero-cost wrapper
+/// gives each cell its own source handle over the shared graph.
+#[derive(Debug)]
+pub struct CsrSource<'a> {
+    graph: &'a CsrGraph,
+}
+
+impl<'a> CsrSource<'a> {
+    /// Wraps a shared graph reference.
+    pub fn new(graph: &'a CsrGraph) -> Self {
+        CsrSource { graph }
+    }
+}
+
+impl EdgeSource for CsrSource<'_> {
+    fn describe(&self) -> String {
+        self.graph.describe()
+    }
+
+    fn num_vertices_hint(&self) -> Option<usize> {
+        Some(self.graph.num_vertices())
+    }
+
+    fn num_edges_hint(&self) -> Option<usize> {
+        Some(self.graph.num_edges())
+    }
+
+    fn degrees_hint(&self) -> Option<Vec<u32>> {
+        Some(csr_degrees(self.graph))
+    }
+
+    fn supports_random_access(&self) -> bool {
+        true
+    }
+
+    fn random_access(&mut self) -> Result<&CsrGraph, SourceError> {
+        Ok(self.graph)
+    }
+
+    fn stream_pass(&mut self, sink: &mut dyn FnMut(&[Edge])) -> Result<PassStats, SourceError> {
+        Ok(csr_pass(self.graph, sink))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn graph() -> CsrGraph {
+        GraphBuilder::new()
+            .add_edges([(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)])
+            .build()
+    }
+
+    #[test]
+    fn csr_graph_is_a_random_access_source() {
+        let mut g = graph();
+        assert!(g.supports_random_access());
+        assert_eq!(g.num_vertices_hint(), Some(4));
+        assert_eq!(g.num_edges_hint(), Some(5));
+        let degrees = g.degrees_hint().unwrap();
+        assert_eq!(degrees.iter().sum::<u32>() as usize, 2 * g.num_edges());
+        let same = g.random_access().unwrap();
+        assert_eq!(same.num_edges(), 5);
+    }
+
+    #[test]
+    fn csr_pass_replays_natural_order() {
+        let mut g = graph();
+        let expected = g.edges().to_vec();
+        for _ in 0..2 {
+            let mut seen = Vec::new();
+            let stats = g
+                .stream_pass(&mut |chunk| seen.extend_from_slice(chunk))
+                .unwrap();
+            assert_eq!(seen, expected);
+            assert_eq!(stats.edges, expected.len());
+            assert!(stats.peak_buffer <= expected.len());
+        }
+    }
+
+    #[test]
+    fn shared_source_matches_owned_source() {
+        let g = graph();
+        let mut shared = CsrSource::new(&g);
+        let mut seen = Vec::new();
+        shared
+            .stream_pass(&mut |chunk| seen.extend_from_slice(chunk))
+            .unwrap();
+        assert_eq!(seen, g.edges().to_vec());
+        assert_eq!(shared.random_access().unwrap(), &g);
+    }
+
+    #[test]
+    fn source_error_display_is_informative() {
+        let e = SourceError::NeedsRandomAccess {
+            source: "tlpg:x".into(),
+        };
+        assert!(e.to_string().contains("streaming-only"));
+        let e = SourceError::MissingMeta {
+            what: "degrees",
+            source: "text:y".into(),
+        };
+        assert!(e.to_string().contains("degrees"));
+    }
+}

@@ -1,6 +1,6 @@
 //! Regenerates Table IV (delta RF between METIS and TLP); runs Fig. 8 first.
 fn main() {
-    let ctx = tlp_harness::ExperimentContext::parse_or_exit(std::env::args().skip(1));
+    let ctx = tlp_harness::HarnessArgs::parse_or_exit(std::env::args().skip(1));
     let result = tlp_harness::fig8::run(&ctx)
         .and_then(|records| tlp_harness::table4::from_records(&ctx, &records));
     if let Err(e) = result {

@@ -1,8 +1,10 @@
-//! Shared CLI context for the experiment binaries.
+//! Shared CLI context for the experiment binaries: [`HarnessArgs`] (the
+//! one flag parser all seven binaries share) and [`ExperimentContext`]
+//! (the resolved options experiments consume).
 
 use crate::HarnessError;
 use std::path::PathBuf;
-use tlp_datasets::{loader, DatasetId, DatasetSpec};
+use tlp_datasets::{loader, loader::CachePolicy, DatasetId, DatasetSpec};
 use tlp_graph::CsrGraph;
 
 /// Parsed command-line options shared by every experiment binary.
@@ -22,6 +24,12 @@ pub struct ExperimentContext {
     pub datasets: Vec<DatasetId>,
     /// Worker threads for the experiment matrix (`--threads`, 0 = auto).
     pub threads: usize,
+    /// How real dataset files are read (`--format`): probe the `.tlpg`
+    /// cache, force the text parse, or require the binary cache.
+    pub format: CachePolicy,
+    /// Edge-buffer budget for streaming-capable algorithms
+    /// (`--stream-budget`); `None` = unbounded in-memory chunks.
+    pub stream_budget: Option<usize>,
 }
 
 impl Default for ExperimentContext {
@@ -34,19 +42,48 @@ impl Default for ExperimentContext {
             quick: false,
             datasets: DatasetId::ALL.to_vec(),
             threads: 0,
+            format: CachePolicy::Auto,
+            stream_budget: None,
         }
     }
 }
 
-impl ExperimentContext {
-    /// Parses the common flags from an argument list (excluding argv[0]).
+/// The one flag parser behind all seven experiment binaries: `--datasets`,
+/// `--scale`, `--seed`, `--quick`, `--threads`, `--data-dir`, `--out-dir`,
+/// `--format`, `--stream-budget`. [`HarnessArgs::parse`] accumulates raw
+/// flag values; [`HarnessArgs::into_context`] resolves them over the
+/// defaults.
+#[derive(Clone, Debug, Default)]
+pub struct HarnessArgs {
+    /// `--data-dir` value, when given.
+    pub data_dir: Option<PathBuf>,
+    /// `--out-dir` value, when given.
+    pub out_dir: Option<PathBuf>,
+    /// `--seed` value, when given.
+    pub seed: Option<u64>,
+    /// `--scale` value, when given (validated to `(0, 1]`).
+    pub scale: Option<f64>,
+    /// `--quick` presence.
+    pub quick: bool,
+    /// `--threads` value, when given.
+    pub threads: Option<usize>,
+    /// `--datasets` value, when given.
+    pub datasets: Option<Vec<DatasetId>>,
+    /// `--format` value, when given.
+    pub format: Option<CachePolicy>,
+    /// `--stream-budget` value, when given (validated to `> 0`).
+    pub stream_budget: Option<usize>,
+}
+
+impl HarnessArgs {
+    /// Parses the shared flags from an argument list (excluding `argv[0]`).
     ///
     /// # Errors
     ///
     /// [`HarnessError::Usage`] on an unknown flag, a missing value, or a
     /// value that fails to parse.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, HarnessError> {
-        let mut ctx = ExperimentContext::default();
+        let mut parsed = HarnessArgs::default();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             let mut value_of = |flag: &str| {
@@ -54,12 +91,13 @@ impl ExperimentContext {
                     .ok_or_else(|| HarnessError::Usage(format!("flag {flag} requires a value")))
             };
             match arg.as_str() {
-                "--data-dir" => ctx.data_dir = PathBuf::from(value_of("--data-dir")?),
-                "--out-dir" => ctx.out_dir = PathBuf::from(value_of("--out-dir")?),
+                "--data-dir" => parsed.data_dir = Some(PathBuf::from(value_of("--data-dir")?)),
+                "--out-dir" => parsed.out_dir = Some(PathBuf::from(value_of("--out-dir")?)),
                 "--seed" => {
-                    ctx.seed = value_of("--seed")?
-                        .parse()
-                        .map_err(|_| HarnessError::Usage("--seed takes an integer".to_string()))?
+                    parsed.seed =
+                        Some(value_of("--seed")?.parse().map_err(|_| {
+                            HarnessError::Usage("--seed takes an integer".to_string())
+                        })?)
                 }
                 "--scale" => {
                     let s: f64 = value_of("--scale")?
@@ -68,42 +106,101 @@ impl ExperimentContext {
                     if !(s > 0.0 && s <= 1.0) {
                         return Err(HarnessError::Usage("--scale must be in (0, 1]".to_string()));
                     }
-                    ctx.scale_override = Some(s);
+                    parsed.scale = Some(s);
                 }
-                "--quick" => ctx.quick = true,
+                "--quick" => parsed.quick = true,
                 "--threads" => {
-                    ctx.threads = value_of("--threads")?.parse().map_err(|_| {
+                    parsed.threads = Some(value_of("--threads")?.parse().map_err(|_| {
                         HarnessError::Usage("--threads takes an integer".to_string())
-                    })?
+                    })?)
                 }
                 "--datasets" => {
                     let list = value_of("--datasets")?;
-                    ctx.datasets = list
-                        .split(',')
-                        .map(|tok| parse_dataset(tok.trim()))
-                        .collect::<Result<_, _>>()?;
+                    parsed.datasets = Some(
+                        list.split(',')
+                            .map(|tok| parse_dataset(tok.trim()))
+                            .collect::<Result<_, _>>()?,
+                    );
+                }
+                "--format" => {
+                    parsed.format = Some(match value_of("--format")?.as_str() {
+                        "auto" => CachePolicy::Auto,
+                        "text" => CachePolicy::TextOnly,
+                        "bin" => CachePolicy::BinaryOnly,
+                        other => {
+                            return Err(HarnessError::Usage(format!(
+                                "--format must be auto, text, or bin (got {other})"
+                            )))
+                        }
+                    });
+                }
+                "--stream-budget" => {
+                    let budget: usize = value_of("--stream-budget")?.parse().map_err(|_| {
+                        HarnessError::Usage("--stream-budget takes an integer".to_string())
+                    })?;
+                    if budget == 0 {
+                        return Err(HarnessError::Usage(
+                            "--stream-budget must be > 0".to_string(),
+                        ));
+                    }
+                    parsed.stream_budget = Some(budget);
                 }
                 other => {
                     return Err(HarnessError::Usage(format!(
                         "unknown flag {other}; supported: --datasets --scale --seed --quick \
-                         --threads --data-dir --out-dir"
+                         --threads --data-dir --out-dir --format --stream-budget"
                     )))
                 }
             }
         }
-        Ok(ctx)
+        Ok(parsed)
     }
 
-    /// [`parse`](Self::parse), but prints the error and exits with status 2
+    /// Resolves the parsed flags over the [`ExperimentContext`] defaults.
+    pub fn into_context(self) -> ExperimentContext {
+        let defaults = ExperimentContext::default();
+        ExperimentContext {
+            data_dir: self.data_dir.unwrap_or(defaults.data_dir),
+            out_dir: self.out_dir.unwrap_or(defaults.out_dir),
+            seed: self.seed.unwrap_or(defaults.seed),
+            scale_override: self.scale,
+            quick: self.quick,
+            datasets: self.datasets.unwrap_or(defaults.datasets),
+            threads: self.threads.unwrap_or(defaults.threads),
+            format: self.format.unwrap_or(defaults.format),
+            stream_budget: self.stream_budget,
+        }
+    }
+
+    /// Parses and resolves, printing the error and exiting with status 2
     /// on failure — the front door for the experiment binaries.
-    pub fn parse_or_exit<I: IntoIterator<Item = String>>(args: I) -> Self {
+    pub fn parse_or_exit<I: IntoIterator<Item = String>>(args: I) -> ExperimentContext {
         match Self::parse(args) {
-            Ok(ctx) => ctx,
+            Ok(parsed) => parsed.into_context(),
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(2);
             }
         }
+    }
+}
+
+impl ExperimentContext {
+    /// Parses the common flags from an argument list (excluding `argv[0]`)
+    /// via [`HarnessArgs::parse`].
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Usage`] on an unknown flag, a missing value, or a
+    /// value that fails to parse.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, HarnessError> {
+        HarnessArgs::parse(args).map(HarnessArgs::into_context)
+    }
+
+    /// [`parse`](Self::parse), but prints the error and exits with status 2
+    /// on failure (see [`HarnessArgs::parse_or_exit`]).
+    pub fn parse_or_exit<I: IntoIterator<Item = String>>(args: I) -> Self {
+        HarnessArgs::parse_or_exit(args)
     }
 
     /// The worker-thread count experiments should use (`--threads`, with 0
@@ -139,7 +236,7 @@ impl ExperimentContext {
     ) -> Result<(CsrGraph, &'static DatasetSpec, f64), HarnessError> {
         let spec = DatasetSpec::get(id);
         let scale = self.scale_for(spec);
-        let ds = loader::load(spec, &self.data_dir, scale, self.seed)
+        let ds = loader::load_with(spec, &self.data_dir, scale, self.seed, self.format)
             .map_err(|source| HarnessError::Dataset { id, source })?;
         Ok((ds.graph, spec, scale))
     }
@@ -237,6 +334,44 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("(0, 1]"));
+    }
+
+    #[test]
+    fn format_and_stream_budget_flags_parse() {
+        let ctx = parse(&["--format", "bin", "--stream-budget", "4096"]).unwrap();
+        assert_eq!(ctx.format, CachePolicy::BinaryOnly);
+        assert_eq!(ctx.stream_budget, Some(4096));
+        let ctx = parse(&["--format", "text"]).unwrap();
+        assert_eq!(ctx.format, CachePolicy::TextOnly);
+        assert_eq!(ctx.stream_budget, None);
+        assert_eq!(parse(&[]).unwrap().format, CachePolicy::Auto);
+    }
+
+    #[test]
+    fn bad_format_and_budget_are_usage_errors() {
+        assert!(parse(&["--format", "yaml"])
+            .unwrap_err()
+            .to_string()
+            .contains("auto, text, or bin"));
+        assert!(parse(&["--stream-budget", "0"])
+            .unwrap_err()
+            .to_string()
+            .contains("> 0"));
+        assert!(parse(&["--stream-budget", "x"])
+            .unwrap_err()
+            .to_string()
+            .contains("integer"));
+    }
+
+    #[test]
+    fn harness_args_resolve_over_defaults() {
+        let args = HarnessArgs::parse(["--seed".to_string(), "9".to_string()]).unwrap();
+        assert_eq!(args.seed, Some(9));
+        assert_eq!(args.threads, None);
+        let ctx = args.into_context();
+        assert_eq!(ctx.seed, 9);
+        assert_eq!(ctx.threads, 0);
+        assert_eq!(ctx.out_dir, PathBuf::from("results"));
     }
 
     #[test]

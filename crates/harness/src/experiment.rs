@@ -1,14 +1,23 @@
-//! Running partitioners and collecting records.
+//! Running algorithms through the unified pipeline registry and
+//! collecting records.
+//!
+//! Every experiment cell resolves its algorithm **by name** in the
+//! [`builtin_registry`] and consumes the
+//! shared [`RunArtifact`], so the harness binaries
+//! carry no per-algorithm wiring. When the context sets `--stream-budget`,
+//! streaming-capable algorithms run their passes through a budgeted
+//! source, bounding their peak edge-buffer memory.
 
+use crate::ExperimentContext;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
-use tlp_baselines::{DbhPartitioner, LdgPartitioner, RandomPartitioner, VertexOrder};
-use tlp_core::{
-    parallel_map, EdgePartitioner, PartitionMetrics, TlpConfig, TwoStageLocalPartitioner,
-};
+use tlp_core::{parallel_map, AlgoConfig, AlgorithmRegistry, RunArtifact};
 use tlp_datasets::DatasetId;
-use tlp_graph::CsrGraph;
-use tlp_metis::{MetisConfig, MetisPartitioner};
+use tlp_graph::{CsrGraph, CsrSource, EdgeSource};
+use tlp_pipeline::builtin_registry;
+use tlp_store::BudgetedCsrSource;
+
+/// The paper's Fig. 8 line-up, as registry names.
+pub const PAPER_LINEUP: [&str; 5] = ["tlp", "metis", "ldg", "dbh", "random"];
 
 /// One (dataset, algorithm, p) measurement.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -27,74 +36,92 @@ pub struct RfRecord {
     pub seconds: f64,
 }
 
-/// Runs one partitioner and computes its metrics and wall time.
-///
-/// # Panics
-///
-/// Panics if the partitioner fails (configuration errors are programmer
-/// errors inside the harness).
-pub fn run_one(
-    graph: &CsrGraph,
-    algorithm: &dyn EdgePartitioner,
-    dataset: DatasetId,
-    p: usize,
-) -> RfRecord {
-    let start = Instant::now();
-    let partition = algorithm
-        .partition(graph, p)
-        .unwrap_or_else(|e| panic!("{} failed on {dataset}: {e}", algorithm.name()));
-    let seconds = start.elapsed().as_secs_f64();
-    let metrics = PartitionMetrics::compute(graph, &partition);
-    RfRecord {
-        dataset: dataset.to_string(),
-        algorithm: algorithm.name().to_string(),
-        p,
-        rf: metrics.replication_factor,
-        balance: metrics.balance,
-        seconds,
+impl RfRecord {
+    /// Projects a pipeline artifact onto a record row.
+    pub fn from_artifact(dataset: DatasetId, artifact: &RunArtifact) -> Self {
+        RfRecord {
+            dataset: dataset.to_string(),
+            algorithm: artifact.algorithm.clone(),
+            p: artifact.num_partitions,
+            rf: artifact.metrics.replication_factor,
+            balance: artifact.metrics.balance,
+            seconds: artifact.seconds,
+        }
     }
 }
 
-/// Runs the full `(p, algorithm)` matrix for one graph across worker
-/// threads, returning records in the same order as the sequential
-/// `for p { for algorithm { ... } }` loop.
+/// Runs one registry algorithm over `graph` (through a budgeted source
+/// when `stream_budget` is set) and projects the artifact onto a record.
 ///
-/// `make(i)` constructs the `i`-th line-up algorithm; each cell builds its
-/// own instance, so partitioners need not be `Sync`. Wall-clock columns are
-/// per-cell (they measure the partitioner, not the matrix), so parallel
+/// # Panics
+///
+/// Panics if the spec fails to resolve or the algorithm fails —
+/// configuration errors are programmer errors inside the harness.
+pub fn run_one(
+    registry: &AlgorithmRegistry,
+    graph: &CsrGraph,
+    spec: &str,
+    dataset: DatasetId,
+    p: usize,
+    seed: u64,
+    stream_budget: Option<usize>,
+) -> RfRecord {
+    let config = AlgoConfig::seeded(seed);
+    let artifact = match stream_budget {
+        Some(budget) => {
+            let mut source = BudgetedCsrSource::new(graph, budget);
+            run_spec(registry, &mut source, spec, &config, p)
+        }
+        None => {
+            let mut source = CsrSource::new(graph);
+            run_spec(registry, &mut source, spec, &config, p)
+        }
+    }
+    .unwrap_or_else(|e| panic!("{spec} failed on {dataset}: {e}"));
+    RfRecord::from_artifact(dataset, &artifact)
+}
+
+fn run_spec(
+    registry: &AlgorithmRegistry,
+    source: &mut dyn EdgeSource,
+    spec: &str,
+    config: &AlgoConfig,
+    p: usize,
+) -> Result<RunArtifact, tlp_core::PipelineError> {
+    registry.run(spec, config, source, p)
+}
+
+/// Runs the full `(p, algorithm)` matrix for one graph across
+/// `ctx.worker_threads()` threads, returning records in the same order as
+/// the sequential `for p { for spec { ... } }` loop.
+///
+/// Each cell resolves its spec in one shared [`builtin_registry`] and runs
+/// over its own source handle on the shared graph. Wall-clock columns are
+/// per-cell (they measure the algorithm, not the matrix), so parallel
 /// execution does not distort them beyond ordinary scheduling noise.
-pub fn run_matrix<F>(
+pub fn run_matrix(
     graph: &CsrGraph,
     dataset: DatasetId,
     partition_counts: &[usize],
-    lineup_size: usize,
-    threads: usize,
-    make: F,
-) -> Vec<RfRecord>
-where
-    F: Fn(usize) -> Box<dyn EdgePartitioner> + Sync,
-{
-    let cells: Vec<(usize, usize)> = partition_counts
+    lineup: &[&str],
+    ctx: &ExperimentContext,
+) -> Vec<RfRecord> {
+    let registry = builtin_registry();
+    let cells: Vec<(usize, &str)> = partition_counts
         .iter()
-        .flat_map(|&p| (0..lineup_size).map(move |a| (p, a)))
+        .flat_map(|&p| lineup.iter().map(move |&spec| (p, spec)))
         .collect();
-    parallel_map(threads, &cells, |_, &(p, a)| {
-        run_one(graph, make(a).as_ref(), dataset, p)
+    parallel_map(ctx.worker_threads(), &cells, |_, &(p, spec)| {
+        run_one(
+            &registry,
+            graph,
+            spec,
+            dataset,
+            p,
+            ctx.seed,
+            ctx.stream_budget,
+        )
     })
-}
-
-/// The paper's Fig. 8 line-up: TLP, METIS, LDG, DBH, Random.
-pub fn paper_lineup(seed: u64) -> Vec<Box<dyn EdgePartitioner>> {
-    vec![
-        Box::new(TwoStageLocalPartitioner::new(TlpConfig::new().seed(seed))),
-        Box::new(MetisPartitioner::new(MetisConfig {
-            seed,
-            ..MetisConfig::default()
-        })),
-        Box::new(LdgPartitioner::new(VertexOrder::Random(seed))),
-        Box::new(DbhPartitioner::new(seed)),
-        Box::new(RandomPartitioner::new(seed)),
-    ]
 }
 
 #[cfg(test)]
@@ -105,8 +132,8 @@ mod tests {
     #[test]
     fn run_one_produces_sane_record() {
         let g = chung_lu(200, 800, 2.2, 1);
-        let algo = RandomPartitioner::new(0);
-        let rec = run_one(&g, &algo, DatasetId::G1, 4);
+        let registry = builtin_registry();
+        let rec = run_one(&registry, &g, "random", DatasetId::G1, 4, 0, None);
         assert_eq!(rec.dataset, "G1");
         assert_eq!(rec.algorithm, "Random");
         assert_eq!(rec.p, 4);
@@ -117,10 +144,23 @@ mod tests {
 
     #[test]
     fn lineup_has_the_papers_five_algorithms() {
-        let names: Vec<String> = paper_lineup(0)
+        let registry = builtin_registry();
+        let labels: Vec<&str> = PAPER_LINEUP
             .iter()
-            .map(|a| a.name().to_string())
+            .map(|spec| registry.entry_of(spec).expect("registered").label)
             .collect();
-        assert_eq!(names, vec!["TLP", "METIS", "LDG", "DBH", "Random"]);
+        assert_eq!(labels, vec!["TLP", "METIS", "LDG", "DBH", "Random"]);
+    }
+
+    #[test]
+    fn stream_budget_does_not_change_streaming_results() {
+        let g = chung_lu(300, 1200, 2.2, 7);
+        let registry = builtin_registry();
+        for spec in ["random", "dbh", "greedy", "hdrf"] {
+            let unbounded = run_one(&registry, &g, spec, DatasetId::G1, 6, 3, None);
+            let bounded = run_one(&registry, &g, spec, DatasetId::G1, 6, 3, Some(64));
+            assert_eq!(unbounded.rf, bounded.rf, "{spec} RF drifted under budget");
+            assert_eq!(unbounded.balance, bounded.balance, "{spec}");
+        }
     }
 }

@@ -1,39 +1,16 @@
 //! Extended comparison beyond the paper's Fig. 8 line-up: adds NE (the
-//! paper's reference [13]), PowerGraph Greedy, HDRF, and FENNEL, plus the
+//! paper's reference \[13\]), PowerGraph Greedy, HDRF, and FENNEL, plus the
 //! single-stage TLP ablations.
 
 use crate::experiment::{run_matrix, RfRecord};
 use crate::report::{write_csv, TextTable};
 use crate::{ExperimentContext, HarnessError, PARTITION_COUNTS};
-use tlp_baselines::{
-    DbhPartitioner, EdgeOrder, FennelPartitioner, GreedyPartitioner, HdrfPartitioner,
-    LdgPartitioner, NePartitioner, RandomPartitioner, VertexOrder,
-};
-use tlp_core::{
-    EdgePartitioner, StageOneOnlyPartitioner, StageTwoOnlyPartitioner, TlpConfig,
-    TwoStageLocalPartitioner,
-};
-use tlp_metis::{MetisConfig, MetisPartitioner};
 
-/// The full ten-algorithm line-up.
-pub fn extended_lineup(seed: u64) -> Vec<Box<dyn EdgePartitioner>> {
-    vec![
-        Box::new(TwoStageLocalPartitioner::new(TlpConfig::new().seed(seed))),
-        Box::new(StageOneOnlyPartitioner::new(TlpConfig::new().seed(seed))),
-        Box::new(StageTwoOnlyPartitioner::new(TlpConfig::new().seed(seed))),
-        Box::new(MetisPartitioner::new(MetisConfig {
-            seed,
-            ..MetisConfig::default()
-        })),
-        Box::new(NePartitioner::new(seed)),
-        Box::new(GreedyPartitioner::new(EdgeOrder::Random(seed))),
-        Box::new(HdrfPartitioner::default()),
-        Box::new(FennelPartitioner::new(VertexOrder::Random(seed))),
-        Box::new(LdgPartitioner::new(VertexOrder::Random(seed))),
-        Box::new(DbhPartitioner::new(seed)),
-        Box::new(RandomPartitioner::new(seed)),
-    ]
-}
+/// The full eleven-algorithm line-up, as registry names: the paper's five
+/// plus NE, the single-stage TLP ablations, Greedy, HDRF, and FENNEL.
+pub const EXTENDED_LINEUP: [&str; 11] = [
+    "tlp", "stage1", "stage2", "metis", "ne", "greedy", "hdrf", "fennel", "ldg", "dbh", "random",
+];
 
 /// Runs the extended comparison across `ctx.worker_threads()` threads,
 /// printing one panel per partition count and writing `extended.csv`.
@@ -42,7 +19,6 @@ pub fn extended_lineup(seed: u64) -> Vec<Box<dyn EdgePartitioner>> {
 ///
 /// [`HarnessError`] when a dataset fails to load or the CSV fails to write.
 pub fn run(ctx: &ExperimentContext) -> Result<Vec<RfRecord>, HarnessError> {
-    let lineup_size = extended_lineup(ctx.seed).len();
     let mut records = Vec::new();
     for &id in &ctx.datasets {
         let (graph, spec, scale) = ctx.load(id)?;
@@ -51,14 +27,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<RfRecord>, HarnessError> {
             spec.name,
             graph.num_edges()
         );
-        let dataset_records = run_matrix(
-            &graph,
-            id,
-            &PARTITION_COUNTS,
-            lineup_size,
-            ctx.worker_threads(),
-            |a| extended_lineup(ctx.seed).swap_remove(a),
-        );
+        let dataset_records = run_matrix(&graph, id, &PARTITION_COUNTS, &EXTENDED_LINEUP, ctx);
         for record in dataset_records {
             eprintln!(
                 "  p={:2} {:>12}: RF = {:.3} ({:.2}s)",
@@ -140,10 +109,18 @@ mod tests {
 
     #[test]
     fn lineup_has_eleven_distinct_names() {
-        let names: Vec<String> = extended_lineup(0)
+        let registry = tlp_pipeline::builtin_registry();
+        let names: Vec<String> = EXTENDED_LINEUP
             .iter()
-            .map(|a| a.name().to_string())
+            .map(|spec| {
+                registry
+                    .entry_of(spec)
+                    .unwrap_or_else(|| panic!("{spec} not registered"))
+                    .label
+                    .to_string()
+            })
             .collect();
+        assert_eq!(names.len(), 11);
         let mut unique = names.clone();
         unique.sort();
         unique.dedup();

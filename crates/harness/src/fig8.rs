@@ -1,7 +1,7 @@
 //! Fig. 8: replication factors of TLP, METIS, LDG, DBH, and Random on every
 //! dataset for p = 10, 15, 20.
 
-use crate::experiment::{paper_lineup, run_matrix, RfRecord};
+use crate::experiment::{run_matrix, RfRecord, PAPER_LINEUP};
 use crate::report::{write_csv, write_json, TextTable};
 use crate::{ExperimentContext, HarnessError, PARTITION_COUNTS};
 
@@ -17,7 +17,6 @@ use crate::{ExperimentContext, HarnessError, PARTITION_COUNTS};
 /// [`HarnessError`] when a dataset fails to load or a result file fails to
 /// write.
 pub fn run(ctx: &ExperimentContext) -> Result<Vec<RfRecord>, HarnessError> {
-    let lineup_size = paper_lineup(ctx.seed).len();
     let mut records: Vec<RfRecord> = Vec::new();
 
     for &id in &ctx.datasets {
@@ -28,14 +27,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<RfRecord>, HarnessError> {
             graph.num_vertices(),
             graph.num_edges()
         );
-        let dataset_records = run_matrix(
-            &graph,
-            id,
-            &PARTITION_COUNTS,
-            lineup_size,
-            ctx.worker_threads(),
-            |a| paper_lineup(ctx.seed).swap_remove(a),
-        );
+        let dataset_records = run_matrix(&graph, id, &PARTITION_COUNTS, &PAPER_LINEUP, ctx);
         for record in dataset_records {
             eprintln!(
                 "  p={:2} {:>7}: RF = {:.3} ({:.2}s)",

@@ -17,7 +17,17 @@
 //! * `--threads N` — worker threads for the experiment matrix (default:
 //!   all available cores);
 //! * `--data-dir DIR` — where real SNAP files are searched (default `data`);
-//! * `--out-dir DIR` — where CSV/JSON results land (default `results`).
+//! * `--out-dir DIR` — where CSV/JSON results land (default `results`);
+//! * `--format auto|text|bin` — how real dataset files are read: probe
+//!   the `.tlpg` binary cache (default), force the text parse, or require
+//!   the binary cache;
+//! * `--stream-budget N` — edge-buffer budget for streaming-capable
+//!   algorithms (Greedy/HDRF/DBH/Random run bounded-memory passes).
+//!
+//! All nine flags are parsed by one shared [`HarnessArgs`]; experiments
+//! resolve algorithms by name through the unified pipeline registry
+//! (`tlp_pipeline::builtin_registry`), so a new algorithm registered there
+//! is immediately runnable from every binary.
 //!
 //! Run the whole evaluation with `cargo run --release -p tlp-harness --bin all`.
 
@@ -35,7 +45,7 @@ pub mod table4;
 pub mod table6;
 pub mod tlp_r_sweep;
 
-pub use context::ExperimentContext;
+pub use context::{ExperimentContext, HarnessArgs};
 pub use error::HarnessError;
 
 /// The partition counts evaluated throughout the paper.

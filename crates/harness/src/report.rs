@@ -1,8 +1,23 @@
 //! Plain-text table rendering and CSV/JSON result files.
+//!
+//! Result files go through [`tlp_store::atomic_write`] (temp file, fsync,
+//! atomic rename), so a crash mid-report leaves the previous file or
+//! nothing — never a torn CSV/JSON (driven by the store's crash-point
+//! sweep).
 
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
+use tlp_store::{atomic_write, StoreError};
+
+/// Maps a store-layer write failure onto the `std::io::Result` signature
+/// these writers have always had.
+fn to_io_error(e: StoreError) -> std::io::Error {
+    match e {
+        StoreError::Io(io) => io,
+        other => std::io::Error::other(other.to_string()),
+    }
+}
 
 /// A simple fixed-width text table (first row = header).
 #[derive(Clone, Debug, Default)]
@@ -70,13 +85,15 @@ pub fn write_csv<P: AsRef<Path>>(
     header: &[&str],
     rows: &[Vec<String>],
 ) -> std::io::Result<()> {
-    let mut file = std::fs::File::create(path)?;
-    writeln!(file, "{}", header.join(","))?;
-    for row in rows {
-        let line: Vec<String> = row.iter().map(|c| escape_csv(c)).collect();
-        writeln!(file, "{}", line.join(","))?;
-    }
-    Ok(())
+    atomic_write(path.as_ref(), |out| {
+        writeln!(out, "{}", header.join(",")).map_err(StoreError::Io)?;
+        for row in rows {
+            let line: Vec<String> = row.iter().map(|c| escape_csv(c)).collect();
+            writeln!(out, "{}", line.join(",")).map_err(StoreError::Io)?;
+        }
+        Ok(())
+    })
+    .map_err(to_io_error)
 }
 
 fn escape_csv(cell: &str) -> String {
@@ -94,7 +111,10 @@ fn escape_csv(cell: &str) -> String {
 /// Propagates serialization and I/O failures.
 pub fn write_json<P: AsRef<Path>, T: serde::Serialize>(path: P, value: &T) -> std::io::Result<()> {
     let json = serde_json::to_string_pretty(value).map_err(std::io::Error::other)?;
-    std::fs::write(path, json)
+    atomic_write(path.as_ref(), |out| {
+        out.write_all(json.as_bytes()).map_err(StoreError::Io)
+    })
+    .map_err(to_io_error)
 }
 
 #[cfg(test)]

@@ -79,6 +79,18 @@ impl<'g> Cluster<'g> {
         }
     }
 
+    /// Builds the cluster state from a pipeline [`RunArtifact`](tlp_core::RunArtifact)
+    /// — any registry algorithm's output deploys directly onto a simulated
+    /// cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the artifact's partition does not cover exactly the
+    /// graph's edges (see [`Cluster::new`]).
+    pub fn from_artifact(graph: &'g CsrGraph, artifact: &tlp_core::RunArtifact) -> Self {
+        Cluster::new(graph, &artifact.partition)
+    }
+
     /// The underlying graph.
     pub fn graph(&self) -> &'g CsrGraph {
         self.graph

@@ -27,7 +27,7 @@
 //!
 //! Every section carries its own [`Checksum`] (a word-folded FNV-1a 64)
 //! so a single flipped byte anywhere in the file is detected as a typed
-//! [`StoreError::ChecksumMismatch`](crate::StoreError::ChecksumMismatch),
+//! [`StoreError::ChecksumMismatch`],
 //! never as a wrong answer.
 
 use crate::StoreError;

@@ -32,8 +32,9 @@
 //! quarantined on open ([`StoreError::TornStore`]). The [`faults`] module
 //! provides deterministic fault injection ([`FaultFile`], [`FaultSchedule`])
 //! that every store I/O path is threaded through, which is how the
-//! crash-point sweep tests drive the above guarantees. The [`checkpoint`]
-//! module persists partitioner snapshots for kill-and-resume runs.
+//! crash-point sweep tests drive the above guarantees. The checkpoint
+//! module ([`write_checkpoint`] / [`read_checkpoint`]) persists
+//! partitioner snapshots for kill-and-resume runs.
 //!
 //! # Example
 //!
@@ -57,6 +58,7 @@ mod checkpoint;
 mod error;
 mod partition_store;
 mod reader;
+mod sources;
 mod stream;
 mod writer;
 
@@ -72,6 +74,7 @@ pub use partition_store::{
     write_partition_store, PartitionManifest, PartitionStoreReader, SegmentEntry, MANIFEST_NAME,
 };
 pub use reader::{StoreReader, StoredGraph};
+pub use sources::{BinaryFileSource, BudgetedCsrSource, TextFileSource};
 pub use stream::{
     for_each_chunk, BinaryEdgeStream, CsrEdgeStream, EdgeStream, StreamMeta, TextEdgeStream,
 };

@@ -73,26 +73,19 @@ pub struct PartitionManifest {
 }
 
 impl PartitionManifest {
-    /// Replication factor recomputed purely from the manifest — the exact
-    /// expression [`PartitionMetrics::compute`] uses, so the value is
-    /// bit-identical to the live run's.
+    /// Replication factor recomputed purely from the manifest, delegating
+    /// to the canonical [`PartitionMetrics::replication_factor_of`] — the
+    /// exact expression the live run uses, so the value is bit-identical.
     pub fn replication_factor(&self) -> f64 {
-        if self.covered_vertices == 0 {
-            1.0
-        } else {
-            self.total_replicas as f64 / self.covered_vertices as f64
-        }
+        PartitionMetrics::replication_factor_of(self.total_replicas, self.covered_vertices)
     }
 
-    /// Load balance recomputed purely from the manifest (same expression as
-    /// the live metrics: max segment size over ideal `m / p`).
+    /// Load balance recomputed purely from the manifest, delegating to the
+    /// canonical [`PartitionMetrics::balance_of`] (max segment size over
+    /// ideal `m / p`).
     pub fn balance(&self) -> f64 {
-        if self.num_edges == 0 {
-            1.0
-        } else {
-            let ideal = self.num_edges as f64 / self.num_partitions as f64;
-            self.segments.iter().map(|s| s.edges).max().unwrap_or(0) as f64 / ideal
-        }
+        let max_edges = self.segments.iter().map(|s| s.edges).max().unwrap_or(0);
+        PartitionMetrics::balance_of(max_edges, self.num_edges, self.num_partitions)
     }
 
     /// Renders the manifest in its on-disk format.

@@ -171,6 +171,50 @@ fn partition_store_rewrite_sweep_quarantines_torn_stores() {
 }
 
 #[test]
+fn report_write_sweep_preserves_previous_csv() {
+    let _guard = faults::test_lock();
+    let dir = temp_dir("report");
+    let path = dir.join("results.csv");
+    let header = ["dataset", "algorithm", "rf"];
+    let old_rows = vec![vec!["G1".to_string(), "TLP".to_string(), "1.5".to_string()]];
+    let new_rows = vec![
+        vec!["G1".to_string(), "TLP".to_string(), "1.4".to_string()],
+        vec!["G2".to_string(), "HDRF".to_string(), "2.9".to_string()],
+    ];
+
+    tlp_harness::report::write_csv(&path, &header, &old_rows).unwrap();
+    let previous = std::fs::read_to_string(&path).unwrap();
+    let (counted, total) =
+        faults::count_ops(|| tlp_harness::report::write_csv(&path, &header, &new_rows));
+    counted.unwrap();
+    assert!(total > 0, "op counter saw no I/O");
+    tlp_harness::report::write_csv(&path, &header, &old_rows).unwrap();
+
+    for kind in [FaultKind::Crash, FaultKind::ShortWrite, FaultKind::Enospc] {
+        for at_op in 0..total {
+            faults::arm(FaultSchedule {
+                at_op,
+                kind,
+                seed: at_op,
+            });
+            let failed = tlp_harness::report::write_csv(&path, &header, &new_rows);
+            faults::disarm();
+            assert!(
+                failed.is_err(),
+                "{kind:?} at op {at_op} did not fail the report write"
+            );
+            let survivor = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{kind:?} at op {at_op}: previous CSV unreadable: {e}"));
+            assert_eq!(
+                survivor, previous,
+                "{kind:?} at op {at_op} tore the previous CSV"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn checkpoint_rewrite_sweep_preserves_previous_snapshot() {
     let _guard = faults::test_lock();
     let dir = temp_dir("ckpt");

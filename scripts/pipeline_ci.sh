@@ -1,0 +1,38 @@
+#!/bin/bash
+# Pipeline registry smoke: every algorithm in the builtin registry must be
+# invocable by name through the CLI, and its replication factor on a fixed
+# 100k-edge Chung-Lu graph (seed 11, p = 8, algorithm seed 42) must match
+# the checked-in golden manifest exactly. Every run is seeded and
+# single-threaded, so the numbers are bit-stable across machines.
+#
+# Regenerate the manifest after an intentional algorithm change with:
+#   bash scripts/pipeline_ci.sh --regen
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+cli() { cargo run --release -q --bin tlp-cli -- "$@"; }
+
+# The registry's full name list (tlp-r takes its required R parameter).
+ALGOS=(dbh fennel greedy hdrf ldg metis ne random stage1 stage2 tlp tlp-r=0.3)
+
+cli generate --family chung-lu --vertices 30000 --edges 100000 --seed 11 \
+    --output "$WORK/graph.txt"
+
+for algo in "${ALGOS[@]}"; do
+    cli partition --input "$WORK/graph.txt" --partitions 8 --seed 42 \
+        --algorithm "$algo" > "$WORK/run.txt"
+    rf=$(awk '/^replication factor:/ {print $NF}' "$WORK/run.txt")
+    echo "$algo $rf" >> "$WORK/manifest.txt"
+    echo "pipeline-smoke: $algo RF $rf"
+done
+
+if [[ "${1:-}" == "--regen" ]]; then
+    cp "$WORK/manifest.txt" scripts/pipeline_golden.txt
+    echo "regenerated scripts/pipeline_golden.txt"
+else
+    diff scripts/pipeline_golden.txt "$WORK/manifest.txt"
+    echo "pipeline smoke OK: ${#ALGOS[@]} algorithms match the golden manifest"
+fi

@@ -21,21 +21,14 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
-use tlp::baselines::{
-    partition_stream, DbhPartitioner, DbhState, EdgeOrder, FennelPartitioner, GreedyPartitioner,
-    GreedyState, HdrfPartitioner, HdrfState, LdgPartitioner, NePartitioner, RandomPartitioner,
-    RandomState, StreamingPlacer, VertexOrder,
-};
-use tlp::core::{
-    EdgePartition, EdgePartitioner, ParallelTrialRunner, PartitionMetrics, TlpConfig,
-    TwoStageLocalPartitioner,
-};
+use tlp::core::{AlgoConfig, Capability, PartitionMetrics, RunArtifact, TlpConfig};
 use tlp::graph::generators as gen;
 use tlp::graph::io;
-use tlp::metis::MetisPartitioner;
+use tlp::graph::CsrSource;
+use tlp::pipeline::builtin_registry;
 use tlp::store::{
-    read_checkpoint, write_checkpoint, write_partition_store, BinaryEdgeStream, CsrEdgeStream,
-    EdgeStream, StoreReader, MAGIC,
+    read_checkpoint, write_checkpoint, write_partition_store, BinaryFileSource, BudgetedCsrSource,
+    StoreReader, MAGIC,
 };
 
 fn main() -> ExitCode {
@@ -67,7 +60,8 @@ subcommands:
             [--trials T] [--threads N] [--format auto|text|bin]
             [--stream-budget N] [--out-store DIR]
             [--checkpoint DIR] [--resume]
-            algorithms: tlp (default), tlp-r=<R>, metis, ne, ldg, fennel,
+            algorithms (pipeline registry): tlp (default), tlp-r=<R>,
+                        stage1, stage2, metis, ne, ldg, fennel,
                         greedy, hdrf, dbh, random
             --trials runs T independently seeded TLP trials (tlp only) and
             keeps the best replication factor; --threads caps the worker
@@ -127,34 +121,6 @@ fn parsed<T: std::str::FromStr>(
     }
 }
 
-fn make_algorithm(name: &str, seed: u64) -> Result<Box<dyn EdgePartitioner>, String> {
-    let algo: Box<dyn EdgePartitioner> = match name {
-        "tlp" => Box::new(TwoStageLocalPartitioner::new(TlpConfig::new().seed(seed))),
-        "metis" => Box::new(MetisPartitioner::default()),
-        "ne" => Box::new(NePartitioner::new(seed)),
-        "ldg" => Box::new(LdgPartitioner::new(VertexOrder::Random(seed))),
-        "fennel" => Box::new(FennelPartitioner::new(VertexOrder::Random(seed))),
-        "greedy" => Box::new(GreedyPartitioner::new(EdgeOrder::Random(seed))),
-        "hdrf" => Box::new(HdrfPartitioner::default()),
-        "dbh" => Box::new(DbhPartitioner::new(seed)),
-        "random" => Box::new(RandomPartitioner::new(seed)),
-        other => {
-            if let Some(r) = other.strip_prefix("tlp-r=") {
-                let r: f64 = r
-                    .parse()
-                    .map_err(|_| format!("invalid TLP_R ratio in {other:?}"))?;
-                Box::new(
-                    tlp::core::EdgeRatioLocalPartitioner::new(TlpConfig::new().seed(seed), r)
-                        .map_err(|e| e.to_string())?,
-                )
-            } else {
-                return Err(format!("unknown algorithm {other:?}\n{USAGE}"));
-            }
-        }
-    };
-    Ok(algo)
-}
-
 /// Input format of the `partition` subcommand.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum InputFormat {
@@ -180,36 +146,6 @@ fn resolve_format(flag: Option<&str>, input: &str) -> Result<InputFormat, String
             "--format must be auto, text, or bin, got {other:?}"
         )),
     }
-}
-
-/// Builds the natural-order streaming placer for `--stream-budget` runs.
-fn make_placer(
-    name: &str,
-    num_vertices: usize,
-    degrees: Option<Vec<u32>>,
-    num_partitions: usize,
-    seed: u64,
-) -> Result<Box<dyn StreamingPlacer>, String> {
-    let placer: Box<dyn StreamingPlacer> = match name {
-        "hdrf" => {
-            Box::new(HdrfState::new(num_vertices, num_partitions, 1.1).map_err(|e| e.to_string())?)
-        }
-        "greedy" => {
-            Box::new(GreedyState::new(num_vertices, num_partitions).map_err(|e| e.to_string())?)
-        }
-        "dbh" => {
-            let degrees =
-                degrees.ok_or("--stream-budget with dbh needs a degree-bearing source")?;
-            Box::new(DbhState::new(degrees, num_partitions, seed).map_err(|e| e.to_string())?)
-        }
-        "random" => Box::new(RandomState::new(num_partitions, seed).map_err(|e| e.to_string())?),
-        other => {
-            return Err(format!(
-                "--stream-budget supports hdrf, dbh, greedy, random — not {other:?}"
-            ))
-        }
-    };
-    Ok(placer)
 }
 
 fn cmd_partition(args: &[String]) -> Result<(), String> {
@@ -244,6 +180,15 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     }
     if stream_budget.is_some() && trials > 1 {
         return Err("--stream-budget cannot be combined with --trials".into());
+    }
+    let registry = builtin_registry();
+    let entry = registry
+        .entry_of(algorithm)
+        .ok_or_else(|| format!("unknown algorithm {algorithm:?}\n{USAGE}"))?;
+    if stream_budget.is_some() && entry.capability != Capability::Streaming {
+        return Err(format!(
+            "--stream-budget supports hdrf, dbh, greedy, random — not {algorithm:?}"
+        ));
     }
     let checkpoint_dir = flags.get("checkpoint").map(String::as_str);
     let resume = flags.contains_key("resume");
@@ -290,55 +235,47 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         loaded.graph.num_edges()
     );
 
-    let start = std::time::Instant::now();
-    let (algo_name, partition) = if let Some(budget) = stream_budget {
-        // Out-of-core path: binary inputs stream straight off disk, text
-        // inputs stream the parsed graph in natural order. Either way the
-        // placer sees at most `budget` edges at a time.
-        let streamed = match format {
+    let config = AlgoConfig {
+        seed,
+        threads,
+        trials,
+        ..AlgoConfig::default()
+    };
+    let mut artifact = if let Some(budget) = stream_budget {
+        // Out-of-core path: binary inputs stream straight off disk (the
+        // source refuses to materialize), text inputs stream the parsed
+        // graph in natural order. Either way the placer sees at most
+        // `budget` edges at a time.
+        let artifact = match format {
             InputFormat::Bin => {
-                let mut stream =
-                    BinaryEdgeStream::open(Path::new(input), budget).map_err(|e| e.to_string())?;
-                let degrees = stream.meta().degrees.clone();
-                let mut placer =
-                    make_placer(algorithm, loaded.graph.num_vertices(), degrees, p, seed)?;
-                partition_stream(placer.as_mut(), &mut stream).map_err(|e| e.to_string())?
+                let mut source = BinaryFileSource::open(Path::new(input), budget)
+                    .map_err(|e| e.to_string())?
+                    .strict_streaming(true);
+                registry
+                    .run(algorithm, &config, &mut source, p)
+                    .map_err(|e| e.to_string())?
             }
             InputFormat::Text => {
-                let mut stream = CsrEdgeStream::new(&loaded.graph, budget);
-                let degrees = stream.meta().degrees.clone();
-                let mut placer =
-                    make_placer(algorithm, loaded.graph.num_vertices(), degrees, p, seed)?;
-                partition_stream(placer.as_mut(), &mut stream).map_err(|e| e.to_string())?
+                let mut source = BudgetedCsrSource::new(&loaded.graph, budget);
+                registry
+                    .run(algorithm, &config, &mut source, p)
+                    .map_err(|e| e.to_string())?
             }
         };
         println!("stream budget:      {budget}");
-        println!("peak edge buffer:   {}", streamed.peak_buffer);
-        let partition: EdgePartition = streamed.into_partition().map_err(|e| e.to_string())?;
-        (algorithm.to_string(), partition)
-    } else if trials > 1 {
-        let config = TlpConfig::new().seed(seed).trials(trials).threads(threads);
-        let report = ParallelTrialRunner::new(config)
-            .run(&loaded.graph, p)
-            .map_err(|e| e.to_string())?;
-        let (best, worst) = report.rf_spread();
-        println!("trials:             {trials}");
         println!(
-            "per-trial RF:       {}",
-            report
-                .trial_rfs
-                .iter()
-                .map(|rf| format!("{rf:.4}"))
-                .collect::<Vec<_>>()
-                .join(" ")
+            "peak edge buffer:   {}",
+            artifact.peak_stream_buffer.unwrap_or(0)
         );
-        println!(
-            "RF spread:          best {best:.4}, worst {worst:.4} (trial {} kept)",
-            report.best_trial
-        );
-        let algo = make_algorithm(algorithm, seed)?;
-        (algo.name().to_string(), report.partition)
+        // Historical CLI behavior: streamed runs report the registry name.
+        RunArtifact {
+            algorithm: algorithm.to_string(),
+            ..artifact
+        }
     } else if let Some(dir) = checkpoint_dir {
+        // Checkpointed TLP bypasses the registry (the engine snapshot hook
+        // is not part of the Algorithm trait) but still emits the same
+        // artifact as every other path.
         let dir = Path::new(dir);
         let snapshot = if resume {
             let snapshot = read_checkpoint(dir).map_err(|e| e.to_string())?;
@@ -355,35 +292,57 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         } else {
             None
         };
-        let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(seed));
+        let tlp = tlp::core::TwoStageLocalPartitioner::new(TlpConfig::new().seed(seed));
         let mut persist = |ckpt: &tlp::core::EngineCheckpoint| {
             write_checkpoint(dir, ckpt)
                 .map_err(|e| tlp::core::PartitionError::Checkpoint(e.to_string()))
         };
+        let start = std::time::Instant::now();
         let partition = tlp
             .partition_with_checkpoints(&loaded.graph, p, snapshot.as_ref(), Some(&mut persist))
             .map_err(|e| e.to_string())?;
-        ("TLP".to_string(), partition)
+        let seconds = start.elapsed().as_secs_f64();
+        let metrics = PartitionMetrics::compute(&loaded.graph, &partition);
+        let mut artifact = RunArtifact::new("TLP", partition, metrics, seconds);
+        artifact.checkpoint_dir = Some(dir.to_path_buf());
+        artifact
     } else {
-        let algo = make_algorithm(algorithm, seed)?;
-        let partition = algo
-            .partition(&loaded.graph, p)
-            .map_err(|e| e.to_string())?;
-        (algo.name().to_string(), partition)
+        registry
+            .run(algorithm, &config, &mut CsrSource::new(&loaded.graph), p)
+            .map_err(|e| e.to_string())?
     };
-    let elapsed = start.elapsed();
-    let metrics = PartitionMetrics::compute(&loaded.graph, &partition);
+    if trials > 1 {
+        let (best, worst) = artifact.rf_spread();
+        println!("trials:             {trials}");
+        println!(
+            "per-trial RF:       {}",
+            artifact
+                .trial_rfs
+                .iter()
+                .map(|rf| format!("{rf:.4}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        println!(
+            "RF spread:          best {best:.4}, worst {worst:.4} (trial {} kept)",
+            artifact.best_trial.unwrap_or(0)
+        );
+    }
 
-    println!("algorithm:          {algo_name}");
+    println!("algorithm:          {}", artifact.algorithm);
     println!("partitions:         {p}");
-    println!("replication factor: {:.4}", metrics.replication_factor);
-    println!("balance:            {:.4}", metrics.balance);
-    println!("spanned vertices:   {}", metrics.spanned_vertices);
-    println!("time:               {:.2}s", elapsed.as_secs_f64());
+    println!(
+        "replication factor: {:.4}",
+        artifact.metrics.replication_factor
+    );
+    println!("balance:            {:.4}", artifact.metrics.balance);
+    println!("spanned vertices:   {}", artifact.metrics.spanned_vertices);
+    println!("time:               {:.2}s", artifact.seconds);
 
     if let Some(dir) = flags.get("out-store") {
-        let manifest = write_partition_store(Path::new(dir), &loaded.graph, &partition)
+        let manifest = write_partition_store(Path::new(dir), &loaded.graph, &artifact.partition)
             .map_err(|e| e.to_string())?;
+        artifact.store_dir = Some(Path::new(dir).to_path_buf());
         eprintln!(
             "partition store written to {dir} ({} segments, manifest RF {:.4}, balance {:.4})",
             manifest.segments.len(),
@@ -402,7 +361,7 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
                 "{}\t{}\t{}",
                 loaded.original_ids[u as usize],
                 loaded.original_ids[v as usize],
-                partition.partition_of(eid as u32)
+                artifact.partition.partition_of(eid as u32)
             )
             .map_err(|e| e.to_string())?;
         }

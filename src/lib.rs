@@ -1,9 +1,8 @@
 //! Facade crate re-exporting the whole TLP workspace.
 //!
 //! See the individual crates for details:
-//! [`graph`](tlp_graph), [`core`](tlp_core), [`store`](tlp_store),
-//! [`baselines`](tlp_baselines), [`metis`](tlp_metis),
-//! [`datasets`](tlp_datasets), [`harness`](tlp_harness), [`sim`](tlp_sim).
+//! [`graph`], [`core`], [`store`], [`baselines`], [`metis`],
+//! [`pipeline`], [`datasets`], [`harness`], [`sim`].
 
 pub use tlp_baselines as baselines;
 pub use tlp_core as core;
@@ -11,5 +10,6 @@ pub use tlp_datasets as datasets;
 pub use tlp_graph as graph;
 pub use tlp_harness as harness;
 pub use tlp_metis as metis;
+pub use tlp_pipeline as pipeline;
 pub use tlp_sim as sim;
 pub use tlp_store as store;
