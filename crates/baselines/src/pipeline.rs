@@ -107,6 +107,8 @@ impl Algorithm for StreamingBaseline {
         source: &mut dyn EdgeSource,
         num_partitions: usize,
     ) -> Result<RunArtifact, PipelineError> {
+        let _run = tlp_core::run_span(self.kind.label(), num_partitions);
+        let _trial = tlp_core::trial_span(0, Some(self.seed));
         let num_vertices = resolve_num_vertices(source)?;
         let mut placer: Box<dyn StreamingPlacer> = match self.kind {
             StreamingKind::Random => Box::new(RandomState::new(num_partitions, self.seed)?),
@@ -125,26 +127,36 @@ impl Algorithm for StreamingBaseline {
         let mut metrics = StreamedMetrics::new(num_vertices, num_partitions);
         let mut assignments: Vec<PartitionId> = Vec::new();
         let start = std::time::Instant::now();
-        let stats = source.stream_pass(&mut |chunk| {
-            for e in chunk {
-                let q = placer.place(e.source(), e.target());
-                metrics.observe_assignment(e.source(), e.target(), q);
-                assignments.push(q);
-            }
-        })?;
+        let stats = {
+            let _pass = tlp_obs::span("pass");
+            source.stream_pass(&mut |chunk| {
+                tlp_obs::counter("stream.chunk", 1);
+                tlp_obs::counter("stream.edges", chunk.len() as u64);
+                for e in chunk {
+                    let q = placer.place(e.source(), e.target());
+                    metrics.observe_assignment(e.source(), e.target(), q);
+                    assignments.push(q);
+                }
+            })?
+        };
         let seconds = start.elapsed().as_secs_f64();
 
         // Pass 2: replay the (deterministic) stream to count external
         // incidences against the final replica sets.
         let mut index = 0usize;
-        source.stream_pass(&mut |chunk| {
-            for e in chunk {
-                if let Some(&q) = assignments.get(index) {
-                    metrics.observe_external(e.source(), e.target(), q);
+        {
+            let _pass = tlp_obs::span("pass");
+            source.stream_pass(&mut |chunk| {
+                tlp_obs::counter("stream.chunk", 1);
+                tlp_obs::counter("stream.edges", chunk.len() as u64);
+                for e in chunk {
+                    if let Some(&q) = assignments.get(index) {
+                        metrics.observe_external(e.source(), e.target(), q);
+                    }
+                    index += 1;
                 }
-                index += 1;
-            }
-        })?;
+            })?;
+        }
         if index != assignments.len() {
             return Err(PipelineError::Source(SourceError::Corrupt(format!(
                 "stream replay mismatch: pass 1 delivered {} edges, pass 2 delivered {index}",
@@ -152,6 +164,7 @@ impl Algorithm for StreamingBaseline {
             ))));
         }
 
+        tlp_obs::counter("run.edges", assignments.len() as u64);
         let partition = EdgePartition::new(num_partitions, assignments)?;
         let metrics = metrics.finish();
         let mut artifact = RunArtifact::new(self.kind.label(), partition, metrics, seconds);

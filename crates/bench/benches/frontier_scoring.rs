@@ -153,13 +153,21 @@ fn speedup_checks(_c: &mut Criterion) {
         seed: SEED,
         entries,
     };
-    let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
-    // crates/bench -> workspace root.
-    let path = concat!(
+    // crates/bench -> workspace root. The shared obs writer prepends the
+    // workspace-wide "schema" field and writes atomically.
+    let path = std::path::Path::new(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_frontier_scoring.json"
-    );
-    std::fs::write(path, json + "\n").expect("write baseline");
+    ));
+    tlp_obs::bench::write_bench_json(path, &baseline).expect("write baseline");
+    let written = tlp_obs::bench::read_bench_json(path).expect("read baseline back");
+    let keys = tlp_obs::bench::top_level_keys(&written);
+    for expected in ["schema", "bench", "partitions", "seed", "entries"] {
+        assert!(
+            keys.iter().any(|k| k == expected),
+            "BENCH_frontier_scoring.json lost its {expected:?} key (got {keys:?})"
+        );
+    }
     println!("bench frontier_scoring: baseline written to BENCH_frontier_scoring.json");
 }
 

@@ -195,10 +195,32 @@ fn store_io_checks(_c: &mut Criterion) {
         speedup_binary_vs_text: speedup,
         hdrf_stream_ms_by_budget: hdrf_by_budget,
     };
-    let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
-    // crates/bench -> workspace root.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store_io.json");
-    std::fs::write(path, json + "\n").expect("write baseline");
+    // crates/bench -> workspace root. The shared obs writer prepends the
+    // workspace-wide "schema" field and writes atomically.
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_store_io.json"
+    ));
+    tlp_obs::bench::write_bench_json(path, &baseline).expect("write baseline");
+    let written = tlp_obs::bench::read_bench_json(path).expect("read baseline back");
+    let keys = tlp_obs::bench::top_level_keys(&written);
+    for expected in [
+        "schema",
+        "bench",
+        "partitions",
+        "seed",
+        "vertices",
+        "edges",
+        "text_parse_ms",
+        "binary_open_ms",
+        "speedup_binary_vs_text",
+        "hdrf_stream_ms_by_budget",
+    ] {
+        assert!(
+            keys.iter().any(|k| k == expected),
+            "BENCH_store_io.json lost its {expected:?} key (got {keys:?})"
+        );
+    }
     println!("bench store_io: baseline written to BENCH_store_io.json");
 }
 

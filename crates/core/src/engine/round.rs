@@ -112,6 +112,7 @@ pub fn run_with_checkpoints<P: SelectionPolicy + ?Sized>(
             trace.as_mut(),
         );
         if let Some(sink) = sink.as_mut() {
+            let _checkpoint_span = tlp_obs::span("checkpoint");
             let snapshot = EngineCheckpoint {
                 seed: config.seed_value(),
                 num_partitions,
@@ -168,10 +169,17 @@ fn run_round<P: SelectionPolicy + ?Sized>(
     policy: &mut P,
     mut trace: Option<&mut Trace>,
 ) {
+    let _round_span = tlp_obs::span_with(
+        "round",
+        vec![("k".to_string(), tlp_obs::Field::U64(u64::from(k)))],
+    );
     let mut internal = 0usize;
     let mut external = 0usize;
     let mut step = 0u32;
     ws.scoring = ScoringCounters::default();
+    // Drop tallies accumulated outside any round (none today, but cheap
+    // insurance) so per-round kernel counters attribute exactly.
+    ws.kernel.take_counters();
 
     // Line 1-3: random seed vertex; its neighbors form the frontier.
     seed_vertex(
@@ -254,6 +262,21 @@ fn run_round<P: SelectionPolicy + ?Sized>(
             skipped: ws.scoring.skipped,
             cache_hits: ws.scoring.cache_hits,
         });
+    }
+    if tlp_obs::is_enabled() {
+        // Round-granularity flush: the per-selection hot path never emits.
+        tlp_obs::counter("round.select", u64::from(step));
+        tlp_obs::counter("round.edges", internal as u64);
+        tlp_obs::counter("scoring.rescored", ws.scoring.rescored);
+        tlp_obs::counter("scoring.skipped", ws.scoring.skipped);
+        tlp_obs::counter("scoring.cache_hits", ws.scoring.cache_hits);
+        let kernel = ws.kernel.take_counters();
+        tlp_obs::counter("kernel.load", kernel.loads);
+        tlp_obs::counter("kernel.cache_hit", kernel.cache_hits);
+        tlp_obs::counter("kernel.count.mark", kernel.mark_counts);
+        tlp_obs::counter("kernel.count.gallop", kernel.gallop_counts);
+        tlp_obs::counter("kernel.count.bitset", kernel.bitset_counts);
+        tlp_obs::counter("kernel.probes", kernel.probes);
     }
     ws.frontier_clear();
     policy.end_round();

@@ -58,13 +58,15 @@ pub use error::PartitionError;
 pub use metrics::{PartitionMetrics, StreamedMetrics};
 pub use modularity::Modularity;
 pub use parallel::{
-    available_threads, parallel_map, trial_seed, ParallelTrialRunner, TrialFailure, TrialReport,
+    available_threads, observed_parallel_map, parallel_map, trial_seed, ParallelTrialRunner,
+    TrialFailure, TrialReport,
 };
 pub use partition::{EdgePartition, PartitionId};
 pub use partitioner::EdgePartitioner;
 pub use pipeline::{
-    AlgoConfig, Algorithm, AlgorithmBuilder, AlgorithmEntry, AlgorithmRegistry, Capability,
-    MaterializedAlgorithm, ParamSpec, PipelineError, RunArtifact, TlpAlgorithm,
+    run_span, trial_span, AlgoConfig, Algorithm, AlgorithmBuilder, AlgorithmEntry,
+    AlgorithmRegistry, Capability, MaterializedAlgorithm, ParamSpec, PipelineError, RunArtifact,
+    TlpAlgorithm,
 };
 pub use single_stage::{StageOneOnlyPartitioner, StageTwoOnlyPartitioner};
 pub use tlp::TwoStageLocalPartitioner;

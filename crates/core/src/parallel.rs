@@ -64,6 +64,34 @@ where
         .collect()
 }
 
+/// [`parallel_map`] that carries the calling thread's observer across the
+/// worker threads: when one is attached, each item records into a
+/// worker-local buffer and the parent replays the buffers in item order
+/// (tagging events the item did not tag itself with the item index), so
+/// the merged event stream is identical no matter how many threads ran
+/// the items. Without an observer this is exactly [`parallel_map`].
+pub fn observed_parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if !tlp_obs::is_enabled() {
+        return parallel_map(threads, items, f);
+    }
+    let results = parallel_map(threads, items, |i, item| {
+        tlp_obs::with_recording(|| f(i, item))
+    });
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(index, (result, events))| {
+            tlp_obs::replay(events, Some(index as u32));
+            result
+        })
+        .collect()
+}
+
 /// SplitMix64 finalizer — decorrelates sequential trial indices.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -248,9 +276,14 @@ impl ParallelTrialRunner {
         // is shared by Arc; without one the borrow runs on scoped workers.
         let shared: Option<Arc<CsrGraph>> = self.deadline.map(|_| Arc::new(graph.clone()));
 
+        // When an observer is active, each trial records its events locally
+        // and the parent replays them in trial order below, so the merged
+        // stream is independent of the thread count.
+        let observing = tlp_obs::is_enabled();
+
         let outcomes = parallel_map(threads, &seeds, |i, &seed| {
             let config = base.seed(seed);
-            match (self.deadline, &shared) {
+            let work = || match (self.deadline, &shared) {
                 (Some(deadline), Some(shared)) => run_trial_with_deadline(
                     Arc::clone(shared),
                     num_partitions,
@@ -260,13 +293,30 @@ impl ParallelTrialRunner {
                     deadline,
                 ),
                 _ => run_trial(graph, num_partitions, config, probe, i),
+            };
+            if observing {
+                tlp_obs::with_recording(|| {
+                    let _trial = tlp_obs::span_with(
+                        "trial",
+                        vec![
+                            ("index".to_string(), tlp_obs::Field::U64(i as u64)),
+                            ("seed".to_string(), tlp_obs::Field::U64(seed)),
+                        ],
+                    );
+                    work()
+                })
+            } else {
+                (work(), Vec::new())
             }
         });
 
         let mut partitions: Vec<Option<EdgePartition>> = Vec::with_capacity(trials);
         let mut trial_rfs = Vec::with_capacity(trials);
         let mut failures = Vec::new();
-        for (index, outcome) in outcomes.into_iter().enumerate() {
+        for (index, (outcome, events)) in outcomes.into_iter().enumerate() {
+            if observing {
+                tlp_obs::replay(events, Some(index as u32));
+            }
             match outcome {
                 TrialOutcome::Done(partition, rf) => {
                     partitions.push(Some(partition));
@@ -274,6 +324,7 @@ impl ParallelTrialRunner {
                 }
                 TrialOutcome::Error(e) => return Err(e),
                 TrialOutcome::Poisoned(message) => {
+                    tlp_obs::counter("trial.failed", 1);
                     partitions.push(None);
                     trial_rfs.push(f64::NAN);
                     failures.push(TrialFailure { index, message });
@@ -556,5 +607,41 @@ mod tests {
             err,
             PartitionError::InvalidParameter { name: "trials", .. }
         ));
+    }
+
+    #[test]
+    fn observed_parallel_map_stream_is_thread_count_invariant() {
+        let items: Vec<u64> = (0..6).collect();
+        let run = |threads: usize| {
+            tlp_obs::with_recording(|| {
+                observed_parallel_map(threads, &items, |i, &x| {
+                    let _span = tlp_obs::span("item");
+                    tlp_obs::counter("item.value", x + 1);
+                    i as u64 + x
+                })
+            })
+        };
+        let (results_1, events_1) = run(1);
+        let (results_4, events_4) = run(4);
+        assert_eq!(results_1, results_4);
+        assert_eq!(
+            tlp_obs::canonical_lines(&events_1),
+            tlp_obs::canonical_lines(&events_4)
+        );
+        // Each item's events carry its index, in item order.
+        let trials: Vec<Option<u32>> = events_1
+            .iter()
+            .filter(|e| matches!(e.kind, tlp_obs::EventKind::Counter { .. }))
+            .map(|e| e.trial)
+            .collect();
+        assert_eq!(trials, (0..6).map(Some).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn observed_parallel_map_without_observer_is_plain() {
+        let items = [1u64, 2, 3];
+        let doubled = observed_parallel_map(2, &items, |_, &x| x * 2);
+        assert_eq!(doubled, vec![2, 4, 6]);
+        assert!(!tlp_obs::is_enabled());
     }
 }

@@ -174,6 +174,9 @@ pub struct RunArtifact {
     pub store_dir: Option<PathBuf>,
     /// Checkpoint directory, when the run was checkpointed.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Folded observability report, when the run was observed (see
+    /// [`AlgorithmRegistry::run_recorded`]).
+    pub obs: Option<tlp_obs::ObsReport>,
 }
 
 impl RunArtifact {
@@ -197,6 +200,7 @@ impl RunArtifact {
             best_trial: None,
             store_dir: None,
             checkpoint_dir: None,
+            obs: None,
         }
     }
 
@@ -248,6 +252,33 @@ pub trait Algorithm {
     ) -> Result<RunArtifact, PipelineError>;
 }
 
+/// Opens the mandatory `run` span every [`Algorithm::run`] implementation
+/// emits (fields: algorithm label and partition count). The span skeleton
+/// instrumented runs guarantee is `run` → `trial` → `round`/`pass`.
+pub fn run_span(label: &str, num_partitions: usize) -> tlp_obs::SpanGuard {
+    tlp_obs::span_with(
+        "run",
+        vec![
+            (
+                "algorithm".to_string(),
+                tlp_obs::Field::Str(label.to_string()),
+            ),
+            ("p".to_string(), tlp_obs::Field::U64(num_partitions as u64)),
+        ],
+    )
+}
+
+/// Opens a `trial` span for a single-trial (non-raced) run; multi-trial
+/// runs get theirs from the trial runner's replay. `seed` is annotated
+/// when the algorithm is seeded.
+pub fn trial_span(index: usize, seed: Option<u64>) -> tlp_obs::SpanGuard {
+    let mut fields = vec![("index".to_string(), tlp_obs::Field::U64(index as u64))];
+    if let Some(seed) = seed {
+        fields.push(("seed".to_string(), tlp_obs::Field::U64(seed)));
+    }
+    tlp_obs::span_with("trial", fields)
+}
+
 /// Materializes the source or maps the refusal to the typed capability
 /// error.
 fn materialize<'s>(
@@ -295,9 +326,15 @@ impl Algorithm for MaterializedAlgorithm {
         num_partitions: usize,
     ) -> Result<RunArtifact, PipelineError> {
         let graph = materialize(source, &self.label)?;
+        let _run = run_span(&self.label, num_partitions);
         let start = Instant::now();
-        let partition = self.inner.partition(graph, num_partitions)?;
+        let partition = {
+            let _trial = trial_span(0, None);
+            let _pass = tlp_obs::span("pass");
+            self.inner.partition(graph, num_partitions)?
+        };
         let seconds = start.elapsed().as_secs_f64();
+        tlp_obs::counter("run.edges", partition.num_edges() as u64);
         let metrics = PartitionMetrics::compute(graph, &partition);
         Ok(RunArtifact::new(&self.label, partition, metrics, seconds))
     }
@@ -338,18 +375,24 @@ impl Algorithm for TlpAlgorithm {
     ) -> Result<RunArtifact, PipelineError> {
         let graph = materialize(source, "TLP")?;
         self.config.validate()?;
+        let _run = run_span("TLP", num_partitions);
         let start = Instant::now();
         if self.config.trials_value() > 1 {
             let report = ParallelTrialRunner::new(self.config).run(graph, num_partitions)?;
             let seconds = start.elapsed().as_secs_f64();
+            tlp_obs::counter("run.edges", report.partition.num_edges() as u64);
             let metrics = PartitionMetrics::compute(graph, &report.partition);
             let mut artifact = RunArtifact::new("TLP", report.partition, metrics, seconds);
             artifact.trial_rfs = report.trial_rfs;
             artifact.best_trial = Some(report.best_trial);
             return Ok(artifact);
         }
-        let (partition, trace) = run_staged(graph, num_partitions, &self.config, ModularitySwitch)?;
+        let (partition, trace) = {
+            let _trial = trial_span(0, Some(self.config.seed_value()));
+            run_staged(graph, num_partitions, &self.config, ModularitySwitch)?
+        };
         let seconds = start.elapsed().as_secs_f64();
+        tlp_obs::counter("run.edges", partition.num_edges() as u64);
         let metrics = PartitionMetrics::compute(graph, &partition);
         let mut artifact = RunArtifact::new("TLP", partition, metrics, seconds);
         artifact.trace = trace;
@@ -502,6 +545,34 @@ impl AlgorithmRegistry {
         num_partitions: usize,
     ) -> Result<RunArtifact, PipelineError> {
         self.build(spec, config)?.run(source, num_partitions)
+    }
+
+    /// [`AlgorithmRegistry::run`] with a recording observer installed: the
+    /// returned artifact carries the folded
+    /// [`ObsReport`](tlp_obs::ObsReport) and the raw event stream rides
+    /// along for callers that re-emit or diff traces.
+    ///
+    /// The assignment is guaranteed bit-identical to an unobserved
+    /// [`run`](AlgorithmRegistry::run) — observers only listen — and the
+    /// canonical event stream is a pure function of `(spec, config,
+    /// source, num_partitions)`; both properties are pinned by the
+    /// workspace's `obs_determinism` suite.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`AlgorithmRegistry::run`].
+    pub fn run_recorded(
+        &self,
+        spec: &str,
+        config: &AlgoConfig,
+        source: &mut dyn EdgeSource,
+        num_partitions: usize,
+    ) -> Result<(RunArtifact, Vec<tlp_obs::Event>), PipelineError> {
+        let (result, events) =
+            tlp_obs::with_recording(|| self.run(spec, config, source, num_partitions));
+        let mut artifact = result?;
+        artifact.obs = Some(tlp_obs::ObsReport::fold(&events));
+        Ok((artifact, events))
     }
 }
 

@@ -210,7 +210,10 @@ pub fn load_with<P: AsRef<Path>>(
                         outcome,
                     });
                 }
-                CacheProbe::Evicted => outcome.evicted_invalid_cache = true,
+                CacheProbe::Evicted => {
+                    tlp_obs::counter("dataset.cache_evict", 1);
+                    outcome.evicted_invalid_cache = true;
+                }
                 CacheProbe::Absent => {}
             }
             if policy == CachePolicy::BinaryOnly {

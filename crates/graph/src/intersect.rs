@@ -115,6 +115,47 @@ pub fn sorted_intersection_size(a: &[VertexId], b: &[VertexId]) -> usize {
     }
 }
 
+/// Per-strategy call counts accumulated by an [`IntersectionKernel`].
+///
+/// Plain integers with no observability dependency: the engine drains
+/// them once per round via [`IntersectionKernel::take_counters`] and
+/// forwards the totals to whatever observer is attached, so the hot
+/// per-intersection path never crosses a crate boundary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Neighborhood loads ([`IntersectionKernel::load`]).
+    pub loads: u64,
+    /// [`IntersectionKernel::count_with_loaded`] calls answered from the
+    /// per-load memo.
+    pub cache_hits: u64,
+    /// `count_with_loaded` calls answered by membership-mark probes.
+    pub mark_counts: u64,
+    /// `count_with_loaded` calls answered by galloping search.
+    pub gallop_counts: u64,
+    /// Raw [`IntersectionKernel::bitset_intersection_size`] calls.
+    pub bitset_counts: u64,
+    /// Individual membership probes performed across mark and bitset
+    /// counting (the inner-loop work the strategies are minimizing).
+    pub probes: u64,
+}
+
+impl KernelCounters {
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: &KernelCounters) {
+        self.loads += other.loads;
+        self.cache_hits += other.cache_hits;
+        self.mark_counts += other.mark_counts;
+        self.gallop_counts += other.gallop_counts;
+        self.bitset_counts += other.bitset_counts;
+        self.probes += other.probes;
+    }
+
+    /// Total intersection counts served, across every strategy.
+    pub fn total_counts(&self) -> u64 {
+        self.cache_hits + self.mark_counts + self.gallop_counts + self.bitset_counts
+    }
+}
+
 /// Reusable scratch for repeated intersections against one "loaded"
 /// neighborhood, plus a per-load cache of counts.
 ///
@@ -161,6 +202,10 @@ pub struct IntersectionKernel {
     epoch: u32,
     /// The vertex whose neighborhood is currently marked.
     loaded: Option<VertexId>,
+    /// Per-strategy call tallies, drained via [`take_counters`].
+    ///
+    /// [`take_counters`]: IntersectionKernel::take_counters
+    counters: KernelCounters,
 }
 
 impl IntersectionKernel {
@@ -172,12 +217,26 @@ impl IntersectionKernel {
             cache_val: vec![0; n],
             epoch: 0,
             loaded: None,
+            counters: KernelCounters::default(),
         }
     }
 
     /// The vertex whose neighborhood is currently loaded, if any.
     pub fn loaded(&self) -> Option<VertexId> {
         self.loaded
+    }
+
+    /// The per-strategy call tallies since the last [`take_counters`].
+    ///
+    /// [`take_counters`]: IntersectionKernel::take_counters
+    pub fn counters(&self) -> &KernelCounters {
+        &self.counters
+    }
+
+    /// Returns the accumulated tallies and resets them to zero — the
+    /// once-per-round drain point for observability.
+    pub fn take_counters(&mut self) -> KernelCounters {
+        std::mem::take(&mut self.counters)
     }
 
     /// Grows the scratch to cover vertex ids `< n` (no-op when already
@@ -205,6 +264,7 @@ impl IntersectionKernel {
     /// Loads `N(v)` into the scratch, invalidating the previous load and
     /// its cached counts.
     pub fn load(&mut self, graph: &CsrGraph, v: VertexId) {
+        self.counters.loads += 1;
         self.ensure_capacity(graph.num_vertices());
         self.next_epoch();
         for &w in graph.neighbors(v) {
@@ -234,12 +294,16 @@ impl IntersectionKernel {
     pub fn count_with_loaded(&mut self, graph: &CsrGraph, u: VertexId) -> usize {
         let v = self.loaded.expect("no neighborhood loaded");
         if let Some(count) = self.cached_with_loaded(u) {
+            self.counters.cache_hits += 1;
             return count;
         }
         let nu = graph.neighbors(u);
         let count = if nu.len() / graph.degree(v).max(1) >= GALLOP_RATIO {
+            self.counters.gallop_counts += 1;
             galloping_intersection_size(graph.neighbors(v), nu)
         } else {
+            self.counters.mark_counts += 1;
+            self.counters.probes += nu.len() as u64;
             nu.iter()
                 .filter(|&&w| self.mark[w as usize] == self.epoch)
                 .count()
@@ -257,6 +321,8 @@ impl IntersectionKernel {
     /// This is the raw bitset kernel (property-tested against the merge
     /// and galloping kernels); it clobbers any loaded neighborhood.
     pub fn bitset_intersection_size(&mut self, a: &[VertexId], b: &[VertexId]) -> usize {
+        self.counters.bitset_counts += 1;
+        self.counters.probes += b.len() as u64;
         let cap = a
             .iter()
             .chain(b.iter())
@@ -341,6 +407,29 @@ mod tests {
             second,
             sorted_intersection_size(g.neighbors(2), g.neighbors(3))
         );
+    }
+
+    #[test]
+    fn counters_track_strategies_and_drain() {
+        let g = GraphBuilder::new()
+            .add_edges([(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 4), (4, 0)])
+            .build();
+        let mut kernel = IntersectionKernel::new(g.num_vertices());
+        kernel.load(&g, 0);
+        kernel.count_with_loaded(&g, 2);
+        kernel.count_with_loaded(&g, 2); // memoized
+        kernel.bitset_intersection_size(&[1, 2], &[2, 3]);
+        let counters = kernel.take_counters();
+        assert_eq!(counters.loads, 1);
+        assert_eq!(counters.cache_hits, 1);
+        assert_eq!(counters.mark_counts + counters.gallop_counts, 1);
+        assert_eq!(counters.bitset_counts, 1);
+        assert_eq!(counters.total_counts(), 3);
+        assert!(counters.probes > 0);
+        assert_eq!(*kernel.counters(), KernelCounters::default());
+        let mut merged = KernelCounters::default();
+        merged.merge(&counters);
+        assert_eq!(merged, counters);
     }
 
     #[test]

@@ -13,7 +13,7 @@ fn run_all(ctx: &tlp_harness::ExperimentContext) -> Result<(), HarnessError> {
 
 fn main() {
     let ctx = tlp_harness::HarnessArgs::parse_or_exit(std::env::args().skip(1));
-    if let Err(e) = run_all(&ctx) {
+    if let Err(e) = ctx.observed(|| run_all(&ctx)) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

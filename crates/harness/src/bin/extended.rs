@@ -1,7 +1,7 @@
 //! Extended RF comparison across eleven algorithms (beyond the paper).
 fn main() {
     let ctx = tlp_harness::HarnessArgs::parse_or_exit(std::env::args().skip(1));
-    match tlp_harness::extended::run(&ctx) {
+    match ctx.observed(|| tlp_harness::extended::run(&ctx)) {
         Ok(records) => tlp_harness::extended::print_ranking(&records),
         Err(e) => {
             eprintln!("error: {e}");

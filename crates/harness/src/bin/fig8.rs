@@ -1,7 +1,7 @@
 //! Regenerates Fig. 8 (RF of the five-algorithm line-up, p = 10/15/20).
 fn main() {
     let ctx = tlp_harness::HarnessArgs::parse_or_exit(std::env::args().skip(1));
-    if let Err(e) = tlp_harness::fig8::run(&ctx) {
+    if let Err(e) = ctx.observed(|| tlp_harness::fig8::run(&ctx)) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -1,7 +1,7 @@
 //! Regenerates Figs. 9-11 (TLP vs TLP_R sweep over R, p = 10/15/20).
 fn main() {
     let ctx = tlp_harness::HarnessArgs::parse_or_exit(std::env::args().skip(1));
-    if let Err(e) = tlp_harness::tlp_r_sweep::run(&ctx) {
+    if let Err(e) = ctx.observed(|| tlp_harness::tlp_r_sweep::run(&ctx)) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -1,7 +1,7 @@
 //! Regenerates Table III (dataset statistics).
 fn main() {
     let ctx = tlp_harness::HarnessArgs::parse_or_exit(std::env::args().skip(1));
-    if let Err(e) = tlp_harness::table3::run(&ctx) {
+    if let Err(e) = ctx.observed(|| tlp_harness::table3::run(&ctx)) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

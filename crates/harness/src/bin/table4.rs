@@ -1,8 +1,10 @@
 //! Regenerates Table IV (delta RF between METIS and TLP); runs Fig. 8 first.
 fn main() {
     let ctx = tlp_harness::HarnessArgs::parse_or_exit(std::env::args().skip(1));
-    let result = tlp_harness::fig8::run(&ctx)
-        .and_then(|records| tlp_harness::table4::from_records(&ctx, &records));
+    let result = ctx.observed(|| {
+        let records = tlp_harness::fig8::run(&ctx)?;
+        tlp_harness::table4::from_records(&ctx, &records)
+    });
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);

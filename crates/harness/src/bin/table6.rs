@@ -1,7 +1,7 @@
 //! Regenerates Table VI (average selected-vertex degree per TLP stage).
 fn main() {
     let ctx = tlp_harness::HarnessArgs::parse_or_exit(std::env::args().skip(1));
-    if let Err(e) = tlp_harness::table6::run(&ctx) {
+    if let Err(e) = ctx.observed(|| tlp_harness::table6::run(&ctx)) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

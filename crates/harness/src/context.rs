@@ -30,6 +30,9 @@ pub struct ExperimentContext {
     /// Edge-buffer budget for streaming-capable algorithms
     /// (`--stream-budget`); `None` = unbounded in-memory chunks.
     pub stream_budget: Option<usize>,
+    /// Structured event trace destination (`--profile`); `None` = run
+    /// unobserved (the zero-cost default).
+    pub profile: Option<PathBuf>,
 }
 
 impl Default for ExperimentContext {
@@ -44,15 +47,16 @@ impl Default for ExperimentContext {
             threads: 0,
             format: CachePolicy::Auto,
             stream_budget: None,
+            profile: None,
         }
     }
 }
 
 /// The one flag parser behind all seven experiment binaries: `--datasets`,
 /// `--scale`, `--seed`, `--quick`, `--threads`, `--data-dir`, `--out-dir`,
-/// `--format`, `--stream-budget`. [`HarnessArgs::parse`] accumulates raw
-/// flag values; [`HarnessArgs::into_context`] resolves them over the
-/// defaults.
+/// `--format`, `--stream-budget`, `--profile`. [`HarnessArgs::parse`]
+/// accumulates raw flag values; [`HarnessArgs::into_context`] resolves
+/// them over the defaults.
 #[derive(Clone, Debug, Default)]
 pub struct HarnessArgs {
     /// `--data-dir` value, when given.
@@ -73,6 +77,8 @@ pub struct HarnessArgs {
     pub format: Option<CachePolicy>,
     /// `--stream-budget` value, when given (validated to `> 0`).
     pub stream_budget: Option<usize>,
+    /// `--profile` value, when given.
+    pub profile: Option<PathBuf>,
 }
 
 impl HarnessArgs {
@@ -145,10 +151,11 @@ impl HarnessArgs {
                     }
                     parsed.stream_budget = Some(budget);
                 }
+                "--profile" => parsed.profile = Some(PathBuf::from(value_of("--profile")?)),
                 other => {
                     return Err(HarnessError::Usage(format!(
                         "unknown flag {other}; supported: --datasets --scale --seed --quick \
-                         --threads --data-dir --out-dir --format --stream-budget"
+                         --threads --data-dir --out-dir --format --stream-budget --profile"
                     )))
                 }
             }
@@ -169,6 +176,7 @@ impl HarnessArgs {
             threads: self.threads.unwrap_or(defaults.threads),
             format: self.format.unwrap_or(defaults.format),
             stream_budget: self.stream_budget,
+            profile: self.profile,
         }
     }
 
@@ -239,6 +247,36 @@ impl ExperimentContext {
         let ds = loader::load_with(spec, &self.data_dir, scale, self.seed, self.format)
             .map_err(|source| HarnessError::Dataset { id, source })?;
         Ok((ds.graph, spec, scale))
+    }
+
+    /// Runs `f` under this context's profiling observer.
+    ///
+    /// With `--profile PATH`, every structured event the workspace emits
+    /// during `f` is appended to PATH as JSONL (inspect with
+    /// `tlp-obs-report`); without it, `f` runs unobserved at zero cost.
+    /// Observation is passive either way — `f`'s results are bit-identical
+    /// in both modes.
+    ///
+    /// # Errors
+    ///
+    /// `f`'s own error, or [`HarnessError::Io`] when the trace file cannot
+    /// be created or flushed.
+    pub fn observed<T>(
+        &self,
+        f: impl FnOnce() -> Result<T, HarnessError>,
+    ) -> Result<T, HarnessError> {
+        let Some(path) = &self.profile else {
+            return f();
+        };
+        let observer = tlp_obs::JsonlObserver::create(path)
+            .map_err(|e| HarnessError::io(format!("create profile trace {}", path.display()), e))?;
+        let (result, observer) = tlp_obs::with_observer(observer, f);
+        let value = result?;
+        observer
+            .finish()
+            .map_err(|e| HarnessError::io(format!("flush profile trace {}", path.display()), e))?;
+        eprintln!("profile trace written to {}", path.display());
+        Ok(value)
     }
 
     /// Ensures the output directory exists and returns a path inside it.
@@ -361,6 +399,44 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("integer"));
+    }
+
+    #[test]
+    fn profile_flag_parses_and_defaults_off() {
+        let ctx = parse(&["--profile", "/tmp/trace.jsonl"]).unwrap();
+        assert_eq!(ctx.profile, Some(PathBuf::from("/tmp/trace.jsonl")));
+        assert_eq!(parse(&[]).unwrap().profile, None);
+        assert!(parse(&["--profile"])
+            .unwrap_err()
+            .to_string()
+            .contains("requires a value"));
+    }
+
+    #[test]
+    fn observed_without_profile_is_transparent() {
+        let ctx = parse(&[]).unwrap();
+        let value = ctx.observed(|| Ok(7)).unwrap();
+        assert_eq!(value, 7);
+    }
+
+    #[test]
+    fn observed_with_profile_writes_a_decodable_trace() {
+        let dir = std::env::temp_dir().join(format!("tlp-ctx-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let ctx = parse(&["--profile", path.to_str().unwrap()]).unwrap();
+        let value = ctx
+            .observed(|| {
+                let _span = tlp_obs::span("unit");
+                tlp_obs::counter("unit.ticks", 3);
+                Ok(1)
+            })
+            .unwrap();
+        assert_eq!(value, 1);
+        let trace = tlp_obs::read_jsonl(&path).unwrap();
+        assert!(!trace.truncated_tail);
+        assert_eq!(trace.events.len(), 3, "open + counter + close");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::ExperimentContext;
 use serde::{Deserialize, Serialize};
-use tlp_core::{parallel_map, AlgoConfig, AlgorithmRegistry, RunArtifact};
+use tlp_core::{observed_parallel_map, AlgoConfig, AlgorithmRegistry, RunArtifact};
 use tlp_datasets::DatasetId;
 use tlp_graph::{CsrGraph, CsrSource, EdgeSource};
 use tlp_pipeline::builtin_registry;
@@ -111,7 +111,7 @@ pub fn run_matrix(
         .iter()
         .flat_map(|&p| lineup.iter().map(move |&spec| (p, spec)))
         .collect();
-    parallel_map(ctx.worker_threads(), &cells, |_, &(p, spec)| {
+    observed_parallel_map(ctx.worker_threads(), &cells, |_, &(p, spec)| {
         run_one(
             &registry,
             graph,

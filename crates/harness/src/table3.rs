@@ -2,7 +2,7 @@
 
 use crate::report::{write_csv, TextTable};
 use crate::{ExperimentContext, HarnessError};
-use tlp_core::parallel_map;
+use tlp_core::observed_parallel_map;
 use tlp_graph::stats::GraphStats;
 
 /// Runs the Table III experiment: loads every selected dataset and prints
@@ -31,7 +31,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<String, HarnessError> {
 
     // Dataset instantiation (file parse or synthetic generation) dominates
     // here, so load and summarize the datasets in parallel.
-    let loaded = parallel_map(ctx.worker_threads(), &ctx.datasets, |_, &id| {
+    let loaded = observed_parallel_map(ctx.worker_threads(), &ctx.datasets, |_, &id| {
         let (graph, spec, scale) = ctx.load(id)?;
         let stats = GraphStats::of(&graph);
         Ok::<_, HarnessError>((id, spec, scale, stats))

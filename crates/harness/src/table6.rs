@@ -2,7 +2,7 @@
 
 use crate::report::{write_csv, TextTable};
 use crate::{ExperimentContext, HarnessError, PARTITION_COUNTS};
-use tlp_core::{parallel_map, TlpConfig, TwoStageLocalPartitioner};
+use tlp_core::{observed_parallel_map, TlpConfig, TwoStageLocalPartitioner};
 
 /// One Table VI cell pair.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,7 +33,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<StageDegreeRow>, HarnessError>
     for &id in &ctx.datasets {
         let (graph, _, scale) = ctx.load(id)?;
         eprintln!("table6: {id} at scale {scale:.4}");
-        let per_p = parallel_map(ctx.worker_threads(), &PARTITION_COUNTS, |_, &p| {
+        let per_p = observed_parallel_map(ctx.worker_threads(), &PARTITION_COUNTS, |_, &p| {
             let tlp = TwoStageLocalPartitioner::new(TlpConfig::new().seed(ctx.seed));
             let (_, trace) = tlp
                 .partition_with_trace(&graph, p)

@@ -1,0 +1,96 @@
+//! Shared writer for `BENCH_*.json` trajectory files.
+//!
+//! The workspace benches used to hand-roll their JSON emission; routing
+//! them through this module gives every baseline file the same envelope
+//! as profile traces — a leading `"schema"` field carrying
+//! [`SCHEMA_VERSION`] — and a parse-back path for
+//! asserting the emitted keys, while leaving each bench's own top-level
+//! keys untouched.
+
+use crate::event::SCHEMA_VERSION;
+use serde::{Serialize, Value};
+use std::io;
+use std::path::Path;
+
+/// Lowers `value` (which must serialize to a JSON object), prepends the
+/// shared `"schema"` version field, and writes it pretty-printed to
+/// `path` via a sibling temp file and rename so a crash never leaves a
+/// half-written baseline.
+pub fn write_bench_json<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    let mut lowered = value.to_value();
+    let Value::Object(entries) = &mut lowered else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "bench baseline must serialize to a JSON object",
+        ));
+    };
+    if !entries.iter().any(|(key, _)| key == "schema") {
+        entries.insert(0, ("schema".to_string(), Value::UInt(SCHEMA_VERSION)));
+    }
+    let mut text = serde_json::to_string_pretty(&lowered)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    text.push('\n');
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, &text)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads a baseline written by [`write_bench_json`] back into a
+/// [`Value`] tree.
+pub fn read_bench_json(path: &Path) -> io::Result<Value> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// The top-level keys of an object [`Value`], in file order — what bench
+/// smoke tests assert against their expected schema.
+pub fn top_level_keys(value: &Value) -> Vec<String> {
+    match value {
+        Value::Object(entries) => entries.iter().map(|(key, _)| key.clone()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sample;
+
+    impl Serialize for Sample {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("bench".into(), Value::String("sample".into())),
+                ("seed".into(), Value::UInt(9)),
+                ("speedup".into(), Value::Float(2.0)),
+            ])
+        }
+    }
+
+    #[test]
+    fn writes_schema_first_and_reads_back() {
+        let dir = std::env::temp_dir().join(format!("tlp-obs-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sample.json");
+        write_bench_json(&path, &Sample).unwrap();
+        let value = read_bench_json(&path).unwrap();
+        assert_eq!(
+            top_level_keys(&value),
+            vec!["schema", "bench", "seed", "speedup"]
+        );
+        let Value::Object(entries) = &value else {
+            panic!("expected object")
+        };
+        assert_eq!(entries[0].1, Value::UInt(SCHEMA_VERSION));
+        assert_eq!(entries[2].1, Value::UInt(9));
+        assert_eq!(entries[3].1, Value::Float(2.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_non_object_baselines() {
+        let path = std::env::temp_dir().join("BENCH_bad.json");
+        assert!(write_bench_json(&path, &3u64).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Folds a JSONL profile trace into a phase summary table.
+//!
+//! ```text
+//! tlp-obs-report TRACE.jsonl                # human table
+//! tlp-obs-report TRACE.jsonl --canonical    # timing-stripped JSONL to stdout
+//! ```
+//!
+//! `--canonical` re-emits the trace with wall-clock durations removed —
+//! the byte-diffable form golden-trace CI compares. A torn trailing line
+//! (crash mid-append) is tolerated and noted; corruption anywhere else is
+//! a hard error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tlp_obs::{canonical_lines, read_jsonl, ObsReport};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tlp-obs-report TRACE.jsonl [--canonical]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut path: Option<PathBuf> = None;
+    let mut canonical = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--canonical" => canonical = true,
+            "--help" | "-h" => return usage(),
+            _ if path.is_none() => path = Some(PathBuf::from(arg)),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    let trace = match read_jsonl(&path) {
+        Ok(trace) => trace,
+        Err(error) => {
+            eprintln!("tlp-obs-report: {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if trace.truncated_tail {
+        eprintln!(
+            "tlp-obs-report: note: {} ends in a torn line (crash mid-append); it was dropped",
+            path.display()
+        );
+    }
+    if canonical {
+        print!("{}", canonical_lines(&trace.events));
+    } else {
+        print!("{}", ObsReport::fold(&trace.events).render_table());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,374 @@
+//! The structured event vocabulary and its JSONL wire form.
+//!
+//! Every observation is one [`Event`]: a span opening or closing, a
+//! counter increment, or a gauge sample. Events encode to single JSON
+//! lines with a fixed key order so that a trace from a fixed seed is
+//! byte-for-byte reproducible; the only wall-clock-dependent field is
+//! `dur_us` on span closes, which [`Event::canonical`] strips so golden
+//! traces stay diffable across machines.
+//!
+//! Decoding ignores unknown object keys, so later schema versions may add
+//! fields without breaking older readers — the `v` field records the
+//! schema version an event was written under.
+
+use serde::Value;
+
+/// Version stamped into every encoded event as `"v"`. Bump only when a
+/// field changes meaning; purely additive fields do not need a bump.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A typed value attached to a span's open event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Field {
+    /// Unsigned integer payload (ids, sizes, indices).
+    U64(u64),
+    /// Signed integer payload.
+    I64(i64),
+    /// Floating-point payload (ratios, scores).
+    F64(f64),
+    /// Short string payload (names, labels).
+    Str(String),
+}
+
+impl Field {
+    fn to_value(&self) -> Value {
+        match self {
+            Field::U64(n) => Value::UInt(*n),
+            Field::I64(n) => Value::Int(*n),
+            Field::F64(x) => Value::Float(*x),
+            Field::Str(s) => Value::String(s.clone()),
+        }
+    }
+
+    fn from_value(value: &Value) -> Option<Field> {
+        match value {
+            Value::UInt(n) => Some(Field::U64(*n)),
+            Value::Int(n) => Some(Field::I64(*n)),
+            Value::Float(x) => Some(Field::F64(*x)),
+            Value::String(s) => Some(Field::Str(s.clone())),
+            _ => None,
+        }
+    }
+}
+
+/// What happened — the event payload minus bookkeeping.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A phase began. `id` is unique within one scope (and within one
+    /// trial after replay); `parent` nests spans into a tree.
+    SpanOpen {
+        /// Scope-unique span identifier.
+        id: u64,
+        /// Phase name, dot-separated (`"round"`, `"trial"`, `"run"`).
+        name: String,
+        /// Enclosing span's id, if any.
+        parent: Option<u64>,
+        /// Typed key/value annotations, in emission order.
+        fields: Vec<(String, Field)>,
+    },
+    /// The phase with `id` ended. `dur_us` is the wall-clock duration in
+    /// microseconds — the one non-deterministic field in the schema.
+    SpanClose {
+        /// Span identifier matching a prior [`EventKind::SpanOpen`].
+        id: u64,
+        /// Wall-clock duration; `None` in canonical form.
+        dur_us: Option<u64>,
+    },
+    /// A monotonic counter advanced by `delta`.
+    Counter {
+        /// Counter name, dot-separated (`"round.admit"`).
+        name: String,
+        /// Amount added, never negative.
+        delta: u64,
+    },
+    /// A point-in-time measurement; the report keeps the last value.
+    Gauge {
+        /// Gauge name, dot-separated.
+        name: String,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// One observation: a sequence number, an optional trial tag, and the
+/// payload. `seq` is assigned by the recording scope and is contiguous
+/// from 0 within one trace; `trial` is set when a parallel trial's local
+/// events are replayed into the parent trace, making `(trial, span id)`
+/// the global span identity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Position in the trace, contiguous from 0.
+    pub seq: u64,
+    /// Trial index for events replayed out of a parallel trial.
+    pub trial: Option<u32>,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+/// Why a JSONL line failed to decode back into an [`Event`].
+#[derive(Debug)]
+pub struct DecodeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event decode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn decode_error(message: impl Into<String>) -> DecodeError {
+    DecodeError {
+        message: message.into(),
+    }
+}
+
+fn get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u64(entries: &[(String, Value)], key: &str) -> Result<u64, DecodeError> {
+    match get(entries, key) {
+        Some(Value::UInt(n)) => Ok(*n),
+        Some(_) => Err(decode_error(format!(
+            "field {key:?} is not an unsigned integer"
+        ))),
+        None => Err(decode_error(format!("missing field {key:?}"))),
+    }
+}
+
+fn get_opt_u64(entries: &[(String, Value)], key: &str) -> Result<Option<u64>, DecodeError> {
+    match get(entries, key) {
+        Some(Value::UInt(n)) => Ok(Some(*n)),
+        Some(Value::Null) | None => Ok(None),
+        Some(_) => Err(decode_error(format!(
+            "field {key:?} is not an unsigned integer"
+        ))),
+    }
+}
+
+fn get_str(entries: &[(String, Value)], key: &str) -> Result<String, DecodeError> {
+    match get(entries, key) {
+        Some(Value::String(s)) => Ok(s.clone()),
+        Some(_) => Err(decode_error(format!("field {key:?} is not a string"))),
+        None => Err(decode_error(format!("missing field {key:?}"))),
+    }
+}
+
+fn get_f64(entries: &[(String, Value)], key: &str) -> Result<f64, DecodeError> {
+    match get(entries, key) {
+        Some(Value::Float(x)) => Ok(*x),
+        Some(Value::UInt(n)) => Ok(*n as f64),
+        Some(Value::Int(n)) => Ok(*n as f64),
+        Some(_) => Err(decode_error(format!("field {key:?} is not a number"))),
+        None => Err(decode_error(format!("missing field {key:?}"))),
+    }
+}
+
+impl Event {
+    /// Returns the event with its wall-clock duration stripped. Canonical
+    /// events are fully determined by seed and configuration, so two
+    /// canonical traces from the same run setup are byte-identical.
+    pub fn canonical(&self) -> Event {
+        let mut event = self.clone();
+        if let EventKind::SpanClose { dur_us, .. } = &mut event.kind {
+            *dur_us = None;
+        }
+        event
+    }
+
+    /// Encodes the event as one compact JSON line (no trailing newline),
+    /// with a fixed key order so equal events encode to equal bytes.
+    pub fn encode(&self) -> String {
+        let mut entries: Vec<(String, Value)> = vec![
+            ("v".into(), Value::UInt(SCHEMA_VERSION)),
+            ("seq".into(), Value::UInt(self.seq)),
+        ];
+        if let Some(trial) = self.trial {
+            entries.push(("trial".into(), Value::UInt(u64::from(trial))));
+        }
+        match &self.kind {
+            EventKind::SpanOpen {
+                id,
+                name,
+                parent,
+                fields,
+            } => {
+                entries.push(("ev".into(), Value::String("open".into())));
+                entries.push(("id".into(), Value::UInt(*id)));
+                entries.push(("name".into(), Value::String(name.clone())));
+                if let Some(parent) = parent {
+                    entries.push(("parent".into(), Value::UInt(*parent)));
+                }
+                if !fields.is_empty() {
+                    let rendered = fields
+                        .iter()
+                        .map(|(key, field)| (key.clone(), field.to_value()))
+                        .collect();
+                    entries.push(("fields".into(), Value::Object(rendered)));
+                }
+            }
+            EventKind::SpanClose { id, dur_us } => {
+                entries.push(("ev".into(), Value::String("close".into())));
+                entries.push(("id".into(), Value::UInt(*id)));
+                if let Some(dur_us) = dur_us {
+                    entries.push(("dur_us".into(), Value::UInt(*dur_us)));
+                }
+            }
+            EventKind::Counter { name, delta } => {
+                entries.push(("ev".into(), Value::String("counter".into())));
+                entries.push(("name".into(), Value::String(name.clone())));
+                entries.push(("delta".into(), Value::UInt(*delta)));
+            }
+            EventKind::Gauge { name, value } => {
+                entries.push(("ev".into(), Value::String("gauge".into())));
+                entries.push(("name".into(), Value::String(name.clone())));
+                entries.push(("value".into(), Value::Float(*value)));
+            }
+        }
+        serde_json::to_string(&Value::Object(entries)).expect("the vendored JSON encoder is total")
+    }
+
+    /// Decodes one JSONL line. Unknown keys are ignored (additive schema
+    /// tolerance); missing mandatory keys or type mismatches are errors.
+    pub fn decode(line: &str) -> Result<Event, DecodeError> {
+        let value = serde_json::from_str(line)
+            .map_err(|e| decode_error(format!("not a JSON object: {e}")))?;
+        let Value::Object(entries) = value else {
+            return Err(decode_error("event line is not a JSON object"));
+        };
+        get_u64(&entries, "v")?;
+        let seq = get_u64(&entries, "seq")?;
+        let trial = match get_opt_u64(&entries, "trial")? {
+            Some(n) => {
+                Some(u32::try_from(n).map_err(|_| decode_error("trial index out of range"))?)
+            }
+            None => None,
+        };
+        let kind = match get_str(&entries, "ev")?.as_str() {
+            "open" => {
+                let fields = match get(&entries, "fields") {
+                    Some(Value::Object(raw)) => raw
+                        .iter()
+                        .map(|(key, value)| {
+                            Field::from_value(value)
+                                .map(|field| (key.clone(), field))
+                                .ok_or_else(|| {
+                                    decode_error(format!("field {key:?} has unsupported type"))
+                                })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    Some(_) => return Err(decode_error("\"fields\" is not an object")),
+                    None => Vec::new(),
+                };
+                EventKind::SpanOpen {
+                    id: get_u64(&entries, "id")?,
+                    name: get_str(&entries, "name")?,
+                    parent: get_opt_u64(&entries, "parent")?,
+                    fields,
+                }
+            }
+            "close" => EventKind::SpanClose {
+                id: get_u64(&entries, "id")?,
+                dur_us: get_opt_u64(&entries, "dur_us")?,
+            },
+            "counter" => EventKind::Counter {
+                name: get_str(&entries, "name")?,
+                delta: get_u64(&entries, "delta")?,
+            },
+            "gauge" => EventKind::Gauge {
+                name: get_str(&entries, "name")?,
+                value: get_f64(&entries, "value")?,
+            },
+            other => return Err(decode_error(format!("unknown event kind {other:?}"))),
+        };
+        Ok(Event { seq, trial, kind })
+    }
+}
+
+/// Renders events in canonical form (timing stripped), one JSON line
+/// each. Two traces from the same seed and configuration render to the
+/// same string — this is the form golden-trace tests diff.
+pub fn canonical_lines(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event.canonical().encode());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_single_line_and_decodes_back() {
+        let event = Event {
+            seq: 3,
+            trial: Some(1),
+            kind: EventKind::SpanOpen {
+                id: 7,
+                name: "round".into(),
+                parent: Some(2),
+                fields: vec![("k".into(), Field::U64(4)), ("rf".into(), Field::F64(1.5))],
+            },
+        };
+        let line = event.encode();
+        assert!(!line.contains('\n'));
+        assert_eq!(Event::decode(&line).unwrap(), event);
+    }
+
+    #[test]
+    fn canonical_strips_duration_only() {
+        let close = Event {
+            seq: 9,
+            trial: None,
+            kind: EventKind::SpanClose {
+                id: 7,
+                dur_us: Some(1234),
+            },
+        };
+        let canon = close.canonical();
+        assert_eq!(
+            canon.kind,
+            EventKind::SpanClose {
+                id: 7,
+                dur_us: None
+            }
+        );
+        assert_eq!(canon.seq, 9);
+        assert_eq!(Event::decode(&canon.encode()).unwrap(), canon);
+    }
+
+    #[test]
+    fn decode_ignores_unknown_keys() {
+        let line =
+            "{\"v\":1,\"seq\":0,\"ev\":\"counter\",\"name\":\"x\",\"delta\":2,\"note\":\"future\"}";
+        let event = Event::decode(line).unwrap();
+        assert_eq!(
+            event.kind,
+            EventKind::Counter {
+                name: "x".into(),
+                delta: 2
+            }
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2]",
+            "{\"seq\":0,\"ev\":\"counter\",\"name\":\"x\",\"delta\":2}",
+            "{\"v\":1,\"seq\":0,\"ev\":\"mystery\"}",
+            "{\"v\":1,\"seq\":0,\"ev\":\"counter\",\"name\":\"x\"}",
+        ] {
+            assert!(Event::decode(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Structured observability for the TLP workspace.
+//!
+//! The pipeline's instrumentation speaks one small vocabulary — spans
+//! (phases), counters (monotonic totals), gauges (point samples) — and
+//! this crate supplies the three layers around it:
+//!
+//! * [`event`]: the [`Event`] type and its JSONL wire form, versioned by
+//!   [`SCHEMA_VERSION`], with a [`canonical`](Event::canonical) form that
+//!   strips wall-clock timing so fixed-seed traces are byte-diffable.
+//! * [`observer`]: the [`Observer`] trait ([`NullObserver`],
+//!   [`RecordingObserver`], [`JsonlObserver`]) and the scoped
+//!   thread-local dispatch — [`with_observer`] installs a sink for a
+//!   closure, and instrumented code emits through the free functions
+//!   [`span`], [`counter`], and [`gauge`] at near-zero cost when nothing
+//!   is installed.
+//! * [`report`]: [`ObsReport`] folds a trace into per-phase aggregates
+//!   (the `--obs-summary` table and the `RunArtifact` obs section), and
+//!   [`read_jsonl`] reads traces back tolerating a crash-torn tail.
+//!
+//! The determinism contract instrumented code must keep: event content
+//! other than `dur_us` may depend only on the algorithm's own inputs
+//! (graph, seed, configuration) — never on wall-clock, thread scheduling,
+//! or memory addresses. Parallel sections record per-unit and
+//! [`replay`] in a fixed order. Under that contract, a canonical trace is
+//! a pure function of the run setup, which is what the golden-trace tests
+//! and the `--threads` invariance suite pin.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod event;
+pub mod observer;
+pub mod report;
+
+pub use event::{canonical_lines, DecodeError, Event, EventKind, Field, SCHEMA_VERSION};
+pub use observer::{
+    counter, gauge, is_enabled, replay, span, span_with, with_observer, with_recording,
+    JsonlObserver, NullObserver, Observer, RecordingObserver, SpanGuard,
+};
+pub use report::{
+    read_jsonl, read_jsonl_str, CounterStat, GaugeStat, ObsReport, SpanStat, TraceFile,
+    TraceReadError,
+};

@@ -1,0 +1,452 @@
+//! Observers and the scoped thread-local dispatch layer.
+//!
+//! Instrumented code never holds an observer handle: it calls the free
+//! functions [`counter`], [`gauge`], and [`span`], which consult a
+//! thread-local scope. With no scope installed (the [`NullObserver`]
+//! default) every call is a single thread-local flag read and an early
+//! return, so instrumentation stays in hot paths unconditionally.
+//!
+//! [`with_observer`] installs an observer for the duration of a closure
+//! and hands it back afterwards. Scopes nest (the previous scope is
+//! restored on exit, including on panic), and each scope owns its own
+//! sequence counter, span-id allocator, and span stack — so a trace's
+//! `seq` values are contiguous from 0 regardless of what was recorded
+//! before the scope opened.
+//!
+//! Parallel trials record into a local scope on their worker thread and
+//! the parent [`replay`]s the buffered events in trial-index order,
+//! tagging them with the trial index. That makes the merged stream
+//! independent of thread count and scheduling.
+
+use crate::event::{Event, EventKind, Field};
+use std::cell::{Cell, RefCell};
+use std::fs::File;
+use std::io::{self, LineWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Consumes a stream of [`Event`]s.
+pub trait Observer {
+    /// Records one event. Must not emit events itself (the scope is
+    /// borrowed while this runs).
+    fn record(&mut self, event: Event);
+}
+
+/// Discards every event — the implicit default when no scope is
+/// installed. Exists as a value for call sites that want to be explicit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn record(&mut self, _event: Event) {}
+}
+
+/// Buffers events in memory, for tests and for per-trial capture.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    /// Everything recorded so far, in order.
+    pub events: Vec<Event>,
+}
+
+impl Observer for RecordingObserver {
+    fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+}
+
+/// Writes events as JSON lines to a file, flushing at every newline so a
+/// crash mid-run loses at most the line being written. The report folder
+/// tolerates that torn trailing line, so a partial trace stays readable.
+#[derive(Debug)]
+pub struct JsonlObserver {
+    out: LineWriter<File>,
+    error: Option<io::Error>,
+}
+
+impl JsonlObserver {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: &Path) -> io::Result<JsonlObserver> {
+        Ok(JsonlObserver {
+            out: LineWriter::new(File::create(path)?),
+            error: None,
+        })
+    }
+
+    /// Flushes and reports the first write error, if any occurred.
+    /// [`Observer::record`] is infallible, so errors are deferred here.
+    pub fn finish(mut self) -> io::Result<()> {
+        if let Some(error) = self.error.take() {
+            return Err(error);
+        }
+        self.out.flush()
+    }
+}
+
+impl Observer for JsonlObserver {
+    fn record(&mut self, event: Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.encode();
+        line.push('\n');
+        if let Err(error) = self.out.write_all(line.as_bytes()) {
+            self.error = Some(error);
+        }
+    }
+}
+
+struct ScopeState {
+    sink: Rc<RefCell<dyn Observer>>,
+    seq: u64,
+    next_span: u64,
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static SCOPE: RefCell<Option<ScopeState>> = const { RefCell::new(None) };
+}
+
+/// True when an observer scope is installed on this thread. The hot-path
+/// emitters check this first; instrumentation with no observer attached
+/// costs one thread-local read.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+struct ScopeGuard {
+    previous: Option<ScopeState>,
+}
+
+impl ScopeGuard {
+    fn install(sink: Rc<RefCell<dyn Observer>>) -> ScopeGuard {
+        let fresh = ScopeState {
+            sink,
+            seq: 0,
+            next_span: 1,
+            stack: Vec::new(),
+        };
+        let previous = SCOPE.with(|scope| scope.borrow_mut().replace(fresh));
+        ENABLED.with(|enabled| enabled.set(true));
+        ScopeGuard { previous }
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        ENABLED.with(|enabled| enabled.set(previous.is_some()));
+        SCOPE.with(|scope| *scope.borrow_mut() = previous);
+    }
+}
+
+/// Runs `f` with `observer` installed as this thread's event sink and
+/// returns the closure's result together with the observer (holding
+/// whatever it recorded). The previous scope, if any, is restored on
+/// exit — including when `f` panics (the observer's events are lost in
+/// that case, which is how poisoned parallel trials stay excluded).
+pub fn with_observer<S: Observer + 'static, T>(observer: S, f: impl FnOnce() -> T) -> (T, S) {
+    let cell: Rc<RefCell<S>> = Rc::new(RefCell::new(observer));
+    let sink: Rc<RefCell<dyn Observer>> = cell.clone();
+    let guard = ScopeGuard::install(sink);
+    let result = f();
+    drop(guard);
+    let observer = match Rc::try_unwrap(cell) {
+        Ok(cell) => cell.into_inner(),
+        Err(_) => unreachable!("scope releases its observer handle on drop"),
+    };
+    (result, observer)
+}
+
+/// [`with_observer`] specialized to a [`RecordingObserver`]; returns the
+/// closure's result and the recorded events.
+pub fn with_recording<T>(f: impl FnOnce() -> T) -> (T, Vec<Event>) {
+    let (result, recorder) = with_observer(RecordingObserver::default(), f);
+    (result, recorder.events)
+}
+
+fn record_kind(kind: EventKind) {
+    SCOPE.with(|scope| {
+        if let Some(state) = scope.borrow_mut().as_mut() {
+            let event = Event {
+                seq: state.seq,
+                trial: None,
+                kind,
+            };
+            state.seq += 1;
+            state.sink.borrow_mut().record(event);
+        }
+    });
+}
+
+/// Advances the named counter by `delta`. No-op without a scope, and
+/// zero deltas are suppressed so quiet rounds don't bloat traces.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if !is_enabled() || delta == 0 {
+        return;
+    }
+    record_kind(EventKind::Counter {
+        name: name.to_string(),
+        delta,
+    });
+}
+
+/// Records a point-in-time measurement. No-op without a scope.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    record_kind(EventKind::Gauge {
+        name: name.to_string(),
+        value,
+    });
+}
+
+/// Opens a span; it closes when the returned guard drops.
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard {
+            id: None,
+            start: None,
+        };
+    }
+    open_span(name, Vec::new())
+}
+
+/// Opens a span with typed annotation fields.
+#[inline]
+pub fn span_with(name: &str, fields: Vec<(String, Field)>) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard {
+            id: None,
+            start: None,
+        };
+    }
+    open_span(name, fields)
+}
+
+fn open_span(name: &str, fields: Vec<(String, Field)>) -> SpanGuard {
+    SCOPE.with(|scope| {
+        let mut borrow = scope.borrow_mut();
+        let Some(state) = borrow.as_mut() else {
+            return SpanGuard {
+                id: None,
+                start: None,
+            };
+        };
+        let id = state.next_span;
+        state.next_span += 1;
+        let parent = state.stack.last().copied();
+        let event = Event {
+            seq: state.seq,
+            trial: None,
+            kind: EventKind::SpanOpen {
+                id,
+                name: name.to_string(),
+                parent,
+                fields,
+            },
+        };
+        state.seq += 1;
+        state.stack.push(id);
+        state.sink.borrow_mut().record(event);
+        SpanGuard {
+            id: Some(id),
+            start: Some(Instant::now()),
+        }
+    })
+}
+
+/// RAII handle for an open span: records the matching close (with
+/// wall-clock duration) when dropped.
+#[must_use = "a span closes when its guard drops; binding to _ closes it immediately"]
+pub struct SpanGuard {
+    id: Option<u64>,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(id) = self.id else { return };
+        let dur_us = self
+            .start
+            .map(|start| u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+        SCOPE.with(|scope| {
+            if let Some(state) = scope.borrow_mut().as_mut() {
+                // Pop down to this span; tolerates out-of-order guard drops.
+                while let Some(top) = state.stack.pop() {
+                    if top == id {
+                        break;
+                    }
+                }
+                let event = Event {
+                    seq: state.seq,
+                    trial: None,
+                    kind: EventKind::SpanClose { id, dur_us },
+                };
+                state.seq += 1;
+                state.sink.borrow_mut().record(event);
+            }
+        });
+    }
+}
+
+/// Re-records events captured in another scope (typically a parallel
+/// trial's worker-local recording) into the current scope. Each event is
+/// re-sequenced and, if untagged, tagged with `trial` — so replaying the
+/// per-trial buffers in trial-index order yields one deterministic merged
+/// stream no matter how many threads ran the trials.
+pub fn replay(events: Vec<Event>, trial: Option<u32>) {
+    if !is_enabled() {
+        return;
+    }
+    SCOPE.with(|scope| {
+        if let Some(state) = scope.borrow_mut().as_mut() {
+            for mut event in events {
+                event.seq = state.seq;
+                state.seq += 1;
+                if event.trial.is_none() {
+                    event.trial = trial;
+                }
+                state.sink.borrow_mut().record(event);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::canonical_lines;
+
+    #[test]
+    fn no_scope_means_disabled_and_silent() {
+        assert!(!is_enabled());
+        counter("x", 1);
+        gauge("y", 2.0);
+        let _span = span("z");
+    }
+
+    #[test]
+    fn records_nested_spans_counters_and_gauges() {
+        let ((), events) = with_recording(|| {
+            let _run = span("run");
+            {
+                let _round = span_with("round", vec![("k".into(), Field::U64(0))]);
+                counter("admit", 3);
+                counter("admit", 0); // suppressed
+            }
+            gauge("rf", 1.5);
+        });
+        let kinds: Vec<&EventKind> = events.iter().map(|e| &e.kind).collect();
+        assert_eq!(events.len(), 6);
+        assert!(matches!(
+            kinds[0],
+            EventKind::SpanOpen {
+                id: 1,
+                parent: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            kinds[1],
+            EventKind::SpanOpen {
+                id: 2,
+                parent: Some(1),
+                ..
+            }
+        ));
+        assert!(matches!(kinds[2], EventKind::Counter { delta: 3, .. }));
+        assert!(matches!(
+            kinds[3],
+            EventKind::SpanClose {
+                id: 2,
+                dur_us: Some(_)
+            }
+        ));
+        assert!(matches!(kinds[4], EventKind::Gauge { .. }));
+        assert!(matches!(
+            kinds[5],
+            EventKind::SpanClose {
+                id: 1,
+                dur_us: Some(_)
+            }
+        ));
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let ((), outer) = with_recording(|| {
+            counter("outer", 1);
+            let ((), inner) = with_recording(|| counter("inner", 1));
+            assert_eq!(inner.len(), 1);
+            assert_eq!(inner[0].seq, 0, "inner scope re-sequences from 0");
+            counter("outer", 2);
+        });
+        assert_eq!(outer.len(), 2);
+        assert!(matches!(
+            &outer[1].kind,
+            EventKind::Counter { delta: 2, .. }
+        ));
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn replay_tags_and_resequences() {
+        let ((), merged) = with_recording(|| {
+            let buffers: Vec<Vec<Event>> = (0..2)
+                .map(|i| {
+                    let ((), events) = with_recording(|| counter("trial.work", i + 1));
+                    events
+                })
+                .collect();
+            for (i, events) in buffers.into_iter().enumerate() {
+                replay(events, Some(i as u32));
+            }
+        });
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].trial, Some(0));
+        assert_eq!(merged[1].trial, Some(1));
+        assert_eq!(merged[0].seq, 0);
+        assert_eq!(merged[1].seq, 1);
+    }
+
+    #[test]
+    fn same_work_records_identical_canonical_streams() {
+        let run = || {
+            with_recording(|| {
+                let _run = span("run");
+                counter("edges", 10);
+                gauge("rf", 1.25);
+            })
+            .1
+        };
+        assert_eq!(canonical_lines(&run()), canonical_lines(&run()));
+    }
+
+    #[test]
+    fn jsonl_observer_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join(format!("tlp-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let ((), observer) = with_observer(JsonlObserver::create(&path).unwrap(), || {
+            counter("a", 1);
+            gauge("b", 2.5);
+        });
+        observer.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            Event::decode(line).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

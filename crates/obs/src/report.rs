@@ -1,0 +1,346 @@
+//! Folding an event stream into a phase summary.
+//!
+//! [`ObsReport::fold`] aggregates a trace — span counts and total
+//! durations per span name, counter totals, last gauge values — into the
+//! structure surfaced on `RunArtifact` and rendered by `--obs-summary`
+//! and the `tlp-obs-report` binary.
+//!
+//! [`read_jsonl`] reads a trace file back. A trace written through the
+//! line-buffered `JsonlObserver` can legitimately end in a torn line if
+//! the process died mid-append, so an undecodable FINAL line is reported
+//! as `truncated_tail` rather than an error; an undecodable line anywhere
+//! else is mid-file corruption and fails with a typed error.
+
+use crate::event::{Event, EventKind, SCHEMA_VERSION};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+/// Aggregate for one span name.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: String,
+    /// How many spans opened under this name.
+    pub count: u64,
+    /// Summed wall-clock duration (microseconds) over closed spans that
+    /// carried timing; 0 for canonical traces.
+    pub total_us: u64,
+}
+
+/// Total for one counter name.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CounterStat {
+    /// Counter name.
+    pub name: String,
+    /// Sum of all deltas.
+    pub total: u64,
+}
+
+/// Last sample for one gauge name.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GaugeStat {
+    /// Gauge name.
+    pub name: String,
+    /// Most recent value in stream order.
+    pub value: f64,
+}
+
+/// A folded trace: the observability section of a run artifact.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// Schema version the fold understands.
+    pub schema: u64,
+    /// Number of events folded.
+    pub events: u64,
+    /// Per-name span aggregates, sorted by name.
+    pub spans: Vec<SpanStat>,
+    /// Per-name counter totals, sorted by name.
+    pub counters: Vec<CounterStat>,
+    /// Per-name last gauge values, sorted by name.
+    pub gauges: Vec<GaugeStat>,
+}
+
+impl ObsReport {
+    /// Aggregates an event stream. Span durations are attributed by
+    /// `(trial, span id)` — the global span identity after replay.
+    pub fn fold<'a>(events: impl IntoIterator<Item = &'a Event>) -> ObsReport {
+        let mut span_names: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        let mut open_spans: BTreeMap<(Option<u32>, u64), String> = BTreeMap::new();
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+        let mut total = 0u64;
+        for event in events {
+            total += 1;
+            match &event.kind {
+                EventKind::SpanOpen { id, name, .. } => {
+                    let entry = span_names.entry(name.clone()).or_insert((0, 0));
+                    entry.0 += 1;
+                    open_spans.insert((event.trial, *id), name.clone());
+                }
+                EventKind::SpanClose { id, dur_us } => {
+                    if let Some(name) = open_spans.remove(&(event.trial, *id)) {
+                        if let Some(dur) = dur_us {
+                            if let Some(entry) = span_names.get_mut(&name) {
+                                // Saturate: a report must never panic on a
+                                // hostile or corrupted stream.
+                                entry.1 = entry.1.saturating_add(*dur);
+                            }
+                        }
+                    }
+                }
+                EventKind::Counter { name, delta } => {
+                    let entry = counters.entry(name.clone()).or_insert(0);
+                    *entry = entry.saturating_add(*delta);
+                }
+                EventKind::Gauge { name, value } => {
+                    gauges.insert(name.clone(), *value);
+                }
+            }
+        }
+        ObsReport {
+            schema: SCHEMA_VERSION,
+            events: total,
+            spans: span_names
+                .into_iter()
+                .map(|(name, (count, total_us))| SpanStat {
+                    name,
+                    count,
+                    total_us,
+                })
+                .collect(),
+            counters: counters
+                .into_iter()
+                .map(|(name, total)| CounterStat { name, total })
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|(name, value)| GaugeStat { name, value })
+                .collect(),
+        }
+    }
+
+    /// Renders the report as an aligned human-readable table (the
+    /// `--obs-summary` output).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "obs summary (schema v{}, {} events)\n",
+            self.schema, self.events
+        ));
+        if !self.spans.is_empty() {
+            out.push_str("  phase                        count    total ms\n");
+            for span in &self.spans {
+                out.push_str(&format!(
+                    "  {:<28} {:>5} {:>11.3}\n",
+                    span.name,
+                    span.count,
+                    span.total_us as f64 / 1000.0
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("  counter                              total\n");
+            for counter in &self.counters {
+                out.push_str(&format!("  {:<28} {:>13}\n", counter.name, counter.total));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("  gauge                                 last\n");
+            for gauge in &self.gauges {
+                out.push_str(&format!("  {:<28} {:>13.4}\n", gauge.name, gauge.value));
+            }
+        }
+        out
+    }
+}
+
+/// Why a trace file could not be read back.
+#[derive(Debug)]
+pub enum TraceReadError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A line before the last failed to decode — mid-file corruption,
+    /// not a crash-truncated tail.
+    Garbage {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Decoder's description of the failure.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceReadError::Io(e) => write!(f, "trace read failed: {e}"),
+            TraceReadError::Garbage { line, message } => {
+                write!(f, "trace line {line} is corrupt: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {}
+
+impl From<io::Error> for TraceReadError {
+    fn from(e: io::Error) -> TraceReadError {
+        TraceReadError::Io(e)
+    }
+}
+
+/// A trace read back from disk.
+#[derive(Debug)]
+pub struct TraceFile {
+    /// The decoded events, in file order.
+    pub events: Vec<Event>,
+    /// True when the final line was torn (crash mid-append) and dropped.
+    pub truncated_tail: bool,
+}
+
+/// Reads a JSONL trace, tolerating a torn final line (see module docs).
+pub fn read_jsonl(path: &Path) -> Result<TraceFile, TraceReadError> {
+    decode_jsonl_lines(BufReader::new(std::fs::File::open(path)?).lines())
+}
+
+/// [`read_jsonl`] over in-memory text, for tests and piped input.
+pub fn read_jsonl_str(text: &str) -> Result<TraceFile, TraceReadError> {
+    decode_jsonl_lines(text.lines().map(|line| Ok(line.to_string())))
+}
+
+fn decode_jsonl_lines(
+    lines: impl Iterator<Item = io::Result<String>>,
+) -> Result<TraceFile, TraceReadError> {
+    let mut events = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (index, line) in lines.enumerate() {
+        let line = line?;
+        if let Some((bad_line, message)) = pending.take() {
+            // The undecodable line was not the last one: corruption.
+            return Err(TraceReadError::Garbage {
+                line: bad_line,
+                message,
+            });
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::decode(&line) {
+            Ok(event) => events.push(event),
+            Err(error) => pending = Some((index + 1, error.message)),
+        }
+    }
+    Ok(TraceFile {
+        truncated_tail: pending.is_some(),
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Field;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                seq: 0,
+                trial: None,
+                kind: EventKind::SpanOpen {
+                    id: 1,
+                    name: "run".into(),
+                    parent: None,
+                    fields: vec![("p".into(), Field::U64(4))],
+                },
+            },
+            Event {
+                seq: 1,
+                trial: None,
+                kind: EventKind::Counter {
+                    name: "run.edges".into(),
+                    delta: 10,
+                },
+            },
+            Event {
+                seq: 2,
+                trial: None,
+                kind: EventKind::Counter {
+                    name: "run.edges".into(),
+                    delta: 5,
+                },
+            },
+            Event {
+                seq: 3,
+                trial: None,
+                kind: EventKind::Gauge {
+                    name: "rf".into(),
+                    value: 1.5,
+                },
+            },
+            Event {
+                seq: 4,
+                trial: None,
+                kind: EventKind::SpanClose {
+                    id: 1,
+                    dur_us: Some(250),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn fold_aggregates_spans_counters_gauges() {
+        let report = ObsReport::fold(&sample_events());
+        assert_eq!(report.events, 5);
+        assert_eq!(
+            report.spans,
+            vec![SpanStat {
+                name: "run".into(),
+                count: 1,
+                total_us: 250
+            }]
+        );
+        assert_eq!(
+            report.counters,
+            vec![CounterStat {
+                name: "run.edges".into(),
+                total: 15
+            }]
+        );
+        assert_eq!(
+            report.gauges,
+            vec![GaugeStat {
+                name: "rf".into(),
+                value: 1.5
+            }]
+        );
+        let table = report.render_table();
+        assert!(table.contains("run.edges"));
+        assert!(table.contains("15"));
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let mut text = crate::event::canonical_lines(&sample_events());
+        text.push_str("{\"v\":1,\"seq\":5,\"ev\":\"coun"); // torn mid-append
+        let trace = read_jsonl_str(&text).unwrap();
+        assert!(trace.truncated_tail);
+        assert_eq!(trace.events.len(), 5);
+    }
+
+    #[test]
+    fn midfile_garbage_is_a_typed_error() {
+        let lines = crate::event::canonical_lines(&sample_events());
+        let mut text = String::new();
+        let rendered: Vec<&str> = lines.lines().collect();
+        text.push_str(rendered[0]);
+        text.push_str("\nnot json at all\n");
+        text.push_str(rendered[1]);
+        text.push('\n');
+        match read_jsonl_str(&text) {
+            Err(TraceReadError::Garbage { line: 2, .. }) => {}
+            other => panic!("expected garbage error on line 2, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the JSONL wire format: arbitrary span/counter/gauge
+//! interleavings survive encode → decode losslessly, and the report
+//! folder never panics on a trace with a torn trailing line (the shape a
+//! crashed `--profile` run leaves behind).
+
+use proptest::prelude::*;
+use proptest::prop::collection::vec;
+use tlp_obs::{read_jsonl_str, Event, EventKind, Field, ObsReport};
+
+/// Any field the instrumentation can attach. Non-negative integers
+/// normalize to `U64` on the wire (JSON has one integer space), so the
+/// `I64` arm stays strictly negative to keep the round trip exact.
+fn field_strategy() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        any::<u64>().prop_map(Field::U64),
+        (i64::MIN..0).prop_map(Field::I64),
+        (-1.0e12f64..1.0e12).prop_map(Field::F64),
+        prop_oneof![Just(2.0f64), Just(-0.0), Just(1.0e-9)].prop_map(Field::F64),
+        any::<String>().prop_map(Field::Str),
+    ]
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    // Exercise escaping: quotes, backslashes, control chars, unicode.
+    prop_oneof![
+        (0u64..1000).prop_map(|n| format!("span.{n}")),
+        any::<String>().prop_filter("bounded", |s| s.len() <= 24),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        (
+            1u64..1000,
+            name_strategy(),
+            proptest::option::of(1u64..1000),
+            vec((name_strategy(), field_strategy()), 0..4),
+        )
+            .prop_map(|(id, name, parent, fields)| EventKind::SpanOpen {
+                id,
+                name,
+                parent,
+                fields,
+            }),
+        (1u64..1000, proptest::option::of(any::<u64>()))
+            .prop_map(|(id, dur_us)| EventKind::SpanClose { id, dur_us }),
+        (name_strategy(), any::<u64>())
+            .prop_map(|(name, delta)| EventKind::Counter { name, delta }),
+        (name_strategy(), -1.0e12f64..1.0e12)
+            .prop_map(|(name, value)| EventKind::Gauge { name, value }),
+    ]
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (
+        any::<u64>(),
+        proptest::option::of(any::<u32>()),
+        kind_strategy(),
+    )
+        .prop_map(|(seq, trial, kind)| Event { seq, trial, kind })
+}
+
+/// Longest prefix of `text` that is at most `len` bytes and ends on a
+/// char boundary.
+fn floor_char_boundary(text: &str, mut len: usize) -> usize {
+    len = len.min(text.len());
+    while len > 0 && !text.is_char_boundary(len) {
+        len -= 1;
+    }
+    len
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn interleavings_round_trip_through_jsonl(events in vec(event_strategy(), 1..24)) {
+        let mut text = String::new();
+        for event in &events {
+            text.push_str(&event.encode());
+            text.push('\n');
+        }
+        // Per-line decode is exact...
+        for (line, original) in text.lines().zip(&events) {
+            let decoded = Event::decode(line).expect("encoded line decodes");
+            prop_assert_eq!(&decoded, original);
+        }
+        // ...and so is the whole-stream read, with a clean tail.
+        let trace = read_jsonl_str(&text).expect("clean stream reads");
+        prop_assert!(!trace.truncated_tail);
+        prop_assert_eq!(&trace.events, &events);
+        // Folding arbitrary (even unbalanced) streams must never panic.
+        let report = ObsReport::fold(&trace.events);
+        prop_assert_eq!(report.events, events.len() as u64);
+        let _ = report.render_table();
+    }
+
+    #[test]
+    fn torn_trailing_lines_are_tolerated(
+        events in vec(event_strategy(), 1..16),
+        torn_bytes in 1usize..120,
+    ) {
+        let mut text = String::new();
+        for event in &events {
+            text.push_str(&event.encode());
+            text.push('\n');
+        }
+        // Tear the final line mid-write, the way a crash would.
+        let body = text.trim_end_matches('\n');
+        let last_start = body.rfind('\n').map_or(0, |i| i + 1);
+        let last_line = &body[last_start..];
+        let keep = floor_char_boundary(last_line, torn_bytes % last_line.len().max(1));
+        let torn = format!("{}{}", &body[..last_start], &last_line[..keep]);
+
+        let trace = read_jsonl_str(&torn).expect("a torn tail is not garbage");
+        if keep == 0 {
+            // The tear removed the whole line: the remaining stream is clean.
+            prop_assert!(!trace.truncated_tail);
+            prop_assert_eq!(&trace.events, &events[..events.len() - 1]);
+        } else {
+            prop_assert!(trace.truncated_tail, "strict prefix decoded as complete");
+            prop_assert_eq!(&trace.events, &events[..events.len() - 1]);
+        }
+        // The folder and renderer shrug off the partial stream.
+        let _ = ObsReport::fold(&trace.events).render_table();
+    }
+}

@@ -53,6 +53,7 @@ fn encoded_len(num_edges: usize) -> usize {
 /// [`StoreError::Io`] on write failures (the previous checkpoint, if any,
 /// survives them).
 pub fn write_checkpoint(dir: &Path, ckpt: &EngineCheckpoint) -> Result<(), StoreError> {
+    tlp_obs::counter("checkpoint.write", 1);
     std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
     let mut bytes = Vec::with_capacity(encoded_len(ckpt.num_edges));
     bytes.extend_from_slice(&CHECKPOINT_MAGIC);

@@ -224,6 +224,7 @@ impl FaultFile {
             Action::Short => return Err(io::Error::other("injected fault: simulated crash")),
             Action::Pass | Action::Flip(_) => {}
         }
+        tlp_obs::counter("store.fsync", 1);
         self.inner.sync_all()
     }
 

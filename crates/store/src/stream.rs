@@ -75,6 +75,8 @@ where
         }
         peak = peak.max(buf.len());
         seen += got;
+        tlp_obs::counter("store.chunk", 1);
+        tlp_obs::counter("store.chunk_edges", got as u64);
         consume(&buf)?;
     }
 }

@@ -1,0 +1,55 @@
+#!/bin/bash
+# Observability overhead smoke: on a 100k-edge Chung-Lu pipeline run the
+# observed (--profile) partition must cost at most 2% more wall clock than
+# the unobserved run (whose observer is the zero-cost NullObserver path),
+# and the emitted trace must decode into a non-trivial report. Timings are
+# min-of-5 of the CLI-reported algorithm time (graph load excluded), with
+# a 10ms absolute slack so sub-second runs don't trip on scheduler noise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+cli() { cargo run --release -q --bin tlp-cli -- "$@"; }
+
+cli generate --family chung-lu --vertices 30000 --edges 100000 --seed 11 \
+    --output "$WORK/graph.txt"
+
+# Min-of-N of the "time: X.XXs" line the partition command prints.
+best_time() {
+    local best=""
+    for _ in 1 2 3 4 5; do
+        local t
+        t=$(cli partition "$@" | awk '/^time:/ {gsub(/s/, "", $NF); print $NF}')
+        if [[ -z "$best" ]] || awk -v a="$t" -v b="$best" 'BEGIN {exit !(a < b)}'; then
+            best="$t"
+        fi
+    done
+    echo "$best"
+}
+
+plain=$(best_time --input "$WORK/graph.txt" --partitions 8 --seed 42)
+observed=$(best_time --input "$WORK/graph.txt" --partitions 8 --seed 42 \
+    --profile "$WORK/trace.jsonl")
+echo "obs-overhead: unobserved ${plain}s, observed ${observed}s"
+
+awk -v plain="$plain" -v observed="$observed" 'BEGIN {
+    budget = plain * 1.02 + 0.010
+    if (observed > budget) {
+        printf "obs-overhead: observed run %.3fs exceeds budget %.3fs (unobserved %.3fs + 2%% + 10ms)\n",
+            observed, budget, plain
+        exit 1
+    }
+}'
+
+# The trace the observed runs left behind must fold into a real report.
+events=$(wc -l < "$WORK/trace.jsonl")
+if [[ "$events" -lt 4 ]]; then
+    echo "obs-overhead: trace has only $events events; expected the run skeleton"
+    exit 1
+fi
+cargo run --release -q -p tlp-obs --bin tlp-obs-report -- "$WORK/trace.jsonl" \
+    > "$WORK/report.txt"
+grep -q "run" "$WORK/report.txt"
+echo "obs-overhead OK: ${events}-event trace, report renders, overhead within 2%"

@@ -36,3 +36,21 @@ else
     diff scripts/pipeline_golden.txt "$WORK/manifest.txt"
     echo "pipeline smoke OK: ${#ALGOS[@]} algorithms match the golden manifest"
 fi
+
+# Golden event trace: profile a fixed-seed TLP run end to end through the
+# CLI and diff the canonical stream (wall-clock durations stripped) against
+# the checked-in golden. Pins the CLI-visible event schema and ordering.
+cli generate --family chung-lu --vertices 2000 --edges 8000 --seed 41 \
+    --output "$WORK/small.txt"
+cli partition --input "$WORK/small.txt" --partitions 4 --seed 17 \
+    --algorithm tlp --profile "$WORK/trace.jsonl" > /dev/null
+cargo run --release -q -p tlp-obs --bin tlp-obs-report -- "$WORK/trace.jsonl" \
+    --canonical > "$WORK/trace_canonical.jsonl"
+
+if [[ "${1:-}" == "--regen" ]]; then
+    cp "$WORK/trace_canonical.jsonl" scripts/obs_golden.jsonl
+    echo "regenerated scripts/obs_golden.jsonl"
+else
+    diff scripts/obs_golden.jsonl "$WORK/trace_canonical.jsonl"
+    echo "pipeline smoke OK: canonical event trace matches the golden stream"
+fi

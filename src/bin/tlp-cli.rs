@@ -60,6 +60,7 @@ subcommands:
             [--trials T] [--threads N] [--format auto|text|bin]
             [--stream-budget N] [--out-store DIR]
             [--checkpoint DIR] [--resume]
+            [--profile FILE.jsonl] [--obs-summary]
             algorithms (pipeline registry): tlp (default), tlp-r=<R>,
                         stage1, stage2, metis, ne, ldg, fennel,
                         greedy, hdrf, dbh, random
@@ -74,13 +75,17 @@ subcommands:
             completed partition (tlp only, single trial); --resume continues
             from DIR's snapshot — the result is bit-identical to the
             uninterrupted run with the same seed
+            --profile FILE.jsonl records a structured event trace (inspect
+            with tlp-obs-report); --obs-summary prints the aggregated
+            span/counter table after the run. Observation never changes
+            the partition: observed runs are bit-identical to plain ones
   stats     --input FILE
   generate  --family NAME --vertices N --edges M [--seed N] [--output FILE]
             families: community, chung-lu, erdos-renyi, barabasi-albert,
                       rmat, genealogy";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 1] = ["resume"];
+const BOOLEAN_FLAGS: [&str; 2] = ["resume", "obs-summary"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -241,75 +246,104 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         trials,
         ..AlgoConfig::default()
     };
-    let mut artifact = if let Some(budget) = stream_budget {
-        // Out-of-core path: binary inputs stream straight off disk (the
-        // source refuses to materialize), text inputs stream the parsed
-        // graph in natural order. Either way the placer sees at most
-        // `budget` edges at a time.
-        let artifact = match format {
-            InputFormat::Bin => {
-                let mut source = BinaryFileSource::open(Path::new(input), budget)
-                    .map_err(|e| e.to_string())?
-                    .strict_streaming(true);
-                registry
-                    .run(algorithm, &config, &mut source, p)
-                    .map_err(|e| e.to_string())?
+    let profile_path = flags.get("profile").cloned();
+    let obs_summary = flags.contains_key("obs-summary");
+    let compute = || -> Result<RunArtifact, String> {
+        let artifact = if let Some(budget) = stream_budget {
+            // Out-of-core path: binary inputs stream straight off disk (the
+            // source refuses to materialize), text inputs stream the parsed
+            // graph in natural order. Either way the placer sees at most
+            // `budget` edges at a time.
+            let artifact = match format {
+                InputFormat::Bin => {
+                    let mut source = BinaryFileSource::open(Path::new(input), budget)
+                        .map_err(|e| e.to_string())?
+                        .strict_streaming(true);
+                    registry
+                        .run(algorithm, &config, &mut source, p)
+                        .map_err(|e| e.to_string())?
+                }
+                InputFormat::Text => {
+                    let mut source = BudgetedCsrSource::new(&loaded.graph, budget);
+                    registry
+                        .run(algorithm, &config, &mut source, p)
+                        .map_err(|e| e.to_string())?
+                }
+            };
+            println!("stream budget:      {budget}");
+            println!(
+                "peak edge buffer:   {}",
+                artifact.peak_stream_buffer.unwrap_or(0)
+            );
+            // Historical CLI behavior: streamed runs report the registry name.
+            RunArtifact {
+                algorithm: algorithm.to_string(),
+                ..artifact
             }
-            InputFormat::Text => {
-                let mut source = BudgetedCsrSource::new(&loaded.graph, budget);
-                registry
-                    .run(algorithm, &config, &mut source, p)
-                    .map_err(|e| e.to_string())?
-            }
-        };
-        println!("stream budget:      {budget}");
-        println!(
-            "peak edge buffer:   {}",
-            artifact.peak_stream_buffer.unwrap_or(0)
-        );
-        // Historical CLI behavior: streamed runs report the registry name.
-        RunArtifact {
-            algorithm: algorithm.to_string(),
-            ..artifact
-        }
-    } else if let Some(dir) = checkpoint_dir {
-        // Checkpointed TLP bypasses the registry (the engine snapshot hook
-        // is not part of the Algorithm trait) but still emits the same
-        // artifact as every other path.
-        let dir = Path::new(dir);
-        let snapshot = if resume {
-            let snapshot = read_checkpoint(dir).map_err(|e| e.to_string())?;
-            match &snapshot {
-                Some(ckpt) => eprintln!(
-                    "resuming from {} at round {} of {}",
-                    dir.display(),
-                    ckpt.next_round,
-                    ckpt.num_partitions
-                ),
-                None => eprintln!("no checkpoint in {}, starting from round 0", dir.display()),
-            }
-            snapshot
+        } else if let Some(dir) = checkpoint_dir {
+            // Checkpointed TLP bypasses the registry (the engine snapshot hook
+            // is not part of the Algorithm trait) but still emits the same
+            // artifact as every other path.
+            let dir = Path::new(dir);
+            let snapshot = if resume {
+                let snapshot = read_checkpoint(dir).map_err(|e| e.to_string())?;
+                match &snapshot {
+                    Some(ckpt) => eprintln!(
+                        "resuming from {} at round {} of {}",
+                        dir.display(),
+                        ckpt.next_round,
+                        ckpt.num_partitions
+                    ),
+                    None => eprintln!("no checkpoint in {}, starting from round 0", dir.display()),
+                }
+                snapshot
+            } else {
+                None
+            };
+            let tlp = tlp::core::TwoStageLocalPartitioner::new(TlpConfig::new().seed(seed));
+            let mut persist = |ckpt: &tlp::core::EngineCheckpoint| {
+                write_checkpoint(dir, ckpt)
+                    .map_err(|e| tlp::core::PartitionError::Checkpoint(e.to_string()))
+            };
+            let start = std::time::Instant::now();
+            let partition = tlp
+                .partition_with_checkpoints(&loaded.graph, p, snapshot.as_ref(), Some(&mut persist))
+                .map_err(|e| e.to_string())?;
+            let seconds = start.elapsed().as_secs_f64();
+            let metrics = PartitionMetrics::compute(&loaded.graph, &partition);
+            let mut artifact = RunArtifact::new("TLP", partition, metrics, seconds);
+            artifact.checkpoint_dir = Some(dir.to_path_buf());
+            artifact
         } else {
-            None
+            registry
+                .run(algorithm, &config, &mut CsrSource::new(&loaded.graph), p)
+                .map_err(|e| e.to_string())?
         };
-        let tlp = tlp::core::TwoStageLocalPartitioner::new(TlpConfig::new().seed(seed));
-        let mut persist = |ckpt: &tlp::core::EngineCheckpoint| {
-            write_checkpoint(dir, ckpt)
-                .map_err(|e| tlp::core::PartitionError::Checkpoint(e.to_string()))
-        };
-        let start = std::time::Instant::now();
-        let partition = tlp
-            .partition_with_checkpoints(&loaded.graph, p, snapshot.as_ref(), Some(&mut persist))
-            .map_err(|e| e.to_string())?;
-        let seconds = start.elapsed().as_secs_f64();
-        let metrics = PartitionMetrics::compute(&loaded.graph, &partition);
-        let mut artifact = RunArtifact::new("TLP", partition, metrics, seconds);
-        artifact.checkpoint_dir = Some(dir.to_path_buf());
+        Ok(artifact)
+    };
+    // Observation is strictly passive: the same compute closure runs either
+    // way, and observed partitions are bit-identical to unobserved ones.
+    let mut artifact = if profile_path.is_some() || obs_summary {
+        let (result, events) = tlp::obs::with_recording(compute);
+        let mut artifact = result?;
+        if let Some(path) = &profile_path {
+            use tlp::obs::Observer;
+            let mut writer = tlp::obs::JsonlObserver::create(Path::new(path))
+                .map_err(|e| format!("{path}: {e}"))?;
+            for event in &events {
+                writer.record(event.clone());
+            }
+            writer.finish().map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("profile trace written to {path} ({} events)", events.len());
+        }
+        let report = tlp::obs::ObsReport::fold(&events);
+        if obs_summary {
+            println!("{}", report.render_table());
+        }
+        artifact.obs = Some(report);
         artifact
     } else {
-        registry
-            .run(algorithm, &config, &mut CsrSource::new(&loaded.graph), p)
-            .map_err(|e| e.to_string())?
+        compute()?
     };
     if trials > 1 {
         let (best, worst) = artifact.rf_spread();

@@ -2,7 +2,7 @@
 //!
 //! See the individual crates for details:
 //! [`graph`], [`core`], [`store`], [`baselines`], [`metis`],
-//! [`pipeline`], [`datasets`], [`harness`], [`sim`].
+//! [`pipeline`], [`datasets`], [`harness`], [`sim`], [`obs`].
 
 pub use tlp_baselines as baselines;
 pub use tlp_core as core;
@@ -10,6 +10,7 @@ pub use tlp_datasets as datasets;
 pub use tlp_graph as graph;
 pub use tlp_harness as harness;
 pub use tlp_metis as metis;
+pub use tlp_obs as obs;
 pub use tlp_pipeline as pipeline;
 pub use tlp_sim as sim;
 pub use tlp_store as store;

@@ -1,0 +1,149 @@
+//! Observability conformance: every built-in algorithm, run through the
+//! registry with a recording observer, emits the mandatory span skeleton
+//! (`run` → `trial` → `round`/`pass`) and a `run.edges` counter covering
+//! every edge. Streaming algorithms additionally emit per-chunk
+//! `stream.*` counters whose totals match the source's [`PassStats`]
+//! accounting (two passes over every edge).
+
+use tlp::core::{AlgoConfig, Capability};
+use tlp::graph::generators::chung_lu;
+use tlp::graph::CsrSource;
+use tlp::obs::{Event, EventKind, Field};
+use tlp::pipeline::{builtin_names, builtin_registry};
+
+const P: usize = 8;
+
+fn spec_of(name: &str) -> String {
+    if name == "tlp-r" {
+        "tlp-r=0.3".to_string()
+    } else {
+        name.to_string()
+    }
+}
+
+fn span_opens<'e>(events: &'e [Event], span: &str) -> Vec<&'e Event> {
+    events
+        .iter()
+        .filter(|e| matches!(&e.kind, EventKind::SpanOpen { name, .. } if name == span))
+        .collect()
+}
+
+fn counter_total(events: &[Event], counter: &str) -> u64 {
+    events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Counter { name, delta } if name == counter => Some(*delta),
+            _ => None,
+        })
+        .sum()
+}
+
+#[test]
+fn every_builtin_emits_the_mandatory_span_skeleton() {
+    let graph = chung_lu(800, 3200, 2.2, 19);
+    let registry = builtin_registry();
+    let config = AlgoConfig::seeded(29);
+
+    for name in builtin_names() {
+        let spec = spec_of(name);
+        let entry = registry.entry_of(&spec).expect("registered");
+        let (artifact, events) = registry
+            .run_recorded(&spec, &config, &mut CsrSource::new(&graph), P)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        // The root `run` span carries the algorithm label and p.
+        let runs = span_opens(&events, "run");
+        assert_eq!(runs.len(), 1, "{name}: expected exactly one run span");
+        let EventKind::SpanOpen { fields, parent, .. } = &runs[0].kind else {
+            unreachable!()
+        };
+        assert_eq!(*parent, None, "{name}: run span must be the root");
+        assert!(
+            fields.iter().any(|(k, _)| k == "algorithm"),
+            "{name}: run span lost its algorithm field"
+        );
+        assert!(
+            fields
+                .iter()
+                .any(|(k, v)| k == "p" && *v == Field::U64(P as u64)),
+            "{name}: run span lost its p field"
+        );
+
+        // At least one trial, and inside it real work: engine rounds or
+        // streaming/materialized passes.
+        assert!(
+            !span_opens(&events, "trial").is_empty(),
+            "{name}: no trial span"
+        );
+        let rounds = span_opens(&events, "round").len();
+        let passes = span_opens(&events, "pass").len();
+        assert!(
+            rounds + passes > 0,
+            "{name}: no round or pass span under the trial"
+        );
+
+        // Every edge is accounted for exactly once at the run level.
+        assert_eq!(
+            counter_total(&events, "run.edges"),
+            graph.num_edges() as u64,
+            "{name}: run.edges does not cover the graph"
+        );
+
+        // Streaming baselines chunk the source twice (place + replay) and
+        // must report exactly two passes' worth of edges.
+        if entry.capability == Capability::Streaming {
+            assert_eq!(
+                counter_total(&events, "stream.edges"),
+                2 * graph.num_edges() as u64,
+                "{name}: stream.edges != two full passes"
+            );
+            assert!(
+                counter_total(&events, "stream.chunk") >= 2,
+                "{name}: fewer stream chunks than passes"
+            );
+        }
+
+        // The folded report on the artifact agrees with the raw stream.
+        let report = artifact.obs.expect("recorded run keeps its report");
+        assert_eq!(report.events, events.len() as u64, "{name}");
+        assert!(
+            report.spans.iter().any(|s| s.name == "run"),
+            "{name}: report lost the run span"
+        );
+    }
+}
+
+#[test]
+fn kernel_and_scoring_counters_surface_for_the_paper_algorithm() {
+    let graph = chung_lu(800, 3200, 2.2, 19);
+    let registry = builtin_registry();
+    let config = AlgoConfig::seeded(29);
+    let (_, events) = registry
+        .run_recorded("tlp", &config, &mut CsrSource::new(&graph), P)
+        .expect("tlp run");
+    for counter in [
+        "round.select",
+        "round.edges",
+        "scoring.rescored",
+        "kernel.load",
+    ] {
+        assert!(
+            counter_total(&events, counter) > 0,
+            "tlp run emitted no {counter} counts"
+        );
+    }
+    // Every span that opens also closes, with balanced ids per trial.
+    let mut open: std::collections::HashSet<(Option<u32>, u64)> = std::collections::HashSet::new();
+    for event in &events {
+        match &event.kind {
+            EventKind::SpanOpen { id, .. } => {
+                assert!(open.insert((event.trial, *id)), "span id reused while open");
+            }
+            EventKind::SpanClose { id, .. } => {
+                assert!(open.remove(&(event.trial, *id)), "close without open");
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "spans left open: {open:?}");
+}

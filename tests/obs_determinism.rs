@@ -1,0 +1,168 @@
+//! Determinism contract of the observability layer.
+//!
+//! Observation must be strictly passive: an observed run's assignment is
+//! bit-identical to the unobserved run, and the event stream itself is a
+//! pure function of (graph, seed, config) — two same-seed runs emit
+//! byte-identical canonical streams, and the worker thread count does not
+//! change the merged stream (per-trial events are replayed in trial
+//! order, never interleaved in completion order).
+
+use tlp::core::AlgoConfig;
+use tlp::graph::generators::{barabasi_albert, chung_lu, erdos_renyi};
+use tlp::graph::{CsrGraph, CsrSource};
+use tlp::obs::{canonical_lines, Event, EventKind};
+use tlp::pipeline::builtin_registry;
+
+const PARTITION_COUNTS: [usize; 3] = [4, 8, 32];
+
+/// Three structurally different generator families, all small enough to
+/// keep the full matrix fast (~2-4k edges each).
+fn families() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("chung-lu", chung_lu(600, 2400, 2.2, 11)),
+        ("erdos-renyi", erdos_renyi(700, 2800, 12)),
+        ("barabasi-albert", barabasi_albert(600, 4, 13)),
+    ]
+}
+
+#[test]
+fn observed_runs_are_assignment_bit_identical_to_unobserved() {
+    let registry = builtin_registry();
+    for (family, graph) in families() {
+        for p in PARTITION_COUNTS {
+            for spec in ["tlp", "hdrf"] {
+                let config = AlgoConfig::seeded(7);
+                let plain = registry
+                    .run(spec, &config, &mut CsrSource::new(&graph), p)
+                    .unwrap_or_else(|e| panic!("{family}/{spec}/p={p} unobserved: {e}"));
+                let (observed, events) = registry
+                    .run_recorded(spec, &config, &mut CsrSource::new(&graph), p)
+                    .unwrap_or_else(|e| panic!("{family}/{spec}/p={p} observed: {e}"));
+                assert_eq!(
+                    observed.partition, plain.partition,
+                    "{family}/{spec}/p={p}: observation changed the assignment"
+                );
+                assert_eq!(
+                    observed.metrics, plain.metrics,
+                    "{family}/{spec}/p={p}: observation changed the metrics"
+                );
+                assert!(
+                    !events.is_empty(),
+                    "{family}/{spec}/p={p}: observed run emitted no events"
+                );
+                assert!(
+                    observed.obs.is_some(),
+                    "{family}/{spec}/p={p}: artifact missing its obs report"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn same_seed_runs_emit_byte_identical_event_streams() {
+    let registry = builtin_registry();
+    for (family, graph) in families() {
+        for p in PARTITION_COUNTS {
+            let config = AlgoConfig::seeded(23);
+            let record = || {
+                let (_, events) = registry
+                    .run_recorded("tlp", &config, &mut CsrSource::new(&graph), p)
+                    .unwrap_or_else(|e| panic!("{family}/p={p}: {e}"));
+                events
+            };
+            let first = record();
+            let second = record();
+            assert_eq!(
+                canonical_lines(&first),
+                canonical_lines(&second),
+                "{family}/p={p}: same-seed event streams diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_the_event_stream() {
+    let registry = builtin_registry();
+    for (family, graph) in families() {
+        for p in PARTITION_COUNTS {
+            let record = |threads: usize| {
+                let config = AlgoConfig {
+                    seed: 31,
+                    trials: 4,
+                    threads,
+                    ..AlgoConfig::default()
+                };
+                registry
+                    .run_recorded("tlp", &config, &mut CsrSource::new(&graph), p)
+                    .unwrap_or_else(|e| panic!("{family}/p={p}/threads={threads}: {e}"))
+            };
+            let (serial, serial_events) = record(1);
+            let (parallel, parallel_events) = record(4);
+            assert_eq!(
+                serial.partition, parallel.partition,
+                "{family}/p={p}: thread count changed the winning partition"
+            );
+            assert_eq!(
+                canonical_lines(&serial_events),
+                canonical_lines(&parallel_events),
+                "{family}/p={p}: thread count changed the canonical event stream"
+            );
+            // The replayed stream really covers all four trials, in order.
+            let trial_indices: Vec<u64> = parallel_events
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    EventKind::SpanOpen { name, fields, .. } if name == "trial" => fields
+                        .iter()
+                        .find(|(k, _)| k == "index")
+                        .map(|(_, v)| match v {
+                            tlp::obs::Field::U64(i) => *i,
+                            other => panic!("trial index field is {other:?}"),
+                        }),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                trial_indices,
+                vec![0, 1, 2, 3],
+                "{family}/p={p}: trials missing or out of order in the merged stream"
+            );
+        }
+    }
+}
+
+#[test]
+fn canonical_form_strips_only_wall_clock_durations() {
+    let registry = builtin_registry();
+    let graph = chung_lu(400, 1600, 2.2, 5);
+    let config = AlgoConfig::seeded(3);
+    let (_, events) = registry
+        .run_recorded("tlp", &config, &mut CsrSource::new(&graph), 4)
+        .expect("run");
+    for event in &events {
+        let canonical = event.canonical();
+        match (&event.kind, &canonical.kind) {
+            (
+                EventKind::SpanClose { id, dur_us },
+                EventKind::SpanClose {
+                    id: cid,
+                    dur_us: cdur,
+                },
+            ) => {
+                assert_eq!(id, cid);
+                assert!(dur_us.is_some(), "live close should carry a duration");
+                assert!(cdur.is_none(), "canonical close must not carry wall clock");
+            }
+            _ => assert_eq!(
+                &canonical,
+                &Event {
+                    seq: event.seq,
+                    trial: event.trial,
+                    kind: event.kind.clone()
+                },
+                "canonicalization must only touch durations"
+            ),
+        }
+    }
+}

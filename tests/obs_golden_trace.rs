@@ -1,0 +1,75 @@
+//! Golden event-trace test: a checked-in canonical JSONL trace for one
+//! fixed-seed TLP run, diffed against a fresh recording. This pins the
+//! exact event stream — span structure, counter totals, field values,
+//! sequence numbers — across refactors; only wall-clock durations are
+//! outside the contract (the canonical form strips them).
+//!
+//! The comparison is additive-tolerant by construction: the golden file
+//! is *decoded* (the JSONL decoder ignores unknown keys and is
+//! schema-versioned) and re-encoded canonically before diffing, so a
+//! future schema revision that adds fields regenerates cleanly rather
+//! than breaking byte-compare.
+//!
+//! To regenerate after an intentional behavior change:
+//!
+//! ```text
+//! TLP_GOLDEN_UPDATE=1 cargo test --test obs_golden_trace
+//! ```
+
+use std::path::PathBuf;
+use tlp::core::AlgoConfig;
+use tlp::graph::generators::chung_lu;
+use tlp::graph::CsrSource;
+use tlp::obs::{canonical_lines, read_jsonl_str};
+use tlp::pipeline::builtin_registry;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/obs_trace.jsonl")
+}
+
+#[test]
+fn fixed_seed_trace_matches_the_checked_in_golden_stream() {
+    let graph = chung_lu(500, 2000, 2.2, 41);
+    let registry = builtin_registry();
+    let config = AlgoConfig::seeded(17);
+    let (_, events) = registry
+        .run_recorded("tlp", &config, &mut CsrSource::new(&graph), 4)
+        .expect("recorded run");
+    let fresh = canonical_lines(&events);
+
+    let path = golden_path();
+    if std::env::var_os("TLP_GOLDEN_UPDATE").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &fresh).unwrap();
+        return;
+    }
+    let golden_text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden trace {} ({e}); run with TLP_GOLDEN_UPDATE=1 to create it",
+            path.display()
+        )
+    });
+    let golden = read_jsonl_str(&golden_text).expect("golden trace decodes");
+    assert!(!golden.truncated_tail, "golden trace has a torn tail");
+    let expected = canonical_lines(&golden.events);
+    if fresh != expected {
+        let first_diff = fresh
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| fresh.lines().count().min(expected.lines().count()));
+        let got = fresh.lines().nth(first_diff).unwrap_or("<end of stream>");
+        let want = expected
+            .lines()
+            .nth(first_diff)
+            .unwrap_or("<end of stream>");
+        panic!(
+            "event trace diverged from {} at line {}:\n  got:  {got}\n  want: {want}\n\
+             ({} fresh lines vs {} golden lines; run with TLP_GOLDEN_UPDATE=1 if intentional)",
+            path.display(),
+            first_diff + 1,
+            fresh.lines().count(),
+            expected.lines().count()
+        );
+    }
+}

@@ -1,12 +1,14 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset this workspace's property tests use: the
-//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, integer-range and
-//! tuple strategies, `prop::collection::vec`, the `proptest!` macro, and
-//! the `prop_assert*` family. Unlike the real crate there is no shrinking
-//! and no persisted failure file — each case is generated from a
-//! deterministic per-test RNG stream (seeded from the test's module path),
-//! so failures reproduce exactly on re-run.
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`/`prop_filter`,
+//! integer- and float-range, tuple, [`Just`], [`prop_oneof!`] union, and
+//! [`any`] strategies, `prop::collection::vec`, `option::of`, the
+//! `proptest!` macro, and the `prop_assert*` family. Unlike the real
+//! crate there is no shrinking and no persisted failure file — each case
+//! is generated from a deterministic per-test RNG stream (seeded from the
+//! test's module path), so failures reproduce exactly on re-run. Also
+//! unlike the real crate, `any::<f64>()` only generates finite values.
 
 #![forbid(unsafe_code)]
 
@@ -89,6 +91,20 @@ pub trait Strategy {
     {
         FlatMap { inner: self, f }
     }
+
+    /// Keeps only values satisfying `f`, regenerating rejects (up to a
+    /// bounded number of retries — the shim has no global reject budget).
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            f,
+        }
+    }
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
@@ -119,6 +135,149 @@ impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> 
     }
 }
 
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.inner.generate(rng);
+            if (self.f)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter exhausted 1000 retries: {}", self.reason);
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies — what [`prop_oneof!`] builds.
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given arms (at least one).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.gen_range(0..self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// Uniformly picks one of several same-valued strategies per case.
+/// Unlike the real crate, weighted arms are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($arm) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Types with a canonical [`any`] strategy (a miniature of the real
+/// crate's `Arbitrary`).
+pub trait Arbitrary {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    /// Finite values only: a mix of unit-interval, wide-magnitude, and
+    /// integral floats (NaN/infinity are not JSON and not generated).
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.gen_range(0u8..4) {
+            0 => rng.gen::<f64>(),
+            1 => rng.gen_range(-1.0e15..1.0e15),
+            2 => rng.gen_range(-1_000_000i64..1_000_000) as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Bias toward ASCII (printable and control) but cover the full
+        // unicode scalar range, surrogates excluded by construction.
+        match rng.gen_range(0u8..4) {
+            0 => rng
+                .gen_range(0x20u32..0x7F)
+                .try_into()
+                .expect("printable ascii"),
+            1 => rng.gen_range(0u32..0x20).try_into().expect("ascii control"),
+            2 => *['"', '\\', '/', '\u{e9}', '\u{65e5}', '\u{1F600}']
+                .get(rng.gen_range(0usize..6))
+                .expect("in range"),
+            _ => loop {
+                if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                    break c;
+                }
+            },
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let len = rng.gen_range(0usize..16);
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -131,7 +290,7 @@ macro_rules! impl_range_strategy {
     )*};
 }
 
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
@@ -152,8 +311,38 @@ impl_tuple_strategy! {
     (A.0, B.1, C.2, D.3)
 }
 
+/// `Option` strategies (mirrors `proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>` — `Some` three times out of four.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps `inner`'s values in `Option`, biased toward `Some`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_range(0u8..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 /// Namespace mirroring `proptest::prop`.
 pub mod prop {
+    pub use super::option;
+
     /// Collection strategies.
     pub mod collection {
         use super::super::{Strategy, TestRng};
@@ -298,7 +487,8 @@ macro_rules! prop_assert_ne {
 /// One-glob import mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::prop;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{any, Any, Arbitrary, Just, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
     pub use crate::{ProptestConfig, Strategy, TestCaseError};
 }
 
@@ -343,6 +533,38 @@ mod tests {
         #[test]
         fn default_config_variant_compiles(pair in (0u32..4, 0u32..4).prop_map(|(a, b)| a + b)) {
             prop_assert!(pair <= 6);
+        }
+    }
+
+    #[test]
+    fn oneof_any_option_and_filter_compose() {
+        let strat = prop::collection::vec(
+            prop_oneof![
+                (0u64..10).prop_map(|n| n.to_string()),
+                any::<String>().prop_filter("short", |s| s.len() <= 24),
+                Just("fixed".to_string()),
+            ],
+            1..8,
+        );
+        let mut rng = crate::new_case_rng(4, 0);
+        for _ in 0..100 {
+            let v: Vec<String> = strat.generate(&mut rng);
+            assert!(!v.is_empty());
+            assert!(v.iter().all(|s| s.len() <= 24));
+        }
+        let opt = crate::option::of(0u32..5);
+        let mut somes = 0;
+        for _ in 0..100 {
+            if let Some(x) = opt.generate(&mut rng) {
+                assert!(x < 5);
+                somes += 1;
+            }
+        }
+        assert!(somes > 50, "option::of should lean Some (got {somes}/100)");
+        for _ in 0..100 {
+            assert!(any::<f64>().generate(&mut rng).is_finite());
+            let x = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&x));
         }
     }
 

@@ -139,6 +139,18 @@ impl Standard for bool {
     }
 }
 
+macro_rules! impl_standard_from_u64 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_from_u64!(u8, u16, i8, i16, i32, i64, isize);
+
 /// User-facing extension methods, implemented for every [`RngCore`].
 pub trait Rng: RngCore {
     /// Draws a value of an inferred type (`Standard` distribution).

@@ -1,6 +1,7 @@
 //! Offline stand-in for `serde_json`: renders the vendored `serde`
-//! [`Value`](serde::Value) tree as pretty-printed JSON. Only serialization
-//! is provided — nothing in this workspace parses JSON at runtime.
+//! [`Value`](serde::Value) tree as pretty-printed JSON, and parses JSON
+//! text back into a [`Value`] tree (used by the `tlp-obs` trace decoder
+//! and report folder; typed `Deserialize` is still not provided).
 
 #![forbid(unsafe_code)]
 
@@ -63,8 +64,11 @@ fn write_float(out: &mut String, x: f64) {
     if x.is_finite() {
         let text = format!("{x}");
         out.push_str(&text);
-        // `1.0` formats as "1"; keep it a JSON number either way (it is),
-        // so no fixup needed — but NaN/inf are not JSON.
+        // `1.0` formats as "1"; force a fraction so the value parses back
+        // as a Float, matching the real crate — NaN/inf are not JSON.
+        if !text.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
     } else {
         // Match serde_json's lossy behavior of refusing non-finite floats,
         // minus the error plumbing: emit null, which keeps reports readable.
@@ -147,6 +151,256 @@ fn write_compact(out: &mut String, value: &Value) {
     }
 }
 
+/// Error from [`from_str`]: what went wrong and the byte offset.
+#[derive(Debug)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON document into a [`Value`] tree.
+///
+/// Accepts exactly what the encoder in this crate emits (plus standard
+/// JSON: unicode escapes, exponents, arbitrary whitespace). Trailing
+/// whitespace is allowed; any other trailing content is an error.
+///
+/// # Errors
+///
+/// [`ParseError`] describing the first offending byte.
+pub fn from_str(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing content after JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", expected as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> Result<(), ParseError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {literal}")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null").map(|()| Value::Null),
+            Some(b't') => self.eat_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by our encoder;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is valid UTF-8: &str).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().ok_or_else(|| self.error("eof"))?;
+                    if (c as u32) < 0x20 {
+                        return Err(self.error("raw control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.error("expected digits"));
+        }
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(n) = stripped.parse::<i64>() {
+                    return Ok(Value::Int(-n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +431,75 @@ mod tests {
     fn escapes_control_characters() {
         let json = to_string(&"a\"b\\c\nd\u{1}").unwrap();
         assert_eq!(json, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert!(matches!(from_str("null").unwrap(), Value::Null));
+        assert!(matches!(from_str(" true ").unwrap(), Value::Bool(true)));
+        assert!(matches!(from_str("false").unwrap(), Value::Bool(false)));
+        assert!(matches!(from_str("42").unwrap(), Value::UInt(42)));
+        assert!(matches!(from_str("-7").unwrap(), Value::Int(-7)));
+        assert!(matches!(from_str("1.5").unwrap(), Value::Float(x) if x == 1.5));
+        assert!(matches!(from_str("2e3").unwrap(), Value::Float(x) if x == 2000.0));
+        assert!(matches!(from_str("\"hi\"").unwrap(), Value::String(s) if s == "hi"));
+    }
+
+    #[test]
+    fn parses_nested_structures_preserving_key_order() {
+        let parsed = from_str("{\"b\": [1, {\"a\": null}], \"a\": -2}").unwrap();
+        let Value::Object(entries) = parsed else {
+            panic!("expected object");
+        };
+        assert_eq!(entries[0].0, "b");
+        assert_eq!(entries[1].0, "a");
+        assert!(matches!(entries[1].1, Value::Int(-2)));
+        let Value::Array(items) = &entries[0].1 else {
+            panic!("expected array");
+        };
+        assert!(matches!(items[0], Value::UInt(1)));
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        let parsed = from_str("\"a\\\"b\\\\c\\nd\\u0001é\"").unwrap();
+        assert!(matches!(parsed, Value::String(s) if s == "a\"b\\c\nd\u{1}é"));
+    }
+
+    #[test]
+    fn encode_then_parse_roundtrips_both_renderings() {
+        let value = Value::Object(vec![
+            ("name".into(), Value::String("G\"1\n".into())),
+            (
+                "rf".into(),
+                Value::Array(vec![Value::Float(1.5), Value::UInt(2), Value::Int(-3)]),
+            ),
+            ("ok".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+        ]);
+        let compact = to_string(&WrappedValue(value.clone())).unwrap();
+        let pretty = to_string_pretty(&WrappedValue(value.clone())).unwrap();
+        assert_eq!(from_str(&compact).unwrap(), value);
+        assert_eq!(from_str(&pretty).unwrap(), value);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "nul",
+            "{\"a\":}",
+            "-",
+            "01x",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     struct WrappedValue(Value);
