@@ -17,8 +17,21 @@
 
 use crate::util::{least_loaded, splitmix64, PartitionSet};
 use tlp_core::{EdgePartition, PartitionError, PartitionId};
-use tlp_graph::VertexId;
+use tlp_graph::{CsrGraph, VertexId};
 use tlp_store::{for_each_chunk, EdgeStream, StoreError, StreamMeta};
+
+/// Checks that `partition` covers exactly the edges of `graph`, the shared
+/// precondition of the `seeded_from` constructors.
+fn check_seeding_pair(graph: &CsrGraph, partition: &EdgePartition) -> Result<(), PartitionError> {
+    if partition.num_edges() != graph.num_edges() {
+        return Err(PartitionError::InvalidAssignment(format!(
+            "partition covers {} edges but the seeding graph has {}",
+            partition.num_edges(),
+            graph.num_edges()
+        )));
+    }
+    Ok(())
+}
 
 /// Per-edge placement state of a streaming heuristic.
 ///
@@ -126,6 +139,40 @@ impl HdrfState {
             loads: vec![0usize; num_partitions],
         })
     }
+
+    /// Creates HDRF state *as if* every edge of `graph` had already been
+    /// streamed through [`StreamingPlacer::place`] with the outcomes
+    /// recorded in `partition`: partial degrees equal the graph degrees,
+    /// replica sets and loads are folded from the assignment.
+    ///
+    /// When `partition` was itself produced by an HDRF stream over
+    /// `graph`'s canonical edge order, the returned state is identical to
+    /// the live state at the end of that stream, so placements continue
+    /// bit-identically — this is how the serving layer resumes online
+    /// placement against a stored partition.
+    ///
+    /// # Errors
+    ///
+    /// [`HdrfState::new`] validation errors, plus
+    /// [`PartitionError::InvalidAssignment`] if `partition` does not cover
+    /// `graph`'s edges.
+    pub fn seeded_from(
+        graph: &CsrGraph,
+        partition: &EdgePartition,
+        lambda: f64,
+    ) -> Result<Self, PartitionError> {
+        check_seeding_pair(graph, partition)?;
+        let mut state = HdrfState::new(graph.num_vertices(), partition.num_partitions(), lambda)?;
+        for (eid, edge) in graph.edges().iter().enumerate() {
+            let q = partition.partition_of(eid as u32) as usize;
+            state.partial_degree[edge.source() as usize] += 1;
+            state.partial_degree[edge.target() as usize] += 1;
+            state.loads[q] += 1;
+            state.replicas[edge.source() as usize].insert(q);
+            state.replicas[edge.target() as usize].insert(q);
+        }
+        Ok(state)
+    }
 }
 
 impl StreamingPlacer for HdrfState {
@@ -192,6 +239,30 @@ impl GreedyState {
                 .collect(),
             loads: vec![0usize; num_partitions],
         })
+    }
+
+    /// Creates greedy state as if every edge of `graph` had already been
+    /// placed with the outcomes in `partition` — the greedy analogue of
+    /// [`HdrfState::seeded_from`], with the same continuation guarantee.
+    ///
+    /// # Errors
+    ///
+    /// [`GreedyState::new`] validation errors, plus
+    /// [`PartitionError::InvalidAssignment`] if `partition` does not cover
+    /// `graph`'s edges.
+    pub fn seeded_from(
+        graph: &CsrGraph,
+        partition: &EdgePartition,
+    ) -> Result<Self, PartitionError> {
+        check_seeding_pair(graph, partition)?;
+        let mut state = GreedyState::new(graph.num_vertices(), partition.num_partitions())?;
+        for (eid, edge) in graph.edges().iter().enumerate() {
+            let q = partition.partition_of(eid as u32) as usize;
+            state.loads[q] += 1;
+            state.replicas[edge.source() as usize].insert(q);
+            state.replicas[edge.target() as usize].insert(q);
+        }
+        Ok(state)
     }
 }
 
@@ -352,6 +423,82 @@ mod tests {
         assert!(GreedyState::new(4, 0).is_err());
         assert!(DbhState::new(vec![1, 1], 0, 0).is_err());
         assert!(RandomState::new(0, 0).is_err());
+    }
+
+    /// Streams the first `split` canonical edges of `g` through a fresh
+    /// placer, seeds a new placer from the resulting (prefix graph,
+    /// prefix partition) pair, and checks that placing the remaining
+    /// edges continues bit-identically to the uninterrupted full stream.
+    fn assert_seeded_continuation(
+        g: &tlp_graph::CsrGraph,
+        split: usize,
+        p: usize,
+        fresh: impl Fn(usize) -> Box<dyn StreamingPlacer>,
+        seeded: impl Fn(&tlp_graph::CsrGraph, &EdgePartition) -> Box<dyn StreamingPlacer>,
+    ) {
+        let mut full = fresh(g.num_vertices());
+        let full_assignments: Vec<PartitionId> = g
+            .edges()
+            .iter()
+            .map(|e| full.place(e.source(), e.target()))
+            .collect();
+
+        let prefix_graph = tlp_graph::CsrGraph::from_sorted_canonical_edges(
+            g.num_vertices(),
+            g.edges()[..split].to_vec(),
+        )
+        .unwrap();
+        let prefix_partition = EdgePartition::new(p, full_assignments[..split].to_vec()).unwrap();
+        let mut resumed = seeded(&prefix_graph, &prefix_partition);
+        for (i, e) in g.edges().iter().enumerate().skip(split) {
+            assert_eq!(
+                resumed.place(e.source(), e.target()),
+                full_assignments[i],
+                "seeded continuation diverged at edge {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn hdrf_seeded_state_continues_bit_identically() {
+        let g = tlp_graph::generators::chung_lu(400, 1600, 2.2, 5);
+        let split = g.num_edges() * 3 / 4;
+        assert_seeded_continuation(
+            &g,
+            split,
+            8,
+            |n| Box::new(HdrfState::new(n, 8, 1.1).unwrap()),
+            |pg, pp| Box::new(HdrfState::seeded_from(pg, pp, 1.1).unwrap()),
+        );
+    }
+
+    #[test]
+    fn greedy_seeded_state_continues_bit_identically() {
+        let g = tlp_graph::generators::chung_lu(400, 1600, 2.2, 9);
+        let split = g.num_edges() / 2;
+        assert_seeded_continuation(
+            &g,
+            split,
+            8,
+            |n| Box::new(GreedyState::new(n, 8).unwrap()),
+            |pg, pp| Box::new(GreedyState::seeded_from(pg, pp).unwrap()),
+        );
+    }
+
+    #[test]
+    fn seeding_rejects_mismatched_pairs() {
+        let g = tlp_graph::generators::erdos_renyi(50, 120, 4);
+        let short = EdgePartition::new(4, vec![0; g.num_edges() - 1]);
+        // An assignment one edge short is rejected by EdgePartition or by
+        // the seeding precondition, whichever fires first.
+        if let Ok(part) = short {
+            assert!(HdrfState::seeded_from(&g, &part, 1.1).is_err());
+            assert!(GreedyState::seeded_from(&g, &part).is_err());
+        }
+        let empty_graph = tlp_graph::GraphBuilder::new().build();
+        let part = EdgePartition::new(4, (0..g.num_edges()).map(|_| 0).collect()).unwrap();
+        assert!(HdrfState::seeded_from(&empty_graph, &part, 1.1).is_err());
+        assert!(GreedyState::seeded_from(&empty_graph, &part).is_err());
     }
 
     #[test]

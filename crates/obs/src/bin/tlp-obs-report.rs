@@ -3,6 +3,7 @@
 //! ```text
 //! tlp-obs-report TRACE.jsonl                # human table
 //! tlp-obs-report TRACE.jsonl --canonical    # timing-stripped JSONL to stdout
+//! tlp-obs-report TRACE.jsonl --percentiles  # p50/p95/p99 per span name
 //! ```
 //!
 //! `--canonical` re-emits the trace with wall-clock durations removed —
@@ -12,19 +13,21 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tlp_obs::{canonical_lines, read_jsonl, ObsReport};
+use tlp_obs::{canonical_lines, read_jsonl, render_percentiles, span_percentiles, ObsReport};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: tlp-obs-report TRACE.jsonl [--canonical]");
+    eprintln!("usage: tlp-obs-report TRACE.jsonl [--canonical | --percentiles]");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut path: Option<PathBuf> = None;
     let mut canonical = false;
+    let mut with_percentiles = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--canonical" => canonical = true,
+            "--percentiles" => with_percentiles = true,
             "--help" | "-h" => return usage(),
             _ if path.is_none() => path = Some(PathBuf::from(arg)),
             _ => return usage(),
@@ -48,6 +51,8 @@ fn main() -> ExitCode {
     }
     if canonical {
         print!("{}", canonical_lines(&trace.events));
+    } else if with_percentiles {
+        print!("{}", render_percentiles(&span_percentiles(&trace.events)));
     } else {
         print!("{}", ObsReport::fold(&trace.events).render_table());
     }

@@ -31,6 +31,7 @@
 pub mod bench;
 pub mod event;
 pub mod observer;
+pub mod percentile;
 pub mod report;
 
 pub use event::{canonical_lines, DecodeError, Event, EventKind, Field, SCHEMA_VERSION};
@@ -38,6 +39,7 @@ pub use observer::{
     counter, gauge, is_enabled, replay, span, span_with, with_observer, with_recording,
     JsonlObserver, NullObserver, Observer, RecordingObserver, SpanGuard,
 };
+pub use percentile::{percentiles, render_percentiles, span_percentiles, Percentiles};
 pub use report::{
     read_jsonl, read_jsonl_str, CounterStat, GaugeStat, ObsReport, SpanStat, TraceFile,
     TraceReadError,

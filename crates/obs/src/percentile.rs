@@ -1,0 +1,179 @@
+//! Latency percentile folding, shared by `tlp-obs-report --percentiles`
+//! and the serve load generator's latency reporting.
+//!
+//! Percentiles use the nearest-rank method on sorted samples: `p(q)` is
+//! the value at 1-based rank `ceil(q/100 · n)`. Nearest-rank always
+//! returns an observed sample (no interpolation), which keeps reports
+//! exact, deterministic, and meaningful even for tiny sample counts.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::event::{Event, EventKind};
+
+/// Nearest-rank percentile summary of a duration sample set, in
+/// microseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct Percentiles {
+    /// Number of samples folded.
+    pub count: u64,
+    /// Median (50th percentile).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// Folds raw duration samples (microseconds) into [`Percentiles`].
+/// Returns `None` for an empty sample set. Sorts in place.
+pub fn percentiles(samples: &mut [u64]) -> Option<Percentiles> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_unstable();
+    let rank = |q: f64| -> u64 {
+        let n = samples.len() as f64;
+        let idx = (q / 100.0 * n).ceil() as usize;
+        samples[idx.clamp(1, samples.len()) - 1]
+    };
+    Some(Percentiles {
+        count: samples.len() as u64,
+        p50: rank(50.0),
+        p95: rank(95.0),
+        p99: rank(99.0),
+        max: samples[samples.len() - 1],
+    })
+}
+
+/// Folds per-span-name duration percentiles out of an event stream.
+/// Durations are attributed by `(trial, span id)`, the global span
+/// identity after replay; spans without a recorded duration are skipped.
+pub fn span_percentiles<'a>(
+    events: impl IntoIterator<Item = &'a Event>,
+) -> BTreeMap<String, Percentiles> {
+    let mut open: BTreeMap<(Option<u32>, u64), String> = BTreeMap::new();
+    let mut samples: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for event in events {
+        match &event.kind {
+            EventKind::SpanOpen { id, name, .. } => {
+                open.insert((event.trial, *id), name.clone());
+            }
+            EventKind::SpanClose { id, dur_us } => {
+                if let Some(name) = open.remove(&(event.trial, *id)) {
+                    if let Some(dur) = dur_us {
+                        samples.entry(name).or_default().push(*dur);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    samples
+        .into_iter()
+        .filter_map(|(name, mut durs)| percentiles(&mut durs).map(|p| (name, p)))
+        .collect()
+}
+
+/// Renders a fixed-width percentile table, one row per span name.
+pub fn render_percentiles(table: &BTreeMap<String, Percentiles>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+        "span", "count", "p50_us", "p95_us", "p99_us", "max_us"
+    ));
+    for (name, p) in table {
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            name, p.count, p.p50, p.p95, p.p99, p.max
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_on_known_samples() {
+        let mut samples: Vec<u64> = (1..=100).collect();
+        let p = percentiles(&mut samples).expect("non-empty");
+        assert_eq!(p.count, 100);
+        assert_eq!(p.p50, 50);
+        assert_eq!(p.p95, 95);
+        assert_eq!(p.p99, 99);
+        assert_eq!(p.max, 100);
+    }
+
+    #[test]
+    fn tiny_sample_sets_stay_in_range() {
+        let mut one = vec![7];
+        let p = percentiles(&mut one).expect("non-empty");
+        assert_eq!((p.p50, p.p95, p.p99, p.max), (7, 7, 7, 7));
+        assert!(percentiles(&mut []).is_none());
+    }
+
+    #[test]
+    fn span_percentiles_fold_a_synthetic_trace() {
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        // Ten "op" spans with durations 10, 20, ..., 100 and one
+        // duration-less "setup" span that must be skipped.
+        events.push(Event {
+            seq,
+            trial: None,
+            kind: EventKind::SpanOpen {
+                id: 999,
+                name: "setup".into(),
+                parent: None,
+                fields: vec![],
+            },
+        });
+        seq += 1;
+        events.push(Event {
+            seq,
+            trial: None,
+            kind: EventKind::SpanClose {
+                id: 999,
+                dur_us: None,
+            },
+        });
+        for i in 1..=10u64 {
+            seq += 1;
+            events.push(Event {
+                seq,
+                trial: None,
+                kind: EventKind::SpanOpen {
+                    id: i,
+                    name: "op".into(),
+                    parent: None,
+                    fields: vec![],
+                },
+            });
+            seq += 1;
+            events.push(Event {
+                seq,
+                trial: None,
+                kind: EventKind::SpanClose {
+                    id: i,
+                    dur_us: Some(i * 10),
+                },
+            });
+        }
+        let table = span_percentiles(&events);
+        assert_eq!(table.len(), 1, "duration-less span skipped");
+        let op = &table["op"];
+        assert_eq!(op.count, 10);
+        assert_eq!(op.p50, 50);
+        assert_eq!(op.p95, 100);
+        assert_eq!(op.p99, 100);
+        assert_eq!(op.max, 100);
+        let rendered = render_percentiles(&table);
+        assert!(rendered.contains("op"));
+        assert!(rendered.contains("p99_us"));
+    }
+}

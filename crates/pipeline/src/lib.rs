@@ -35,7 +35,8 @@
 #![warn(missing_docs)]
 
 use tlp_baselines::{
-    FennelPartitioner, LdgPartitioner, NePartitioner, StreamingBaseline, StreamingKind, VertexOrder,
+    FennelPartitioner, GreedyState, HdrfState, LdgPartitioner, NePartitioner, StreamingBaseline,
+    StreamingKind, StreamingPlacer, VertexOrder,
 };
 use tlp_core::{
     AlgoConfig, Algorithm, AlgorithmRegistry, Capability, EdgeRatioLocalPartitioner,
@@ -180,6 +181,53 @@ pub fn builtin_names() -> Vec<&'static str> {
     builtin_registry().names()
 }
 
+/// Builds an online-placement state machine from an algorithm spec string,
+/// seeded from a served `(graph, partition)` pair.
+///
+/// This is the serving layer's counterpart to [`builtin_registry`]: the
+/// same `name[=param]` spec grammar ([`AlgorithmRegistry::parse_spec`]),
+/// resolved to a [`StreamingPlacer`] whose state is *as if* every edge of
+/// `graph` had already been streamed with the outcomes in `partition` —
+/// so `PlaceEdge` traffic continues bit-identically to an uninterrupted
+/// streaming run (see `HdrfState::seeded_from`). Only the stateful
+/// arrival-order heuristics can be resumed this way: `hdrf[=lambda]`
+/// (default `λ = 1.1`) and `greedy`.
+///
+/// # Errors
+///
+/// [`PipelineError::Spec`] for an unsupported name or malformed
+/// parameter, [`PipelineError::Partition`] if `partition` does not cover
+/// `graph`'s edges.
+pub fn seeded_streaming_placer(
+    spec: &str,
+    graph: &tlp_graph::CsrGraph,
+    partition: &tlp_core::EdgePartition,
+) -> Result<Box<dyn StreamingPlacer + Send + Sync>, PipelineError> {
+    let (name, param) = AlgorithmRegistry::parse_spec(spec);
+    match name {
+        "hdrf" => {
+            let lambda = match param {
+                None => tlp_baselines::HDRF_LAMBDA,
+                Some(raw) => raw.parse().map_err(|_| {
+                    PipelineError::Spec(format!("hdrf lambda is not a number: {raw:?}"))
+                })?,
+            };
+            Ok(Box::new(HdrfState::seeded_from(graph, partition, lambda)?))
+        }
+        "greedy" => {
+            if let Some(raw) = param {
+                return Err(PipelineError::Spec(format!(
+                    "greedy takes no parameter, got {raw:?}"
+                )));
+            }
+            Ok(Box::new(GreedyState::seeded_from(graph, partition)?))
+        }
+        other => Err(PipelineError::Spec(format!(
+            "online placement supports hdrf[=lambda] and greedy, not {other:?}"
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +300,32 @@ mod tests {
             )
             .expect_err("out-of-range ratio");
         assert!(matches!(err, PipelineError::Partition(_)));
+    }
+
+    #[test]
+    fn seeded_placer_specs_parse_and_continue() {
+        let g = chung_lu(200, 800, 2.2, 3);
+        let config = AlgoConfig::seeded(7);
+        let artifact = StreamingBaseline::new(StreamingKind::Hdrf, &config)
+            .run(&mut CsrSource::new(&g), 4)
+            .expect("hdrf run");
+        // The seeded placer resumes from the artifact's own partition.
+        let mut placer =
+            seeded_streaming_placer("hdrf", &g, &artifact.partition).expect("seeded hdrf");
+        assert_eq!(placer.num_partitions(), 4);
+        let pid = placer.place(0, 1);
+        assert!((pid as usize) < 4);
+        assert!(seeded_streaming_placer("hdrf=2.5", &g, &artifact.partition).is_ok());
+        assert!(seeded_streaming_placer("greedy", &g, &artifact.partition).is_ok());
+        for bad in ["hdrf=nope", "greedy=1", "dbh", "tlp", "mystery"] {
+            assert!(
+                matches!(
+                    seeded_streaming_placer(bad, &g, &artifact.partition),
+                    Err(PipelineError::Spec(_))
+                ),
+                "spec {bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

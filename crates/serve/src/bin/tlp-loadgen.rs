@@ -1,0 +1,221 @@
+//! Drives load against a running `tlp-serve` server.
+//!
+//! ```text
+//! tlp-loadgen ADDR [--ops N] [--threads N] [--read-ratio F] [--zipf S]
+//!             [--seed N] [--bench FILE] [--flush] [--shutdown]
+//! tlp-loadgen ADDR --burst K          # saturation probe
+//! tlp-loadgen --replay STORE_DIR [--ops N] [--read-ratio F] ...
+//! ```
+//!
+//! The normal mode discovers the served graph's dimensions with a
+//! `Stats` request, runs the configured read/write mix, and prints a
+//! one-line summary; `--bench FILE` additionally writes the full
+//! [`LoadReport`](tlp_serve::LoadReport) through the shared obs bench
+//! writer. Exits non-zero if any protocol error occurred.
+//!
+//! `--replay STORE_DIR` applies the *same* request stream (same seed and
+//! generator) directly to the store, offline — the ground truth the CI
+//! bit-identity diff compares a served run against (single thread only).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tlp_serve::{run_burst, run_load, run_replay, LoadConfig, Request, Response, ServeClient};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tlp-loadgen ADDR [--ops N] [--threads N] [--read-ratio F] [--zipf S] \
+         [--seed N] [--bench FILE] [--flush] [--shutdown] [--burst K]\n\
+         \u{20}      tlp-loadgen --replay STORE_DIR [--placer SPEC] [load flags]"
+    );
+    ExitCode::from(2)
+}
+
+struct Cli {
+    addr: Option<String>,
+    replay: Option<PathBuf>,
+    placer: String,
+    bench: Option<PathBuf>,
+    burst: Option<usize>,
+    flush: bool,
+    shutdown: bool,
+    config: LoadConfig,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        addr: None,
+        replay: None,
+        placer: "hdrf".to_string(),
+        bench: None,
+        burst: None,
+        flush: false,
+        shutdown: false,
+        config: LoadConfig {
+            addr: String::new(),
+            threads: 4,
+            ops: 10_000,
+            read_ratio: 0.9,
+            zipf_skew: 1.1,
+            num_vertices: 0,
+            num_partitions: 0,
+            seed: 42,
+            read_timeout: Duration::from_secs(30),
+        },
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--replay" => cli.replay = Some(PathBuf::from(value_for("--replay")?)),
+            "--placer" => cli.placer = value_for("--placer")?,
+            "--bench" => cli.bench = Some(PathBuf::from(value_for("--bench")?)),
+            "--burst" => cli.burst = Some(parse(&value_for("--burst")?)?),
+            "--ops" => cli.config.ops = parse(&value_for("--ops")?)?,
+            "--threads" => cli.config.threads = parse(&value_for("--threads")?)?,
+            "--read-ratio" => cli.config.read_ratio = parse(&value_for("--read-ratio")?)?,
+            "--zipf" => cli.config.zipf_skew = parse(&value_for("--zipf")?)?,
+            "--seed" => cli.config.seed = parse(&value_for("--seed")?)?,
+            "--flush" => cli.flush = true,
+            "--shutdown" => cli.shutdown = true,
+            _ if cli.addr.is_none() && !arg.starts_with('-') => cli.addr = Some(arg),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("not a valid number: {raw:?}"))
+}
+
+fn main() -> ExitCode {
+    let mut cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("tlp-loadgen: {message}");
+            }
+            return usage();
+        }
+    };
+
+    if let Some(store) = &cli.replay {
+        cli.config.threads = 1;
+        return match run_replay(&cli.config, store, &cli.placer) {
+            Ok(report) => {
+                println!(
+                    "replay: {} ops, {} placements, {} flushed into {}",
+                    report.ops,
+                    report.placements,
+                    report.flushed,
+                    store.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(error) => {
+                eprintln!("tlp-loadgen: replay: {error}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let Some(addr) = cli.addr.clone() else {
+        return usage();
+    };
+    cli.config.addr = addr.clone();
+
+    if let Some(connections) = cli.burst {
+        let report = run_burst(&addr, connections, cli.config.read_timeout);
+        println!(
+            "burst: {} attempted, {} served, {} overloaded, {} draining, {} failed",
+            report.attempted, report.served, report.overloaded, report.draining, report.failed
+        );
+        if let Some(bench) = &cli.bench {
+            if let Err(error) = tlp_obs::bench::write_bench_json(bench, &report) {
+                eprintln!("tlp-loadgen: {}: {error}", bench.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Discover the served graph's dimensions.
+    let mut control = match ServeClient::connect(&addr, cli.config.read_timeout) {
+        Ok(client) => client,
+        Err(error) => {
+            eprintln!("tlp-loadgen: connect {addr}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match control.request(&Request::Stats) {
+        Ok(Response::StatsReport(stats)) => {
+            cli.config.num_vertices = stats.num_vertices as u32;
+            cli.config.num_partitions = stats.num_partitions as u32;
+        }
+        other => {
+            eprintln!("tlp-loadgen: stats request failed: {other:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let report = match run_load(&cli.config) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("tlp-loadgen: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "load: {} ops ({} ok, {} not-found, {} refused, {} protocol errors) in {:.2}s — \
+         {:.0} ops/s, p50 {}us p95 {}us p99 {}us",
+        report.ops,
+        report.ok,
+        report.not_found,
+        report.refused,
+        report.protocol_errors,
+        report.elapsed_us as f64 / 1e6,
+        report.throughput,
+        report.latency.p50,
+        report.latency.p95,
+        report.latency.p99,
+    );
+    if let Some(bench) = &cli.bench {
+        if let Err(error) = tlp_obs::bench::write_bench_json(bench, &report) {
+            eprintln!("tlp-loadgen: {}: {error}", bench.display());
+            return ExitCode::FAILURE;
+        }
+        println!("bench report written to {}", bench.display());
+    }
+
+    if cli.flush {
+        match control.request(&Request::Flush) {
+            Ok(Response::Flushed { edges }) => println!("flushed {edges} placements"),
+            other => {
+                eprintln!("tlp-loadgen: flush failed: {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if cli.shutdown {
+        match control.request(&Request::Shutdown) {
+            Ok(Response::ShuttingDown) => println!("server draining"),
+            other => {
+                eprintln!("tlp-loadgen: shutdown failed: {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if report.protocol_errors > 0 {
+        eprintln!(
+            "tlp-loadgen: {} protocol errors — failing",
+            report.protocol_errors
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

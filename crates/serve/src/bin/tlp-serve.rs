@@ -1,0 +1,107 @@
+//! Serves a partition store over TCP.
+//!
+//! ```text
+//! tlp-serve STORE_DIR [--addr HOST:PORT] [--placer SPEC] [--workers N]
+//!           [--queue-depth N] [--cache N] [--read-timeout-secs N]
+//! ```
+//!
+//! Prints `tlp-serve listening on ADDR` once the listener is bound (with
+//! `--addr 127.0.0.1:0` the kernel-assigned port appears here), then
+//! serves until a client sends `Shutdown` or the process is killed.
+//! Placement uses a streaming placer (`hdrf`, `hdrf=<lambda>`, or
+//! `greedy`) seeded from the served partition, and `Flush` rewrites the
+//! store in place through the atomic manifest-last commit.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tlp_serve::{serve, PartitionService, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tlp-serve STORE_DIR [--addr HOST:PORT] [--placer SPEC] [--workers N] \
+         [--queue-depth N] [--cache N] [--read-timeout-secs N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut store: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut placer = "hdrf".to_string();
+    let mut config = ServerConfig::default();
+    let mut cache = 4096usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--help" | "-h" => return usage(),
+            "--addr" => match value_for("--addr") {
+                Ok(v) => addr = v,
+                Err(e) => return fail(&e),
+            },
+            "--placer" => match value_for("--placer") {
+                Ok(v) => placer = v,
+                Err(e) => return fail(&e),
+            },
+            "--workers" => match parse(value_for("--workers")) {
+                Ok(v) => config.workers = v,
+                Err(e) => return fail(&e),
+            },
+            "--queue-depth" => match parse(value_for("--queue-depth")) {
+                Ok(v) => config.queue_depth = v,
+                Err(e) => return fail(&e),
+            },
+            "--cache" => match parse(value_for("--cache")) {
+                Ok(v) => cache = v,
+                Err(e) => return fail(&e),
+            },
+            "--read-timeout-secs" => match parse::<u64>(value_for("--read-timeout-secs")) {
+                Ok(v) => config.read_timeout = Duration::from_secs(v.max(1)),
+                Err(e) => return fail(&e),
+            },
+            _ if store.is_none() && !arg.starts_with('-') => store = Some(PathBuf::from(arg)),
+            _ => return usage(),
+        }
+    }
+    let Some(store) = store else {
+        return usage();
+    };
+
+    let service = match PartitionService::open_store(&store, &placer, cache) {
+        Ok(service) => service,
+        Err(error) => return fail(&format!("{}: {error}", store.display())),
+    };
+    eprintln!(
+        "tlp-serve: store {} — {} vertices, {} edges, {} partitions, placer {placer}",
+        store.display(),
+        service.graph().num_vertices(),
+        service.graph().num_edges(),
+        service.num_partitions(),
+    );
+    let handle = match serve(service, &addr, config) {
+        Ok(handle) => handle,
+        Err(error) => return fail(&format!("bind {addr}: {error}")),
+    };
+    println!("tlp-serve listening on {}", handle.addr());
+    // The parent (a CI script) reads the line to learn the port; make
+    // sure it is not stuck in the stdout buffer.
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    eprintln!("tlp-serve: drained, exiting");
+    ExitCode::SUCCESS
+}
+
+fn parse<T: std::str::FromStr>(value: Result<String, String>) -> Result<T, String> {
+    let raw = value?;
+    raw.parse()
+        .map_err(|_| format!("not a valid number: {raw:?}"))
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("tlp-serve: {message}");
+    ExitCode::FAILURE
+}

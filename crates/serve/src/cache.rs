@@ -1,0 +1,241 @@
+//! Sharded read-through LRU cache for hot vertex lookups.
+//!
+//! The service's vertex-info queries are read-heavy and zipf-skewed, so a
+//! small cache in front of the replica-set computation absorbs most of
+//! the traffic. The cache is sharded by vertex id (power-of-two shard
+//! count, one mutex per shard) so concurrent readers on different shards
+//! never contend. Each shard keeps an exact LRU via a monotone tick and a
+//! `BTreeMap` recency index — O(log n) per touch, no unsafe linked lists.
+//!
+//! Coherence rule: writers ([`PlaceEdge`](crate::protocol::Request::PlaceEdge))
+//! invalidate both endpoints *after* committing under the service's write
+//! lock, and readers fill the cache while holding the read lock, so a
+//! cached entry can never outlive the state it was derived from.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A cached vertex lookup result: master partition + full replica set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedVertex {
+    /// The vertex's master partition; `None` for isolated vertices.
+    pub master: Option<u32>,
+    /// All partitions holding a replica, sorted ascending.
+    pub replicas: Vec<u32>,
+}
+
+struct Shard {
+    /// vertex → (recency tick, value)
+    map: HashMap<u32, (u64, CachedVertex)>,
+    /// recency tick → vertex; the smallest key is the LRU victim.
+    order: BTreeMap<u64, u32>,
+    tick: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn touch(&mut self, vertex: u32) {
+        if let Some((tick, _)) = self.map.get(&vertex) {
+            let old = *tick;
+            self.order.remove(&old);
+            self.tick += 1;
+            let now = self.tick;
+            self.order.insert(now, vertex);
+            if let Some((tick, _)) = self.map.get_mut(&vertex) {
+                *tick = now;
+            }
+        }
+    }
+}
+
+/// Sharded LRU cache with atomic hit/miss/eviction counters.
+///
+/// A total capacity of zero disables caching entirely: every lookup is a
+/// miss and nothing is stored.
+pub struct VertexCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry budget (total capacity / shard count, min 1).
+    per_shard: usize,
+    mask: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl VertexCache {
+    /// Creates a cache holding roughly `capacity` entries spread over
+    /// `shards` shards (rounded up to a power of two, at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shard_count = shards.max(1).next_power_of_two();
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shard_count).max(1)
+        };
+        VertexCache {
+            shards: (0..shard_count).map(|_| Mutex::new(Shard::new())).collect(),
+            per_shard,
+            mask: shard_count - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, vertex: u32) -> &Mutex<Shard> {
+        // Multiplicative hash so consecutive vertex ids spread across
+        // shards instead of striping.
+        let slot = (vertex as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[slot as usize & self.mask]
+    }
+
+    /// Looks up a vertex, bumping its recency on a hit.
+    pub fn get(&self, vertex: u32) -> Option<CachedVertex> {
+        if self.per_shard == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard(vertex).lock().unwrap_or_else(|e| e.into_inner());
+        let hit = shard.map.get(&vertex).map(|(_, value)| value.clone());
+        match hit {
+            Some(value) => {
+                shard.touch(vertex);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a vertex, evicting the shard's LRU entry if
+    /// the shard is at capacity.
+    pub fn insert(&self, vertex: u32, value: CachedVertex) {
+        if self.per_shard == 0 {
+            return;
+        }
+        let mut shard = self.shard(vertex).lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((old_tick, _)) = shard.map.remove(&vertex) {
+            shard.order.remove(&old_tick);
+        } else if shard.map.len() >= self.per_shard {
+            if let Some((&victim_tick, &victim)) = shard.order.iter().next() {
+                shard.order.remove(&victim_tick);
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.tick += 1;
+        let now = shard.tick;
+        shard.order.insert(now, vertex);
+        shard.map.insert(vertex, (now, value));
+    }
+
+    /// Drops a vertex's entry (used by writers after mutating state).
+    pub fn invalidate(&self, vertex: u32) {
+        if self.per_shard == 0 {
+            return;
+        }
+        let mut shard = self.shard(vertex).lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((tick, _)) = shard.map.remove(&vertex) {
+            shard.order.remove(&tick);
+        }
+    }
+
+    /// Cache hits since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Evictions since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(master: u32) -> CachedVertex {
+        CachedVertex {
+            master: Some(master),
+            replicas: vec![master],
+        }
+    }
+
+    #[test]
+    fn get_insert_invalidate_and_counters() {
+        let cache = VertexCache::new(64, 4);
+        assert_eq!(cache.get(1), None);
+        cache.insert(1, v(3));
+        assert_eq!(cache.get(1), Some(v(3)));
+        cache.invalidate(1);
+        assert_eq!(cache.get(1), None);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_per_shard() {
+        // One shard so recency order is total.
+        let cache = VertexCache::new(2, 1);
+        cache.insert(10, v(0));
+        cache.insert(20, v(1));
+        // Touch 10 so 20 becomes the LRU victim.
+        assert!(cache.get(10).is_some());
+        cache.insert(30, v(2));
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(20).is_none(), "LRU entry evicted");
+        assert!(cache.get(10).is_some());
+        assert!(cache.get(30).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = VertexCache::new(0, 8);
+        cache.insert(1, v(0));
+        assert_eq!(cache.get(1), None);
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn reinserting_updates_value_without_eviction() {
+        let cache = VertexCache::new(2, 1);
+        cache.insert(1, v(0));
+        cache.insert(1, v(5));
+        assert_eq!(cache.get(1), Some(v(5)));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 1);
+    }
+}

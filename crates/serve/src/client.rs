@@ -1,0 +1,65 @@
+//! Minimal blocking client for the `tlp-serve` protocol.
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, ProtocolError, Request, Response,
+};
+
+/// One framed TCP connection to a `tlp-serve` server.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connects and applies a read timeout (a server drain or overload
+    /// close surfaces as an error rather than a hang).
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] if the connection cannot be established.
+    pub fn connect(addr: &str, read_timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServeClient {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads its reply. An EOF where a reply was
+    /// expected decodes as [`ProtocolError::Truncated`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`]: socket failures, undecodable replies, or a
+    /// server-side close before the reply.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ProtocolError> {
+        write_frame(&mut self.writer, &encode_request(request))?;
+        match read_frame(&mut self.reader)? {
+            Some(body) => decode_response(&body),
+            None => Err(ProtocolError::Truncated {
+                what: "response frame",
+            }),
+        }
+    }
+
+    /// Reads one unsolicited frame (the refusal a saturated or draining
+    /// server sends before closing). `Ok(None)` means the server closed
+    /// without sending anything.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`] from the read or decode.
+    pub fn read_refusal(&mut self) -> Result<Option<Response>, ProtocolError> {
+        match read_frame(&mut self.reader)? {
+            Some(body) => Ok(Some(decode_response(&body)?)),
+            None => Ok(None),
+        }
+    }
+}

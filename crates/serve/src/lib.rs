@@ -1,0 +1,42 @@
+//! `tlp-serve`: online serving of partitioned graphs.
+//!
+//! The partitioners in this workspace *produce* edge partitions; this
+//! crate *serves* one. [`PartitionService`] opens a `.tlpg` graph +
+//! partition store and answers vertex→master/replica lookups,
+//! edge→partition lookups, partition-local neighbor queries, and online
+//! [`PlaceEdge`](protocol::Request::PlaceEdge) placement of fresh edges
+//! via a [`tlp_baselines::StreamingPlacer`] seeded from the served
+//! partition — so a live server's placements are bit-identical to a
+//! direct streaming continuation.
+//!
+//! Around the service sit:
+//! - [`protocol`] — the length-prefixed, versioned binary frame format;
+//! - [`cache`] — a sharded read-through LRU for hot vertex lookups;
+//! - [`server`] — a bounded-queue TCP front-end (`std::net`, fixed
+//!   worker pool, typed overload/drain refusals, graceful shutdown);
+//! - [`client`] — a minimal blocking client;
+//! - [`loadgen`] — a zipf-skewed read/write load generator reporting
+//!   throughput + latency percentiles through the shared obs path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+
+pub mod cache;
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use cache::{CachedVertex, VertexCache};
+pub use client::ServeClient;
+pub use loadgen::{
+    run_burst, run_load, run_replay, BurstReport, LoadConfig, LoadReport, ReplayReport, ZipfSampler,
+};
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ErrorCode, ProtocolError, Request, Response, ServeStats, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use service::{PartitionService, ServiceError};

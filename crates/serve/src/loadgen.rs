@@ -1,0 +1,400 @@
+//! Load generation against a running `tlp-serve` server.
+//!
+//! The generator drives a configurable read/write mix from N client
+//! threads, each with its own connection and deterministic RNG
+//! (`seed + thread index`). Reads are vertex lookups (with a slice of
+//! partition-local neighbor queries) over a zipf-skewed key space — the
+//! skew is what makes the vertex cache earn its keep. Writes are
+//! `PlaceEdge` requests over uniform random pairs. Per-op latencies are
+//! measured client-side in microseconds and folded through the shared
+//! [`tlp_obs::percentiles`] path into a [`LoadReport`] that serializes
+//! through the obs bench writer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use tlp_obs::{percentiles, Percentiles};
+
+use crate::client::ServeClient;
+use crate::protocol::{ErrorCode, Request, Response};
+
+/// Tunables for one load run.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Client threads, each with its own connection.
+    pub threads: usize,
+    /// Total operations across all threads.
+    pub ops: u64,
+    /// Fraction of operations that are reads, in `[0, 1]`.
+    pub read_ratio: f64,
+    /// Zipf skew exponent for read keys (0 = uniform).
+    pub zipf_skew: f64,
+    /// Vertex id space to draw keys from.
+    pub num_vertices: u32,
+    /// Partitions (for neighbor queries).
+    pub num_partitions: u32,
+    /// Base RNG seed; thread `i` uses `seed + i`.
+    pub seed: u64,
+    /// Client-side read timeout per reply.
+    pub read_timeout: Duration,
+}
+
+/// Outcome of a load run, serialized into `BENCH_serve_latency.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct LoadReport {
+    /// Operations attempted.
+    pub ops: u64,
+    /// Operations that got a non-error reply.
+    pub ok: u64,
+    /// Replies carrying [`ErrorCode::NotFound`] (expected for lookups of
+    /// absent edges; not a failure).
+    pub not_found: u64,
+    /// Replies carrying [`ErrorCode::Overloaded`] or
+    /// [`ErrorCode::Draining`].
+    pub refused: u64,
+    /// Transport/decode failures — must be zero in a healthy run.
+    pub protocol_errors: u64,
+    /// Client threads used.
+    pub threads: u64,
+    /// Wall-clock duration of the whole run, microseconds.
+    pub elapsed_us: u64,
+    /// Completed operations per second.
+    pub throughput: f64,
+    /// Latency percentiles over all successful operations, microseconds.
+    pub latency: Percentiles,
+}
+
+/// Zipf(s) sampler over `0..n` via a precomputed CDF + binary search.
+/// Deterministic given the RNG; `s = 0` degenerates to uniform.
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the CDF for `n` keys with skew `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u32, s: f64) -> Self {
+        assert!(n > 0, "zipf sampler needs a non-empty key space");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for rank in 1..=n as u64 {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for value in &mut cdf {
+            *value /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws one key in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    not_found: AtomicU64,
+    refused: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// Runs the configured mix and folds the result. Each thread drives
+/// `ops / threads` operations (the remainder goes to thread 0).
+///
+/// # Errors
+///
+/// [`std::io::Error`] if any client connection cannot be established.
+pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
+    let zipf = Arc::new(ZipfSampler::new(
+        config.num_vertices.max(1),
+        config.zipf_skew,
+    ));
+    let tally = Arc::new(Tally::default());
+    let threads = config.threads.max(1);
+    let per_thread = config.ops / threads as u64;
+    let start = Instant::now();
+
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let mut ops = per_thread;
+        if t == 0 {
+            ops += config.ops % threads as u64;
+        }
+        let mut client = ServeClient::connect(&config.addr, config.read_timeout)?;
+        let zipf = Arc::clone(&zipf);
+        let tally = Arc::clone(&tally);
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(t as u64));
+            let mut latencies = Vec::with_capacity(ops as usize);
+            for _ in 0..ops {
+                let request = next_request(&config, &zipf, &mut rng);
+                let sent = Instant::now();
+                match client.request(&request) {
+                    Ok(response) => {
+                        latencies.push(sent.elapsed().as_micros() as u64);
+                        match response {
+                            Response::Error(ErrorCode::NotFound) => {
+                                tally.not_found.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Response::Error(ErrorCode::Overloaded)
+                            | Response::Error(ErrorCode::Draining) => {
+                                tally.refused.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Response::Error(_) => {
+                                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {
+                                tally.ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        return latencies;
+                    }
+                }
+            }
+            latencies
+        }));
+    }
+
+    let mut all_latencies = Vec::new();
+    for handle in handles {
+        if let Ok(latencies) = handle.join() {
+            all_latencies.extend(latencies);
+        }
+    }
+    let elapsed = start.elapsed();
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let not_found = tally.not_found.load(Ordering::Relaxed);
+    let completed = ok + not_found;
+    let latency = percentiles(&mut all_latencies).unwrap_or(Percentiles {
+        count: 0,
+        p50: 0,
+        p95: 0,
+        p99: 0,
+        max: 0,
+    });
+    Ok(LoadReport {
+        ops: config.ops,
+        ok,
+        not_found,
+        refused: tally.refused.load(Ordering::Relaxed),
+        protocol_errors: tally.protocol_errors.load(Ordering::Relaxed),
+        threads: threads as u64,
+        elapsed_us: elapsed.as_micros() as u64,
+        throughput: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency,
+    })
+}
+
+fn next_request(config: &LoadConfig, zipf: &ZipfSampler, rng: &mut StdRng) -> Request {
+    if rng.gen_bool(config.read_ratio.clamp(0.0, 1.0)) {
+        // 1-in-8 reads is a partition-local neighbor query; the rest are
+        // hot vertex lookups (the cache's target traffic).
+        if config.num_partitions > 0 && rng.gen_range(0u32..8) == 0 {
+            Request::Neighbors {
+                vertex: zipf.sample(rng),
+                partition: rng.gen_range(0..config.num_partitions),
+            }
+        } else {
+            Request::VertexLookup {
+                vertex: zipf.sample(rng),
+            }
+        }
+    } else {
+        let n = config.num_vertices.max(2);
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        if v == u {
+            v = (v + 1) % n;
+        }
+        Request::PlaceEdge { u, v }
+    }
+}
+
+/// Outcome of a saturation burst: how many connections got a typed
+/// refusal versus being served.
+#[derive(Clone, Debug, Serialize)]
+pub struct BurstReport {
+    /// Connections attempted.
+    pub attempted: u64,
+    /// Connections whose first reply was [`ErrorCode::Overloaded`].
+    pub overloaded: u64,
+    /// Connections whose first reply was [`ErrorCode::Draining`].
+    pub draining: u64,
+    /// Connections served normally (got a `Pong`).
+    pub served: u64,
+    /// Connections that failed some other way (reset, timeout).
+    pub failed: u64,
+}
+
+/// Opens `connections` concurrent connections that each send one `Ping`
+/// and wait, verifying a saturated server answers with typed
+/// [`ErrorCode::Overloaded`] refusals instead of buffering without bound.
+pub fn run_burst(addr: &str, connections: usize, read_timeout: Duration) -> BurstReport {
+    let mut handles = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let addr = addr.to_string();
+        handles.push(std::thread::spawn(move || {
+            let mut client = match ServeClient::connect(&addr, read_timeout) {
+                Ok(client) => client,
+                Err(_) => return BurstOutcome::Failed,
+            };
+            match client.request(&Request::Ping) {
+                Ok(Response::Pong) => BurstOutcome::Served,
+                Ok(Response::Error(ErrorCode::Overloaded)) => BurstOutcome::Overloaded,
+                Ok(Response::Error(ErrorCode::Draining)) => BurstOutcome::Draining,
+                _ => BurstOutcome::Failed,
+            }
+        }));
+    }
+    let mut report = BurstReport {
+        attempted: connections as u64,
+        overloaded: 0,
+        draining: 0,
+        served: 0,
+        failed: 0,
+    };
+    for handle in handles {
+        match handle.join().unwrap_or(BurstOutcome::Failed) {
+            BurstOutcome::Served => report.served += 1,
+            BurstOutcome::Overloaded => report.overloaded += 1,
+            BurstOutcome::Draining => report.draining += 1,
+            BurstOutcome::Failed => report.failed += 1,
+        }
+    }
+    report
+}
+
+enum BurstOutcome {
+    Served,
+    Overloaded,
+    Draining,
+    Failed,
+}
+
+/// Outcome of an offline replay (see [`run_replay`]).
+#[derive(Clone, Debug, Serialize)]
+pub struct ReplayReport {
+    /// Requests applied.
+    pub ops: u64,
+    /// Fresh placements performed.
+    pub placements: u64,
+    /// Placements persisted by the final flush.
+    pub flushed: u64,
+}
+
+/// Replays the exact request stream `run_load` would send — same seed,
+/// same mix, same generator — directly against a
+/// [`PartitionService`](crate::service::PartitionService)
+/// opened from `store_dir`, then flushes. With `threads = 1` the applied
+/// write sequence is identical to what a served single-client run
+/// processed, so the flushed store is byte-identical to the server's —
+/// the ground truth for the CI bit-identity diff. (With several threads
+/// the server-side arrival interleaving is nondeterministic, so replay
+/// applies thread streams sequentially and only `threads = 1` is
+/// comparable.)
+///
+/// # Errors
+///
+/// [`crate::service::ServiceError`] if the store cannot be opened or the
+/// final flush fails.
+pub fn run_replay(
+    config: &LoadConfig,
+    store_dir: &std::path::Path,
+    spec: &str,
+) -> Result<ReplayReport, crate::service::ServiceError> {
+    use crate::service::{PartitionService, ServiceError};
+
+    let service = PartitionService::open_store(store_dir, spec, 0)?;
+    let mut effective = config.clone();
+    effective.num_vertices = service.graph().num_vertices() as u32;
+    effective.num_partitions = service.num_partitions() as u32;
+    let zipf = ZipfSampler::new(effective.num_vertices.max(1), effective.zipf_skew);
+    let threads = effective.threads.max(1) as u64;
+    let per_thread = effective.ops / threads;
+    let mut ops = 0u64;
+    for t in 0..threads {
+        let mut rng = StdRng::seed_from_u64(effective.seed.wrapping_add(t));
+        let thread_ops = per_thread + if t == 0 { effective.ops % threads } else { 0 };
+        for _ in 0..thread_ops {
+            let request = next_request(&effective, &zipf, &mut rng);
+            service.handle(&request);
+            ops += 1;
+        }
+    }
+    let placements = service.stats().placements;
+    let flushed = match service.handle(&Request::Flush) {
+        Response::Flushed { edges } => edges,
+        other => {
+            return Err(ServiceError::Config(format!(
+                "replay flush failed: {other:?}"
+            )))
+        }
+    };
+    Ok(ReplayReport {
+        ops,
+        placements,
+        flushed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_skew_concentrates_mass_on_low_ranks() {
+        let sampler = ZipfSampler::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0u32;
+        const DRAWS: u32 = 10_000;
+        for _ in 0..DRAWS {
+            if sampler.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s=1.2 over 1000 keys the top-10 mass is ~58%; uniform
+        // would give 1%. Accept a generous band.
+        assert!(head > DRAWS / 3, "zipf head mass too small: {head}/{DRAWS}");
+        // Zero skew degenerates to (roughly) uniform.
+        let uniform = ZipfSampler::new(1000, 0.0);
+        let mut head = 0u32;
+        for _ in 0..DRAWS {
+            if uniform.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        assert!(
+            head < DRAWS / 20,
+            "uniform head mass too large: {head}/{DRAWS}"
+        );
+    }
+
+    #[test]
+    fn zipf_sampling_is_deterministic_and_in_range() {
+        let sampler = ZipfSampler::new(64, 0.9);
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = sampler.sample(&mut a);
+            assert_eq!(x, sampler.sample(&mut b));
+            assert!(x < 64);
+        }
+    }
+}

@@ -1,0 +1,585 @@
+//! In-process partition service: the state machine behind the TCP server.
+//!
+//! [`PartitionService`] owns a served graph + partition pair and answers
+//! every protocol request. Reads (vertex/edge/neighbor lookups) run under
+//! a shared `RwLock` read guard; writes ([`Request::PlaceEdge`],
+//! [`Request::Flush`]) take the write guard. The vertex cache sits in
+//! front of the replica-set computation and is filled under the read lock
+//! and invalidated under the write lock, so cached entries never outlive
+//! the state they were derived from.
+//!
+//! Online placement runs a [`StreamingPlacer`] seeded from the served
+//! partition's counts (`seeded_streaming_placer`), so the sequence of
+//! partitions handed out by a live server is bit-identical to a direct
+//! streaming continuation over the same fresh edges — the property the
+//! bit-identity test and the CI replay diff pin down.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use tlp_baselines::StreamingPlacer;
+use tlp_core::{EdgePartition, PartitionId};
+use tlp_graph::{CsrGraph, Edge, VertexId};
+use tlp_obs::counter;
+use tlp_store::{write_partition_store, PartitionStoreReader, StoreError};
+
+use crate::cache::{CachedVertex, VertexCache};
+use crate::protocol::{ErrorCode, Request, Response, ServeStats};
+
+/// Why a service could not be constructed.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The backing partition store failed to open or load.
+    Store(StoreError),
+    /// The placement spec or the (graph, partition) pair was rejected.
+    Config(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Store(e) => write!(f, "partition store error: {e}"),
+            ServiceError::Config(msg) => write!(f, "service configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Store(e) => Some(e),
+            ServiceError::Config(_) => None,
+        }
+    }
+}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
+    }
+}
+
+/// Mutable half of the service: everything online placement touches.
+struct MutableState {
+    /// Seeded streaming placer; its internal loads/replica sets already
+    /// account for the base partition and every accepted placement.
+    placer: Box<dyn StreamingPlacer + Send + Sync>,
+    /// Canonical placed edge → partition, for idempotent replays and
+    /// edge lookups. Disjoint from the base graph's edge set.
+    placements: HashMap<(VertexId, VertexId), PartitionId>,
+    /// Placed-edge adjacency: vertex → [(neighbor, partition)].
+    adjacency: HashMap<VertexId, Vec<(VertexId, PartitionId)>>,
+    /// Placements accumulated since the last successful flush.
+    pending: u64,
+}
+
+/// The served graph + partition pair and all request handling.
+pub struct PartitionService {
+    graph: CsrGraph,
+    base: EdgePartition,
+    store_dir: Option<PathBuf>,
+    state: RwLock<MutableState>,
+    cache: VertexCache,
+    lookups: AtomicU64,
+    placements_done: AtomicU64,
+}
+
+impl PartitionService {
+    /// Wraps an in-memory graph + partition, with online placement driven
+    /// by `spec` (`"hdrf"`, `"hdrf=<lambda>"`, or `"greedy"`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Config`] if the spec is unknown or the partition
+    /// does not cover the graph.
+    pub fn new(
+        graph: CsrGraph,
+        partition: EdgePartition,
+        spec: &str,
+        cache_capacity: usize,
+    ) -> Result<Self, ServiceError> {
+        let placer = tlp_pipeline::seeded_streaming_placer(spec, &graph, &partition)
+            .map_err(|e| ServiceError::Config(e.to_string()))?;
+        Ok(PartitionService {
+            graph,
+            base: partition,
+            store_dir: None,
+            state: RwLock::new(MutableState {
+                placer,
+                placements: HashMap::new(),
+                adjacency: HashMap::new(),
+                pending: 0,
+            }),
+            cache: VertexCache::new(cache_capacity, 16),
+            lookups: AtomicU64::new(0),
+            placements_done: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens a partition store directory and serves it; flushes write
+    /// back into the same directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Store`] if the store is missing, torn, or corrupt;
+    /// [`ServiceError::Config`] for a bad placement spec.
+    pub fn open_store(dir: &Path, spec: &str, cache_capacity: usize) -> Result<Self, ServiceError> {
+        let reader = PartitionStoreReader::open(dir)?;
+        let (graph, partition) = reader.load()?;
+        let mut service = PartitionService::new(graph, partition, spec, cache_capacity)?;
+        service.store_dir = Some(dir.to_path_buf());
+        Ok(service)
+    }
+
+    /// The served base graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Number of partitions served.
+    pub fn num_partitions(&self) -> usize {
+        self.base.num_partitions()
+    }
+
+    /// The vertex cache (for tests and counter export).
+    pub fn cache(&self) -> &VertexCache {
+        &self.cache
+    }
+
+    /// Handles one request against the service state. Infallible at this
+    /// layer: failures become typed [`Response::Error`] replies.
+    /// [`Request::Shutdown`] is acknowledged but drain orchestration
+    /// belongs to the server in front of this service.
+    pub fn handle(&self, request: &Request) -> Response {
+        counter("serve.requests", 1);
+        match request {
+            Request::Ping => Response::Pong,
+            Request::VertexLookup { vertex } => self.vertex_lookup(*vertex),
+            Request::EdgeLookup { u, v } => self.edge_lookup(*u, *v),
+            Request::Neighbors { vertex, partition } => self.neighbors(*vertex, *partition),
+            Request::PlaceEdge { u, v } => self.place_edge(*u, *v),
+            Request::Stats => Response::StatsReport(self.stats()),
+            Request::Flush => self.flush(),
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+
+    /// Service-level counter snapshot (server-level fields are zero; the
+    /// TCP layer overlays its own).
+    pub fn stats(&self) -> ServeStats {
+        let state = self.state.read().unwrap_or_else(|e| e.into_inner());
+        ServeStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            placements: self.placements_done.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
+            pending_placements: state.pending,
+            num_vertices: self.graph.num_vertices() as u64,
+            num_partitions: self.base.num_partitions() as u64,
+            num_edges: self.graph.num_edges() as u64,
+            ..ServeStats::default()
+        }
+    }
+
+    fn in_range(&self, vertex: VertexId) -> bool {
+        (vertex as usize) < self.graph.num_vertices()
+    }
+
+    /// Per-partition incident-edge counts for `vertex`, base + placed.
+    fn partition_counts(&self, state: &MutableState, vertex: VertexId) -> Vec<u64> {
+        let mut counts = vec![0u64; self.base.num_partitions()];
+        for (_, eid) in self.graph.incident(vertex) {
+            counts[self.base.partition_of(eid) as usize] += 1;
+        }
+        if let Some(placed) = state.adjacency.get(&vertex) {
+            for &(_, pid) in placed {
+                counts[pid as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    fn compute_vertex(&self, state: &MutableState, vertex: VertexId) -> CachedVertex {
+        let counts = self.partition_counts(state, vertex);
+        let mut master: Option<(u64, u32)> = None;
+        let mut replicas = Vec::new();
+        for (pid, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            replicas.push(pid as u32);
+            // Strict > keeps the lowest pid on ties.
+            if master.is_none_or(|(best, _)| count > best) {
+                master = Some((count, pid as u32));
+            }
+        }
+        CachedVertex {
+            master: master.map(|(_, pid)| pid),
+            replicas,
+        }
+    }
+
+    fn vertex_lookup(&self, vertex: VertexId) -> Response {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        counter("serve.lookups", 1);
+        if !self.in_range(vertex) {
+            return Response::Error(ErrorCode::NotFound);
+        }
+        if let Some(cached) = self.cache.get(vertex) {
+            counter("serve.cache.hits", 1);
+            return Response::VertexInfo {
+                master: cached.master,
+                replicas: cached.replicas,
+            };
+        }
+        counter("serve.cache.misses", 1);
+        // Fill while holding the read lock: a concurrent writer cannot
+        // commit (and invalidate) until this guard drops, so the entry we
+        // insert matches the state we read.
+        let state = self.state.read().unwrap_or_else(|e| e.into_inner());
+        let info = self.compute_vertex(&state, vertex);
+        self.cache.insert(vertex, info.clone());
+        drop(state);
+        Response::VertexInfo {
+            master: info.master,
+            replicas: info.replicas,
+        }
+    }
+
+    fn edge_lookup(&self, u: VertexId, v: VertexId) -> Response {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        counter("serve.lookups", 1);
+        if u == v || !self.in_range(u) || !self.in_range(v) {
+            return Response::Error(if u == v {
+                ErrorCode::BadRequest
+            } else {
+                ErrorCode::NotFound
+            });
+        }
+        let edge = Edge::new(u, v);
+        if let Some(eid) = self.graph.edge_id(edge.source(), edge.target()) {
+            return Response::EdgeInfo {
+                partition: self.base.partition_of(eid),
+            };
+        }
+        let state = self.state.read().unwrap_or_else(|e| e.into_inner());
+        match state.placements.get(&(edge.source(), edge.target())) {
+            Some(&pid) => Response::EdgeInfo { partition: pid },
+            None => Response::Error(ErrorCode::NotFound),
+        }
+    }
+
+    fn neighbors(&self, vertex: VertexId, partition: u32) -> Response {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        counter("serve.lookups", 1);
+        if partition as usize >= self.base.num_partitions() {
+            return Response::Error(ErrorCode::BadRequest);
+        }
+        if !self.in_range(vertex) {
+            return Response::Error(ErrorCode::NotFound);
+        }
+        let state = self.state.read().unwrap_or_else(|e| e.into_inner());
+        let mut neighbors: Vec<u32> = self
+            .graph
+            .incident(vertex)
+            .filter(|&(_, eid)| self.base.partition_of(eid) == partition)
+            .map(|(n, _)| n)
+            .collect();
+        if let Some(placed) = state.adjacency.get(&vertex) {
+            neighbors.extend(
+                placed
+                    .iter()
+                    .filter(|&&(_, pid)| pid == partition)
+                    .map(|&(n, _)| n),
+            );
+        }
+        drop(state);
+        neighbors.sort_unstable();
+        Response::NeighborList { neighbors }
+    }
+
+    fn place_edge(&self, u: VertexId, v: VertexId) -> Response {
+        if u == v || !self.in_range(u) || !self.in_range(v) {
+            return Response::Error(ErrorCode::BadRequest);
+        }
+        let edge = Edge::new(u, v);
+        let (source, target) = edge.endpoints();
+        // Base-graph edges and duplicate placements are idempotent: report
+        // the existing partition without consulting the placer, so the
+        // placer's decision sequence depends only on *fresh* edges.
+        if let Some(eid) = self.graph.edge_id(source, target) {
+            return Response::Placed {
+                partition: self.base.partition_of(eid),
+                fresh: false,
+            };
+        }
+        let mut state = self.state.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(&pid) = state.placements.get(&(source, target)) {
+            return Response::Placed {
+                partition: pid,
+                fresh: false,
+            };
+        }
+        let pid = state.placer.place(source, target);
+        state.placements.insert((source, target), pid);
+        state
+            .adjacency
+            .entry(source)
+            .or_default()
+            .push((target, pid));
+        state
+            .adjacency
+            .entry(target)
+            .or_default()
+            .push((source, pid));
+        state.pending += 1;
+        // Invalidate while still holding the write guard: a reader that
+        // re-fills afterwards recomputes from the committed state.
+        self.cache.invalidate(source);
+        self.cache.invalidate(target);
+        drop(state);
+        self.placements_done.fetch_add(1, Ordering::Relaxed);
+        counter("serve.placements", 1);
+        Response::Placed {
+            partition: pid,
+            fresh: true,
+        }
+    }
+
+    fn flush(&self) -> Response {
+        let Some(dir) = &self.store_dir else {
+            return Response::Error(ErrorCode::BadRequest);
+        };
+        let mut state = self.state.write().unwrap_or_else(|e| e.into_inner());
+        let edges = state.placements.len() as u64;
+        match self.write_merged(dir, &state) {
+            Ok(()) => {
+                state.pending = 0;
+                counter("serve.flushes", 1);
+                Response::Flushed { edges }
+            }
+            Err(_) => Response::Error(ErrorCode::Internal),
+        }
+    }
+
+    /// Merges base + placed edges into one sorted canonical list and
+    /// rewrites the partition store atomically (manifest-last commit).
+    fn write_merged(&self, dir: &Path, state: &MutableState) -> Result<(), ServiceError> {
+        let mut placed: Vec<(Edge, PartitionId)> = state
+            .placements
+            .iter()
+            .map(|(&(s, t), &pid)| (Edge::new(s, t), pid))
+            .collect();
+        placed.sort_unstable_by_key(|&(e, _)| e);
+
+        let base_edges = self.graph.edges();
+        let mut edges = Vec::with_capacity(base_edges.len() + placed.len());
+        let mut assignment = Vec::with_capacity(base_edges.len() + placed.len());
+        let mut bi = 0usize;
+        let mut pi = 0usize;
+        while bi < base_edges.len() || pi < placed.len() {
+            let take_base = match (base_edges.get(bi), placed.get(pi)) {
+                (Some(b), Some((p, _))) => b < p,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_base {
+                edges.push(base_edges[bi]);
+                assignment.push(self.base.partition_of(bi as u32));
+                bi += 1;
+            } else {
+                let (edge, pid) = placed[pi];
+                edges.push(edge);
+                assignment.push(pid);
+                pi += 1;
+            }
+        }
+
+        let merged_graph = CsrGraph::from_sorted_canonical_edges(self.graph.num_vertices(), edges)
+            .map_err(|e| ServiceError::Config(e.to_string()))?;
+        let merged_partition = EdgePartition::new(self.base.num_partitions(), assignment)
+            .map_err(|e| ServiceError::Config(e.to_string()))?;
+        write_partition_store(dir, &merged_graph, &merged_partition)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use tlp_graph::GraphBuilder;
+
+    /// Path graph 0-1-2-3 plus edge 0-2: partitions chosen by hand.
+    fn service() -> PartitionService {
+        let graph = GraphBuilder::new()
+            .reserve_vertices(5)
+            .add_edges([(0, 1), (1, 2), (2, 3), (0, 2)])
+            .build();
+        // Canonical sorted order: (0,1) (0,2) (1,2) (2,3).
+        let partition = EdgePartition::new(2, vec![0, 1, 0, 1]).unwrap();
+        PartitionService::new(graph, partition, "greedy", 128).unwrap()
+    }
+
+    #[test]
+    fn vertex_lookup_reports_master_and_replicas() {
+        let svc = service();
+        // Vertex 2 touches edges (0,2)=p1, (1,2)=p0, (2,3)=p1 → master 1.
+        match svc.handle(&Request::VertexLookup { vertex: 2 }) {
+            Response::VertexInfo { master, replicas } => {
+                assert_eq!(master, Some(1));
+                assert_eq!(replicas, vec![0, 1]);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Vertex 4 is isolated.
+        match svc.handle(&Request::VertexLookup { vertex: 4 }) {
+            Response::VertexInfo { master, replicas } => {
+                assert_eq!(master, None);
+                assert!(replicas.is_empty());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Second lookup hits the cache.
+        let before = svc.cache().hits();
+        svc.handle(&Request::VertexLookup { vertex: 2 });
+        assert_eq!(svc.cache().hits(), before + 1);
+    }
+
+    #[test]
+    fn edge_and_neighbor_lookups() {
+        let svc = service();
+        assert_eq!(
+            svc.handle(&Request::EdgeLookup { u: 2, v: 0 }),
+            Response::EdgeInfo { partition: 1 },
+            "endpoint order does not matter"
+        );
+        assert_eq!(
+            svc.handle(&Request::EdgeLookup { u: 0, v: 3 }),
+            Response::Error(ErrorCode::NotFound)
+        );
+        assert_eq!(
+            svc.handle(&Request::Neighbors {
+                vertex: 2,
+                partition: 1
+            }),
+            Response::NeighborList {
+                neighbors: vec![0, 3]
+            }
+        );
+        assert_eq!(
+            svc.handle(&Request::Neighbors {
+                vertex: 2,
+                partition: 9
+            }),
+            Response::Error(ErrorCode::BadRequest)
+        );
+    }
+
+    #[test]
+    fn placement_is_idempotent_and_updates_lookups() {
+        let svc = service();
+        // (1,3) is a fresh edge.
+        let first = svc.handle(&Request::PlaceEdge { u: 3, v: 1 });
+        let Response::Placed { partition, fresh } = first else {
+            panic!("unexpected response {first:?}");
+        };
+        assert!(fresh);
+        // Replay (either endpoint order) reports the same partition, stale.
+        assert_eq!(
+            svc.handle(&Request::PlaceEdge { u: 1, v: 3 }),
+            Response::Placed {
+                partition,
+                fresh: false
+            }
+        );
+        // The placed edge is now visible to lookups.
+        assert_eq!(
+            svc.handle(&Request::EdgeLookup { u: 1, v: 3 }),
+            Response::EdgeInfo { partition }
+        );
+        // Base edges report their stored partition, stale.
+        assert_eq!(
+            svc.handle(&Request::PlaceEdge { u: 0, v: 1 }),
+            Response::Placed {
+                partition: 0,
+                fresh: false
+            }
+        );
+        // Self-loops and out-of-range endpoints are rejected.
+        assert_eq!(
+            svc.handle(&Request::PlaceEdge { u: 1, v: 1 }),
+            Response::Error(ErrorCode::BadRequest)
+        );
+        assert_eq!(
+            svc.handle(&Request::PlaceEdge { u: 1, v: 99 }),
+            Response::Error(ErrorCode::BadRequest)
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.placements, 1);
+        assert_eq!(stats.pending_placements, 1);
+    }
+
+    #[test]
+    fn placement_invalidates_cached_vertices() {
+        let svc = service();
+        // Prime the cache for vertex 3 (edge (2,3)=p1 only).
+        match svc.handle(&Request::VertexLookup { vertex: 3 }) {
+            Response::VertexInfo { replicas, .. } => assert_eq!(replicas, vec![1]),
+            other => panic!("unexpected response {other:?}"),
+        }
+        let Response::Placed { partition, .. } = svc.handle(&Request::PlaceEdge { u: 3, v: 1 })
+        else {
+            panic!("placement failed");
+        };
+        // The re-read must see the placed edge's partition.
+        match svc.handle(&Request::VertexLookup { vertex: 3 }) {
+            Response::VertexInfo { replicas, .. } => {
+                assert!(
+                    replicas.contains(&partition),
+                    "replicas {replicas:?} missing placed partition {partition}"
+                );
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_without_store_dir_is_rejected() {
+        let svc = service();
+        assert_eq!(
+            svc.handle(&Request::Flush),
+            Response::Error(ErrorCode::BadRequest)
+        );
+    }
+
+    #[test]
+    fn flush_roundtrips_through_partition_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "tlp-serve-flush-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = service();
+        write_partition_store(&dir, svc.graph(), &svc.base).unwrap();
+        let svc = PartitionService::open_store(&dir, "greedy", 128).unwrap();
+        let Response::Placed { partition, .. } = svc.handle(&Request::PlaceEdge { u: 3, v: 1 })
+        else {
+            panic!("placement failed");
+        };
+        assert_eq!(svc.handle(&Request::Flush), Response::Flushed { edges: 1 });
+        assert_eq!(svc.stats().pending_placements, 0);
+
+        let reader = PartitionStoreReader::open(&dir).unwrap();
+        let (graph, part) = reader.load().unwrap();
+        assert_eq!(graph.num_edges(), 5);
+        let eid = graph.edge_id(1, 3).expect("flushed edge present");
+        assert_eq!(part.partition_of(eid), partition);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

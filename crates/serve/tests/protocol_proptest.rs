@@ -1,0 +1,161 @@
+//! Property tests for the serve wire protocol, mirroring the store's
+//! torn-tail contract: arbitrary requests/responses round-trip losslessly
+//! through encode → frame → read → decode, and truncated or garbage
+//! bytes always yield a typed [`ProtocolError`], never a panic.
+
+use proptest::prelude::*;
+use proptest::prop::collection::vec;
+use tlp_serve::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ErrorCode, ProtocolError, Request, Response, ServeStats, MAX_FRAME_LEN,
+};
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        any::<u32>().prop_map(|vertex| Request::VertexLookup { vertex }),
+        (any::<u32>(), any::<u32>()).prop_map(|(u, v)| Request::EdgeLookup { u, v }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(vertex, partition)| Request::Neighbors { vertex, partition }),
+        (any::<u32>(), any::<u32>()).prop_map(|(u, v)| Request::PlaceEdge { u, v }),
+        Just(Request::Stats),
+        Just(Request::Flush),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn error_code_strategy() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::Overloaded),
+        Just(ErrorCode::Draining),
+        Just(ErrorCode::NotFound),
+        Just(ErrorCode::BadRequest),
+        Just(ErrorCode::Internal),
+    ]
+}
+
+fn stats_strategy() -> impl Strategy<Value = ServeStats> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        any::<u64>(),
+    )
+        .prop_map(|(a, b, c, num_edges)| ServeStats {
+            requests: a.0,
+            lookups: a.1,
+            placements: a.2,
+            overloads: a.3,
+            drained: b.0,
+            protocol_errors: b.1,
+            cache_hits: b.2,
+            cache_misses: b.3,
+            cache_evictions: c.0,
+            pending_placements: c.1,
+            num_vertices: c.2,
+            num_partitions: c.3,
+            num_edges,
+        })
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Pong),
+        (proptest::option::of(any::<u32>()), vec(any::<u32>(), 0..32))
+            .prop_map(|(master, replicas)| Response::VertexInfo { master, replicas }),
+        any::<u32>().prop_map(|partition| Response::EdgeInfo { partition }),
+        vec(any::<u32>(), 0..32).prop_map(|neighbors| Response::NeighborList { neighbors }),
+        (any::<u32>(), any::<bool>())
+            .prop_map(|(partition, fresh)| Response::Placed { partition, fresh }),
+        stats_strategy().prop_map(Response::StatsReport),
+        any::<u64>().prop_map(|edges| Response::Flushed { edges }),
+        Just(Response::ShuttingDown),
+        error_code_strategy().prop_map(Response::Error),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_round_trip_through_frames(request in request_strategy()) {
+        let body = encode_request(&request);
+        prop_assert_eq!(decode_request(&body).expect("body decodes"), request.clone());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).expect("frame writes");
+        let mut reader = wire.as_slice();
+        let read = read_frame(&mut reader).expect("frame reads").expect("one frame");
+        prop_assert_eq!(decode_request(&read).expect("framed body decodes"), request);
+        prop_assert!(read_frame(&mut reader).expect("clean eof").is_none());
+    }
+
+    #[test]
+    fn responses_round_trip_through_frames(response in response_strategy()) {
+        let body = encode_response(&response);
+        prop_assert_eq!(decode_response(&body).expect("body decodes"), response.clone());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).expect("frame writes");
+        let read = read_frame(&mut wire.as_slice())
+            .expect("frame reads")
+            .expect("one frame");
+        prop_assert_eq!(decode_response(&read).expect("framed body decodes"), response);
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors(
+        request in request_strategy(),
+        keep_fraction in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&request)).expect("frame writes");
+        let keep = (((wire.len() as f64) * keep_fraction) as usize).min(wire.len() - 1);
+        let mut reader = &wire[..keep];
+        match read_frame(&mut reader) {
+            // Cutting at byte 0 is a clean between-frames EOF.
+            Ok(None) => prop_assert_eq!(keep, 0),
+            Ok(Some(_)) => prop_assert!(false, "truncated frame decoded"),
+            Err(ProtocolError::Truncated { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic(bytes in vec(any::<u8>(), 0..64)) {
+        // Raw bodies through both decoders: any outcome but a panic.
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+        // And through the framed reader.
+        let mut reader = bytes.as_slice();
+        if let Ok(Some(body)) = read_frame(&mut reader) {
+            let _ = decode_request(&body);
+            let _ = decode_response(&body);
+        }
+    }
+
+    #[test]
+    fn corrupt_lengths_and_versions_are_refused(
+        len in prop_oneof![Just(0u32), MAX_FRAME_LEN + 1..u32::MAX],
+        version in any::<u8>(),
+    ) {
+        // Hostile length prefix: rejected before any allocation.
+        let len: u32 = len;
+        let mut wire = len.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 8]);
+        let too_large = matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(ProtocolError::FrameTooLarge { .. })
+        );
+        prop_assert!(too_large);
+        // Wrong version byte on an otherwise valid frame.
+        if version != tlp_serve::PROTOCOL_VERSION {
+            let mut framed = Vec::new();
+            write_frame(&mut framed, &encode_request(&Request::Ping)).expect("frame writes");
+            framed[4] = version;
+            let bad_version = matches!(
+                read_frame(&mut framed.as_slice()),
+                Err(ProtocolError::BadVersion { .. })
+            );
+            prop_assert!(bad_version);
+        }
+    }
+}

@@ -26,15 +26,18 @@ impl Default for PageRank {
     }
 }
 
-/// PageRank state: the rank, compared with the program tolerance.
+/// PageRank state: the rank.
 #[derive(Clone, Copy, Debug)]
 pub struct Rank(pub f64);
 
 impl PartialEq for Rank {
     fn eq(&self, other: &Self) -> bool {
-        // Equality drives convergence detection; exact comparison would
-        // never settle under floating-point drift.
-        (self.0 - other.0).abs() < 1e-10
+        // Exact comparison on purpose: [`PageRank::apply`] returns the
+        // previous state *unchanged* when a rank moves by no more than the
+        // configured tolerance, so convergence detection (`new != old` in
+        // the engine) is governed entirely by `PageRank::tolerance`. An
+        // epsilon here would silently override a tighter tolerance.
+        self.0 == other.0
     }
 }
 
@@ -191,6 +194,33 @@ mod tests {
                 "vertex {v} rank differs across partitionings"
             );
         }
+    }
+
+    #[test]
+    fn pagerank_honors_configured_tolerance() {
+        // Regression: `Rank`'s PartialEq used to hardcode a 1e-10 epsilon,
+        // so any tolerance tighter than that was silently ignored — the
+        // engine saw sub-1e-10 movement as "equal" and stopped early.
+        // With convergence routed through `apply`'s tolerance clamp, a
+        // tighter tolerance must keep iterating strictly longer.
+        let g = power_law_community(120, 500, 2.1, 4, 0.2, 3);
+        let part = partitioned(&g, 2);
+        let run_at = |tolerance: f64| {
+            let pr = PageRank {
+                tolerance,
+                ..PageRank::default()
+            };
+            Engine::new(&Cluster::new(&g, &part)).run(&pr, 2000)
+        };
+        let loose = run_at(1e-10);
+        let tight = run_at(1e-13);
+        assert!(loose.converged && tight.converged);
+        assert!(
+            tight.supersteps > loose.supersteps,
+            "tolerance 1e-13 must outlast 1e-10: {} vs {} supersteps",
+            tight.supersteps,
+            loose.supersteps
+        );
     }
 
     #[test]

@@ -171,6 +171,97 @@ fn partition_store_rewrite_sweep_quarantines_torn_stores() {
 }
 
 #[test]
+fn serve_flush_sweep_leaves_store_intact_or_quarantined() {
+    use tlp_serve::{PartitionService, Request, Response};
+
+    let _guard = faults::test_lock();
+    let root = temp_dir("serveflush");
+    let store = root.join("store");
+    let graph = chung_lu(60, 240, 2.2, 13);
+    let m = graph.num_edges();
+    let p = 4;
+    let assignment: Vec<u32> = (0..m).map(|e| (e % p) as u32).collect();
+    let partition = EdgePartition::new(p, assignment).unwrap();
+
+    // Fresh edges absent from the graph: deterministic probe pairs.
+    let fresh: Vec<(u32, u32)> = (0u32..60)
+        .flat_map(|u| [(u, (u + 29) % 60), (u, (u + 17) % 60)])
+        .filter(|&(u, v)| u != v && !graph.has_edge(u, v))
+        .take(6)
+        .collect();
+    assert!(!fresh.is_empty(), "probe pairs all collided with the graph");
+
+    // One unfaulted flush to count the I/O ops a flush performs.
+    write_partition_store(&store, &graph, &partition).unwrap();
+    let service = PartitionService::open_store(&store, "hdrf", 0).unwrap();
+    for &(u, v) in &fresh {
+        let placed = service.handle(&Request::PlaceEdge { u, v });
+        assert!(
+            matches!(placed, Response::Placed { fresh: true, .. }),
+            "probe ({u},{v}) not fresh: {placed:?}"
+        );
+    }
+    let (response, total) = faults::count_ops(|| service.handle(&Request::Flush));
+    assert!(matches!(response, Response::Flushed { .. }));
+    assert!(total > 0, "op counter saw no flush I/O");
+    drop(service);
+
+    for kind in [FaultKind::Crash, FaultKind::ShortWrite, FaultKind::Enospc] {
+        for at_op in 0..total {
+            // Restore a committed store and accumulate the placements.
+            write_partition_store(&store, &graph, &partition).unwrap();
+            let service = PartitionService::open_store(&store, "hdrf", 0).unwrap();
+            for &(u, v) in &fresh {
+                service.handle(&Request::PlaceEdge { u, v });
+            }
+            faults::arm(FaultSchedule {
+                at_op,
+                kind,
+                seed: at_op,
+            });
+            let failed = service.handle(&Request::Flush);
+            faults::disarm();
+            assert!(
+                matches!(failed, Response::Error(_)),
+                "{kind:?} at op {at_op}: flush did not fail: {failed:?}"
+            );
+            // A failed flush must not lose the pending placements...
+            assert_eq!(
+                service.stats().pending_placements,
+                fresh.len() as u64,
+                "{kind:?} at op {at_op} dropped pending placements"
+            );
+            // ...and must leave the store either intact (readable as the
+            // pre-flush data) or quarantined as torn — never silently
+            // corrupt.
+            match PartitionStoreReader::open(&store) {
+                Ok(reader) => {
+                    let (g2, p2) = reader.load().unwrap_or_else(|e| {
+                        panic!("{kind:?} at op {at_op}: intact store unreadable: {e}")
+                    });
+                    assert_eq!(g2, graph, "{kind:?} at op {at_op} changed the graph");
+                    assert_eq!(
+                        p2, partition,
+                        "{kind:?} at op {at_op} changed the partition"
+                    );
+                }
+                Err(StoreError::TornStore {
+                    ref quarantined, ..
+                }) => {
+                    assert!(quarantined.exists(), "quarantine target missing");
+                    assert!(!store.exists(), "torn store left in place");
+                }
+                Err(other) => {
+                    panic!("{kind:?} at op {at_op}: expected intact or TornStore, got {other}")
+                }
+            }
+            sweep_quarantines(&store);
+        }
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
 fn report_write_sweep_preserves_previous_csv() {
     let _guard = faults::test_lock();
     let dir = temp_dir("report");
