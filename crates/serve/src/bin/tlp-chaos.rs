@@ -1,0 +1,98 @@
+//! Standalone chaos proxy for CI and manual fault drills.
+//!
+//! ```text
+//! tlp-chaos LISTEN_ADDR UPSTREAM_ADDR [--seed N] [--clean-every N]
+//!           [--stall-ms N]
+//! ```
+//!
+//! Binds `LISTEN_ADDR` (port 0 for ephemeral), proxies to
+//! `UPSTREAM_ADDR`, and injects the seeded fault schedule described in
+//! [`tlp_serve::chaos`]. Prints `tlp-chaos listening on ADDR` once ready
+//! and runs until killed; fault counts go to stderr every few seconds so
+//! a CI log shows the storm actually happened.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tlp_serve::{ChaosProxy, ChaosSchedule};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tlp-chaos LISTEN_ADDR UPSTREAM_ADDR [--seed N] [--clean-every N] [--stall-ms N]"
+    );
+    ExitCode::from(2)
+}
+
+struct Cli {
+    listen: String,
+    upstream: String,
+    schedule: ChaosSchedule,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut positional = Vec::new();
+    let mut schedule = ChaosSchedule::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--seed" => schedule.seed = parse(&value_for("--seed")?)?,
+            "--clean-every" => schedule.clean_every = parse(&value_for("--clean-every")?)?,
+            "--stall-ms" => {
+                schedule.stall = Duration::from_millis(parse(&value_for("--stall-ms")?)?);
+            }
+            _ if !arg.starts_with('-') && positional.len() < 2 => positional.push(arg),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let (Some(listen), Some(upstream)) = (positional.next(), positional.next()) else {
+        return Err("need LISTEN_ADDR and UPSTREAM_ADDR".to_string());
+    };
+    Ok(Cli {
+        listen,
+        upstream,
+        schedule,
+    })
+}
+
+fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("not a valid number: {raw:?}"))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("tlp-chaos: {message}");
+            }
+            return usage();
+        }
+    };
+    let upstream = match cli.upstream.parse() {
+        Ok(addr) => addr,
+        Err(_) => {
+            eprintln!("tlp-chaos: not a socket address: {:?}", cli.upstream);
+            return usage();
+        }
+    };
+    let proxy = match ChaosProxy::start(&cli.listen, upstream, cli.schedule) {
+        Ok(proxy) => proxy,
+        Err(error) => {
+            eprintln!("tlp-chaos: bind {}: {error}", cli.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("tlp-chaos listening on {}", proxy.addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3));
+        let counts = proxy.counts();
+        eprintln!(
+            "tlp-chaos: {} clean, {} resets, {} truncations, {} corruptions, {} stalls",
+            counts.clean, counts.resets, counts.truncations, counts.corruptions, counts.stalls
+        );
+    }
+}

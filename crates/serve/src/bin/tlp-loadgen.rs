@@ -21,12 +21,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use tlp_serve::{run_burst, run_load, run_replay, LoadConfig, Request, Response, ServeClient};
+use tlp_serve::{
+    run_burst, run_load, run_replay, LoadConfig, Request, Response, RetryPolicy, ServeClient,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tlp-loadgen ADDR [--ops N] [--threads N] [--read-ratio F] [--zipf S] \
-         [--seed N] [--bench FILE] [--flush] [--shutdown] [--burst K]\n\
+         [--seed N] [--retry-attempts N] [--retry-deadline-ms N] \
+         [--bench FILE] [--flush] [--shutdown] [--burst K]\n\
          \u{20}      tlp-loadgen --replay STORE_DIR [--placer SPEC] [load flags]"
     );
     ExitCode::from(2)
@@ -62,6 +65,7 @@ fn parse_args() -> Result<Cli, String> {
             num_partitions: 0,
             seed: 42,
             read_timeout: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
         },
     };
     let mut args = std::env::args().skip(1);
@@ -78,6 +82,16 @@ fn parse_args() -> Result<Cli, String> {
             "--read-ratio" => cli.config.read_ratio = parse(&value_for("--read-ratio")?)?,
             "--zipf" => cli.config.zipf_skew = parse(&value_for("--zipf")?)?,
             "--seed" => cli.config.seed = parse(&value_for("--seed")?)?,
+            "--retry-attempts" => {
+                cli.config.retry.max_attempts = parse(&value_for("--retry-attempts")?)?;
+                if cli.config.retry.max_attempts == 0 {
+                    return Err("--retry-attempts must be at least 1".to_string());
+                }
+            }
+            "--retry-deadline-ms" => {
+                cli.config.retry.deadline =
+                    Duration::from_millis(parse(&value_for("--retry-deadline-ms")?)?);
+            }
             "--flush" => cli.flush = true,
             "--shutdown" => cli.shutdown = true,
             _ if cli.addr.is_none() && !arg.starts_with('-') => cli.addr = Some(arg),
@@ -131,8 +145,14 @@ fn main() -> ExitCode {
     if let Some(connections) = cli.burst {
         let report = run_burst(&addr, connections, cli.config.read_timeout);
         println!(
-            "burst: {} attempted, {} served, {} overloaded, {} draining, {} failed",
-            report.attempted, report.served, report.overloaded, report.draining, report.failed
+            "burst: {} attempted, {} served, {} overloaded, {} draining, \
+             {} timeouts, {} resets",
+            report.attempted,
+            report.served,
+            report.overloaded,
+            report.draining,
+            report.timeouts,
+            report.resets
         );
         if let Some(bench) = &cli.bench {
             if let Err(error) = tlp_obs::bench::write_bench_json(bench, &report) {
@@ -170,13 +190,17 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "load: {} ops ({} ok, {} not-found, {} refused, {} protocol errors) in {:.2}s — \
+        "load: {} ops ({} ok, {} not-found, {} refused, {} protocol errors: \
+         {} timeouts + {} resets; {} retries) in {:.2}s — \
          {:.0} ops/s, p50 {}us p95 {}us p99 {}us",
         report.ops,
         report.ok,
         report.not_found,
         report.refused,
         report.protocol_errors,
+        report.timeouts,
+        report.resets,
+        report.retries,
         report.elapsed_us as f64 / 1e6,
         report.throughput,
         report.latency.p50,

@@ -1,0 +1,461 @@
+//! Deterministic in-process TCP fault proxy for chaos testing.
+//!
+//! [`ChaosProxy`] sits between a client and a live `tlp-serve` server and
+//! injects network faults on a seeded per-connection schedule: hard
+//! connection drops, partial-frame truncation, byte-level corruption of
+//! the response stream, and slow-loris stalls that outlast the client's
+//! read timeout. Which connection gets which fault is a pure function of
+//! `(seed, connection index)` — see [`ChaosSchedule::fault_for`] — so a
+//! test can predict exactly which connections must be answered cleanly
+//! and a failing run replays bit-identically from its seed.
+//!
+//! The proxy is the adversary in `serve_chaos.rs` and `chaos_ci.sh`: the
+//! server behind it must never panic, never leak a worker, and keep
+//! answering every clean connection while faults rain on the others.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// SplitMix64 — the same mixer the store's fault injector uses, local so
+/// the schedule stays a pure leaf with no cross-crate coupling.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The fault a single proxied connection is subjected to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Relay faithfully in both directions until EOF.
+    Clean,
+    /// Drop the client connection immediately, before any upstream
+    /// contact — the client sees a reset/EOF where a reply was due.
+    Reset,
+    /// Relay the request, then forward only a prefix of the reply and
+    /// close — a torn response frame.
+    Truncate,
+    /// Relay the request, then flip one byte of the reply stream — an
+    /// undecodable or checksum-violating frame.
+    Corrupt,
+    /// Swallow the request and stall past the client's read timeout
+    /// without ever contacting the upstream (slow-loris).
+    Stall,
+}
+
+/// Seeded per-connection fault plan.
+#[derive(Clone, Debug)]
+pub struct ChaosSchedule {
+    /// Seed for the fault choice and for byte positions inside
+    /// truncate/corrupt faults.
+    pub seed: u64,
+    /// Every `clean_every`-th connection (index `0, clean_every, …`)
+    /// passes clean; `0` means *no* guaranteed-clean connections.
+    pub clean_every: u64,
+    /// How long a [`ConnFault::Stall`] holds the connection open; pick
+    /// something longer than the client's read timeout.
+    pub stall: Duration,
+}
+
+impl Default for ChaosSchedule {
+    fn default() -> Self {
+        ChaosSchedule {
+            seed: 0,
+            clean_every: 2,
+            stall: Duration::from_millis(500),
+        }
+    }
+}
+
+impl ChaosSchedule {
+    /// The fault for the `index`-th accepted connection. Pure, so tests
+    /// and the proxy agree on which connections are clean.
+    pub fn fault_for(&self, index: u64) -> ConnFault {
+        if self.clean_every != 0 && index.is_multiple_of(self.clean_every) {
+            return ConnFault::Clean;
+        }
+        match mix(self.seed ^ index) % 4 {
+            0 => ConnFault::Reset,
+            1 => ConnFault::Truncate,
+            2 => ConnFault::Corrupt,
+            _ => ConnFault::Stall,
+        }
+    }
+}
+
+/// Snapshot of how many faults of each kind the proxy has injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosCounts {
+    /// Connections relayed faithfully.
+    pub clean: u64,
+    /// Connections dropped on arrival.
+    pub resets: u64,
+    /// Replies cut short mid-frame.
+    pub truncations: u64,
+    /// Replies with a flipped byte.
+    pub corruptions: u64,
+    /// Connections stalled past the read timeout.
+    pub stalls: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    clean: AtomicU64,
+    resets: AtomicU64,
+    truncations: AtomicU64,
+    corruptions: AtomicU64,
+    stalls: AtomicU64,
+}
+
+struct Shared {
+    upstream: SocketAddr,
+    schedule: ChaosSchedule,
+    stop: AtomicBool,
+    counters: Counters,
+    /// Finished connection-handler threads, joined on shutdown.
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running fault proxy; dropping it (or calling
+/// [`shutdown`](ChaosProxy::shutdown)) stops the acceptor and joins
+/// every handler.
+pub struct ChaosProxy {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds `listen` (use `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts proxying to `upstream` under `schedule`.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] if the listener cannot bind.
+    pub fn start(
+        listen: &str,
+        upstream: SocketAddr,
+        schedule: ChaosSchedule,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            upstream,
+            schedule,
+            stop: AtomicBool::new(false),
+            counters: Counters::default(),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(ChaosProxy {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Faults injected so far.
+    pub fn counts(&self) -> ChaosCounts {
+        let c = &self.shared.counters;
+        ChaosCounts {
+            clean: c.clean.load(Ordering::Relaxed),
+            resets: c.resets.load(Ordering::Relaxed),
+            truncations: c.truncations.load(Ordering::Relaxed),
+            corruptions: c.corruptions.load(Ordering::Relaxed),
+            stalls: c.stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, joins the acceptor and every handler thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock a parked accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handlers = {
+            let mut guard = self
+                .shared
+                .handlers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        for handler in handlers {
+            let _ = handler.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut index = 0u64;
+    loop {
+        let client = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let fault = shared.schedule.fault_for(index);
+        let conn_seed = mix(shared.schedule.seed ^ index.wrapping_add(0x5eed));
+        index += 1;
+        let shared_for_conn = Arc::clone(shared);
+        let handle = std::thread::spawn(move || {
+            handle_connection(&shared_for_conn, client, fault, conn_seed);
+        });
+        shared
+            .handlers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, client: TcpStream, fault: ConnFault, conn_seed: u64) {
+    let counters = &shared.counters;
+    match fault {
+        ConnFault::Reset => {
+            counters.resets.fetch_add(1, Ordering::Relaxed);
+            let _ = client.shutdown(Shutdown::Both);
+        }
+        ConnFault::Stall => {
+            counters.stalls.fetch_add(1, Ordering::Relaxed);
+            stall(shared, &client);
+        }
+        ConnFault::Clean | ConnFault::Truncate | ConnFault::Corrupt => {
+            match fault {
+                ConnFault::Clean => counters.clean.fetch_add(1, Ordering::Relaxed),
+                ConnFault::Truncate => counters.truncations.fetch_add(1, Ordering::Relaxed),
+                _ => counters.corruptions.fetch_add(1, Ordering::Relaxed),
+            };
+            relay(shared, client, fault, conn_seed);
+        }
+    }
+}
+
+/// Reads (and discards) whatever the client sends, without answering,
+/// until the stall budget elapses — the client's read timeout fires
+/// first if the schedule is configured as documented.
+fn stall(shared: &Shared, client: &TcpStream) {
+    let _ = client.set_read_timeout(Some(Duration::from_millis(20)));
+    let deadline = std::time::Instant::now() + shared.schedule.stall;
+    let mut sink = [0u8; 256];
+    let mut conn = client;
+    while std::time::Instant::now() < deadline && !shared.stop.load(Ordering::SeqCst) {
+        match conn.read(&mut sink) {
+            Ok(0) => break, // client gave up
+            Ok(_) => {}     // swallow
+            Err(_) => {}    // timeout tick; keep stalling
+        }
+    }
+    let _ = client.shutdown(Shutdown::Both);
+}
+
+/// Bidirectional relay. The request direction is always faithful; the
+/// reply direction applies the fault.
+fn relay(shared: &Arc<Shared>, client: TcpStream, fault: ConnFault, conn_seed: u64) {
+    let upstream = match TcpStream::connect(shared.upstream) {
+        Ok(stream) => stream,
+        Err(_) => {
+            let _ = client.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    // Short read timeouts keep both pumps responsive to proxy shutdown.
+    let _ = client.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = upstream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = client.set_nodelay(true);
+    let _ = upstream.set_nodelay(true);
+
+    let up = {
+        let (client, upstream) = match (client.try_clone(), upstream.try_clone()) {
+            (Ok(c), Ok(u)) => (c, u),
+            _ => {
+                let _ = client.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || pump(client, upstream, &shared.stop, &mut Faithful))
+    };
+    let mut transform: Box<dyn ReplyTransform> = match fault {
+        ConnFault::Truncate => Box::new(Truncating {
+            // Cut inside the first reply frame: past the length prefix,
+            // short of any full minimal frame.
+            budget: 1 + (conn_seed % 5) as usize,
+        }),
+        ConnFault::Corrupt => Box::new(Corrupting {
+            // Flip a low-offset byte so the damage lands in the first
+            // frame's header or body, not in a never-read tail.
+            at: (conn_seed % 7) as usize,
+            xor: (0x01u8 << (conn_seed % 8)).max(1),
+            seen: 0,
+            done: false,
+        }),
+        _ => Box::new(Faithful),
+    };
+    pump(upstream, client, &shared.stop, transform.as_mut());
+    let _ = up.join();
+}
+
+/// Byte-stream transform applied to the reply direction.
+trait ReplyTransform: Send {
+    /// Mutates/limits `chunk`; returns `false` to cut the connection
+    /// after forwarding whatever remains in `chunk`.
+    fn apply(&mut self, chunk: &mut Vec<u8>) -> bool;
+}
+
+struct Faithful;
+impl ReplyTransform for Faithful {
+    fn apply(&mut self, _chunk: &mut Vec<u8>) -> bool {
+        true
+    }
+}
+
+struct Truncating {
+    budget: usize,
+}
+impl ReplyTransform for Truncating {
+    fn apply(&mut self, chunk: &mut Vec<u8>) -> bool {
+        if chunk.len() >= self.budget {
+            chunk.truncate(self.budget);
+            return false;
+        }
+        self.budget -= chunk.len();
+        true
+    }
+}
+
+struct Corrupting {
+    at: usize,
+    xor: u8,
+    seen: usize,
+    done: bool,
+}
+impl ReplyTransform for Corrupting {
+    fn apply(&mut self, chunk: &mut Vec<u8>) -> bool {
+        if !self.done && self.at < self.seen + chunk.len() {
+            let offset = self.at - self.seen;
+            chunk[offset] ^= self.xor;
+            self.done = true;
+        }
+        self.seen += chunk.len();
+        true
+    }
+}
+
+/// One-direction byte pump with a transform; exits on EOF, error, stop
+/// flag, or when the transform cuts the stream.
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    stop: &AtomicBool,
+    transform: &mut dyn ReplyTransform,
+) {
+    let mut buf = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                let mut chunk = buf[..n].to_vec();
+                let keep_going = transform.apply(&mut chunk);
+                if to.write_all(&chunk).is_err() || to.flush().is_err() {
+                    break;
+                }
+                if !keep_going {
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                continue
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_covers_every_fault() {
+        let schedule = ChaosSchedule {
+            seed: 9,
+            clean_every: 2,
+            stall: Duration::from_millis(1),
+        };
+        let a: Vec<ConnFault> = (0..64).map(|i| schedule.fault_for(i)).collect();
+        let b: Vec<ConnFault> = (0..64).map(|i| schedule.fault_for(i)).collect();
+        assert_eq!(a, b, "same seed, same plan");
+        for (i, fault) in a.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(*fault, ConnFault::Clean, "even connections are clean");
+            }
+        }
+        for needed in [
+            ConnFault::Reset,
+            ConnFault::Truncate,
+            ConnFault::Corrupt,
+            ConnFault::Stall,
+        ] {
+            assert!(
+                a.contains(&needed),
+                "64 connections never drew {needed:?} — schedule too narrow"
+            );
+        }
+        let other = ChaosSchedule {
+            seed: 10,
+            ..schedule.clone()
+        };
+        let c: Vec<ConnFault> = (0..64).map(|i| other.fault_for(i)).collect();
+        assert_ne!(a, c, "different seeds give different plans");
+    }
+
+    #[test]
+    fn clean_every_zero_means_no_guaranteed_clean_slots() {
+        let schedule = ChaosSchedule {
+            seed: 3,
+            clean_every: 0,
+            stall: Duration::from_millis(1),
+        };
+        assert!((0..32).all(|i| schedule.fault_for(i) != ConnFault::Clean));
+    }
+}

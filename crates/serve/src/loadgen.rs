@@ -19,8 +19,8 @@ use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use tlp_obs::{percentiles, Percentiles};
 
-use crate::client::ServeClient;
-use crate::protocol::{ErrorCode, Request, Response};
+use crate::client::{AttemptError, ClientError, RetryPolicy, RetryingClient, ServeClient};
+use crate::protocol::{ErrorCode, ProtocolError, Request, Response};
 
 /// Tunables for one load run.
 #[derive(Clone, Debug)]
@@ -43,6 +43,10 @@ pub struct LoadConfig {
     pub seed: u64,
     /// Client-side read timeout per reply.
     pub read_timeout: Duration,
+    /// Retry policy for each client; thread `i` jitters with
+    /// `retry.seed + i`. `max_attempts: 1` recovers the old
+    /// fail-immediately behavior.
+    pub retry: RetryPolicy,
 }
 
 /// Outcome of a load run, serialized into `BENCH_serve_latency.json`.
@@ -55,11 +59,23 @@ pub struct LoadReport {
     /// Replies carrying [`ErrorCode::NotFound`] (expected for lookups of
     /// absent edges; not a failure).
     pub not_found: u64,
-    /// Replies carrying [`ErrorCode::Overloaded`] or
-    /// [`ErrorCode::Draining`].
+    /// Operations that exhausted their retries on
+    /// [`ErrorCode::Overloaded`] or [`ErrorCode::Draining`] refusals.
     pub refused: u64,
-    /// Transport/decode failures — must be zero in a healthy run.
+    /// Operations lost to transport/decode failures or terminal error
+    /// replies after retries — must be zero in a healthy run.
     pub protocol_errors: u64,
+    /// Transport failures (subset of `protocol_errors`) whose final error
+    /// was a read/write timeout.
+    pub timeouts: u64,
+    /// Transport failures (subset of `protocol_errors`) whose final error
+    /// was anything else: connection reset, refused connect, truncated or
+    /// undecodable reply.
+    pub resets: u64,
+    /// Retry attempts performed across all threads (beyond first tries).
+    pub retries: u64,
+    /// Operations that gave up after exhausting attempts or deadline.
+    pub exhausted: u64,
     /// Client threads used.
     pub threads: u64,
     /// Wall-clock duration of the whole run, microseconds.
@@ -109,6 +125,32 @@ struct Tally {
     not_found: AtomicU64,
     refused: AtomicU64,
     protocol_errors: AtomicU64,
+    timeouts: AtomicU64,
+    resets: AtomicU64,
+    retries: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+/// Buckets a final (post-retry) failure: timeout vs everything else.
+fn classify_failure(tally: &Tally, error: &AttemptError) {
+    match error {
+        AttemptError::Refused(_) => {
+            tally.refused.fetch_add(1, Ordering::Relaxed);
+        }
+        AttemptError::Transport(e) => {
+            tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let timed_out = matches!(
+                e,
+                ProtocolError::Io(io)
+                    if matches!(io.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock)
+            );
+            if timed_out {
+                tally.timeouts.fetch_add(1, Ordering::Relaxed);
+            } else {
+                tally.resets.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// Runs the configured mix and folds the result. Each thread drives
@@ -133,16 +175,25 @@ pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
         if t == 0 {
             ops += config.ops % threads as u64;
         }
-        let mut client = ServeClient::connect(&config.addr, config.read_timeout)?;
         let zipf = Arc::clone(&zipf);
         let tally = Arc::clone(&tally);
         let config = config.clone();
         handles.push(std::thread::spawn(move || {
+            let mut client = RetryingClient::new(
+                &config.addr,
+                config.read_timeout,
+                RetryPolicy {
+                    seed: config.retry.seed.wrapping_add(t as u64),
+                    ..config.retry.clone()
+                },
+            );
             let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(t as u64));
             let mut latencies = Vec::with_capacity(ops as usize);
             for _ in 0..ops {
                 let request = next_request(&config, &zipf, &mut rng);
                 let sent = Instant::now();
+                // A failed op no longer aborts the thread: the retrying
+                // client reconnects, and the remaining ops still run.
                 match client.request(&request) {
                     Ok(response) => {
                         latencies.push(sent.elapsed().as_micros() as u64);
@@ -152,6 +203,8 @@ pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
                             }
                             Response::Error(ErrorCode::Overloaded)
                             | Response::Error(ErrorCode::Draining) => {
+                                // Unreachable with retries on, but keep the
+                                // bucket for `max_attempts: 1` runs.
                                 tally.refused.fetch_add(1, Ordering::Relaxed);
                             }
                             Response::Error(_) => {
@@ -162,12 +215,16 @@ pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
                             }
                         }
                     }
-                    Err(_) => {
-                        tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        return latencies;
+                    Err(
+                        ClientError::Exhausted { last_error, .. }
+                        | ClientError::NotRetryable(last_error),
+                    ) => {
+                        tally.exhausted.fetch_add(1, Ordering::Relaxed);
+                        classify_failure(&tally, &last_error);
                     }
                 }
             }
+            tally.retries.fetch_add(client.retries(), Ordering::Relaxed);
             latencies
         }));
     }
@@ -195,6 +252,10 @@ pub fn run_load(config: &LoadConfig) -> std::io::Result<LoadReport> {
         not_found,
         refused: tally.refused.load(Ordering::Relaxed),
         protocol_errors: tally.protocol_errors.load(Ordering::Relaxed),
+        timeouts: tally.timeouts.load(Ordering::Relaxed),
+        resets: tally.resets.load(Ordering::Relaxed),
+        retries: tally.retries.load(Ordering::Relaxed),
+        exhausted: tally.exhausted.load(Ordering::Relaxed),
         threads: threads as u64,
         elapsed_us: elapsed.as_micros() as u64,
         throughput: completed as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -239,8 +300,12 @@ pub struct BurstReport {
     pub draining: u64,
     /// Connections served normally (got a `Pong`).
     pub served: u64,
-    /// Connections that failed some other way (reset, timeout).
-    pub failed: u64,
+    /// Connections whose read timed out (server accepted but never
+    /// answered in time).
+    pub timeouts: u64,
+    /// Connections torn down some other way: reset, refused connect,
+    /// truncated or undecodable reply.
+    pub resets: u64,
 }
 
 /// Opens `connections` concurrent connections that each send one `Ping`
@@ -253,13 +318,21 @@ pub fn run_burst(addr: &str, connections: usize, read_timeout: Duration) -> Burs
         handles.push(std::thread::spawn(move || {
             let mut client = match ServeClient::connect(&addr, read_timeout) {
                 Ok(client) => client,
-                Err(_) => return BurstOutcome::Failed,
+                Err(_) => return BurstOutcome::Reset,
             };
             match client.request(&Request::Ping) {
                 Ok(Response::Pong) => BurstOutcome::Served,
                 Ok(Response::Error(ErrorCode::Overloaded)) => BurstOutcome::Overloaded,
                 Ok(Response::Error(ErrorCode::Draining)) => BurstOutcome::Draining,
-                _ => BurstOutcome::Failed,
+                Err(ProtocolError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    BurstOutcome::Timeout
+                }
+                _ => BurstOutcome::Reset,
             }
         }));
     }
@@ -268,14 +341,16 @@ pub fn run_burst(addr: &str, connections: usize, read_timeout: Duration) -> Burs
         overloaded: 0,
         draining: 0,
         served: 0,
-        failed: 0,
+        timeouts: 0,
+        resets: 0,
     };
     for handle in handles {
-        match handle.join().unwrap_or(BurstOutcome::Failed) {
+        match handle.join().unwrap_or(BurstOutcome::Reset) {
             BurstOutcome::Served => report.served += 1,
             BurstOutcome::Overloaded => report.overloaded += 1,
             BurstOutcome::Draining => report.draining += 1,
-            BurstOutcome::Failed => report.failed += 1,
+            BurstOutcome::Timeout => report.timeouts += 1,
+            BurstOutcome::Reset => report.resets += 1,
         }
     }
     report
@@ -285,7 +360,8 @@ enum BurstOutcome {
     Served,
     Overloaded,
     Draining,
-    Failed,
+    Timeout,
+    Reset,
 }
 
 /// Outcome of an offline replay (see [`run_replay`]).

@@ -70,6 +70,8 @@ pub enum Request {
     Flush,
     /// Begin a graceful drain: stop accepting, finish in-flight work.
     Shutdown,
+    /// Readiness/durability probe: WAL depth, flush recency, drain state.
+    Health,
 }
 
 /// A server-to-client message.
@@ -111,6 +113,8 @@ pub enum Response {
     },
     /// Reply to [`Request::Shutdown`]: the drain has begun.
     ShuttingDown,
+    /// Reply to [`Request::Health`].
+    HealthReport(HealthReport),
     /// Typed failure reply; the connection stays usable unless the error
     /// says otherwise ([`ErrorCode::Overloaded`] / [`ErrorCode::Draining`]
     /// are followed by a close).
@@ -203,6 +207,30 @@ pub struct ServeStats {
     pub num_edges: u64,
 }
 
+/// Readiness/durability snapshot carried by [`Response::HealthReport`].
+///
+/// `last_flush_age_secs` is [`u64::MAX`] when the service has never
+/// flushed since it opened.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Records in the placement WAL awaiting the next flush (the replay
+    /// backlog a restart would work through). Zero for in-memory services.
+    pub wal_depth: u64,
+    /// Placements accumulated in memory since the last successful flush.
+    pub pending_placements: u64,
+    /// Successful flushes since the service opened.
+    pub flushes: u64,
+    /// Seconds since the last successful flush; `u64::MAX` if none yet.
+    pub last_flush_age_secs: u64,
+    /// True when the service is store-backed and its WAL is healthy:
+    /// every acknowledged placement is on stable storage.
+    pub durable: bool,
+    /// True when the server in front of this service is draining
+    /// (overlaid by the TCP layer; always false straight from the
+    /// service).
+    pub draining: bool,
+}
+
 /// Why a frame or message failed to decode (or a frame failed to move).
 #[derive(Debug)]
 pub enum ProtocolError {
@@ -286,6 +314,7 @@ const OP_PLACE_EDGE: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
 const OP_FLUSH: u8 = 0x07;
 const OP_SHUTDOWN: u8 = 0x08;
+const OP_HEALTH: u8 = 0x09;
 
 // Response opcodes.
 const OP_PONG: u8 = 0x81;
@@ -296,6 +325,7 @@ const OP_PLACED: u8 = 0x85;
 const OP_STATS_REPORT: u8 = 0x86;
 const OP_FLUSHED: u8 = 0x87;
 const OP_SHUTTING_DOWN: u8 = 0x88;
+const OP_HEALTH_REPORT: u8 = 0x89;
 const OP_ERROR: u8 = 0xFF;
 
 /// Bounded cursor over a message body.
@@ -408,6 +438,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         Request::Stats => out.push(OP_STATS),
         Request::Flush => out.push(OP_FLUSH),
         Request::Shutdown => out.push(OP_SHUTDOWN),
+        Request::Health => out.push(OP_HEALTH),
     }
     out
 }
@@ -441,6 +472,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, ProtocolError> {
         OP_STATS => Request::Stats,
         OP_FLUSH => Request::Flush,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_HEALTH => Request::Health,
         found => return Err(ProtocolError::UnknownOpcode { found }),
     };
     cursor.finish()?;
@@ -490,6 +522,15 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             push_u64(&mut out, *edges);
         }
         Response::ShuttingDown => out.push(OP_SHUTTING_DOWN),
+        Response::HealthReport(health) => {
+            out.push(OP_HEALTH_REPORT);
+            push_u64(&mut out, health.wal_depth);
+            push_u64(&mut out, health.pending_placements);
+            push_u64(&mut out, health.flushes);
+            push_u64(&mut out, health.last_flush_age_secs);
+            out.push(u8::from(health.durable));
+            out.push(u8::from(health.draining));
+        }
         Response::Error(code) => {
             out.push(OP_ERROR);
             out.push(code.to_byte());
@@ -572,6 +613,14 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtocolError> {
             edges: cursor.u64("flushed count")?,
         },
         OP_SHUTTING_DOWN => Response::ShuttingDown,
+        OP_HEALTH_REPORT => Response::HealthReport(HealthReport {
+            wal_depth: cursor.u64("wal depth")?,
+            pending_placements: cursor.u64("pending placements")?,
+            flushes: cursor.u64("flush count")?,
+            last_flush_age_secs: cursor.u64("last flush age")?,
+            durable: cursor.bool("durable flag")?,
+            draining: cursor.bool("draining flag")?,
+        }),
         OP_ERROR => Response::Error(ErrorCode::from_byte(cursor.u8("error code")?)?),
         found => return Err(ProtocolError::UnknownOpcode { found }),
     };
@@ -667,6 +716,7 @@ mod tests {
             Request::Stats,
             Request::Flush,
             Request::Shutdown,
+            Request::Health,
         ];
         for request in requests {
             let body = encode_request(&request);
@@ -701,6 +751,14 @@ mod tests {
             }),
             Response::Flushed { edges: 42 },
             Response::ShuttingDown,
+            Response::HealthReport(HealthReport {
+                wal_depth: 17,
+                pending_placements: 17,
+                flushes: 2,
+                last_flush_age_secs: u64::MAX,
+                durable: true,
+                draining: false,
+            }),
             Response::Error(ErrorCode::Overloaded),
         ];
         for response in responses {

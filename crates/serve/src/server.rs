@@ -42,6 +42,9 @@ pub struct ServerConfig {
     /// Per-read socket timeout — a safety net so a dead peer cannot pin
     /// a worker forever. Idle timeouts close the connection.
     pub read_timeout: Duration,
+    /// Write timeout on refusal frames, so a peer that never reads cannot
+    /// stall the acceptor.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +53,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 64,
             read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_millis(200),
         }
     }
 }
@@ -212,7 +216,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         if queue.draining {
             drop(queue);
-            refuse(stream, ErrorCode::Draining);
+            refuse(stream, ErrorCode::Draining, shared.config.write_timeout);
             shared.counters.drained.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -220,7 +224,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             drop(queue);
             shared.counters.overloads.fetch_add(1, Ordering::Relaxed);
             counter("serve.overloads", 1);
-            refuse(stream, ErrorCode::Overloaded);
+            refuse(stream, ErrorCode::Overloaded, shared.config.write_timeout);
             continue;
         }
         queue.pending.push_back(stream);
@@ -229,10 +233,20 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
+/// Applies a socket option best-effort; failures are survivable (the
+/// request path still works, just without the tuning) but no longer
+/// silent — they tick `serve.sock_opt_failed`.
+fn apply_sock_opt(result: std::io::Result<()>) {
+    if result.is_err() {
+        counter("serve.sock_opt_failed", 1);
+    }
+}
+
 /// Best-effort typed refusal: one error frame, then close. Never blocks
-/// the acceptor for long (tiny write into the socket buffer).
-fn refuse(stream: TcpStream, code: ErrorCode) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+/// the acceptor past the configured write timeout (tiny write into the
+/// socket buffer).
+fn refuse(stream: TcpStream, code: ErrorCode, write_timeout: Duration) {
+    apply_sock_opt(stream.set_write_timeout(Some(write_timeout)));
     let mut writer = BufWriter::new(&stream);
     let _ = write_frame(&mut writer, &encode_response(&Response::Error(code)));
     let _ = stream.shutdown(Shutdown::Both);
@@ -248,7 +262,7 @@ fn worker_loop(shared: &Shared) {
                     let leftovers: Vec<TcpStream> = queue.pending.drain(..).collect();
                     drop(queue);
                     for stream in leftovers {
-                        refuse(stream, ErrorCode::Draining);
+                        refuse(stream, ErrorCode::Draining, shared.config.write_timeout);
                         shared.counters.drained.fetch_add(1, Ordering::Relaxed);
                     }
                     return;
@@ -275,8 +289,8 @@ fn worker_loop(shared: &Shared) {
 
 /// Runs one connection to completion: frames in, frames out, in order.
 fn serve_connection(shared: &Shared, stream: &TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    let _ = stream.set_nodelay(true);
+    apply_sock_opt(stream.set_read_timeout(Some(shared.config.read_timeout)));
+    apply_sock_opt(stream.set_nodelay(true));
     let mut reader = std::io::BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
@@ -311,6 +325,14 @@ fn serve_connection(shared: &Shared, stream: &TcpStream) {
                 Response::Error(ErrorCode::BadRequest)
             }
             Ok(Request::Stats) => Response::StatsReport(merged_stats(shared)),
+            Ok(Request::Health) => {
+                let mut report = shared.service.health();
+                report.draining = {
+                    let queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    queue.draining
+                };
+                Response::HealthReport(report)
+            }
             Ok(Request::Shutdown) => {
                 let _ = write_frame(&mut writer, &encode_response(&Response::ShuttingDown));
                 begin_drain(

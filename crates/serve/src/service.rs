@@ -18,15 +18,16 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+use std::time::Instant;
 
 use tlp_baselines::StreamingPlacer;
 use tlp_core::{EdgePartition, PartitionId};
 use tlp_graph::{CsrGraph, Edge, VertexId};
 use tlp_obs::counter;
-use tlp_store::{write_partition_store, PartitionStoreReader, StoreError};
+use tlp_store::{write_partition_store, PartitionStoreReader, PlacementWal, StoreError, WalRecord};
 
 use crate::cache::{CachedVertex, VertexCache};
-use crate::protocol::{ErrorCode, Request, Response, ServeStats};
+use crate::protocol::{ErrorCode, HealthReport, Request, Response, ServeStats};
 
 /// Why a service could not be constructed.
 #[derive(Debug)]
@@ -73,6 +74,15 @@ struct MutableState {
     adjacency: HashMap<VertexId, Vec<(VertexId, PartitionId)>>,
     /// Placements accumulated since the last successful flush.
     pending: u64,
+    /// Placement WAL for store-backed services: appended (and fsynced)
+    /// *before* a fresh placement is acknowledged. `None` for in-memory
+    /// services, which make no durability promise.
+    wal: Option<PlacementWal>,
+    /// Set when a WAL append or truncate failed: the log no longer covers
+    /// the in-memory state, so fresh placements are refused (typed
+    /// [`ErrorCode::Internal`]) until a successful flush re-establishes
+    /// a durable baseline.
+    wal_poisoned: bool,
 }
 
 /// The served graph + partition pair and all request handling.
@@ -84,6 +94,11 @@ pub struct PartitionService {
     cache: VertexCache,
     lookups: AtomicU64,
     placements_done: AtomicU64,
+    flushes: AtomicU64,
+    started: Instant,
+    /// Microseconds after `started` of the last successful flush;
+    /// `u64::MAX` = never flushed.
+    last_flush_micros: AtomicU64,
 }
 
 impl PartitionService {
@@ -111,26 +126,77 @@ impl PartitionService {
                 placements: HashMap::new(),
                 adjacency: HashMap::new(),
                 pending: 0,
+                wal: None,
+                wal_poisoned: false,
             }),
             cache: VertexCache::new(cache_capacity, 16),
             lookups: AtomicU64::new(0),
             placements_done: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            started: Instant::now(),
+            last_flush_micros: AtomicU64::new(u64::MAX),
         })
     }
 
     /// Opens a partition store directory and serves it; flushes write
     /// back into the same directory.
     ///
+    /// If the directory carries a placement WAL (`wal.tlpw`), its records
+    /// — every placement acknowledged before a crash — are replayed
+    /// through the normal dedup path before serving starts: records whose
+    /// edge already reached the base graph (the crash hit between a flush
+    /// and its WAL truncate) are skipped, the rest re-drive the seeded
+    /// placer, which by construction re-derives the recorded partitions.
+    /// Zero acknowledged placements are lost.
+    ///
     /// # Errors
     ///
-    /// [`ServiceError::Store`] if the store is missing, torn, or corrupt;
-    /// [`ServiceError::Config`] for a bad placement spec.
+    /// [`ServiceError::Store`] if the store is missing, torn, or corrupt
+    /// (including a corrupt WAL record); [`ServiceError::Config`] for a
+    /// bad placement spec or a WAL that disagrees with the replayed
+    /// placer (a mismatched store/WAL pair).
     pub fn open_store(dir: &Path, spec: &str, cache_capacity: usize) -> Result<Self, ServiceError> {
         let reader = PartitionStoreReader::open(dir)?;
         let (graph, partition) = reader.load()?;
         let mut service = PartitionService::new(graph, partition, spec, cache_capacity)?;
         service.store_dir = Some(dir.to_path_buf());
+
+        let (wal, replay) = PlacementWal::open(dir)?;
+        {
+            let state = service.state.get_mut().unwrap_or_else(|e| e.into_inner());
+            for record in &replay.records {
+                let (source, target) = (record.u, record.v);
+                // Dedup path, same as a live PlaceEdge: base-graph edges
+                // were flushed before the crash, duplicates are impossible
+                // by the append-only-on-fresh rule but harmless.
+                if service.graph.edge_id(source, target).is_some()
+                    || state.placements.contains_key(&(source, target))
+                {
+                    continue;
+                }
+                let pid = state.placer.place(source, target);
+                if pid != record.partition {
+                    return Err(ServiceError::Config(format!(
+                        "wal replay of edge ({source},{target}) placed into partition {pid}, \
+                         but the log recorded {} — store and wal do not belong together",
+                        record.partition
+                    )));
+                }
+                Self::register_placement(state, source, target, pid);
+                counter("serve.wal.replayed", 1);
+            }
+            state.wal = Some(wal);
+        }
         Ok(service)
+    }
+
+    /// Sets the WAL group-commit interval (see
+    /// [`PlacementWal::set_group_commit`]); no-op for in-memory services.
+    pub fn set_wal_group_commit(&self, every: u64) {
+        let mut state = self.state.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(wal) = state.wal.as_mut() {
+            wal.set_group_commit(every);
+        }
     }
 
     /// The served base graph.
@@ -161,8 +227,28 @@ impl PartitionService {
             Request::Neighbors { vertex, partition } => self.neighbors(*vertex, *partition),
             Request::PlaceEdge { u, v } => self.place_edge(*u, *v),
             Request::Stats => Response::StatsReport(self.stats()),
+            Request::Health => Response::HealthReport(self.health()),
             Request::Flush => self.flush(),
             Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+
+    /// Durability snapshot (the `draining` field is false at this layer;
+    /// the TCP server overlays its own drain state).
+    pub fn health(&self) -> HealthReport {
+        let state = self.state.read().unwrap_or_else(|e| e.into_inner());
+        let last_flush = self.last_flush_micros.load(Ordering::Relaxed);
+        HealthReport {
+            wal_depth: state.wal.as_ref().map_or(0, PlacementWal::depth),
+            pending_placements: state.pending,
+            flushes: self.flushes.load(Ordering::Relaxed),
+            last_flush_age_secs: if last_flush == u64::MAX {
+                u64::MAX
+            } else {
+                (self.started.elapsed().as_micros() as u64).saturating_sub(last_flush) / 1_000_000
+            },
+            durable: state.wal.is_some() && !state.wal_poisoned,
+            draining: false,
         }
     }
 
@@ -301,6 +387,23 @@ impl PartitionService {
         Response::NeighborList { neighbors }
     }
 
+    /// Records an accepted fresh placement in the lookup maps. The placer
+    /// itself was already advanced by the caller.
+    fn register_placement(state: &mut MutableState, source: VertexId, target: VertexId, pid: u32) {
+        state.placements.insert((source, target), pid);
+        state
+            .adjacency
+            .entry(source)
+            .or_default()
+            .push((target, pid));
+        state
+            .adjacency
+            .entry(target)
+            .or_default()
+            .push((source, pid));
+        state.pending += 1;
+    }
+
     fn place_edge(&self, u: VertexId, v: VertexId) -> Response {
         if u == v || !self.in_range(u) || !self.in_range(v) {
             return Response::Error(ErrorCode::BadRequest);
@@ -317,6 +420,12 @@ impl PartitionService {
             };
         }
         let mut state = self.state.write().unwrap_or_else(|e| e.into_inner());
+        // Poison check comes *before* the dedup check: a placement that was
+        // applied in memory but never reached the log must not be re-acked
+        // as a durable-looking duplicate on retry.
+        if state.wal_poisoned {
+            return Response::Error(ErrorCode::Internal);
+        }
         if let Some(&pid) = state.placements.get(&(source, target)) {
             return Response::Placed {
                 partition: pid,
@@ -324,23 +433,40 @@ impl PartitionService {
             };
         }
         let pid = state.placer.place(source, target);
-        state.placements.insert((source, target), pid);
-        state
-            .adjacency
-            .entry(source)
-            .or_default()
-            .push((target, pid));
-        state
-            .adjacency
-            .entry(target)
-            .or_default()
-            .push((source, pid));
-        state.pending += 1;
+        // Append-before-ack: the record must be durable before the client
+        // hears `Placed`. On failure the placement still enters the
+        // in-memory maps (the placer already advanced; dropping it would
+        // fork the decision sequence) but the ack is withheld and the
+        // service refuses fresh placements until a flush re-baselines.
+        let logged = match state.wal.as_mut() {
+            Some(wal) => match wal.append(&WalRecord {
+                u: source,
+                v: target,
+                partition: pid,
+            }) {
+                Ok(()) => {
+                    counter("serve.wal.append", 1);
+                    true
+                }
+                Err(_) => {
+                    counter("serve.wal.append_failed", 1);
+                    false
+                }
+            },
+            None => true, // in-memory service: no durability promise
+        };
+        Self::register_placement(&mut state, source, target, pid);
+        if !logged {
+            state.wal_poisoned = true;
+        }
         // Invalidate while still holding the write guard: a reader that
         // re-fills afterwards recomputes from the committed state.
         self.cache.invalidate(source);
         self.cache.invalidate(target);
         drop(state);
+        if !logged {
+            return Response::Error(ErrorCode::Internal);
+        }
         self.placements_done.fetch_add(1, Ordering::Relaxed);
         counter("serve.placements", 1);
         Response::Placed {
@@ -358,7 +484,25 @@ impl PartitionService {
         match self.write_merged(dir, &state) {
             Ok(()) => {
                 state.pending = 0;
+                self.flushes.fetch_add(1, Ordering::Relaxed);
+                self.last_flush_micros
+                    .store(self.started.elapsed().as_micros() as u64, Ordering::Relaxed);
                 counter("serve.flushes", 1);
+                // The store now covers every logged placement, so the WAL
+                // restarts empty. Truncation failure is non-fatal for this
+                // flush (the store committed; replaying stale records is
+                // idempotent) but poisons fresh placements until the next
+                // successful flush re-baselines the log. Success clears an
+                // earlier append poison for the same reason.
+                if let Some(wal) = state.wal.as_mut() {
+                    match wal.truncate() {
+                        Ok(()) => state.wal_poisoned = false,
+                        Err(_) => {
+                            counter("serve.wal.truncate_failed", 1);
+                            state.wal_poisoned = true;
+                        }
+                    }
+                }
                 Response::Flushed { edges }
             }
             Err(_) => Response::Error(ErrorCode::Internal),

@@ -13,8 +13,8 @@ use tlp_baselines::{HdrfState, StreamingPlacer};
 use tlp_core::EdgePartition;
 use tlp_graph::{CsrGraph, GraphBuilder};
 use tlp_serve::{
-    run_load, run_replay, serve, LoadConfig, PartitionService, Request, Response, ServeClient,
-    ServerConfig,
+    run_load, run_replay, serve, LoadConfig, PartitionService, Request, Response, RetryPolicy,
+    ServeClient, ServerConfig,
 };
 use tlp_store::write_partition_store;
 
@@ -83,6 +83,7 @@ fn served_placements_byte_match_direct_streaming_run() {
         num_partitions: partition.num_partitions() as u32,
         seed: 99,
         read_timeout: Duration::from_secs(10),
+        retry: RetryPolicy::default(),
     };
 
     // Served run: write-only workload over TCP, then flush + drain.

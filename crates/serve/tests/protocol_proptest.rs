@@ -5,6 +5,7 @@
 
 use proptest::prelude::*;
 use proptest::prop::collection::vec;
+use tlp_serve::protocol::HealthReport;
 use tlp_serve::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
     ErrorCode, ProtocolError, Request, Response, ServeStats, MAX_FRAME_LEN,
@@ -19,6 +20,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
             .prop_map(|(vertex, partition)| Request::Neighbors { vertex, partition }),
         (any::<u32>(), any::<u32>()).prop_map(|(u, v)| Request::PlaceEdge { u, v }),
         Just(Request::Stats),
+        Just(Request::Health),
         Just(Request::Flush),
         Just(Request::Shutdown),
     ]
@@ -58,6 +60,22 @@ fn stats_strategy() -> impl Strategy<Value = ServeStats> {
         })
 }
 
+fn health_strategy() -> impl Strategy<Value = HealthReport> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(counts, durable, draining)| HealthReport {
+            wal_depth: counts.0,
+            pending_placements: counts.1,
+            flushes: counts.2,
+            last_flush_age_secs: counts.3,
+            durable,
+            draining,
+        })
+}
+
 fn response_strategy() -> impl Strategy<Value = Response> {
     prop_oneof![
         Just(Response::Pong),
@@ -68,6 +86,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         (any::<u32>(), any::<bool>())
             .prop_map(|(partition, fresh)| Response::Placed { partition, fresh }),
         stats_strategy().prop_map(Response::StatsReport),
+        health_strategy().prop_map(Response::HealthReport),
         any::<u64>().prop_map(|edges| Response::Flushed { edges }),
         Just(Response::ShuttingDown),
         error_code_strategy().prop_map(Response::Error),

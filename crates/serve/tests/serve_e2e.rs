@@ -12,7 +12,7 @@ use tlp_core::EdgePartition;
 use tlp_graph::{CsrGraph, GraphBuilder};
 use tlp_serve::{
     run_burst, run_load, serve, ErrorCode, LoadConfig, PartitionService, Request, Response,
-    ServeClient, ServerConfig,
+    RetryPolicy, ServeClient, ServerConfig,
 };
 use tlp_store::{write_partition_store, PartitionStoreReader};
 
@@ -170,6 +170,7 @@ fn mixed_load_completes_without_protocol_errors() {
         num_partitions: 4,
         seed: 7,
         read_timeout: READ_TIMEOUT,
+        retry: RetryPolicy::default(),
     })
     .expect("load runs");
     assert_eq!(report.protocol_errors, 0, "report: {report:?}");
@@ -198,6 +199,7 @@ fn saturating_burst_gets_typed_overload_refusals() {
             workers: 1,
             queue_depth: 0,
             read_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");

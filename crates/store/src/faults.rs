@@ -192,6 +192,30 @@ impl FaultFile {
         })
     }
 
+    /// Opens (creating if absent) a file for appending through the
+    /// injector. Used by the placement WAL, whose records must land after
+    /// whatever already survived a crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`std::fs::OpenOptions::open`] errors; an armed
+    /// fail-stop schedule can also fail the open itself.
+    pub fn append(path: &Path) -> io::Result<FaultFile> {
+        match next_action() {
+            Action::Fail(e) => return Err(e),
+            // A torn-write schedule landing on a non-write operation still
+            // fail-stops there (there is no buffer to tear).
+            Action::Short => return Err(io::Error::other("injected fault: simulated crash")),
+            Action::Pass | Action::Flip(_) => {}
+        }
+        Ok(FaultFile {
+            inner: std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?,
+        })
+    }
+
     /// Opens a file for reading through the injector.
     ///
     /// # Errors

@@ -60,6 +60,7 @@ mod partition_store;
 mod reader;
 mod sources;
 mod stream;
+mod wal;
 mod writer;
 
 pub mod faults;
@@ -78,4 +79,5 @@ pub use sources::{BinaryFileSource, BudgetedCsrSource, TextFileSource};
 pub use stream::{
     for_each_chunk, BinaryEdgeStream, CsrEdgeStream, EdgeStream, StreamMeta, TextEdgeStream,
 };
+pub use wal::{read_wal, PlacementWal, WalRecord, WalReplay, WAL_MAGIC, WAL_NAME, WAL_RECORD_LEN};
 pub use writer::{write_graph, WriteOptions};

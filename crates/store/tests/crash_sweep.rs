@@ -11,8 +11,8 @@ use tlp_graph::generators::chung_lu;
 use tlp_graph::CsrGraph;
 use tlp_store::faults::{self, FaultKind, FaultSchedule};
 use tlp_store::{
-    read_checkpoint, write_checkpoint, write_graph, write_partition_store, PartitionStoreReader,
-    StoreError, StoreReader, WriteOptions,
+    read_checkpoint, read_wal, write_checkpoint, write_graph, write_partition_store,
+    PartitionStoreReader, StoreError, StoreReader, WriteOptions, WAL_NAME,
 };
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -209,7 +209,10 @@ fn serve_flush_sweep_leaves_store_intact_or_quarantined() {
     for kind in [FaultKind::Crash, FaultKind::ShortWrite, FaultKind::Enospc] {
         for at_op in 0..total {
             // Restore a committed store and accumulate the placements.
+            // The WAL from the previous iteration must go too, or the
+            // reopen would replay its stale records as pre-placed edges.
             write_partition_store(&store, &graph, &partition).unwrap();
+            let _ = std::fs::remove_file(store.join(WAL_NAME));
             let service = PartitionService::open_store(&store, "hdrf", 0).unwrap();
             for &(u, v) in &fresh {
                 service.handle(&Request::PlaceEdge { u, v });
@@ -219,43 +222,172 @@ fn serve_flush_sweep_leaves_store_intact_or_quarantined() {
                 kind,
                 seed: at_op,
             });
-            let failed = service.handle(&Request::Flush);
+            let outcome = service.handle(&Request::Flush);
             faults::disarm();
-            assert!(
-                matches!(failed, Response::Error(_)),
-                "{kind:?} at op {at_op}: flush did not fail: {failed:?}"
-            );
-            // A failed flush must not lose the pending placements...
-            assert_eq!(
-                service.stats().pending_placements,
-                fresh.len() as u64,
-                "{kind:?} at op {at_op} dropped pending placements"
-            );
-            // ...and must leave the store either intact (readable as the
-            // pre-flush data) or quarantined as torn — never silently
-            // corrupt.
-            match PartitionStoreReader::open(&store) {
-                Ok(reader) => {
-                    let (g2, p2) = reader.load().unwrap_or_else(|e| {
-                        panic!("{kind:?} at op {at_op}: intact store unreadable: {e}")
-                    });
-                    assert_eq!(g2, graph, "{kind:?} at op {at_op} changed the graph");
+            match outcome {
+                // The fault landed while the merged store was being
+                // written: the flush fails, and the pending placements
+                // must survive for the next attempt...
+                Response::Error(_) => {
                     assert_eq!(
-                        p2, partition,
-                        "{kind:?} at op {at_op} changed the partition"
+                        service.stats().pending_placements,
+                        fresh.len() as u64,
+                        "{kind:?} at op {at_op} dropped pending placements"
                     );
+                    // ...and the store must be either intact (readable as
+                    // the pre-flush data) or quarantined as torn — never
+                    // silently corrupt.
+                    match PartitionStoreReader::open(&store) {
+                        Ok(reader) => {
+                            let (g2, p2) = reader.load().unwrap_or_else(|e| {
+                                panic!("{kind:?} at op {at_op}: intact store unreadable: {e}")
+                            });
+                            assert_eq!(g2, graph, "{kind:?} at op {at_op} changed the graph");
+                            assert_eq!(
+                                p2, partition,
+                                "{kind:?} at op {at_op} changed the partition"
+                            );
+                        }
+                        Err(StoreError::TornStore {
+                            ref quarantined, ..
+                        }) => {
+                            assert!(quarantined.exists(), "quarantine target missing");
+                            assert!(!store.exists(), "torn store left in place");
+                        }
+                        Err(other) => panic!(
+                            "{kind:?} at op {at_op}: expected intact or TornStore, got {other}"
+                        ),
+                    }
                 }
-                Err(StoreError::TornStore {
-                    ref quarantined, ..
-                }) => {
-                    assert!(quarantined.exists(), "quarantine target missing");
-                    assert!(!store.exists(), "torn store left in place");
+                // The fault landed *after* the manifest commit, in the
+                // post-commit WAL truncation: the flush legitimately acks
+                // (the store is durable) and the merged data must read
+                // back complete. Stale WAL records are harmless — replay
+                // is idempotent against the merged store.
+                Response::Flushed { .. } => {
+                    assert_eq!(
+                        service.stats().pending_placements,
+                        0,
+                        "{kind:?} at op {at_op}: acked flush left pending placements"
+                    );
+                    let (g2, p2) = PartitionStoreReader::open(&store)
+                        .and_then(|reader| reader.load())
+                        .unwrap_or_else(|e| {
+                            panic!("{kind:?} at op {at_op}: acked flush unreadable: {e}")
+                        });
+                    assert_eq!(
+                        g2.num_edges(),
+                        graph.num_edges() + fresh.len(),
+                        "{kind:?} at op {at_op}: acked flush missing placements"
+                    );
+                    assert_eq!(g2.num_edges(), p2.num_edges());
+                    for &(u, v) in &fresh {
+                        assert!(
+                            g2.has_edge(u, v),
+                            "{kind:?} at op {at_op}: flushed edge ({u},{v}) missing"
+                        );
+                    }
                 }
-                Err(other) => {
-                    panic!("{kind:?} at op {at_op}: expected intact or TornStore, got {other}")
-                }
+                other => panic!("{kind:?} at op {at_op}: unexpected flush reply: {other:?}"),
             }
             sweep_quarantines(&store);
+        }
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn serve_wal_append_sweep_recovers_only_acked_placements() {
+    use tlp_serve::{PartitionService, Request, Response};
+
+    let _guard = faults::test_lock();
+    let root = temp_dir("servewal");
+    let store = root.join("store");
+    let graph = chung_lu(60, 240, 2.2, 17);
+    let m = graph.num_edges();
+    let p = 4;
+    let assignment: Vec<u32> = (0..m).map(|e| (e % p) as u32).collect();
+    let partition = EdgePartition::new(p, assignment).unwrap();
+
+    let fresh: Vec<(u32, u32)> = (0u32..60)
+        .flat_map(|u| [(u, (u + 23) % 60), (u, (u + 11) % 60)])
+        .filter(|&(u, v)| u != v && !graph.has_edge(u, v))
+        .take(6)
+        .collect();
+    assert!(!fresh.is_empty(), "probe pairs all collided with the graph");
+    // WAL records carry normalized endpoints.
+    let issued: Vec<(u32, u32)> = fresh.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
+
+    // One unfaulted run to count the I/O ops the placement stream costs
+    // (each append writes and fsyncs through the fault injector).
+    write_partition_store(&store, &graph, &partition).unwrap();
+    let service = PartitionService::open_store(&store, "hdrf", 0).unwrap();
+    let ((), total) = faults::count_ops(|| {
+        for &(u, v) in &fresh {
+            let placed = service.handle(&Request::PlaceEdge { u, v });
+            assert!(
+                matches!(placed, Response::Placed { fresh: true, .. }),
+                "probe ({u},{v}) not fresh: {placed:?}"
+            );
+        }
+    });
+    assert!(total > 0, "op counter saw no wal I/O");
+    drop(service);
+
+    for kind in [FaultKind::Crash, FaultKind::ShortWrite, FaultKind::Enospc] {
+        for at_op in 0..total {
+            write_partition_store(&store, &graph, &partition).unwrap();
+            let _ = std::fs::remove_file(store.join(WAL_NAME));
+            let service = PartitionService::open_store(&store, "hdrf", 0).unwrap();
+            faults::arm(FaultSchedule {
+                at_op,
+                kind,
+                seed: at_op,
+            });
+            let mut acked = Vec::new();
+            for &(u, v) in &fresh {
+                match service.handle(&Request::PlaceEdge { u, v }) {
+                    Response::Placed { fresh: true, .. } => acked.push((u.min(v), u.max(v))),
+                    // Append failed (ack withheld) or the wal is poisoned
+                    // from an earlier failure: no durability claim made.
+                    Response::Error(_) => {}
+                    other => panic!("{kind:?} at op {at_op}: unexpected reply: {other:?}"),
+                }
+            }
+            faults::disarm();
+            assert!(
+                acked.len() < fresh.len(),
+                "{kind:?} at op {at_op} acked every placement despite the fault"
+            );
+            drop(service);
+
+            // The log must read back clean — a torn tail is fine (it was
+            // never acked), silent corruption is not — and it must cover
+            // every acked placement while containing only issued edges.
+            let replay = read_wal(&store.join(WAL_NAME)).unwrap_or_else(|e| {
+                panic!("{kind:?} at op {at_op}: wal unreadable after fault: {e}")
+            });
+            let logged: Vec<(u32, u32)> = replay.records.iter().map(|r| (r.u, r.v)).collect();
+            for edge in &acked {
+                assert!(
+                    logged.contains(edge),
+                    "{kind:?} at op {at_op}: acked placement {edge:?} missing from wal"
+                );
+            }
+            for edge in &logged {
+                assert!(
+                    issued.contains(edge),
+                    "{kind:?} at op {at_op}: wal invented placement {edge:?}"
+                );
+            }
+
+            // Reopening replays exactly the logged prefix.
+            let recovered = PartitionService::open_store(&store, "hdrf", 0).unwrap();
+            assert_eq!(
+                recovered.stats().pending_placements,
+                logged.len() as u64,
+                "{kind:?} at op {at_op}: replay count diverged from the log"
+            );
         }
     }
     std::fs::remove_dir_all(&root).unwrap();

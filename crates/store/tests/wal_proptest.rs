@@ -1,0 +1,136 @@
+//! Property tests for the placement WAL format, mirroring the trace
+//! observer's torn-tail contract: arbitrary records round-trip
+//! losslessly through append → reopen, a partial trailing record is
+//! silently dropped (it was never acknowledged), and a flipped byte in a
+//! full record is a typed [`StoreError`], never a panic or a silent
+//! misread.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use proptest::prop::collection::vec;
+use tlp_store::{read_wal, PlacementWal, StoreError, WalRecord, WAL_MAGIC, WAL_RECORD_LEN};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tlp-wal-prop-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn record_strategy() -> impl Strategy<Value = WalRecord> {
+    // Full-width ids and partitions, plus the extremes explicitly.
+    (
+        prop_oneof![Just(0u32), Just(u32::MAX), any::<u32>()],
+        prop_oneof![Just(0u32), Just(u32::MAX), any::<u32>()],
+        any::<u32>(),
+    )
+        .prop_map(|(u, v, partition)| WalRecord { u, v, partition })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn records_round_trip_through_append_and_reopen(
+        records in vec(record_strategy(), 0..48),
+    ) {
+        // Pure codec first: encode → decode is lossless.
+        for record in &records {
+            prop_assert_eq!(WalRecord::decode(&record.encode()).expect("decodes"), *record);
+        }
+        // And through the file: append all, reopen, replay in order.
+        let dir = temp_dir();
+        let (mut wal, replay) = PlacementWal::open(&dir).expect("opens");
+        prop_assert!(replay.records.is_empty());
+        for record in &records {
+            wal.append(record).expect("appends");
+        }
+        prop_assert_eq!(wal.depth(), records.len() as u64);
+        drop(wal);
+        let replay = read_wal(&dir.join(tlp_store::WAL_NAME)).expect("reads");
+        prop_assert_eq!(replay.records, records);
+        prop_assert_eq!(replay.torn_tail_bytes, 0);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn torn_tail_of_any_length_recovers_the_acked_prefix(
+        records in vec(record_strategy(), 0..16),
+        tail in vec(any::<u8>(), 1..WAL_RECORD_LEN),
+    ) {
+        let dir = temp_dir();
+        let (mut wal, _) = PlacementWal::open(&dir).expect("opens");
+        for record in &records {
+            wal.append(record).expect("appends");
+        }
+        drop(wal);
+        // Crash mid-append: garbage shorter than a record at the tail.
+        let path = dir.join(tlp_store::WAL_NAME);
+        let mut bytes = std::fs::read(&path).expect("reads");
+        bytes.extend_from_slice(&tail);
+        std::fs::write(&path, &bytes).expect("writes");
+
+        let replay = read_wal(&path).expect("torn tail is recoverable");
+        prop_assert_eq!(&replay.records, &records);
+        prop_assert_eq!(replay.torn_tail_bytes, tail.len());
+
+        // Reopening truncates the tail on disk and appends keep working.
+        let (mut wal, replay) = PlacementWal::open(&dir).expect("reopens");
+        prop_assert_eq!(&replay.records, &records);
+        wal.append(&WalRecord { u: 1, v: 2, partition: 0 }).expect("appends after recovery");
+        drop(wal);
+        let len = std::fs::metadata(&path).expect("meta").len() as usize;
+        prop_assert_eq!(len, WAL_MAGIC.len() + (records.len() + 1) * WAL_RECORD_LEN);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn flipped_byte_in_a_full_record_is_a_typed_error(
+        records in vec(record_strategy(), 1..16),
+        position in any::<u64>(),
+        xor in 1u16..256,
+    ) {
+        let dir = temp_dir();
+        let (mut wal, _) = PlacementWal::open(&dir).expect("opens");
+        for record in &records {
+            wal.append(record).expect("appends");
+        }
+        drop(wal);
+        let path = dir.join(tlp_store::WAL_NAME);
+        let mut bytes = std::fs::read(&path).expect("reads");
+        let body_len = (bytes.len() - WAL_MAGIC.len()) as u64;
+        let offset = WAL_MAGIC.len() + (position % body_len) as usize;
+        bytes[offset] ^= xor as u8;
+        std::fs::write(&path, &bytes).expect("writes");
+
+        match read_wal(&path) {
+            Err(StoreError::ChecksumMismatch { section, .. }) => {
+                prop_assert_eq!(section, "wal record");
+            }
+            other => prop_assert!(false, "corruption not caught: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn foreign_magic_is_rejected_not_replayed(head in vec(any::<u8>(), 8..64)) {
+        let mut head = head;
+        if head[..8] == WAL_MAGIC {
+            head[0] ^= 0xFF;
+        }
+        let dir = temp_dir();
+        let path = dir.join(tlp_store::WAL_NAME);
+        std::fs::write(&path, &head).expect("writes");
+        let rejected = matches!(read_wal(&path), Err(StoreError::BadMagic { .. }));
+        prop_assert!(rejected, "foreign magic replayed");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

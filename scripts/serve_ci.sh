@@ -68,14 +68,18 @@ loadgen "$ADDR" --ops 50000 --threads 4 --read-ratio 0.9 --zipf 1.1 --seed 42 \
 grep -q " 0 protocol errors" "$WORK/load.out"
 test -f "$WORK/BENCH_serve_latency.json"
 # The bench artifact went through the shared obs writer: top-level keys
-# must include the latency percentiles and throughput.
-for key in latency throughput ops protocol_errors; do
+# must include the latency percentiles, throughput, and the failure
+# taxonomy split (timeouts/resets) plus retry accounting.
+for key in latency throughput ops protocol_errors timeouts resets retries; do
     grep -q "\"$key\"" "$WORK/BENCH_serve_latency.json"
 done
 wait "$SERVE_PID"   # --shutdown drains the server; it must exit 0
 
-# The store on disk is untouched (no flush was requested).
-diff -r "$WORK/store" "$WORK/store_direct"
+# The store data files are untouched (no flush was requested) — but the
+# write mix must have left its placements in the durable WAL.
+diff -r -x wal.tlpw "$WORK/store" "$WORK/store_direct"
+test -f "$WORK/store/wal.tlpw"
+test "$(stat -c %s "$WORK/store/wal.tlpw")" -gt 8
 
 # --- 2. Saturating burst: typed Overloaded refusals. -------------------
 start_server "$WORK/serve2.out" "$WORK/store" --placer hdrf \
@@ -87,6 +91,9 @@ test "$overloaded" -gt 0
 kill "$SERVE_PID" 2>/dev/null || true
 
 # --- 3. Bit-identity: served flush == direct seeded replay. ------------
+# Phase 1's unflushed WAL records would replay into the served store on
+# reopen and skew it against the direct run; this phase starts clean.
+rm -f "$WORK/store/wal.tlpw"
 start_server "$WORK/serve3.out" "$WORK/store" --placer hdrf
 loadgen "$ADDR" --ops 5000 --threads 1 --read-ratio 0.0 --seed 777 \
     --flush --shutdown | tee "$WORK/writeonly.out"
