@@ -2,7 +2,7 @@
 
 use crate::streaming::{partition_stream, DbhState};
 use tlp_core::{EdgePartition, EdgePartitioner, PartitionError};
-use tlp_graph::CsrGraph;
+use tlp_graph::GraphView;
 use tlp_store::CsrEdgeStream;
 
 /// Degree-based hashing: each edge is placed by hashing its *lower-degree*
@@ -43,9 +43,9 @@ impl EdgePartitioner for DbhPartitioner {
         "DBH"
     }
 
-    fn partition(
+    fn partition_view(
         &self,
-        graph: &CsrGraph,
+        graph: GraphView<'_>,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
         let degrees: Vec<u32> = graph.vertices().map(|v| graph.degree(v) as u32).collect();

@@ -4,7 +4,7 @@ use crate::stream::{vertex_order, VertexOrder};
 use crate::util::least_loaded;
 use crate::vertex_to_edge::{derive_edge_partition, VertexPartition};
 use tlp_core::{EdgePartition, EdgePartitioner, PartitionError, PartitionId};
-use tlp_graph::CsrGraph;
+use tlp_graph::GraphView;
 
 /// FENNEL streams vertices and places each by the interpolated objective
 ///
@@ -64,11 +64,12 @@ impl FennelPartitioner {
     ///
     /// Returns [`PartitionError::ZeroPartitions`] for `num_partitions == 0`
     /// and [`PartitionError::InvalidParameter`] for `γ <= 1`.
-    pub fn partition_vertices(
+    pub fn partition_vertices<'a>(
         &self,
-        graph: &CsrGraph,
+        graph: impl Into<GraphView<'a>>,
         num_partitions: usize,
     ) -> Result<VertexPartition, PartitionError> {
+        let graph = graph.into();
         if num_partitions == 0 {
             return Err(PartitionError::ZeroPartitions);
         }
@@ -130,9 +131,9 @@ impl EdgePartitioner for FennelPartitioner {
         "FENNEL"
     }
 
-    fn partition(
+    fn partition_view(
         &self,
-        graph: &CsrGraph,
+        graph: GraphView<'_>,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
         let vp = self.partition_vertices(graph, num_partitions)?;

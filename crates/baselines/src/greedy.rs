@@ -3,7 +3,7 @@
 use crate::stream::{edge_order, EdgeOrder};
 use crate::streaming::{partition_stream, GreedyState};
 use tlp_core::{EdgePartition, EdgePartitioner, PartitionError, PartitionId};
-use tlp_graph::CsrGraph;
+use tlp_graph::GraphView;
 use tlp_store::CsrEdgeStream;
 
 /// The greedy heuristic of PowerGraph's "oblivious" edge placement.
@@ -51,9 +51,9 @@ impl EdgePartitioner for GreedyPartitioner {
         "Greedy"
     }
 
-    fn partition(
+    fn partition_view(
         &self,
-        graph: &CsrGraph,
+        graph: GraphView<'_>,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
         let mut placer = GreedyState::new(graph.num_vertices(), num_partitions)?;

@@ -3,7 +3,7 @@
 use crate::stream::{edge_order, EdgeOrder};
 use crate::streaming::{partition_stream, HdrfState};
 use tlp_core::{EdgePartition, EdgePartitioner, PartitionError, PartitionId};
-use tlp_graph::CsrGraph;
+use tlp_graph::GraphView;
 use tlp_store::CsrEdgeStream;
 
 /// HDRF streaming edge placement.
@@ -72,9 +72,9 @@ impl EdgePartitioner for HdrfPartitioner {
         "HDRF"
     }
 
-    fn partition(
+    fn partition_view(
         &self,
-        graph: &CsrGraph,
+        graph: GraphView<'_>,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
         let mut placer = HdrfState::new(graph.num_vertices(), num_partitions, self.lambda)?;

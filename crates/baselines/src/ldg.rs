@@ -5,7 +5,7 @@ use crate::stream::{vertex_order, VertexOrder};
 use crate::util::least_loaded;
 use crate::vertex_to_edge::{derive_edge_partition, VertexPartition};
 use tlp_core::{EdgePartition, EdgePartitioner, PartitionError, PartitionId};
-use tlp_graph::CsrGraph;
+use tlp_graph::GraphView;
 
 /// LDG streams vertices and places each into the partition holding most of
 /// its already-placed neighbors, damped by a fullness penalty:
@@ -62,11 +62,12 @@ impl LdgPartitioner {
     ///
     /// Returns [`PartitionError::ZeroPartitions`] if `num_partitions == 0`
     /// and [`PartitionError::InvalidParameter`] for a slack below 1.
-    pub fn partition_vertices(
+    pub fn partition_vertices<'a>(
         &self,
-        graph: &CsrGraph,
+        graph: impl Into<GraphView<'a>>,
         num_partitions: usize,
     ) -> Result<VertexPartition, PartitionError> {
+        let graph = graph.into();
         if num_partitions == 0 {
             return Err(PartitionError::ZeroPartitions);
         }
@@ -123,9 +124,9 @@ impl EdgePartitioner for LdgPartitioner {
         "LDG"
     }
 
-    fn partition(
+    fn partition_view(
         &self,
-        graph: &CsrGraph,
+        graph: GraphView<'_>,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
         let vp = self.partition_vertices(graph, num_partitions)?;

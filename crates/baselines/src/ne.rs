@@ -17,7 +17,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use tlp_core::engine::{self, AdmissionMode, GrowthState, Selection, SelectionPolicy, Workspace};
 use tlp_core::{EdgePartition, EdgePartitioner, PartitionError, Stage, TlpConfig};
-use tlp_graph::{CsrGraph, ResidualGraph, VertexId};
+use tlp_graph::{GraphView, ResidualGraph, VertexId};
 
 /// NE's selection rule as an engine policy: admit the boundary vertex with
 /// the fewest residual neighbors outside the boundary set.
@@ -104,9 +104,9 @@ impl EdgePartitioner for NePartitioner {
         "NE"
     }
 
-    fn partition(
+    fn partition_view(
         &self,
-        graph: &CsrGraph,
+        graph: GraphView<'_>,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
         // Default capacity (`ceil(m / p)`), within-round reseeding, and the

@@ -2,7 +2,7 @@
 
 use crate::streaming::{partition_stream, RandomState};
 use tlp_core::{EdgePartition, EdgePartitioner, PartitionError};
-use tlp_graph::CsrGraph;
+use tlp_graph::GraphView;
 use tlp_store::CsrEdgeStream;
 
 /// Assigns every edge to a uniformly random partition.
@@ -41,9 +41,9 @@ impl EdgePartitioner for RandomPartitioner {
         "Random"
     }
 
-    fn partition(
+    fn partition_view(
         &self,
-        graph: &CsrGraph,
+        graph: GraphView<'_>,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
         let mut placer = RandomState::new(num_partitions, self.seed)?;

@@ -7,7 +7,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use tlp_graph::{CsrGraph, EdgeId, VertexId};
+use tlp_graph::{EdgeId, GraphView, VertexId};
 
 /// Arrival order of an edge stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,7 +49,8 @@ pub enum VertexOrder {
 /// sorted.sort_unstable();
 /// assert_eq!(sorted, vec![0, 1, 2]);
 /// ```
-pub fn edge_order(graph: &CsrGraph, order: EdgeOrder) -> Vec<EdgeId> {
+pub fn edge_order<'a>(graph: impl Into<GraphView<'a>>, order: EdgeOrder) -> Vec<EdgeId> {
+    let graph = graph.into();
     let m = graph.num_edges() as EdgeId;
     match order {
         EdgeOrder::Natural => (0..m).collect(),
@@ -76,7 +77,8 @@ pub fn edge_order(graph: &CsrGraph, order: EdgeOrder) -> Vec<EdgeId> {
 }
 
 /// Materializes a vertex arrival order.
-pub fn vertex_order(graph: &CsrGraph, order: VertexOrder) -> Vec<VertexId> {
+pub fn vertex_order<'a>(graph: impl Into<GraphView<'a>>, order: VertexOrder) -> Vec<VertexId> {
+    let graph = graph.into();
     let n = graph.num_vertices();
     match order {
         VertexOrder::Natural => (0..n as VertexId).collect(),
@@ -135,7 +137,7 @@ pub fn vertex_order(graph: &CsrGraph, order: VertexOrder) -> Vec<VertexId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tlp_graph::GraphBuilder;
+    use tlp_graph::{CsrGraph, GraphBuilder};
 
     fn graph() -> CsrGraph {
         GraphBuilder::new()

@@ -17,12 +17,12 @@
 
 use crate::util::{least_loaded, splitmix64, PartitionSet};
 use tlp_core::{EdgePartition, PartitionError, PartitionId};
-use tlp_graph::{CsrGraph, VertexId};
+use tlp_graph::{GraphView, VertexId};
 use tlp_store::{for_each_chunk, EdgeStream, StoreError, StreamMeta};
 
 /// Checks that `partition` covers exactly the edges of `graph`, the shared
 /// precondition of the `seeded_from` constructors.
-fn check_seeding_pair(graph: &CsrGraph, partition: &EdgePartition) -> Result<(), PartitionError> {
+fn check_seeding_pair(graph: GraphView<'_>, partition: &EdgePartition) -> Result<(), PartitionError> {
     if partition.num_edges() != graph.num_edges() {
         return Err(PartitionError::InvalidAssignment(format!(
             "partition covers {} edges but the seeding graph has {}",
@@ -156,14 +156,15 @@ impl HdrfState {
     /// [`HdrfState::new`] validation errors, plus
     /// [`PartitionError::InvalidAssignment`] if `partition` does not cover
     /// `graph`'s edges.
-    pub fn seeded_from(
-        graph: &CsrGraph,
+    pub fn seeded_from<'a>(
+        graph: impl Into<GraphView<'a>>,
         partition: &EdgePartition,
         lambda: f64,
     ) -> Result<Self, PartitionError> {
+        let graph = graph.into();
         check_seeding_pair(graph, partition)?;
         let mut state = HdrfState::new(graph.num_vertices(), partition.num_partitions(), lambda)?;
-        for (eid, edge) in graph.edges().iter().enumerate() {
+        for (eid, edge) in graph.edge_iter().enumerate() {
             let q = partition.partition_of(eid as u32) as usize;
             state.partial_degree[edge.source() as usize] += 1;
             state.partial_degree[edge.target() as usize] += 1;
@@ -250,13 +251,14 @@ impl GreedyState {
     /// [`GreedyState::new`] validation errors, plus
     /// [`PartitionError::InvalidAssignment`] if `partition` does not cover
     /// `graph`'s edges.
-    pub fn seeded_from(
-        graph: &CsrGraph,
+    pub fn seeded_from<'a>(
+        graph: impl Into<GraphView<'a>>,
         partition: &EdgePartition,
     ) -> Result<Self, PartitionError> {
+        let graph = graph.into();
         check_seeding_pair(graph, partition)?;
         let mut state = GreedyState::new(graph.num_vertices(), partition.num_partitions())?;
-        for (eid, edge) in graph.edges().iter().enumerate() {
+        for (eid, edge) in graph.edge_iter().enumerate() {
             let q = partition.partition_of(eid as u32) as usize;
             state.loads[q] += 1;
             state.replicas[edge.source() as usize].insert(q);

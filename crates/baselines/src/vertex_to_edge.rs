@@ -9,7 +9,7 @@
 //! is applied to every vertex partitioner, so comparisons remain fair.
 
 use tlp_core::{EdgePartition, PartitionError, PartitionId};
-use tlp_graph::{CsrGraph, VertexId};
+use tlp_graph::{GraphView, VertexId};
 
 /// A total assignment of vertices to `p` partitions.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -77,10 +77,10 @@ impl VertexPartition {
 
     /// Number of cross-partition edges (the vertex-partitioning objective,
     /// Definition 1).
-    pub fn edge_cut(&self, graph: &CsrGraph) -> usize {
+    pub fn edge_cut<'a>(&self, graph: impl Into<GraphView<'a>>) -> usize {
         graph
-            .edges()
-            .iter()
+            .into()
+            .edge_iter()
             .filter(|e| self.partition_of(e.source()) != self.partition_of(e.target()))
             .count()
     }
@@ -107,7 +107,11 @@ impl VertexPartition {
 /// assert_eq!(ep.edge_counts().iter().sum::<usize>(), 3);
 /// # Ok::<(), tlp_core::PartitionError>(())
 /// ```
-pub fn derive_edge_partition(graph: &CsrGraph, vertices: &VertexPartition) -> EdgePartition {
+pub fn derive_edge_partition<'a>(
+    graph: impl Into<GraphView<'a>>,
+    vertices: &VertexPartition,
+) -> EdgePartition {
+    let graph = graph.into();
     assert_eq!(
         vertices.assignments().len(),
         graph.num_vertices(),
@@ -116,7 +120,7 @@ pub fn derive_edge_partition(graph: &CsrGraph, vertices: &VertexPartition) -> Ed
     let p = vertices.num_partitions();
     let mut loads = vec![0usize; p];
     let mut assignment = Vec::with_capacity(graph.num_edges());
-    for e in graph.edges() {
+    for e in graph.edge_iter() {
         let a = vertices.partition_of(e.source());
         let b = vertices.partition_of(e.target());
         let pid = if a == b {

@@ -1,0 +1,176 @@
+//! Graph-open bench: `.tlpg` v1 decode + CSR rebuild vs. v2 zero-copy
+//! arena open, on a 400k-edge Chung–Lu graph (the scale of the paper's mid
+//! Table III rows).
+//!
+//! A v1 open pays a per-edge decode and a full CSR construction; a v2 open
+//! is one bulk read into an aligned arena plus per-section checksum and
+//! structural validation — no per-edge decode, no CSR rebuild. The full
+//! run asserts the headline claim — v2 open is at least 5x faster than the
+//! v1 open — verifies both paths materialize bit-identical graphs, and
+//! emits `BENCH_graph_open.json` at the workspace root.
+//!
+//! `cargo bench -p tlp-bench --bench graph_open -- --test` runs a downsized
+//! smoke pass: equality is still asserted, timings are neither trusted nor
+//! written.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use tlp_graph::generators::chung_lu;
+use tlp_graph::CsrGraph;
+use tlp_store::{write_graph, FormatVersion, LoadedGraph, WriteOptions, VERSION_V2};
+
+const SEED: u64 = 11;
+
+fn graph(smoke: bool) -> CsrGraph {
+    if smoke {
+        chung_lu(2_000, 8_000, 2.2, SEED)
+    } else {
+        chung_lu(240_000, 400_000, 2.2, SEED)
+    }
+}
+
+struct Workspace {
+    dir: PathBuf,
+    v1: PathBuf,
+    v2: PathBuf,
+}
+
+impl Workspace {
+    fn create(graph: &CsrGraph) -> Workspace {
+        let dir = std::env::temp_dir().join(format!("tlp-bench-graph-open-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let v1 = dir.join("graph_v1.tlpg");
+        let v2 = dir.join("graph_v2.tlpg");
+        for (path, version) in [(&v1, FormatVersion::V1), (&v2, FormatVersion::V2)] {
+            let options = WriteOptions {
+                version,
+                ..WriteOptions::default()
+            };
+            write_graph(path, graph, &options).unwrap();
+        }
+        Workspace { dir, v1, v2 }
+    }
+}
+
+impl Drop for Workspace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Minimum wall-clock over `repeats` back-to-back runs. Back-to-back
+/// (not interleaved with the other path) keeps the allocator warm for
+/// each path the same way, and the minimum sheds steal-time bursts on
+/// shared machines.
+fn min_wall_clock<T>(repeats: usize, mut f: impl FnMut() -> T) -> Duration {
+    (0..repeats)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+fn bench_graph_open(c: &mut Criterion) {
+    let g = graph(true);
+    let ws = Workspace::create(&g);
+    let mut group = c.benchmark_group("graph_open");
+    group.sample_size(10);
+    group.bench_function("v1_decode_rebuild", |b| {
+        b.iter(|| LoadedGraph::open(&ws.v1).unwrap())
+    });
+    group.bench_function("v2_zero_copy", |b| {
+        b.iter(|| LoadedGraph::open(&ws.v2).unwrap())
+    });
+    group.finish();
+}
+
+/// The `BENCH_graph_open.json` trajectory file.
+#[derive(Serialize)]
+struct Baseline {
+    bench: &'static str,
+    seed: u64,
+    vertices: usize,
+    edges: usize,
+    v1_open_ms: f64,
+    v2_open_ms: f64,
+    speedup_v2_vs_v1: f64,
+}
+
+fn graph_open_checks(_c: &mut Criterion) {
+    let smoke_only = std::env::args().any(|a| a == "--test");
+    let g = graph(smoke_only);
+    let ws = Workspace::create(&g);
+
+    // Correctness invariants hold at every scale: both open paths lend a
+    // view of exactly the written graph.
+    let v1 = LoadedGraph::open(&ws.v1).unwrap();
+    let v2 = LoadedGraph::open(&ws.v2).unwrap();
+    assert_eq!(v1.format_version(), 1, "v1 file reported a wrong version");
+    assert_eq!(
+        v2.format_version(),
+        VERSION_V2,
+        "v2 file reported a wrong version"
+    );
+    assert_eq!(v1.view().to_csr_graph(), g, "v1 open diverged");
+    assert_eq!(v2.view().to_csr_graph(), g, "v2 open diverged");
+    drop((v1, v2));
+    if smoke_only {
+        println!("bench graph_open: ok (smoke)");
+        return;
+    }
+
+    let v1_open = min_wall_clock(9, || LoadedGraph::open(&ws.v1).unwrap());
+    let v2_open = min_wall_clock(15, || LoadedGraph::open(&ws.v2).unwrap());
+    let speedup = v1_open.as_secs_f64() / v2_open.as_secs_f64().max(f64::EPSILON);
+    println!("bench graph_open: v1 open {v1_open:?}, v2 open {v2_open:?} ({speedup:.2}x)");
+    assert!(
+        speedup >= 5.0,
+        "v2 zero-copy open is only {speedup:.2}x faster than the v1 decode + \
+         rebuild on a {}-edge graph; expected >= 5x",
+        g.num_edges()
+    );
+
+    let baseline = Baseline {
+        bench: "graph_open",
+        seed: SEED,
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        v1_open_ms: v1_open.as_secs_f64() * 1e3,
+        v2_open_ms: v2_open.as_secs_f64() * 1e3,
+        speedup_v2_vs_v1: speedup,
+    };
+    // crates/bench -> workspace root. The shared obs writer prepends the
+    // workspace-wide "schema" field and writes atomically.
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_graph_open.json"
+    ));
+    tlp_obs::bench::write_bench_json(path, &baseline).expect("write baseline");
+    let written = tlp_obs::bench::read_bench_json(path).expect("read baseline back");
+    let keys = tlp_obs::bench::top_level_keys(&written);
+    for expected in [
+        "schema",
+        "bench",
+        "seed",
+        "vertices",
+        "edges",
+        "v1_open_ms",
+        "v2_open_ms",
+        "speedup_v2_vs_v1",
+    ] {
+        assert!(
+            keys.iter().any(|k| k == expected),
+            "BENCH_graph_open.json lost its {expected:?} key (got {keys:?})"
+        );
+    }
+    println!("bench graph_open: baseline written to BENCH_graph_open.json");
+}
+
+criterion_group!(benches, bench_graph_open, graph_open_checks);
+criterion_main!(benches);

@@ -17,14 +17,14 @@ use super::workspace::{StagedIndex, Workspace};
 use crate::partition::PartitionId;
 use crate::stage2::GainRatio;
 use std::cmp::Reverse;
-use tlp_graph::{CsrGraph, ResidualGraph, VertexId};
+use tlp_graph::{GraphView, ResidualGraph, VertexId};
 
 /// Registers one new residual edge from frontier candidate `u` into the
 /// partition: bumps `e_in`, inserting `u` (and computing its initial Stage I
 /// score against all current member neighbors) if it was not yet a
 /// candidate. Notifies the policy of the refreshed state.
 pub(super) fn enroll_frontier_edge<P: SelectionPolicy + ?Sized>(
-    graph: &CsrGraph,
+    graph: GraphView<'_>,
     residual: &ResidualGraph<'_>,
     ws: &mut Workspace,
     policy: &mut P,

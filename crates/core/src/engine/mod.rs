@@ -77,12 +77,12 @@ use crate::config::TlpConfig;
 use crate::partition::EdgePartition;
 use crate::trace::Trace;
 use crate::PartitionError;
-use tlp_graph::CsrGraph;
+use tlp_graph::GraphView;
 
 /// Convenience: runs the staged (TLP-family) policy under `switch` with the
 /// configured selection strategy.
-pub(crate) fn run_staged<S: StageSwitch>(
-    graph: &CsrGraph,
+pub(crate) fn run_staged<'g, S: StageSwitch>(
+    graph: impl Into<GraphView<'g>>,
     num_partitions: usize,
     config: &TlpConfig,
     switch: S,
@@ -93,8 +93,8 @@ pub(crate) fn run_staged<S: StageSwitch>(
 
 /// [`run_staged`] with kill-and-resume support (see
 /// [`run_with_checkpoints`]).
-pub(crate) fn run_staged_with_checkpoints<S: StageSwitch>(
-    graph: &CsrGraph,
+pub(crate) fn run_staged_with_checkpoints<'g, S: StageSwitch>(
+    graph: impl Into<GraphView<'g>>,
     num_partitions: usize,
     config: &TlpConfig,
     switch: S,

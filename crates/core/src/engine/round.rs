@@ -11,7 +11,7 @@ use crate::trace::{RoundScoring, SelectionRecord, Trace};
 use crate::PartitionError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tlp_graph::{CsrGraph, ResidualGraph, VertexId};
+use tlp_graph::{GraphView, ResidualGraph, VertexId};
 
 /// Callback invoked with the engine snapshot after each completed round.
 /// Returning an error aborts the run (persisting a checkpoint failed).
@@ -23,8 +23,8 @@ pub type CheckpointSink<'a> = &'a mut dyn FnMut(&EngineCheckpoint) -> Result<(),
 /// per-selection trace. The RNG is seeded once from `config.seed()` and
 /// consumed only by seed/reseed draws, so the stream a policy observes is a
 /// function of the seed alone.
-pub fn run<P: SelectionPolicy + ?Sized>(
-    graph: &CsrGraph,
+pub fn run<'g, P: SelectionPolicy + ?Sized>(
+    graph: impl Into<GraphView<'g>>,
     num_partitions: usize,
     config: &TlpConfig,
     policy: &mut P,
@@ -50,14 +50,15 @@ pub fn run<P: SelectionPolicy + ?Sized>(
 ///
 /// [`PartitionError::Checkpoint`] if `resume` does not match this
 /// graph/config, plus everything [`run`] can return.
-pub fn run_with_checkpoints<P: SelectionPolicy + ?Sized>(
-    graph: &CsrGraph,
+pub fn run_with_checkpoints<'g, P: SelectionPolicy + ?Sized>(
+    graph: impl Into<GraphView<'g>>,
     num_partitions: usize,
     config: &TlpConfig,
     policy: &mut P,
     resume: Option<&EngineCheckpoint>,
     mut sink: Option<CheckpointSink<'_>>,
 ) -> Result<(EdgePartition, Option<Trace>), PartitionError> {
+    let graph = graph.into();
     if num_partitions == 0 {
         return Err(PartitionError::ZeroPartitions);
     }
@@ -158,7 +159,7 @@ pub fn run_with_checkpoints<P: SelectionPolicy + ?Sized>(
 /// (Algorithm 1).
 #[allow(clippy::too_many_arguments)]
 fn run_round<P: SelectionPolicy + ?Sized>(
-    graph: &CsrGraph,
+    graph: GraphView<'_>,
     residual: &mut ResidualGraph<'_>,
     ws: &mut Workspace,
     assignment: &mut [PartitionId],
@@ -289,7 +290,7 @@ fn run_round<P: SelectionPolicy + ?Sized>(
 /// to the member core when selected.
 #[allow(clippy::too_many_arguments)]
 fn seed_vertex<P: SelectionPolicy + ?Sized>(
-    graph: &CsrGraph,
+    graph: GraphView<'_>,
     residual: &mut ResidualGraph<'_>,
     ws: &mut Workspace,
     rng: &mut StdRng,
@@ -328,7 +329,7 @@ fn seed_vertex<P: SelectionPolicy + ?Sized>(
 /// member and eagerly enrolls its remaining residual neighbors.
 #[allow(clippy::too_many_arguments)]
 fn admit_vertex<P: SelectionPolicy + ?Sized>(
-    graph: &CsrGraph,
+    graph: GraphView<'_>,
     residual: &mut ResidualGraph<'_>,
     ws: &mut Workspace,
     assignment: &mut [PartitionId],
@@ -405,7 +406,7 @@ mod tests {
     use crate::trace::Stage;
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    use tlp_graph::GraphBuilder;
+    use tlp_graph::{CsrGraph, GraphBuilder};
 
     fn small_graph() -> CsrGraph {
         // Two triangles joined by a bridge.

@@ -5,7 +5,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use tlp_graph::intersect::{sorted_intersection_size, IntersectionKernel};
-use tlp_graph::{CsrGraph, EdgeId, ResidualGraph, VertexId};
+use tlp_graph::{EdgeId, GraphView, ResidualGraph, VertexId};
 
 /// Frontier-scoring effort counters, accumulated per round (see
 /// [`RoundScoring`](crate::trace::RoundScoring) for field semantics).
@@ -89,7 +89,7 @@ impl Workspace {
     /// * **Kernel dispatch.** Counts against the loaded member use the
     ///   marked-neighborhood scratch (or galloping for very high-degree
     ///   candidates); all kernels return the same exact integer count.
-    pub(crate) fn refresh_mu1(&mut self, graph: &CsrGraph, u: VertexId, w: VertexId) -> bool {
+    pub(crate) fn refresh_mu1(&mut self, graph: GraphView<'_>, u: VertexId, w: VertexId) -> bool {
         let ui = u as usize;
         let dw = graph.degree(w);
         if dw == 0 {

@@ -3,7 +3,7 @@
 
 use crate::{EdgePartition, Modularity, PartitionId};
 use serde::{Deserialize, Serialize};
-use tlp_graph::{CsrGraph, VertexId};
+use tlp_graph::{GraphView, VertexId};
 
 /// Quality metrics of a finished edge partition.
 ///
@@ -82,7 +82,8 @@ impl PartitionMetrics {
     ///
     /// Panics if `partition` does not cover exactly the edges of `graph`
     /// (use [`EdgePartition::validate_for`] to check first when in doubt).
-    pub fn compute(graph: &CsrGraph, partition: &EdgePartition) -> Self {
+    pub fn compute<'a>(graph: impl Into<GraphView<'a>>, partition: &EdgePartition) -> Self {
+        let graph = graph.into();
         assert_eq!(
             partition.num_edges(),
             graph.num_edges(),
@@ -281,7 +282,7 @@ impl StreamedMetrics {
 mod tests {
     use super::*;
     use crate::EdgePartition;
-    use tlp_graph::GraphBuilder;
+    use tlp_graph::{CsrGraph, GraphBuilder};
 
     fn triangle_pair() -> CsrGraph {
         // Two triangles sharing vertex 2.

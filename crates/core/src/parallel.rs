@@ -17,7 +17,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
-use tlp_graph::CsrGraph;
+use tlp_graph::{CsrGraph, GraphView};
 
 /// The number of worker threads a `0 = auto` setting resolves to.
 pub fn available_threads() -> usize {
@@ -255,11 +255,12 @@ impl ParallelTrialRunner {
     /// the config/partition-count validation errors of a plain run, or
     /// [`PartitionError::AllTrialsFailed`] when every trial panicked or
     /// timed out.
-    pub fn run(
+    pub fn run<'g>(
         &self,
-        graph: &CsrGraph,
+        graph: impl Into<GraphView<'g>>,
         num_partitions: usize,
     ) -> Result<TrialReport, PartitionError> {
+        let graph = graph.into();
         self.config.validate()?;
         let trials = self.config.trials_value();
         let threads = match self.config.threads_value() {
@@ -273,8 +274,9 @@ impl ParallelTrialRunner {
         let base = self.config.record_trace(false);
         let probe = self.probe;
         // A deadline needs detachable ('static) trial threads, so the graph
-        // is shared by Arc; without one the borrow runs on scoped workers.
-        let shared: Option<Arc<CsrGraph>> = self.deadline.map(|_| Arc::new(graph.clone()));
+        // is materialized into an Arc-owned CSR; without one the borrowed
+        // view runs on scoped workers.
+        let shared: Option<Arc<CsrGraph>> = self.deadline.map(|_| Arc::new(graph.to_csr_graph()));
 
         // When an observer is active, each trial records its events locally
         // and the parent replays them in trial order below, so the merged
@@ -358,7 +360,7 @@ impl ParallelTrialRunner {
 
 /// One panic-isolated trial on the calling (scoped worker) thread.
 fn run_trial(
-    graph: &CsrGraph,
+    graph: GraphView<'_>,
     num_partitions: usize,
     config: TlpConfig,
     probe: Option<fn(usize)>,
@@ -394,7 +396,7 @@ fn run_trial_with_deadline(
     let spawned = std::thread::Builder::new()
         .name(format!("tlp-trial-{index}"))
         .spawn(move || {
-            let outcome = run_trial(&graph, num_partitions, config, probe, index);
+            let outcome = run_trial(graph.view(), num_partitions, config, probe, index);
             // The receiver is gone if the watchdog already timed out.
             let _ = tx.send(outcome);
         });

@@ -2,7 +2,7 @@
 
 use crate::PartitionError;
 use serde::{Deserialize, Serialize};
-use tlp_graph::{CsrGraph, EdgeId};
+use tlp_graph::EdgeId;
 
 /// Identifier of a partition, dense in `0..p`.
 pub type PartitionId = u32;
@@ -98,7 +98,8 @@ impl EdgePartition {
     ///
     /// Returns [`PartitionError::InvalidAssignment`] if the edge counts
     /// disagree.
-    pub fn validate_for(&self, graph: &CsrGraph) -> Result<(), PartitionError> {
+    pub fn validate_for<'a>(&self, graph: impl Into<tlp_graph::GraphView<'a>>) -> Result<(), PartitionError> {
+        let graph = graph.into();
         if self.assignment.len() != graph.num_edges() {
             return Err(PartitionError::InvalidAssignment(format!(
                 "partition covers {} edges but graph has {}",

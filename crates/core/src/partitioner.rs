@@ -1,7 +1,7 @@
 //! The `EdgePartitioner` trait implemented by TLP and all comparators.
 
 use crate::{EdgePartition, PartitionError};
-use tlp_graph::CsrGraph;
+use tlp_graph::{CsrGraph, GraphView};
 
 /// A balanced `p`-edge graph partitioner (Definition 5 of the paper).
 ///
@@ -29,18 +29,36 @@ pub trait EdgePartitioner {
     /// Short human-readable algorithm name ("TLP", "METIS", "DBH", ...).
     fn name(&self) -> &str;
 
-    /// Partitions every edge of `graph` into `num_partitions` parts.
+    /// Partitions every edge of the viewed graph into `num_partitions`
+    /// parts. This is the required entry point: a [`GraphView`] may borrow
+    /// an owned [`CsrGraph`] or a zero-copy `.tlpg` v2 arena — the
+    /// partitioner cannot tell the difference, and produces bit-identical
+    /// assignments either way.
     ///
     /// # Errors
     ///
     /// Returns [`PartitionError::ZeroPartitions`] when `num_partitions == 0`
     /// and implementation-specific [`PartitionError`]s for invalid
     /// configurations.
+    fn partition_view(
+        &self,
+        graph: GraphView<'_>,
+        num_partitions: usize,
+    ) -> Result<EdgePartition, PartitionError>;
+
+    /// Convenience shim over [`partition_view`](Self::partition_view) for
+    /// callers holding an owned graph.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`partition_view`](Self::partition_view).
     fn partition(
         &self,
         graph: &CsrGraph,
         num_partitions: usize,
-    ) -> Result<EdgePartition, PartitionError>;
+    ) -> Result<EdgePartition, PartitionError> {
+        self.partition_view(graph.view(), num_partitions)
+    }
 }
 
 #[cfg(test)]
@@ -56,9 +74,9 @@ mod tests {
             "RoundRobin"
         }
 
-        fn partition(
+        fn partition_view(
             &self,
-            graph: &CsrGraph,
+            graph: GraphView<'_>,
             num_partitions: usize,
         ) -> Result<EdgePartition, PartitionError> {
             if num_partitions == 0 {

@@ -284,7 +284,7 @@ pub fn trial_span(index: usize, seed: Option<u64>) -> tlp_obs::SpanGuard {
 fn materialize<'s>(
     source: &'s mut dyn EdgeSource,
     algorithm: &str,
-) -> Result<&'s tlp_graph::CsrGraph, PipelineError> {
+) -> Result<tlp_graph::GraphView<'s>, PipelineError> {
     let description = source.describe();
     if !source.supports_random_access() {
         return Err(PipelineError::NeedsRandomAccess {
@@ -331,7 +331,7 @@ impl Algorithm for MaterializedAlgorithm {
         let partition = {
             let _trial = trial_span(0, None);
             let _pass = tlp_obs::span("pass");
-            self.inner.partition(graph, num_partitions)?
+            self.inner.partition_view(graph, num_partitions)?
         };
         let seconds = start.elapsed().as_secs_f64();
         tlp_obs::counter("run.edges", partition.num_edges() as u64);

@@ -5,7 +5,7 @@
 //! both are dominated by the two-stage method).
 
 use crate::{EdgePartition, EdgePartitioner, EdgeRatioLocalPartitioner, PartitionError, TlpConfig};
-use tlp_graph::CsrGraph;
+use tlp_graph::GraphView;
 
 /// Local partitioner that always applies the Stage I criterion (Eq. 7).
 ///
@@ -30,12 +30,12 @@ impl EdgePartitioner for StageOneOnlyPartitioner {
         self.inner.name()
     }
 
-    fn partition(
+    fn partition_view(
         &self,
-        graph: &CsrGraph,
+        graph: GraphView<'_>,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
-        self.inner.partition(graph, num_partitions)
+        self.inner.partition_view(graph, num_partitions)
     }
 }
 
@@ -62,12 +62,12 @@ impl EdgePartitioner for StageTwoOnlyPartitioner {
         self.inner.name()
     }
 
-    fn partition(
+    fn partition_view(
         &self,
-        graph: &CsrGraph,
+        graph: GraphView<'_>,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
-        self.inner.partition(graph, num_partitions)
+        self.inner.partition_view(graph, num_partitions)
     }
 }
 

@@ -16,7 +16,7 @@
 //! [`IntersectionKernel`](tlp_graph::intersect::IntersectionKernel) (marked
 //! scratch + per-admission count cache) on the hot incremental path.
 
-use tlp_graph::{CsrGraph, VertexId};
+use tlp_graph::{GraphView, VertexId};
 
 // The adaptive intersection primitive lives in the graph crate's kernel
 // layer; re-exported because `mu_s1`'s definition is stated in terms of it.
@@ -29,7 +29,8 @@ pub use tlp_graph::intersect::sorted_intersection_size;
 ///
 /// Returns 0 when `v_j` has no neighbors (cannot happen for a member of a
 /// growing partition, but keeps the function total).
-pub fn closeness_term(graph: &CsrGraph, v_i: VertexId, v_j: VertexId) -> f64 {
+pub fn closeness_term<'a>(graph: impl Into<GraphView<'a>>, v_i: VertexId, v_j: VertexId) -> f64 {
+    let graph = graph.into();
     let nj = graph.neighbors(v_j);
     if nj.is_empty() {
         return 0.0;
@@ -70,10 +71,11 @@ pub fn closeness_term(graph: &CsrGraph, v_i: VertexId, v_j: VertexId) -> f64 {
 /// let score_g = mu_s1(&g, 5, member);
 /// assert!(score_e > score_a && score_e > score_g);
 /// ```
-pub fn mu_s1<F>(graph: &CsrGraph, v_i: VertexId, mut is_member: F) -> f64
+pub fn mu_s1<'a, F>(graph: impl Into<GraphView<'a>>, v_i: VertexId, mut is_member: F) -> f64
 where
     F: FnMut(VertexId) -> bool,
 {
+    let graph = graph.into();
     let mut best = 0.0f64;
     for &v_j in graph.neighbors(v_i) {
         if is_member(v_j) {

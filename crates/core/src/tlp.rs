@@ -6,7 +6,7 @@ use crate::{
     EdgePartition, EdgePartitioner, EngineCheckpoint, ParallelTrialRunner, PartitionError,
     TlpConfig, Trace,
 };
-use tlp_graph::CsrGraph;
+use tlp_graph::GraphView;
 
 /// The two-stage local partitioner (TLP, Algorithm 1 of the paper).
 ///
@@ -51,9 +51,9 @@ impl TwoStageLocalPartitioner {
     /// # Errors
     ///
     /// Same as [`EdgePartitioner::partition`].
-    pub fn partition_with_trace(
+    pub fn partition_with_trace<'g>(
         &self,
-        graph: &CsrGraph,
+        graph: impl Into<GraphView<'g>>,
         num_partitions: usize,
     ) -> Result<(EdgePartition, Trace), PartitionError> {
         let config = self.config.record_trace(true);
@@ -76,9 +76,9 @@ impl TwoStageLocalPartitioner {
     ///
     /// [`PartitionError::Checkpoint`] if `resume` does not match this
     /// graph/config, plus everything [`EdgePartitioner::partition`] returns.
-    pub fn partition_with_checkpoints(
+    pub fn partition_with_checkpoints<'g>(
         &self,
-        graph: &CsrGraph,
+        graph: impl Into<GraphView<'g>>,
         num_partitions: usize,
         resume: Option<&EngineCheckpoint>,
         sink: Option<CheckpointSink<'_>>,
@@ -100,9 +100,9 @@ impl EdgePartitioner for TwoStageLocalPartitioner {
         "TLP"
     }
 
-    fn partition(
+    fn partition_view(
         &self,
-        graph: &CsrGraph,
+        graph: GraphView<'_>,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
         if self.config.trials_value() > 1 {

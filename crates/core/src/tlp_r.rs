@@ -3,7 +3,7 @@
 
 use crate::engine::{run_staged, EdgeRatioSwitch};
 use crate::{EdgePartition, EdgePartitioner, PartitionError, TlpConfig, Trace};
-use tlp_graph::CsrGraph;
+use tlp_graph::GraphView;
 
 /// The TLP_R variant (Table V): Stage I while `|E(P_k)| <= R * C`, Stage II
 /// afterwards, with `R` in `[0, 1]`.
@@ -68,9 +68,9 @@ impl EdgeRatioLocalPartitioner {
     /// # Errors
     ///
     /// Same as [`EdgePartitioner::partition`].
-    pub fn partition_with_trace(
+    pub fn partition_with_trace<'g>(
         &self,
-        graph: &CsrGraph,
+        graph: impl Into<GraphView<'g>>,
         num_partitions: usize,
     ) -> Result<(EdgePartition, Trace), PartitionError> {
         let config = self.config.record_trace(true);
@@ -90,9 +90,9 @@ impl EdgePartitioner for EdgeRatioLocalPartitioner {
         self.name
     }
 
-    fn partition(
+    fn partition_view(
         &self,
-        graph: &CsrGraph,
+        graph: GraphView<'_>,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
         let switch = EdgeRatioSwitch { ratio: self.ratio };

@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use tlp_graph::{io, CsrGraph};
 use tlp_store::format::SourceStamp;
-use tlp_store::{write_graph, StoreReader, WriteOptions};
+use tlp_store::{write_graph, FormatVersion, StoreReader, WriteOptions};
 
 /// Process-wide count of text edge-list parses performed by [`load`].
 /// Observable via [`text_parse_count`] so tests can assert the binary
@@ -229,6 +229,7 @@ pub fn load_with<P: AsRef<Path>>(
             let options = WriteOptions {
                 original_ids: Some(loaded.original_ids),
                 source: SourceStamp::of_file(&path).ok(),
+                version: FormatVersion::V2,
             };
             let _ = write_graph(&cache_path(&path), &loaded.graph, &options);
         }

@@ -1,6 +1,6 @@
 //! Compressed-sparse-row representation of an undirected simple graph.
 
-use crate::{Edge, EdgeId, GraphError, VertexId};
+use crate::{Edge, EdgeId, EdgeTable, GraphError, GraphView, VertexId};
 
 /// An immutable undirected simple graph in compressed-sparse-row form.
 ///
@@ -25,7 +25,11 @@ use crate::{Edge, EdgeId, GraphError, VertexId};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrGraph {
     /// `offsets[v]..offsets[v+1]` is the adjacency range of vertex `v`.
-    offsets: Vec<usize>,
+    ///
+    /// Stored as `u64` so [`CsrGraph::view`] can lend this array directly as
+    /// a [`GraphView`] offsets section, byte-compatible with the `.tlpg` v2
+    /// on-disk layout.
+    offsets: Vec<u64>,
     /// Neighbor endpoint for each directed arc.
     adj_vertex: Vec<VertexId>,
     /// Undirected edge id for each directed arc (parallel to `adj_vertex`).
@@ -59,14 +63,14 @@ impl CsrGraph {
         }
 
         let mut offsets = Vec::with_capacity(num_vertices + 1);
-        offsets.push(0usize);
+        offsets.push(0u64);
         let mut acc = 0usize;
         for &d in &degrees {
             acc += d;
-            offsets.push(acc);
+            offsets.push(acc as u64);
         }
 
-        let mut cursor = offsets.clone();
+        let mut cursor: Vec<usize> = offsets.iter().map(|&o| o as usize).collect();
         let mut adj_vertex = vec![0 as VertexId; acc];
         let mut adj_edge = vec![0 as EdgeId; acc];
         for (id, e) in edges.iter().enumerate() {
@@ -147,7 +151,7 @@ impl CsrGraph {
     /// Panics if `v >= num_vertices`.
     pub fn degree(&self, v: VertexId) -> usize {
         let v = v as usize;
-        self.offsets[v + 1] - self.offsets[v]
+        (self.offsets[v + 1] - self.offsets[v]) as usize
     }
 
     /// The neighbors of `v` as a slice (one entry per incident edge).
@@ -157,7 +161,7 @@ impl CsrGraph {
     /// Panics if `v >= num_vertices`.
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
         let v = v as usize;
-        &self.adj_vertex[self.offsets[v]..self.offsets[v + 1]]
+        &self.adj_vertex[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
     /// Iterates over `(neighbor, edge_id)` pairs incident to `v`.
@@ -167,7 +171,7 @@ impl CsrGraph {
     /// Panics if `v >= num_vertices`.
     pub fn incident(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
         let v = v as usize;
-        let range = self.offsets[v]..self.offsets[v + 1];
+        let range = self.offsets[v] as usize..self.offsets[v + 1] as usize;
         self.adj_vertex[range.clone()]
             .iter()
             .copied()
@@ -202,26 +206,32 @@ impl CsrGraph {
         }
     }
 
-    /// Whether vertices `a` and `b` are adjacent (linear in `min` degree).
+    /// Whether vertices `a` and `b` are adjacent.
+    ///
+    /// Neighbor slices are sorted ascending by construction, so this
+    /// binary-searches the lower-degree endpoint's slice:
+    /// `O(log min_degree)` instead of the former linear scan.
     pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
-        let (probe, other) = if self.degree(a) <= self.degree(b) {
-            (a, b)
-        } else {
-            (b, a)
-        };
-        self.neighbors(probe).contains(&other)
+        self.view().has_edge(a, b)
     }
 
-    /// Looks up the [`EdgeId`] connecting `a` and `b`, if any.
+    /// Looks up the [`EdgeId`] connecting `a` and `b`, if any, in
+    /// `O(log min_degree)` via binary search of the sorted neighbor slice.
     pub fn edge_id(&self, a: VertexId, b: VertexId) -> Option<EdgeId> {
-        let (probe, other) = if self.degree(a) <= self.degree(b) {
-            (a, b)
-        } else {
-            (b, a)
-        };
-        self.incident(probe)
-            .find(|&(w, _)| w == other)
-            .map(|(_, id)| id)
+        self.view().edge_id(a, b)
+    }
+
+    /// A borrowed [`GraphView`] over this graph's CSR arrays.
+    ///
+    /// Construction is O(1) — the view borrows the existing sections.
+    #[inline]
+    pub fn view(&self) -> GraphView<'_> {
+        GraphView::from_sections_trusted(
+            &self.offsets,
+            &self.adj_vertex,
+            &self.adj_edge,
+            EdgeTable::Structs(&self.edges),
+        )
     }
 }
 

@@ -26,7 +26,7 @@
 //! property suite (`tests/intersect_props.rs`) plus the core crate's
 //! differential tests enforce it.
 
-use crate::{CsrGraph, VertexId};
+use crate::{GraphView, VertexId};
 
 /// When the longer list is at least this many times the shorter one,
 /// galloping beats the linear merge (the crossover tracks `log2` of the
@@ -263,7 +263,11 @@ impl IntersectionKernel {
 
     /// Loads `N(v)` into the scratch, invalidating the previous load and
     /// its cached counts.
-    pub fn load(&mut self, graph: &CsrGraph, v: VertexId) {
+    ///
+    /// Accepts `&CsrGraph` or any [`GraphView`], so the kernel works over
+    /// borrowed arenas as well as owned graphs.
+    pub fn load<'a>(&mut self, graph: impl Into<GraphView<'a>>, v: VertexId) {
+        let graph = graph.into();
         self.counters.loads += 1;
         self.ensure_capacity(graph.num_vertices());
         self.next_epoch();
@@ -291,7 +295,8 @@ impl IntersectionKernel {
     /// # Panics
     ///
     /// Panics if nothing is loaded.
-    pub fn count_with_loaded(&mut self, graph: &CsrGraph, u: VertexId) -> usize {
+    pub fn count_with_loaded<'a>(&mut self, graph: impl Into<GraphView<'a>>, u: VertexId) -> usize {
+        let graph = graph.into();
         let v = self.loaded.expect("no neighborhood loaded");
         if let Some(count) = self.cached_with_loaded(u) {
             self.counters.cache_hits += 1;

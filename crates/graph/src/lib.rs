@@ -42,6 +42,7 @@ mod edge;
 mod error;
 mod residual;
 mod source;
+mod view;
 
 pub mod degree;
 pub mod generators;
@@ -56,6 +57,7 @@ pub use edge::{Edge, EdgeId, VertexId};
 pub use error::GraphError;
 pub use residual::ResidualGraph;
 pub use source::{CsrSource, EdgeSource, PassStats, SourceError};
+pub use view::{EdgeTable, GraphView};
 
 // Parallel trial runners share one `CsrGraph` across worker threads and
 // give each worker its own `ResidualGraph` view; these bounds are part of
@@ -67,5 +69,6 @@ fn _assert_thread_safety() {
     fn owned<T: Send>() {}
     shared::<CsrGraph>();
     shared::<GraphBuilder>();
+    shared::<GraphView<'static>>();
     owned::<ResidualGraph<'static>>();
 }

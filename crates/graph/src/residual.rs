@@ -6,7 +6,7 @@
 //! per-edge bitmap and per-vertex residual degrees, so the algorithms can ask
 //! "which of `v`'s edges are still free?" without rebuilding anything.
 
-use crate::{CsrGraph, EdgeId, VertexId};
+use crate::{EdgeId, GraphView, VertexId};
 
 /// The sub-multigraph of edges not yet allocated to any partition.
 ///
@@ -26,7 +26,7 @@ use crate::{CsrGraph, EdgeId, VertexId};
 /// ```
 #[derive(Clone, Debug)]
 pub struct ResidualGraph<'g> {
-    graph: &'g CsrGraph,
+    graph: GraphView<'g>,
     free: Vec<bool>,
     residual_degree: Vec<u32>,
     remaining: usize,
@@ -34,7 +34,12 @@ pub struct ResidualGraph<'g> {
 
 impl<'g> ResidualGraph<'g> {
     /// Creates a residual view in which every edge of `graph` is free.
-    pub fn new(graph: &'g CsrGraph) -> Self {
+    ///
+    /// Accepts anything convertible to a [`GraphView`] — `&CsrGraph` or an
+    /// existing view — so the residual state can sit directly on top of a
+    /// shared arena without an owned copy.
+    pub fn new(graph: impl Into<GraphView<'g>>) -> Self {
+        let graph = graph.into();
         let residual_degree = graph.vertices().map(|v| graph.degree(v) as u32).collect();
         ResidualGraph {
             graph,
@@ -44,8 +49,8 @@ impl<'g> ResidualGraph<'g> {
         }
     }
 
-    /// The underlying immutable graph.
-    pub fn graph(&self) -> &'g CsrGraph {
+    /// The underlying immutable graph view.
+    pub fn graph(&self) -> GraphView<'g> {
         self.graph
     }
 
@@ -134,7 +139,7 @@ impl<'g> ResidualGraph<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::GraphBuilder;
+    use crate::{CsrGraph, GraphBuilder};
 
     fn path4() -> CsrGraph {
         GraphBuilder::new()

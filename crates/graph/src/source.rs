@@ -23,7 +23,8 @@
 //! same arrival order, which is what lets a two-pass metrics computation
 //! pair its second sweep with the assignments recorded in the first.
 
-use crate::{CsrGraph, Edge};
+use crate::view::EdgeTable;
+use crate::{CsrGraph, Edge, GraphView};
 use std::error::Error as StdError;
 use std::fmt;
 
@@ -118,14 +119,20 @@ pub trait EdgeSource {
     /// Whether [`random_access`](Self::random_access) can succeed.
     fn supports_random_access(&self) -> bool;
 
-    /// Materializes (or returns the already-materialized) graph.
+    /// Materializes (or returns the already-materialized) graph as a
+    /// borrowed [`GraphView`].
+    ///
+    /// The view borrows from the source, which keeps the backing memory
+    /// alive until the next `&mut self` call; sources backed by a `.tlpg`
+    /// v2 arena lend the arena directly with no CSR rebuild, while v1 and
+    /// text sources decode once, cache an owned graph, and lend that.
     ///
     /// # Errors
     ///
     /// [`SourceError::NeedsRandomAccess`] when the source's memory budget
     /// forbids materialization; otherwise any error from reading the
     /// backing store.
-    fn random_access(&mut self) -> Result<&CsrGraph, SourceError>;
+    fn random_access(&mut self) -> Result<GraphView<'_>, SourceError>;
 
     /// Runs one sequential pass, handing every edge chunk to `sink`.
     ///
@@ -140,20 +147,44 @@ pub trait EdgeSource {
 /// to the disk sources.
 const CSR_PASS_CHUNK: usize = 1 << 16;
 
-fn csr_pass(graph: &CsrGraph, sink: &mut dyn FnMut(&[Edge])) -> PassStats {
-    let edges = graph.edges();
+fn csr_pass<'a>(graph: impl Into<GraphView<'a>>, sink: &mut dyn FnMut(&[Edge])) -> PassStats {
+    let graph = graph.into();
     let mut peak = 0usize;
-    for chunk in edges.chunks(CSR_PASS_CHUNK.max(1)) {
-        peak = peak.max(chunk.len());
-        sink(chunk);
+    match graph.edge_table() {
+        // The CSR backing already holds canonical edge structs: lend
+        // slices of it directly, no copies.
+        EdgeTable::Structs(edges) => {
+            for chunk in edges.chunks(CSR_PASS_CHUNK.max(1)) {
+                peak = peak.max(chunk.len());
+                sink(chunk);
+            }
+        }
+        // The arena backing stores raw endpoint words; assemble bounded
+        // chunks of `Edge` structs so sinks see the same call pattern.
+        EdgeTable::Pairs(_) => {
+            let mut buffer = Vec::with_capacity(CSR_PASS_CHUNK.min(graph.num_edges()).max(1));
+            for edge in graph.edge_iter() {
+                buffer.push(edge);
+                if buffer.len() == CSR_PASS_CHUNK.max(1) {
+                    peak = peak.max(buffer.len());
+                    sink(&buffer);
+                    buffer.clear();
+                }
+            }
+            if !buffer.is_empty() {
+                peak = peak.max(buffer.len());
+                sink(&buffer);
+            }
+        }
     }
     PassStats {
-        edges: edges.len(),
+        edges: graph.num_edges(),
         peak_buffer: peak,
     }
 }
 
-fn csr_degrees(graph: &CsrGraph) -> Vec<u32> {
+fn csr_degrees<'a>(graph: impl Into<GraphView<'a>>) -> Vec<u32> {
+    let graph = graph.into();
     graph
         .vertices()
         .map(|v| graph.degree(v) as u32)
@@ -187,35 +218,42 @@ impl EdgeSource for CsrGraph {
         true
     }
 
-    fn random_access(&mut self) -> Result<&CsrGraph, SourceError> {
-        Ok(self)
+    fn random_access(&mut self) -> Result<GraphView<'_>, SourceError> {
+        Ok(self.view())
     }
 
     fn stream_pass(&mut self, sink: &mut dyn FnMut(&[Edge])) -> Result<PassStats, SourceError> {
-        Ok(csr_pass(self, sink))
+        Ok(csr_pass(self.view(), sink))
     }
 }
 
-/// A shared borrow of a [`CsrGraph`] as an [`EdgeSource`].
+/// A shared borrow of any CSR-backed graph as an [`EdgeSource`].
 ///
 /// `EdgeSource` consumers take `&mut dyn EdgeSource`, but experiment grids
 /// share one immutable graph across worker threads; this zero-cost wrapper
-/// gives each cell its own source handle over the shared graph.
+/// gives each cell its own source handle over the shared graph — whether
+/// that is an owned [`CsrGraph`] or a `.tlpg` v2 arena's [`GraphView`].
 #[derive(Debug)]
 pub struct CsrSource<'a> {
-    graph: &'a CsrGraph,
+    graph: GraphView<'a>,
 }
 
 impl<'a> CsrSource<'a> {
-    /// Wraps a shared graph reference.
-    pub fn new(graph: &'a CsrGraph) -> Self {
-        CsrSource { graph }
+    /// Wraps a shared graph reference or view.
+    pub fn new(graph: impl Into<GraphView<'a>>) -> Self {
+        CsrSource {
+            graph: graph.into(),
+        }
     }
 }
 
 impl EdgeSource for CsrSource<'_> {
     fn describe(&self) -> String {
-        self.graph.describe()
+        format!(
+            "csr({} vertices, {} edges)",
+            self.graph.num_vertices(),
+            self.graph.num_edges()
+        )
     }
 
     fn num_vertices_hint(&self) -> Option<usize> {
@@ -234,7 +272,7 @@ impl EdgeSource for CsrSource<'_> {
         true
     }
 
-    fn random_access(&mut self) -> Result<&CsrGraph, SourceError> {
+    fn random_access(&mut self) -> Result<GraphView<'_>, SourceError> {
         Ok(self.graph)
     }
 
@@ -264,6 +302,7 @@ mod tests {
         assert_eq!(degrees.iter().sum::<u32>() as usize, 2 * g.num_edges());
         let same = g.random_access().unwrap();
         assert_eq!(same.num_edges(), 5);
+        assert_eq!(same.edge_iter().count(), 5);
     }
 
     #[test]
@@ -290,7 +329,8 @@ mod tests {
             .stream_pass(&mut |chunk| seen.extend_from_slice(chunk))
             .unwrap();
         assert_eq!(seen, g.edges().to_vec());
-        assert_eq!(shared.random_access().unwrap(), &g);
+        let view = shared.random_access().unwrap();
+        assert_eq!(view.edge_iter().collect::<Vec<_>>(), g.edges().to_vec());
     }
 
     #[test]

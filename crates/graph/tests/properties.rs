@@ -131,3 +131,43 @@ fn generator_contracts() {
         assert_eq!(ConnectedComponents::find(&ge).count(), 1);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The binary-search `has_edge`/`edge_id` agree with the old linear
+    /// scan over the adjacency slice on every vertex pair.
+    #[test]
+    fn adjacency_lookup_matches_linear_scan(edges in arb_edges(60, 240)) {
+        let g = build(&edges);
+        for a in g.vertices() {
+            for b in g.vertices() {
+                let scan_hit = g.neighbors(a).contains(&b);
+                let scan_id = g
+                    .incident(a)
+                    .find(|&(w, _)| w == b)
+                    .map(|(_, id)| id);
+                prop_assert_eq!(g.has_edge(a, b), scan_hit, "has_edge({}, {})", a, b);
+                prop_assert_eq!(g.edge_id(a, b), scan_id, "edge_id({}, {})", a, b);
+                let v = g.view();
+                prop_assert_eq!(v.has_edge(a, b), scan_hit);
+                prop_assert_eq!(v.edge_id(a, b), scan_id);
+            }
+        }
+    }
+
+    /// A `GraphView` over a `CsrGraph` mirrors every read accessor.
+    #[test]
+    fn view_mirrors_csr(edges in arb_edges(60, 240)) {
+        let g = build(&edges);
+        let v = g.view();
+        prop_assert_eq!(v.num_vertices(), g.num_vertices());
+        prop_assert_eq!(v.num_edges(), g.num_edges());
+        for x in g.vertices() {
+            prop_assert_eq!(v.degree(x), g.degree(x));
+            prop_assert_eq!(v.neighbors(x), g.neighbors(x));
+        }
+        prop_assert_eq!(v.edge_iter().collect::<Vec<_>>(), g.edges().to_vec());
+        prop_assert_eq!(&v.to_csr_graph(), &g);
+    }
+}

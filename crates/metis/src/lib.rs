@@ -47,7 +47,7 @@ pub use wgraph::WeightedGraph;
 
 use tlp_baselines::{derive_edge_partition, VertexPartition};
 use tlp_core::{EdgePartition, EdgePartitioner, PartitionError};
-use tlp_graph::CsrGraph;
+use tlp_graph::GraphView;
 
 /// Tuning knobs of the multilevel scheme.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -100,11 +100,12 @@ impl MetisPartitioner {
     /// # Errors
     ///
     /// Returns [`PartitionError::ZeroPartitions`] when `num_partitions == 0`.
-    pub fn partition_vertices(
+    pub fn partition_vertices<'a>(
         &self,
-        graph: &CsrGraph,
+        graph: impl Into<GraphView<'a>>,
         num_partitions: usize,
     ) -> Result<VertexPartition, PartitionError> {
+        let graph = graph.into();
         if num_partitions == 0 {
             return Err(PartitionError::ZeroPartitions);
         }
@@ -119,9 +120,9 @@ impl EdgePartitioner for MetisPartitioner {
         "METIS"
     }
 
-    fn partition(
+    fn partition_view(
         &self,
-        graph: &CsrGraph,
+        graph: GraphView<'_>,
         num_partitions: usize,
     ) -> Result<EdgePartition, PartitionError> {
         let vp = self.partition_vertices(graph, num_partitions)?;

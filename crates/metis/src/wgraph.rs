@@ -1,6 +1,6 @@
 //! Weighted graph representation used throughout the multilevel scheme.
 
-use tlp_graph::CsrGraph;
+use tlp_graph::GraphView;
 
 /// An undirected graph with vertex and edge weights in CSR form.
 ///
@@ -17,8 +17,9 @@ pub struct WeightedGraph {
 }
 
 impl WeightedGraph {
-    /// Builds a unit-weight graph from a [`CsrGraph`].
-    pub fn from_csr(graph: &CsrGraph) -> Self {
+    /// Builds a unit-weight graph from any CSR-backed graph view.
+    pub fn from_csr<'a>(graph: impl Into<GraphView<'a>>) -> Self {
+        let graph = graph.into();
         let n = graph.num_vertices();
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0);

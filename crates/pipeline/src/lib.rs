@@ -198,11 +198,12 @@ pub fn builtin_names() -> Vec<&'static str> {
 /// [`PipelineError::Spec`] for an unsupported name or malformed
 /// parameter, [`PipelineError::Partition`] if `partition` does not cover
 /// `graph`'s edges.
-pub fn seeded_streaming_placer(
+pub fn seeded_streaming_placer<'a>(
     spec: &str,
-    graph: &tlp_graph::CsrGraph,
+    graph: impl Into<tlp_graph::GraphView<'a>>,
     partition: &tlp_core::EdgePartition,
 ) -> Result<Box<dyn StreamingPlacer + Send + Sync>, PipelineError> {
+    let graph = graph.into();
     let (name, param) = AlgorithmRegistry::parse_spec(spec);
     match name {
         "hdrf" => {

@@ -1,9 +1,10 @@
 //! Serves a partition store over TCP.
 //!
 //! ```text
-//! tlp-serve STORE_DIR [--addr HOST:PORT] [--placer SPEC] [--workers N]
-//!           [--queue-depth N] [--cache N] [--read-timeout-secs N]
-//!           [--write-timeout-ms N] [--wal-group-commit N]
+//! tlp-serve STORE_DIR [--graph FILE.tlpg] [--addr HOST:PORT] [--placer SPEC]
+//!           [--workers N] [--queue-depth N] [--cache N]
+//!           [--read-timeout-secs N] [--write-timeout-ms N]
+//!           [--wal-group-commit N]
 //! ```
 //!
 //! Prints `tlp-serve listening on ADDR` once the listener is bound (with
@@ -14,7 +15,10 @@
 //! appended to the store's durable WAL before it is acknowledged, and
 //! `Flush` rewrites the store in place through the atomic manifest-last
 //! commit (then truncates the WAL). On startup, WAL records left by a
-//! crash are replayed before serving begins.
+//! crash are replayed before serving begins. With `--graph`, the base
+//! graph is served from the given `.tlpg` file (for a v2 file, straight
+//! out of the zero-copy arena) and the store contributes only the edge
+//! assignment, cross-checked against the file.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -25,9 +29,9 @@ use tlp_serve::{serve, PartitionService, ServerConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tlp-serve STORE_DIR [--addr HOST:PORT] [--placer SPEC] [--workers N] \
-         [--queue-depth N] [--cache N] [--read-timeout-secs N] [--write-timeout-ms N] \
-         [--wal-group-commit N]"
+        "usage: tlp-serve STORE_DIR [--graph FILE.tlpg] [--addr HOST:PORT] [--placer SPEC] \
+         [--workers N] [--queue-depth N] [--cache N] [--read-timeout-secs N] \
+         [--write-timeout-ms N] [--wal-group-commit N]"
     );
     ExitCode::from(2)
 }
@@ -36,6 +40,7 @@ fn usage() -> ExitCode {
 #[derive(Debug)]
 struct Cli {
     store: PathBuf,
+    graph: Option<PathBuf>,
     addr: String,
     placer: String,
     config: ServerConfig,
@@ -47,6 +52,7 @@ struct Cli {
 /// an empty message means plain `--help`.
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut store: Option<PathBuf> = None;
+    let mut graph: Option<PathBuf> = None;
     let mut addr = "127.0.0.1:0".to_string();
     let mut placer = "hdrf".to_string();
     let mut config = ServerConfig::default();
@@ -59,6 +65,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         match arg.as_str() {
             "--help" | "-h" => return Err(String::new()),
             "--addr" => addr = value_for("--addr")?,
+            "--graph" => graph = Some(PathBuf::from(value_for("--graph")?)),
             "--placer" => placer = value_for("--placer")?,
             "--workers" => config.workers = parse(&value_for("--workers")?)?,
             "--queue-depth" => config.queue_depth = parse(&value_for("--queue-depth")?)?,
@@ -96,6 +103,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
     };
     Ok(Cli {
         store,
+        graph,
         addr,
         placer,
         config,
@@ -115,7 +123,13 @@ fn main() -> ExitCode {
         }
     };
 
-    let service = match PartitionService::open_store(&cli.store, &cli.placer, cli.cache) {
+    let service = match &cli.graph {
+        Some(graph) => {
+            PartitionService::open_store_with_graph(&cli.store, graph, &cli.placer, cli.cache)
+        }
+        None => PartitionService::open_store(&cli.store, &cli.placer, cli.cache),
+    };
+    let service = match service {
         Ok(service) => service,
         Err(error) => return fail(&format!("{}: {error}", cli.store.display())),
     };

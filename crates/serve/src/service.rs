@@ -17,14 +17,16 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 use tlp_baselines::StreamingPlacer;
 use tlp_core::{EdgePartition, PartitionId};
-use tlp_graph::{CsrGraph, Edge, VertexId};
+use tlp_graph::{CsrGraph, Edge, GraphView, VertexId};
 use tlp_obs::counter;
-use tlp_store::{write_partition_store, PartitionStoreReader, PlacementWal, StoreError, WalRecord};
+use tlp_store::{
+    write_partition_store, LoadedGraph, PartitionStoreReader, PlacementWal, StoreError, WalRecord,
+};
 
 use crate::cache::{CachedVertex, VertexCache};
 use crate::protocol::{ErrorCode, HealthReport, Request, Response, ServeStats};
@@ -85,9 +87,31 @@ struct MutableState {
     wal_poisoned: bool,
 }
 
+/// Backing storage for the served base graph.
+///
+/// `Owned` is a service-private CSR (built in memory or rebuilt from a
+/// partition store's segments). `Arena` co-owns a [`LoadedGraph`] — for
+/// v2 files a zero-copy arena — so any number of services, trial runners,
+/// and benchmarks can share one immutable graph instead of N copies. All
+/// read paths go through [`ServedGraph::view`], so request handling is
+/// identical for both backings.
+enum ServedGraph {
+    Owned(CsrGraph),
+    Arena(Arc<LoadedGraph>),
+}
+
+impl ServedGraph {
+    fn view(&self) -> GraphView<'_> {
+        match self {
+            ServedGraph::Owned(graph) => graph.view(),
+            ServedGraph::Arena(loaded) => loaded.view(),
+        }
+    }
+}
+
 /// The served graph + partition pair and all request handling.
 pub struct PartitionService {
-    graph: CsrGraph,
+    graph: ServedGraph,
     base: EdgePartition,
     store_dir: Option<PathBuf>,
     state: RwLock<MutableState>,
@@ -115,7 +139,32 @@ impl PartitionService {
         spec: &str,
         cache_capacity: usize,
     ) -> Result<Self, ServiceError> {
-        let placer = tlp_pipeline::seeded_streaming_placer(spec, &graph, &partition)
+        Self::build(ServedGraph::Owned(graph), partition, spec, cache_capacity)
+    }
+
+    /// Wraps a [`LoadedGraph`] behind an `Arc`, sharing its storage (for
+    /// v2 files, the zero-copy arena) with every other holder instead of
+    /// copying the graph into the service.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PartitionService::new`].
+    pub fn from_loaded(
+        loaded: Arc<LoadedGraph>,
+        partition: EdgePartition,
+        spec: &str,
+        cache_capacity: usize,
+    ) -> Result<Self, ServiceError> {
+        Self::build(ServedGraph::Arena(loaded), partition, spec, cache_capacity)
+    }
+
+    fn build(
+        graph: ServedGraph,
+        partition: EdgePartition,
+        spec: &str,
+        cache_capacity: usize,
+    ) -> Result<Self, ServiceError> {
+        let placer = tlp_pipeline::seeded_streaming_placer(spec, graph.view(), &partition)
             .map_err(|e| ServiceError::Config(e.to_string()))?;
         Ok(PartitionService {
             graph,
@@ -159,35 +208,69 @@ impl PartitionService {
         let reader = PartitionStoreReader::open(dir)?;
         let (graph, partition) = reader.load()?;
         let mut service = PartitionService::new(graph, partition, spec, cache_capacity)?;
-        service.store_dir = Some(dir.to_path_buf());
+        service.attach_store(dir)?;
+        Ok(service)
+    }
+
+    /// Opens a partition store directory but serves the base graph from
+    /// `graph_path` instead of rebuilding a CSR out of the store's
+    /// segments: the file opens through [`LoadedGraph`] (for a v2 file,
+    /// the zero-copy arena) and the segments contribute only the edge
+    /// assignment, cross-checked edge by edge against the file. Flushes
+    /// write back into `dir`, same as [`PartitionService::open_store`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PartitionService::open_store`] reports, plus
+    /// [`ServiceError::Store`] when the graph file and the store disagree
+    /// on the edge set (they do not belong together).
+    pub fn open_store_with_graph(
+        dir: &Path,
+        graph_path: &Path,
+        spec: &str,
+        cache_capacity: usize,
+    ) -> Result<Self, ServiceError> {
+        let loaded = Arc::new(LoadedGraph::open(graph_path)?);
+        let reader = PartitionStoreReader::open(dir)?;
+        let partition = reader.load_assignment(loaded.view())?;
+        let mut service = Self::build(ServedGraph::Arena(loaded), partition, spec, cache_capacity)?;
+        service.attach_store(dir)?;
+        Ok(service)
+    }
+
+    /// Marks `dir` as this service's backing store and replays its
+    /// placement WAL (every placement acknowledged before a crash)
+    /// through the normal dedup path: records whose edge already reached
+    /// the base graph are skipped, the rest re-drive the seeded placer,
+    /// which by construction re-derives the recorded partitions.
+    fn attach_store(&mut self, dir: &Path) -> Result<(), ServiceError> {
+        self.store_dir = Some(dir.to_path_buf());
 
         let (wal, replay) = PlacementWal::open(dir)?;
-        {
-            let state = service.state.get_mut().unwrap_or_else(|e| e.into_inner());
-            for record in &replay.records {
-                let (source, target) = (record.u, record.v);
-                // Dedup path, same as a live PlaceEdge: base-graph edges
-                // were flushed before the crash, duplicates are impossible
-                // by the append-only-on-fresh rule but harmless.
-                if service.graph.edge_id(source, target).is_some()
-                    || state.placements.contains_key(&(source, target))
-                {
-                    continue;
-                }
-                let pid = state.placer.place(source, target);
-                if pid != record.partition {
-                    return Err(ServiceError::Config(format!(
-                        "wal replay of edge ({source},{target}) placed into partition {pid}, \
-                         but the log recorded {} — store and wal do not belong together",
-                        record.partition
-                    )));
-                }
-                Self::register_placement(state, source, target, pid);
-                counter("serve.wal.replayed", 1);
+        let state = self.state.get_mut().unwrap_or_else(|e| e.into_inner());
+        for record in &replay.records {
+            let (source, target) = (record.u, record.v);
+            // Dedup path, same as a live PlaceEdge: base-graph edges
+            // were flushed before the crash, duplicates are impossible
+            // by the append-only-on-fresh rule but harmless.
+            if self.graph.view().edge_id(source, target).is_some()
+                || state.placements.contains_key(&(source, target))
+            {
+                continue;
             }
-            state.wal = Some(wal);
+            let pid = state.placer.place(source, target);
+            if pid != record.partition {
+                return Err(ServiceError::Config(format!(
+                    "wal replay of edge ({source},{target}) placed into partition {pid}, \
+                     but the log recorded {} — store and wal do not belong together",
+                    record.partition
+                )));
+            }
+            Self::register_placement(state, source, target, pid);
+            counter("serve.wal.replayed", 1);
         }
-        Ok(service)
+        state.wal = Some(wal);
+        Ok(())
     }
 
     /// Sets the WAL group-commit interval (see
@@ -199,9 +282,9 @@ impl PartitionService {
         }
     }
 
-    /// The served base graph.
-    pub fn graph(&self) -> &CsrGraph {
-        &self.graph
+    /// A borrowed view of the served base graph.
+    pub fn graph(&self) -> GraphView<'_> {
+        self.graph.view()
     }
 
     /// Number of partitions served.
@@ -263,21 +346,21 @@ impl PartitionService {
             cache_misses: self.cache.misses(),
             cache_evictions: self.cache.evictions(),
             pending_placements: state.pending,
-            num_vertices: self.graph.num_vertices() as u64,
+            num_vertices: self.graph.view().num_vertices() as u64,
             num_partitions: self.base.num_partitions() as u64,
-            num_edges: self.graph.num_edges() as u64,
+            num_edges: self.graph.view().num_edges() as u64,
             ..ServeStats::default()
         }
     }
 
     fn in_range(&self, vertex: VertexId) -> bool {
-        (vertex as usize) < self.graph.num_vertices()
+        (vertex as usize) < self.graph.view().num_vertices()
     }
 
     /// Per-partition incident-edge counts for `vertex`, base + placed.
     fn partition_counts(&self, state: &MutableState, vertex: VertexId) -> Vec<u64> {
         let mut counts = vec![0u64; self.base.num_partitions()];
-        for (_, eid) in self.graph.incident(vertex) {
+        for (_, eid) in self.graph.view().incident(vertex) {
             counts[self.base.partition_of(eid) as usize] += 1;
         }
         if let Some(placed) = state.adjacency.get(&vertex) {
@@ -346,7 +429,7 @@ impl PartitionService {
             });
         }
         let edge = Edge::new(u, v);
-        if let Some(eid) = self.graph.edge_id(edge.source(), edge.target()) {
+        if let Some(eid) = self.graph.view().edge_id(edge.source(), edge.target()) {
             return Response::EdgeInfo {
                 partition: self.base.partition_of(eid),
             };
@@ -370,6 +453,7 @@ impl PartitionService {
         let state = self.state.read().unwrap_or_else(|e| e.into_inner());
         let mut neighbors: Vec<u32> = self
             .graph
+            .view()
             .incident(vertex)
             .filter(|&(_, eid)| self.base.partition_of(eid) == partition)
             .map(|(n, _)| n)
@@ -413,7 +497,7 @@ impl PartitionService {
         // Base-graph edges and duplicate placements are idempotent: report
         // the existing partition without consulting the placer, so the
         // placer's decision sequence depends only on *fresh* edges.
-        if let Some(eid) = self.graph.edge_id(source, target) {
+        if let Some(eid) = self.graph.view().edge_id(source, target) {
             return Response::Placed {
                 partition: self.base.partition_of(eid),
                 fresh: false,
@@ -519,19 +603,20 @@ impl PartitionService {
             .collect();
         placed.sort_unstable_by_key(|&(e, _)| e);
 
-        let base_edges = self.graph.edges();
-        let mut edges = Vec::with_capacity(base_edges.len() + placed.len());
-        let mut assignment = Vec::with_capacity(base_edges.len() + placed.len());
+        let graph = self.graph.view();
+        let base_len = graph.num_edges();
+        let mut edges = Vec::with_capacity(base_len + placed.len());
+        let mut assignment = Vec::with_capacity(base_len + placed.len());
         let mut bi = 0usize;
         let mut pi = 0usize;
-        while bi < base_edges.len() || pi < placed.len() {
-            let take_base = match (base_edges.get(bi), placed.get(pi)) {
-                (Some(b), Some((p, _))) => b < p,
-                (Some(_), None) => true,
+        while bi < base_len || pi < placed.len() {
+            let take_base = match (bi < base_len, placed.get(pi)) {
+                (true, Some(&(p, _))) => graph.edge(bi as u32) < p,
+                (true, None) => true,
                 _ => false,
             };
             if take_base {
-                edges.push(base_edges[bi]);
+                edges.push(graph.edge(bi as u32));
                 assignment.push(self.base.partition_of(bi as u32));
                 bi += 1;
             } else {
@@ -542,7 +627,7 @@ impl PartitionService {
             }
         }
 
-        let merged_graph = CsrGraph::from_sorted_canonical_edges(self.graph.num_vertices(), edges)
+        let merged_graph = CsrGraph::from_sorted_canonical_edges(graph.num_vertices(), edges)
             .map_err(|e| ServiceError::Config(e.to_string()))?;
         let merged_partition = EdgePartition::new(self.base.num_partitions(), assignment)
             .map_err(|e| ServiceError::Config(e.to_string()))?;
@@ -724,6 +809,62 @@ mod tests {
         assert_eq!(graph.num_edges(), 5);
         let eid = graph.edge_id(1, 3).expect("flushed edge present");
         assert_eq!(part.partition_of(eid), partition);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_store_with_graph_serves_from_the_arena() {
+        let dir = std::env::temp_dir().join(format!(
+            "tlp-serve-arena-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let built = service();
+        let store_dir = dir.join("store");
+        write_partition_store(&store_dir, built.graph(), &built.base).unwrap();
+        let graph_path = dir.join("graph.tlpg");
+        tlp_store::write_graph(
+            &graph_path,
+            &built.graph().to_csr_graph(),
+            &tlp_store::WriteOptions::default(),
+        )
+        .unwrap();
+
+        // Every request answered from the arena must match the
+        // segment-rebuilt service bit for bit.
+        let rebuilt = PartitionService::open_store(&store_dir, "greedy", 128).unwrap();
+        let arena = PartitionService::open_store_with_graph(&store_dir, &graph_path, "greedy", 128)
+            .unwrap();
+        for request in [
+            Request::VertexLookup { vertex: 2 },
+            Request::EdgeLookup { u: 0, v: 2 },
+            Request::Neighbors {
+                vertex: 1,
+                partition: 0,
+            },
+            Request::Stats,
+        ] {
+            assert_eq!(arena.handle(&request), rebuilt.handle(&request), "{request:?}");
+        }
+
+        // A graph that does not match the store is rejected, not served.
+        let other = GraphBuilder::new()
+            .reserve_vertices(5)
+            .add_edges([(0, 1), (1, 2), (2, 3), (1, 3)])
+            .build();
+        let other_path = dir.join("other.tlpg");
+        tlp_store::write_graph(&other_path, &other, &tlp_store::WriteOptions::default()).unwrap();
+        let err = match PartitionService::open_store_with_graph(&store_dir, &other_path, "greedy", 128)
+        {
+            Ok(_) => panic!("a graph that does not match the store was accepted"),
+            Err(err) => err,
+        };
+        assert!(
+            matches!(err, ServiceError::Store(StoreError::Corrupt(_))),
+            "{err:?}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,26 +1,29 @@
 //! Convert graphs between text edge lists and the `.tlpg` binary format.
 //!
 //! ```text
-//! tlp-convert to-bin <input.txt> <output.tlpg>    text edge list -> binary
+//! tlp-convert to-bin <input.txt> <output.tlpg>    text edge list -> binary (v2)
 //! tlp-convert to-text <input.tlpg> <output.txt>   binary -> text edge list
-//! tlp-convert info <input.tlpg>                   print header summary
+//! tlp-convert upgrade <input.tlpg>                rewrite a v1 file as v2 in place
+//! tlp-convert info <input.tlpg>                   print header and section summary
 //! ```
 
 use std::path::Path;
 use std::process::ExitCode;
 use tlp_store::format::SourceStamp;
-use tlp_store::{write_graph, StoreReader, WriteOptions};
+use tlp_store::{write_graph, FormatVersion, StoreReader, WriteOptions, VERSION_V2};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
         ["to-bin", input, output] => to_bin(Path::new(input), Path::new(output)),
         ["to-text", input, output] => to_text(Path::new(input), Path::new(output)),
+        ["upgrade", input] => upgrade(Path::new(input)),
         ["info", input] => info(Path::new(input)),
         _ => {
             eprintln!(
                 "usage: tlp-convert to-bin <input.txt> <output.tlpg>\n       \
                  tlp-convert to-text <input.tlpg> <output.txt>\n       \
+                 tlp-convert upgrade <input.tlpg>\n       \
                  tlp-convert info <input.tlpg>"
             );
             return ExitCode::from(2);
@@ -41,11 +44,12 @@ fn to_bin(input: &Path, output: &Path) -> Result<(), String> {
     let options = WriteOptions {
         original_ids: Some(loaded.original_ids),
         source: SourceStamp::of_file(input).ok(),
+        version: FormatVersion::V2,
     };
     write_graph(output, &loaded.graph, &options)
         .map_err(|e| format!("writing {}: {e}", output.display()))?;
     println!(
-        "wrote {} ({} vertices, {} edges)",
+        "wrote {} ({} vertices, {} edges, format v{VERSION_V2})",
         output.display(),
         loaded.graph.num_vertices(),
         loaded.graph.num_edges()
@@ -72,12 +76,44 @@ fn to_text(input: &Path, output: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// Rewrites a v1 file in the v2 (embedded-CSR) layout, in place. The write
+/// goes through the store's atomic temp-file + rename path, so a crash
+/// mid-upgrade leaves the original file intact. Already-v2 files are left
+/// untouched.
+fn upgrade(input: &Path) -> Result<(), String> {
+    let reader =
+        StoreReader::open(input).map_err(|e| format!("opening {}: {e}", input.display()))?;
+    let version = reader.version();
+    if version >= VERSION_V2 {
+        println!("{} is already format v{version}", input.display());
+        return Ok(());
+    }
+    let source = reader.header().source;
+    let stored = reader
+        .read_graph()
+        .map_err(|e| format!("reading {}: {e}", input.display()))?;
+    let options = WriteOptions {
+        original_ids: stored.original_ids,
+        source: (source != SourceStamp::UNKNOWN).then_some(source),
+        version: FormatVersion::V2,
+    };
+    write_graph(input, &stored.graph, &options)
+        .map_err(|e| format!("rewriting {}: {e}", input.display()))?;
+    println!(
+        "upgraded {} to format v{VERSION_V2} ({} vertices, {} edges)",
+        input.display(),
+        stored.graph.num_vertices(),
+        stored.graph.num_edges()
+    );
+    Ok(())
+}
+
 fn info(input: &Path) -> Result<(), String> {
     let reader =
         StoreReader::open(input).map_err(|e| format!("opening {}: {e}", input.display()))?;
     let header = reader.header();
     println!("file:         {}", input.display());
-    println!("format:       tlpg v{}", tlp_store::VERSION);
+    println!("format:       tlpg v{}", reader.version());
     println!("vertices:     {}", header.num_vertices);
     println!("edges:        {}", header.num_edges);
     println!(
@@ -89,6 +125,13 @@ fn info(input: &Path) -> Result<(), String> {
         println!("source:       unknown");
     } else {
         println!("source:       len={} mtime={}", source.len, source.mtime);
+    }
+    println!("sections:");
+    for section in reader.section_infos() {
+        println!(
+            "  {:<4} offset={:<10} len={:<12} checksum={:016x}",
+            section.name, section.payload_pos, section.payload_len, section.checksum
+        );
     }
     Ok(())
 }

@@ -1,10 +1,10 @@
 //! The `.tlpg` binary graph format: constants, header layout, checksums.
 //!
-//! # Layout (version 1, all integers little-endian)
+//! # Layout (all integers little-endian)
 //!
 //! ```text
 //! [ 0.. 8)  magic           b"TLPSTORE"
-//! [ 8..12)  version         u32 (= 1)
+//! [ 8..12)  version         u32 (1 or 2)
 //! [12..16)  flags           u32 (bit 0: original-ids section present)
 //! [16..24)  num_vertices    u64
 //! [24..32)  num_edges       u64
@@ -19,24 +19,44 @@
 //! tag u32 | reserved u32 | payload_len u64 | payload_checksum u64 | payload
 //! ```
 //!
-//! in fixed order: `DEGS` (one `u32` degree per vertex — the CSR offset
-//! array in delta form), `EDGE` (the canonical sorted edge table, one
-//! `(u: u32, v: u32)` pair per undirected edge, written and read in
-//! bounded-size chunks of [`CHUNK_EDGES`]), and optionally `OIDS` (one
-//! `u64` original id per vertex, for graphs densified from text files).
+//! **Version 1** sections, in fixed order: `DEGS` (one `u32` degree per
+//! vertex — the CSR offset array in delta form), `EDGE` (the canonical
+//! sorted edge table, one `(u: u32, v: u32)` pair per undirected edge,
+//! written and read in bounded-size chunks of [`CHUNK_EDGES`]), and
+//! optionally `OIDS` (one `u64` original id per vertex, for graphs
+//! densified from text files). Opening a v1 file decodes the edge table
+//! and rebuilds the CSR arrays in memory.
 //!
-//! Every section carries its own [`Checksum`] (a word-folded FNV-1a 64)
-//! so a single flipped byte anywhere in the file is detected as a typed
-//! [`StoreError::ChecksumMismatch`],
-//! never as a wrong answer.
+//! **Version 2** embeds the CSR arrays themselves so opening is one bulk
+//! read plus checksum validation — zero per-edge decode, no CSR rebuild.
+//! Fixed section order: `OFFS` (`(n+1) × u64` vertex offsets — degrees are
+//! derived by differencing, so `DEGS` is dropped), `ADJV` (`2m × u32`
+//! neighbor ids, sorted ascending per vertex), `ADJE` (`2m × u32` arc edge
+//! ids, parallel to `ADJV`), `EDGE` (identical payload to v1, which keeps
+//! sequential streaming format-agnostic), and optionally `OIDS`. Every v2
+//! payload length is a multiple of 8 and the header (56) plus frame (24)
+//! bytes sum to 80, so **every v2 payload begins 8-byte-aligned** — the
+//! invariant that lets a reader lend `u64`/`u32` slices straight out of
+//! one aligned arena ([`crate::GraphBuf`]).
+//!
+//! Every section carries its own checksum so a single flipped byte
+//! anywhere in the file is detected as a typed
+//! [`StoreError::ChecksumMismatch`], never as a wrong answer. v1 sections
+//! use [`Checksum`] (word-folded FNV-1a 64); v2 sections use
+//! [`WideChecksum`] (eight interleaved rotate-add lanes), which drops the
+//! serial multiply dependency chain entirely and checksums the much larger
+//! embedded CSR payloads at memory bandwidth.
+//! [`SectionHasher`] picks the right one for a file's version.
 
 use crate::StoreError;
 use std::io::Read;
 
 /// File magic for the binary graph format.
 pub const MAGIC: [u8; 8] = *b"TLPSTORE";
-/// Current format version.
+/// Format version 1: degree + edge sections, CSR rebuilt on open.
 pub const VERSION: u32 = 1;
+/// Format version 2: embedded CSR sections, zero-copy open.
+pub const VERSION_V2: u32 = 2;
 /// Header flag: the file carries an `OIDS` section.
 pub const FLAG_ORIGINAL_IDS: u32 = 1;
 /// Byte length of the fixed header (including its checksum).
@@ -45,12 +65,42 @@ pub const HEADER_LEN: usize = 56;
 /// `CHUNK_EDGES * 8` bytes (512 KiB) regardless of graph size.
 pub const CHUNK_EDGES: usize = 65_536;
 
-/// Section tag: per-vertex degrees.
+/// Section tag: per-vertex degrees (v1 only).
 pub const TAG_DEGREES: u32 = u32::from_le_bytes(*b"DEGS");
 /// Section tag: canonical edge table.
 pub const TAG_EDGES: u32 = u32::from_le_bytes(*b"EDGE");
 /// Section tag: original vertex ids.
 pub const TAG_ORIGINAL_IDS: u32 = u32::from_le_bytes(*b"OIDS");
+/// Section tag: CSR vertex offsets, `(n+1) × u64` (v2 only).
+pub const TAG_OFFSETS: u32 = u32::from_le_bytes(*b"OFFS");
+/// Section tag: CSR neighbor ids, `2m × u32` (v2 only).
+pub const TAG_ADJ_VERTEX: u32 = u32::from_le_bytes(*b"ADJV");
+/// Section tag: CSR arc edge ids, `2m × u32` (v2 only).
+pub const TAG_ADJ_EDGE: u32 = u32::from_le_bytes(*b"ADJE");
+
+/// Which on-disk layout to write.
+///
+/// New writes default to [`FormatVersion::V2`]; v1 remains writable for
+/// compatibility fixtures and for tools that must interoperate with old
+/// readers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FormatVersion {
+    /// Version 1: degree + edge sections, CSR rebuilt on open.
+    V1,
+    /// Version 2: embedded CSR sections, zero-copy open.
+    #[default]
+    V2,
+}
+
+impl FormatVersion {
+    /// The version number written to the header.
+    pub fn number(self) -> u32 {
+        match self {
+            FormatVersion::V1 => VERSION,
+            FormatVersion::V2 => VERSION_V2,
+        }
+    }
+}
 
 /// Incremental FNV-1a 64 checksum, folded one little-endian `u64` word at
 /// a time; a tail shorter than a word is folded byte-wise. Word folding
@@ -67,8 +117,8 @@ pub struct Checksum {
 }
 
 impl Checksum {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    pub(crate) const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    pub(crate) const PRIME: u64 = 0x0000_0100_0000_01b3;
 
     /// Starts a fresh checksum.
     pub fn new() -> Self {
@@ -128,6 +178,179 @@ impl Default for Checksum {
     }
 }
 
+/// Eight interleaved rotate-add lanes: the v2 section checksum.
+///
+/// Input is consumed in 64-byte blocks; word `i` of each block folds into
+/// lane `i` with a multiply-free xor–rotate–add step, so the eight chains
+/// are independent, every operation is single-cycle, and the sweep runs
+/// at memory bandwidth — several times the throughput of the serial FNV
+/// chain in [`Checksum`] on the multi-megabyte embedded CSR sections. The
+/// final value folds the lanes together in order, then the total byte
+/// length (which also disambiguates trailing zeros). Like [`Checksum`],
+/// each step is a bijection of its lane, so any single flipped byte
+/// changes the final value, and the result is independent of how input is
+/// split across [`WideChecksum::update`] calls.
+#[derive(Clone, Copy, Debug)]
+pub struct WideChecksum {
+    lanes: [u64; 8],
+    pending: [u8; 64],
+    pending_len: usize,
+    total: u64,
+}
+
+impl WideChecksum {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        let mut lanes = [0u64; 8];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            // Distinct offsets per lane so permuting equal-valued words
+            // across lanes still perturbs the final fold.
+            *lane = Checksum::OFFSET ^ (i as u64);
+        }
+        WideChecksum {
+            lanes,
+            pending: [0; 64],
+            pending_len: 0,
+            total: 0,
+        }
+    }
+
+    /// One lane step: inject the word, rotate, add an odd constant. Each
+    /// step is a bijection of the lane (xor, rotation, and addition are
+    /// all invertible), so any single corrupted word still guarantees a
+    /// different final value. Unlike the FNV fold in [`Checksum`] there
+    /// is no multiply: the 64-bit multiply chain tops out well below
+    /// single-core memory bandwidth, while rotate + add sweeps sections
+    /// as fast as they can be read.
+    fn fold(h: u64, word: u64) -> u64 {
+        (h ^ word).rotate_left(29).wrapping_add(Checksum::PRIME)
+    }
+
+    fn fold_block(lanes: &mut [u64; 8], block: &[u8]) {
+        for (i, word) in block.chunks_exact(8).enumerate() {
+            let w = u64::from_le_bytes(word.try_into().expect("8 bytes"));
+            lanes[i] = Self::fold(lanes[i], w);
+        }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        self.total += bytes.len() as u64;
+        if self.pending_len > 0 {
+            let take = (64 - self.pending_len).min(bytes.len());
+            self.pending[self.pending_len..self.pending_len + take].copy_from_slice(&bytes[..take]);
+            self.pending_len += take;
+            bytes = &bytes[take..];
+            if self.pending_len < 64 {
+                return;
+            }
+            let block = self.pending;
+            Self::fold_block(&mut self.lanes, &block);
+            self.pending_len = 0;
+        }
+        // Fast path: when the input is 8-byte aligned in memory (every
+        // arena payload and writer buffer is), fold whole 64-byte blocks
+        // straight from `u64` words, keeping the eight lanes in
+        // registers. `u64::from_le` makes the value match the byte-wise
+        // path on any host.
+        let whole = bytes.len() - bytes.len() % 64;
+        if let Ok(words) = bytemuck::try_cast_slice::<u8, u64>(&bytes[..whole]) {
+            // Named locals (not an indexed array) so the eight lanes live
+            // in registers across the loop instead of spilling.
+            let [mut l0, mut l1, mut l2, mut l3, mut l4, mut l5, mut l6, mut l7] = self.lanes;
+            for block in words.chunks_exact(8) {
+                let block: &[u64; 8] = block.try_into().expect("8 words");
+                l0 = Self::fold(l0, u64::from_le(block[0]));
+                l1 = Self::fold(l1, u64::from_le(block[1]));
+                l2 = Self::fold(l2, u64::from_le(block[2]));
+                l3 = Self::fold(l3, u64::from_le(block[3]));
+                l4 = Self::fold(l4, u64::from_le(block[4]));
+                l5 = Self::fold(l5, u64::from_le(block[5]));
+                l6 = Self::fold(l6, u64::from_le(block[6]));
+                l7 = Self::fold(l7, u64::from_le(block[7]));
+            }
+            self.lanes = [l0, l1, l2, l3, l4, l5, l6, l7];
+            bytes = &bytes[whole..];
+        }
+        let mut blocks = bytes.chunks_exact(64);
+        for block in &mut blocks {
+            Self::fold_block(&mut self.lanes, block);
+        }
+        let tail = blocks.remainder();
+        self.pending[..tail.len()].copy_from_slice(tail);
+        self.pending_len = tail.len();
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn value(&self) -> u64 {
+        let mut lanes = self.lanes;
+        let pending = &self.pending[..self.pending_len];
+        let mut words = pending.chunks_exact(8);
+        for (i, word) in (&mut words).enumerate() {
+            let w = u64::from_le_bytes(word.try_into().expect("8 bytes"));
+            lanes[i] = Self::fold(lanes[i], w);
+        }
+        let mut h = Checksum::OFFSET;
+        for lane in lanes {
+            h = Self::fold(h, lane);
+        }
+        for &b in words.remainder() {
+            h = Self::fold(h, u64::from(b));
+        }
+        Self::fold(h, self.total)
+    }
+
+    /// One-shot convenience: the checksum of `bytes`.
+    pub fn of(bytes: &[u8]) -> u64 {
+        let mut c = WideChecksum::new();
+        c.update(bytes);
+        c.value()
+    }
+}
+
+impl Default for WideChecksum {
+    fn default() -> Self {
+        WideChecksum::new()
+    }
+}
+
+/// The section checksum algorithm for a given format version:
+/// [`Checksum`] for v1 sections, [`WideChecksum`] for v2.
+#[derive(Clone, Copy, Debug)]
+pub enum SectionHasher {
+    /// Single-lane word-folded FNV-1a 64 (v1).
+    Plain(Checksum),
+    /// Eight-lane interleaved rotate-add (v2).
+    Wide(WideChecksum),
+}
+
+impl SectionHasher {
+    /// The hasher used by section payloads of `version`.
+    pub fn for_version(version: u32) -> SectionHasher {
+        if version >= VERSION_V2 {
+            SectionHasher::Wide(WideChecksum::new())
+        } else {
+            SectionHasher::Plain(Checksum::new())
+        }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        match self {
+            SectionHasher::Plain(c) => c.update(bytes),
+            SectionHasher::Wide(c) => c.update(bytes),
+        }
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn value(&self) -> u64 {
+        match self {
+            SectionHasher::Plain(c) => c.value(),
+            SectionHasher::Wide(c) => c.value(),
+        }
+    }
+}
+
 /// Provenance stamp of the text file a binary store was converted from,
 /// used to detect stale caches. `UNKNOWN` marks stores not derived from a
 /// text source (e.g. written straight from a generator).
@@ -166,6 +389,8 @@ impl SourceStamp {
 /// The decoded fixed header of a `.tlpg` file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Header {
+    /// Format version ([`VERSION`] or [`VERSION_V2`]).
+    pub version: u32,
     /// Number of vertices (including isolated ones).
     pub num_vertices: u64,
     /// Number of undirected edges.
@@ -181,7 +406,7 @@ impl Header {
     pub fn encode(&self) -> [u8; HEADER_LEN] {
         let mut out = [0u8; HEADER_LEN];
         out[0..8].copy_from_slice(&MAGIC);
-        out[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        out[8..12].copy_from_slice(&self.version.to_le_bytes());
         let flags = if self.has_original_ids {
             FLAG_ORIGINAL_IDS
         } else {
@@ -210,7 +435,7 @@ impl Header {
             return Err(StoreError::BadMagic { found });
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != VERSION {
+        if version != VERSION && version != VERSION_V2 {
             return Err(StoreError::UnsupportedVersion { found: version });
         }
         let expected = u64::from_le_bytes(bytes[48..56].try_into().expect("8 bytes"));
@@ -224,6 +449,7 @@ impl Header {
         }
         let flags = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
         Ok(Header {
+            version,
             num_vertices: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
             num_edges: u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
             has_original_ids: flags & FLAG_ORIGINAL_IDS != 0,
@@ -293,6 +519,9 @@ pub fn tag_name(tag: u32) -> &'static str {
         TAG_DEGREES => "DEGS",
         TAG_EDGES => "EDGE",
         TAG_ORIGINAL_IDS => "OIDS",
+        TAG_OFFSETS => "OFFS",
+        TAG_ADJ_VERTEX => "ADJV",
+        TAG_ADJ_EDGE => "ADJE",
         _ => "unknown",
     }
 }
@@ -333,19 +562,23 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        let h = Header {
-            num_vertices: 10,
-            num_edges: 25,
-            has_original_ids: true,
-            source: SourceStamp { len: 99, mtime: 7 },
-        };
-        let decoded = Header::decode(&h.encode()).unwrap();
-        assert_eq!(h, decoded);
+        for version in [VERSION, VERSION_V2] {
+            let h = Header {
+                version,
+                num_vertices: 10,
+                num_edges: 25,
+                has_original_ids: true,
+                source: SourceStamp { len: 99, mtime: 7 },
+            };
+            let decoded = Header::decode(&h.encode()).unwrap();
+            assert_eq!(h, decoded);
+        }
     }
 
     #[test]
     fn header_rejects_bad_magic_version_and_checksum() {
         let h = Header {
+            version: VERSION,
             num_vertices: 1,
             num_edges: 0,
             has_original_ids: false,
@@ -405,6 +638,69 @@ mod tests {
         assert_eq!(tag_name(TAG_DEGREES), "DEGS");
         assert_eq!(tag_name(TAG_EDGES), "EDGE");
         assert_eq!(tag_name(TAG_ORIGINAL_IDS), "OIDS");
+        assert_eq!(tag_name(TAG_OFFSETS), "OFFS");
+        assert_eq!(tag_name(TAG_ADJ_VERTEX), "ADJV");
+        assert_eq!(tag_name(TAG_ADJ_EDGE), "ADJE");
         assert_eq!(tag_name(0), "unknown");
+    }
+
+    #[test]
+    fn wide_checksum_is_split_invariant() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|x| x.to_le_bytes()).collect();
+        let oneshot = WideChecksum::of(&data);
+        // Every awkward split boundary must produce the same value.
+        for split in [0, 1, 7, 8, 63, 64, 65, 100, 999, data.len()] {
+            let mut inc = WideChecksum::new();
+            inc.update(&data[..split]);
+            inc.update(&data[split..]);
+            assert_eq!(inc.value(), oneshot, "split at {split}");
+        }
+        let mut dribble = WideChecksum::new();
+        for b in &data {
+            dribble.update(std::slice::from_ref(b));
+        }
+        assert_eq!(dribble.value(), oneshot);
+    }
+
+    #[test]
+    fn wide_checksum_detects_single_bit_flips_and_length() {
+        let data = vec![0xA5u8; 512];
+        let base = WideChecksum::of(&data);
+        for pos in [0, 7, 8, 63, 64, 200, 511] {
+            let mut flipped = data.clone();
+            flipped[pos] ^= 1;
+            assert_ne!(WideChecksum::of(&flipped), base, "flip at {pos}");
+        }
+        // Same content, different length (trailing zeros) must differ.
+        let mut longer = data.clone();
+        longer.push(0);
+        assert_ne!(WideChecksum::of(&longer), base);
+        // Swapping two equal-position words across lanes changes the value.
+        let mut swapped = data.clone();
+        swapped[..8].copy_from_slice(&1u64.to_le_bytes());
+        swapped[8..16].copy_from_slice(&2u64.to_le_bytes());
+        let a = WideChecksum::of(&swapped);
+        swapped[..8].copy_from_slice(&2u64.to_le_bytes());
+        swapped[8..16].copy_from_slice(&1u64.to_le_bytes());
+        assert_ne!(WideChecksum::of(&swapped), a);
+    }
+
+    #[test]
+    fn section_hasher_matches_version() {
+        let data = b"some payload bytes".as_slice();
+        let mut v1 = SectionHasher::for_version(VERSION);
+        v1.update(data);
+        assert_eq!(v1.value(), Checksum::of(data));
+        let mut v2 = SectionHasher::for_version(VERSION_V2);
+        v2.update(data);
+        assert_eq!(v2.value(), WideChecksum::of(data));
+        assert_ne!(v1.value(), v2.value());
+    }
+
+    #[test]
+    fn format_version_numbers() {
+        assert_eq!(FormatVersion::default(), FormatVersion::V2);
+        assert_eq!(FormatVersion::V1.number(), VERSION);
+        assert_eq!(FormatVersion::V2.number(), VERSION_V2);
     }
 }

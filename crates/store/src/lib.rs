@@ -3,11 +3,18 @@
 //! Three layers, each usable on its own:
 //!
 //! * **Binary graph format** (`.tlpg`) — a versioned, checksummed container
-//!   for canonical CSR graphs: [`write_graph`] emits degree and edge blocks
-//!   in bounded-size chunks; [`StoreReader`] validates magic, version, and
-//!   per-section FNV-1a checksums and rebuilds a [`tlp_graph::CsrGraph`]
-//!   bit-identical to the one written. `tlp-convert` (this crate's binary)
-//!   converts text edge lists to and from the format.
+//!   for canonical CSR graphs. Format v2 (the default) embeds the CSR
+//!   arrays themselves, 8-byte-aligned and individually checksummed, so
+//!   [`GraphBuf`] opens a graph with one bulk read and lends zero-copy
+//!   [`tlp_graph::GraphView`]s — no per-edge decode, no CSR rebuild.
+//!   Legacy v1 files (degree + edge blocks) stay readable through the
+//!   decode-then-build path; [`LoadedGraph::open`] dispatches on the
+//!   header version so callers never care which they have. [`write_graph`]
+//!   emits either version in bounded-size chunks; [`StoreReader`]
+//!   validates magic, version, and per-section checksums and rebuilds a
+//!   [`tlp_graph::CsrGraph`] bit-identical to the one written.
+//!   `tlp-convert` (this crate's binary) converts text edge lists to and
+//!   from the format and upgrades v1 files in place.
 //! * **Edge streaming** — the [`EdgeStream`] trait delivers a graph's
 //!   canonical edge sequence in chunks no larger than a caller-chosen
 //!   buffer budget. Sources: [`CsrEdgeStream`] (in-memory, any visit
@@ -53,9 +60,11 @@
 #![warn(missing_docs)]
 #![deny(clippy::unwrap_used)]
 
+mod arena;
 mod atomic;
 mod checkpoint;
 mod error;
+mod loaded;
 mod partition_store;
 mod reader;
 mod sources;
@@ -66,15 +75,19 @@ mod writer;
 pub mod faults;
 pub mod format;
 
+pub use arena::GraphBuf;
 pub use atomic::atomic_write;
 pub use checkpoint::{read_checkpoint, write_checkpoint, CHECKPOINT_NAME};
 pub use error::StoreError;
 pub use faults::{FaultFile, FaultKind, FaultSchedule};
-pub use format::{Header, SourceStamp, CHUNK_EDGES, MAGIC, VERSION};
+pub use format::{
+    FormatVersion, Header, SourceStamp, CHUNK_EDGES, MAGIC, VERSION, VERSION_V2,
+};
+pub use loaded::LoadedGraph;
 pub use partition_store::{
     write_partition_store, PartitionManifest, PartitionStoreReader, SegmentEntry, MANIFEST_NAME,
 };
-pub use reader::{StoreReader, StoredGraph};
+pub use reader::{SectionInfo, StoreReader, StoredGraph};
 pub use sources::{BinaryFileSource, BudgetedCsrSource, TextFileSource};
 pub use stream::{
     for_each_chunk, BinaryEdgeStream, CsrEdgeStream, EdgeStream, StreamMeta, TextEdgeStream,

@@ -33,7 +33,7 @@ use crate::StoreError;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use tlp_core::{EdgePartition, PartitionId, PartitionMetrics};
-use tlp_graph::{CsrGraph, Edge};
+use tlp_graph::{CsrGraph, Edge, GraphView};
 
 /// Name of the manifest file inside a store directory.
 pub const MANIFEST_NAME: &str = "MANIFEST.tlp";
@@ -225,11 +225,12 @@ impl PartitionManifest {
 ///
 /// [`StoreError::Corrupt`] if the partition does not cover the graph,
 /// [`StoreError::Io`] on write failures.
-pub fn write_partition_store(
+pub fn write_partition_store<'a>(
     dir: &Path,
-    graph: &CsrGraph,
+    graph: impl Into<GraphView<'a>>,
     partition: &EdgePartition,
 ) -> Result<PartitionManifest, StoreError> {
+    let graph = graph.into();
     if partition.num_edges() != graph.num_edges() {
         return Err(StoreError::Corrupt(format!(
             "partition covers {} edges but graph has {}",
@@ -264,7 +265,7 @@ pub fn write_partition_store(
                 .map_err(StoreError::Io)?;
 
             let mut written = 0usize;
-            for (eid, edge) in graph.edges().iter().enumerate() {
+            for (eid, edge) in graph.edge_iter().enumerate() {
                 if partition.partition_of(eid as u32) as usize != k {
                     continue;
                 }
@@ -409,6 +410,61 @@ impl PartitionStoreReader {
     /// Typed [`StoreError`]s for missing/corrupt segments or inconsistent
     /// edge sets.
     pub fn load(&self) -> Result<(CsrGraph, EdgePartition), StoreError> {
+        let labeled = self.load_labeled()?;
+        let edges: Vec<Edge> = labeled.iter().map(|&(e, _)| e).collect();
+        let assignment: Vec<PartitionId> = labeled.iter().map(|&(_, pid)| pid).collect();
+        let graph = CsrGraph::from_sorted_canonical_edges(self.manifest.num_vertices, edges)?;
+        let partition = EdgePartition::new(self.manifest.num_partitions, assignment)
+            .map_err(|e| StoreError::Corrupt(format!("invalid stored assignment: {e}")))?;
+        Ok((graph, partition))
+    }
+
+    /// Loads only the edge assignment, validated against an existing
+    /// `graph` instead of rebuilding a CSR from the segments. Edge `i` of
+    /// the canonical table must appear in exactly one segment; the
+    /// returned partition maps it to that segment's id.
+    ///
+    /// This is the zero-copy companion of [`PartitionStoreReader::load`]:
+    /// a service holding a `.tlpg` v2 arena can pair it with the store's
+    /// assignment without ever materializing a second copy of the graph.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PartitionStoreReader::load`] reports, plus
+    /// [`StoreError::Corrupt`] when the stored edge set differs from
+    /// `graph`'s (the store and the graph file do not belong together).
+    pub fn load_assignment<'a>(
+        &self,
+        graph: impl Into<GraphView<'a>>,
+    ) -> Result<EdgePartition, StoreError> {
+        let graph = graph.into();
+        let labeled = self.load_labeled()?;
+        if labeled.len() != graph.num_edges() {
+            return Err(StoreError::Corrupt(format!(
+                "store holds {} edges but the graph has {}",
+                labeled.len(),
+                graph.num_edges()
+            )));
+        }
+        // Both sides are in canonical sorted order, so edge ids line up.
+        for (eid, (&(stored, _), edge)) in labeled.iter().zip(graph.edge_iter()).enumerate() {
+            if stored != edge {
+                return Err(StoreError::Corrupt(format!(
+                    "edge {eid} is {:?} in the store but {:?} in the graph — \
+                     store and graph do not belong together",
+                    stored.endpoints(),
+                    edge.endpoints()
+                )));
+            }
+        }
+        let assignment: Vec<PartitionId> = labeled.iter().map(|&(_, pid)| pid).collect();
+        EdgePartition::new(self.manifest.num_partitions, assignment)
+            .map_err(|e| StoreError::Corrupt(format!("invalid stored assignment: {e}")))
+    }
+
+    /// Reads every segment, returning `(edge, partition)` pairs in
+    /// canonical edge order, with duplicate edges rejected.
+    fn load_labeled(&self) -> Result<Vec<(Edge, PartitionId)>, StoreError> {
         let m = self.manifest.num_edges;
         let mut labeled: Vec<(Edge, PartitionId)> = Vec::with_capacity(m);
         for entry in &self.manifest.segments {
@@ -423,12 +479,7 @@ impl PartitionStoreReader {
                 )));
             }
         }
-        let edges: Vec<Edge> = labeled.iter().map(|&(e, _)| e).collect();
-        let assignment: Vec<PartitionId> = labeled.iter().map(|&(_, pid)| pid).collect();
-        let graph = CsrGraph::from_sorted_canonical_edges(self.manifest.num_vertices, edges)?;
-        let partition = EdgePartition::new(self.manifest.num_partitions, assignment)
-            .map_err(|e| StoreError::Corrupt(format!("invalid stored assignment: {e}")))?;
-        Ok((graph, partition))
+        Ok(labeled)
     }
 
     /// Recomputes the full quality metrics (RF, balance, per-partition

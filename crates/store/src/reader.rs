@@ -1,9 +1,10 @@
-//! Reading `.tlpg` binary graph files.
+//! Reading `.tlpg` binary graph files (v1 and v2).
 
 use crate::faults::FaultFile;
 use crate::format::{
-    read_exact_or_truncated, Checksum, Header, SectionFrame, CHUNK_EDGES, HEADER_LEN,
-    SECTION_FRAME_LEN, TAG_DEGREES, TAG_EDGES, TAG_ORIGINAL_IDS,
+    read_exact_or_truncated, tag_name, Header, SectionFrame, SectionHasher, CHUNK_EDGES,
+    HEADER_LEN, SECTION_FRAME_LEN, TAG_ADJ_EDGE, TAG_ADJ_VERTEX, TAG_DEGREES, TAG_EDGES,
+    TAG_OFFSETS, TAG_ORIGINAL_IDS, VERSION,
 };
 use crate::StoreError;
 use std::io::{BufReader, Seek, SeekFrom};
@@ -21,16 +22,54 @@ pub struct StoredGraph {
 
 /// Section location inside an open store file.
 #[derive(Clone, Copy, Debug)]
-struct SectionAt {
-    frame: SectionFrame,
-    payload_pos: u64,
+pub(crate) struct SectionAt {
+    pub(crate) frame: SectionFrame,
+    pub(crate) payload_pos: u64,
+}
+
+/// Per-version section table of an open store.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Layout {
+    /// v1: per-vertex degrees + canonical edge pairs.
+    V1 {
+        degrees: SectionAt,
+        edges: SectionAt,
+    },
+    /// v2: the CSR arrays verbatim, then the canonical edge pairs.
+    V2 {
+        offsets: SectionAt,
+        adj_vertex: SectionAt,
+        adj_edge: SectionAt,
+        edges: SectionAt,
+    },
+}
+
+/// Descriptive metadata for one section of an open store, as reported by
+/// [`StoreReader::section_infos`] (e.g. for `tlp-convert info`).
+#[derive(Clone, Copy, Debug)]
+pub struct SectionInfo {
+    /// Human-readable section name (`"DEGS"`, `"OFFS"`, ...).
+    pub name: &'static str,
+    /// Payload length in bytes (excludes the 24-byte frame).
+    pub payload_len: u64,
+    /// Declared payload checksum.
+    pub checksum: u64,
+    /// Byte offset of the payload in the file.
+    pub payload_pos: u64,
 }
 
 /// An opened (header-validated) binary graph store.
 ///
 /// Opening validates the magic, version, header checksum, section framing,
 /// and that the file is long enough for every declared section — so a
-/// truncated file fails here with a typed error, not mid-read.
+/// truncated file fails here with a typed error, not mid-read. Both format
+/// versions are supported: v1 files carry degrees + edge pairs and are
+/// decoded into a fresh [`CsrGraph`]; v2 files additionally embed the CSR
+/// arrays (the zero-copy open path lives in [`crate::GraphBuf`], which
+/// lends them without rebuilding — this reader's [`read_graph`] works on
+/// both versions via the shared edge payload).
+///
+/// [`read_graph`]: StoreReader::read_graph
 ///
 /// # Example
 ///
@@ -46,9 +85,8 @@ struct SectionAt {
 pub struct StoreReader {
     path: PathBuf,
     header: Header,
-    degrees: SectionAt,
-    edges: SectionAt,
-    original_ids: Option<SectionAt>,
+    pub(crate) layout: Layout,
+    pub(crate) original_ids: Option<SectionAt>,
 }
 
 impl StoreReader {
@@ -71,38 +109,44 @@ impl StoreReader {
         let n = header.num_vertices;
         let m = header.num_edges;
         let mut pos = HEADER_LEN as u64;
-        let section = |tag: u32,
-                       what: &'static str,
-                       expected_len: u64,
-                       reader: &mut BufReader<FaultFile>,
-                       pos: &mut u64|
+        let mut section = |tag: u32,
+                           what: &'static str,
+                           expected_len: u64|
          -> Result<SectionAt, StoreError> {
-            reader.seek(SeekFrom::Start(*pos)).map_err(StoreError::Io)?;
-            let frame = SectionFrame::read_expecting(reader, tag, what)?;
+            reader.seek(SeekFrom::Start(pos)).map_err(StoreError::Io)?;
+            let frame = SectionFrame::read_expecting(&mut reader, tag, what)?;
             if frame.payload_len != expected_len {
                 return Err(StoreError::Corrupt(format!(
                     "{what} section declares {} bytes, expected {expected_len}",
                     frame.payload_len
                 )));
             }
-            let payload_pos = *pos + SECTION_FRAME_LEN as u64;
-            *pos = payload_pos + frame.payload_len;
-            if *pos > file_len {
+            let payload_pos = pos + SECTION_FRAME_LEN as u64;
+            pos = payload_pos + frame.payload_len;
+            if pos > file_len {
                 return Err(StoreError::Truncated { what });
             }
             Ok(SectionAt { frame, payload_pos })
         };
 
-        let degrees = section(TAG_DEGREES, "degrees", 4 * n, &mut reader, &mut pos)?;
-        let edges = section(TAG_EDGES, "edges", 8 * m, &mut reader, &mut pos)?;
+        let layout = if header.version == VERSION {
+            let degrees = section(TAG_DEGREES, "degrees", 4 * n)?;
+            let edges = section(TAG_EDGES, "edges", 8 * m)?;
+            Layout::V1 { degrees, edges }
+        } else {
+            let offsets = section(TAG_OFFSETS, "offsets", 8 * (n + 1))?;
+            let adj_vertex = section(TAG_ADJ_VERTEX, "adjacency vertices", 8 * m)?;
+            let adj_edge = section(TAG_ADJ_EDGE, "adjacency edges", 8 * m)?;
+            let edges = section(TAG_EDGES, "edges", 8 * m)?;
+            Layout::V2 {
+                offsets,
+                adj_vertex,
+                adj_edge,
+                edges,
+            }
+        };
         let original_ids = if header.has_original_ids {
-            Some(section(
-                TAG_ORIGINAL_IDS,
-                "original ids",
-                8 * n,
-                &mut reader,
-                &mut pos,
-            )?)
+            Some(section(TAG_ORIGINAL_IDS, "original ids", 8 * n)?)
         } else {
             None
         };
@@ -110,8 +154,7 @@ impl StoreReader {
         Ok(StoreReader {
             path: path.to_path_buf(),
             header,
-            degrees,
-            edges,
+            layout,
             original_ids,
         })
     }
@@ -121,41 +164,111 @@ impl StoreReader {
         &self.header
     }
 
+    /// The on-disk format version (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.header.version
+    }
+
     /// The path this reader was opened from.
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Reads and checksums the degree section.
+    /// Name, size, and checksum of every section, in file order.
+    pub fn section_infos(&self) -> Vec<SectionInfo> {
+        let info = |at: &SectionAt| SectionInfo {
+            name: tag_name(at.frame.tag),
+            payload_len: at.frame.payload_len,
+            checksum: at.frame.checksum,
+            payload_pos: at.payload_pos,
+        };
+        let mut out = match &self.layout {
+            Layout::V1 { degrees, edges } => vec![info(degrees), info(edges)],
+            Layout::V2 {
+                offsets,
+                adj_vertex,
+                adj_edge,
+                edges,
+            } => vec![info(offsets), info(adj_vertex), info(adj_edge), info(edges)],
+        };
+        if let Some(oids) = &self.original_ids {
+            out.push(info(oids));
+        }
+        out
+    }
+
+    /// A fresh section hasher matching this file's format version.
+    pub(crate) fn section_hasher(&self) -> SectionHasher {
+        SectionHasher::for_version(self.header.version)
+    }
+
+    /// Reads and checksums per-vertex degrees: the `DEGS` section of a v1
+    /// file, or consecutive differences of the `OFFS` array of a v2 file.
     ///
     /// # Errors
     ///
     /// [`StoreError::ChecksumMismatch`] or I/O/truncation errors.
     pub fn read_degrees(&self) -> Result<Vec<u32>, StoreError> {
-        let mut reader = self.reader_at(self.degrees.payload_pos)?;
-        let n = self.header.num_vertices as usize;
-        let mut degrees = Vec::with_capacity(n);
-        let mut checksum = Checksum::new();
-        let mut remaining = n;
-        let mut buf = vec![0u8; 4 * CHUNK_EDGES.min(n.max(1))];
-        while remaining > 0 {
-            let take = remaining.min(CHUNK_EDGES);
-            let bytes = &mut buf[..4 * take];
-            read_exact_or_truncated(&mut reader, bytes, "degrees")?;
-            checksum.update(bytes);
-            for chunk in bytes.chunks_exact(4) {
-                degrees.push(u32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+        match &self.layout {
+            Layout::V1 { degrees, .. } => {
+                let mut reader = self.reader_at(degrees.payload_pos)?;
+                let n = self.header.num_vertices as usize;
+                let mut out = Vec::with_capacity(n);
+                let mut checksum = self.section_hasher();
+                let mut remaining = n;
+                let mut buf = vec![0u8; 4 * CHUNK_EDGES.min(n.max(1))];
+                while remaining > 0 {
+                    let take = remaining.min(CHUNK_EDGES);
+                    let bytes = &mut buf[..4 * take];
+                    read_exact_or_truncated(&mut reader, bytes, "degrees")?;
+                    checksum.update(bytes);
+                    for chunk in bytes.chunks_exact(4) {
+                        out.push(u32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+                    }
+                    remaining -= take;
+                }
+                self.check(&degrees.frame, checksum.value(), "degrees")?;
+                Ok(out)
             }
-            remaining -= take;
+            Layout::V2 { offsets, .. } => {
+                let mut reader = self.reader_at(offsets.payload_pos)?;
+                let n = self.header.num_vertices as usize;
+                let mut out = Vec::with_capacity(n);
+                let mut checksum = self.section_hasher();
+                let mut remaining = n + 1;
+                let mut prev: Option<u64> = None;
+                let mut buf = vec![0u8; 8 * CHUNK_EDGES.min(n + 1)];
+                while remaining > 0 {
+                    let take = remaining.min(CHUNK_EDGES);
+                    let bytes = &mut buf[..8 * take];
+                    read_exact_or_truncated(&mut reader, bytes, "offsets")?;
+                    checksum.update(bytes);
+                    for chunk in bytes.chunks_exact(8) {
+                        let off = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+                        if let Some(p) = prev {
+                            let degree = off.checked_sub(p).ok_or_else(|| {
+                                StoreError::Corrupt(format!(
+                                    "offsets section not monotone: {p} then {off}"
+                                ))
+                            })?;
+                            out.push(degree as u32);
+                        }
+                        prev = Some(off);
+                    }
+                    remaining -= take;
+                }
+                self.check(&offsets.frame, checksum.value(), "offsets")?;
+                Ok(out)
+            }
         }
-        self.check(&self.degrees.frame, checksum.value(), "degrees")?;
-        Ok(degrees)
     }
 
     /// Reads the whole store back into memory: edge blocks are read in
     /// bounded chunks, validated (canonical order, endpoint bounds, no
-    /// self-loops), checksummed, cross-checked against the degree section,
-    /// and reassembled into a [`CsrGraph`] bit-identical to the one written.
+    /// self-loops), checksummed, cross-checked against the per-vertex
+    /// degrees, and reassembled into a [`CsrGraph`] bit-identical to the
+    /// one written. Works on both format versions; for the zero-copy v2
+    /// open path see [`crate::GraphBuf`].
     ///
     /// # Errors
     ///
@@ -165,9 +278,10 @@ impl StoreReader {
         let m = self.header.num_edges as usize;
         let stored_degrees = self.read_degrees()?;
 
-        let mut reader = self.reader_at(self.edges.payload_pos)?;
+        let edges_at = self.edges_at();
+        let mut reader = self.reader_at(edges_at.payload_pos)?;
         let mut edges: Vec<Edge> = Vec::with_capacity(m);
-        let mut checksum = Checksum::new();
+        let mut checksum = self.section_hasher();
         let mut remaining = m;
         let mut buf = vec![0u8; 8 * CHUNK_EDGES.min(m.max(1))];
         while remaining > 0 {
@@ -184,7 +298,7 @@ impl StoreReader {
             }
             remaining -= take;
         }
-        self.check(&self.edges.frame, checksum.value(), "edges")?;
+        self.check(&edges_at.frame, checksum.value(), "edges")?;
 
         let graph = CsrGraph::from_sorted_canonical_edges(n, edges)?;
         for (v, &stored) in stored_degrees.iter().enumerate() {
@@ -197,12 +311,27 @@ impl StoreReader {
             }
         }
 
-        let original_ids = match &self.original_ids {
-            None => None,
+        let original_ids = self.read_original_ids()?;
+
+        Ok(StoredGraph {
+            graph,
+            original_ids,
+        })
+    }
+
+    /// Reads and checksums the optional original-ids section.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ChecksumMismatch`] or I/O/truncation errors.
+    pub(crate) fn read_original_ids(&self) -> Result<Option<Vec<u64>>, StoreError> {
+        let n = self.header.num_vertices as usize;
+        match &self.original_ids {
+            None => Ok(None),
             Some(section) => {
                 let mut reader = self.reader_at(section.payload_pos)?;
                 let mut ids = Vec::with_capacity(n);
-                let mut checksum = Checksum::new();
+                let mut checksum = self.section_hasher();
                 let mut remaining = n;
                 let mut buf = vec![0u8; 8 * CHUNK_EDGES.min(n.max(1))];
                 while remaining > 0 {
@@ -216,14 +345,9 @@ impl StoreReader {
                     remaining -= take;
                 }
                 self.check(&section.frame, checksum.value(), "original ids")?;
-                Some(ids)
+                Ok(Some(ids))
             }
-        };
-
-        Ok(StoredGraph {
-            graph,
-            original_ids,
-        })
+        }
     }
 
     /// A fresh buffered reader positioned at `pos` in the store file.
@@ -233,17 +357,25 @@ impl StoreReader {
         Ok(reader)
     }
 
+    /// Location of the canonical edge-pair section (shared by v1 and v2).
+    pub(crate) fn edges_at(&self) -> SectionAt {
+        match self.layout {
+            Layout::V1 { edges, .. } => edges,
+            Layout::V2 { edges, .. } => edges,
+        }
+    }
+
     /// Byte offset of the edge payload (for streaming readers).
     pub(crate) fn edges_payload_pos(&self) -> u64 {
-        self.edges.payload_pos
+        self.edges_at().payload_pos
     }
 
     /// Declared checksum of the edge payload (for streaming readers).
     pub(crate) fn edges_checksum(&self) -> u64 {
-        self.edges.frame.checksum
+        self.edges_at().frame.checksum
     }
 
-    fn check(
+    pub(crate) fn check(
         &self,
         frame: &SectionFrame,
         actual: u64,

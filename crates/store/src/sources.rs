@@ -10,10 +10,11 @@
 //! [`SourceError::NeedsRandomAccess`] so capability violations surface as
 //! typed errors instead of silent memory blow-ups.
 
+use crate::loaded::LoadedGraph;
 use crate::stream::{for_each_chunk, BinaryEdgeStream, CsrEdgeStream, EdgeStream, TextEdgeStream};
-use crate::{StoreError, StoreReader};
+use crate::StoreError;
 use std::path::{Path, PathBuf};
-use tlp_graph::{CsrGraph, Edge, EdgeSource, PassStats, SourceError};
+use tlp_graph::{CsrGraph, Edge, EdgeSource, GraphView, PassStats, SourceError};
 
 impl From<StoreError> for SourceError {
     fn from(e: StoreError) -> Self {
@@ -39,10 +40,12 @@ fn run_pass<S: EdgeStream + ?Sized>(
 ///
 /// Streaming passes re-open a fresh [`BinaryEdgeStream`] each time, so the
 /// canonical edge order replays identically (checksums verified per pass).
-/// Random access materializes the graph via [`StoreReader`] once and
-/// caches it — unless the source was opened
-/// [`strict_streaming`](Self::strict_streaming), in which case random
-/// access is refused and only bounded-memory passes are allowed.
+/// Random access opens the file as a [`LoadedGraph`] once and caches it —
+/// a v2 file is held as a zero-copy arena whose view borrows the file
+/// bytes directly, a v1 file is decoded into an owned CSR — unless the
+/// source was opened [`strict_streaming`](Self::strict_streaming), in
+/// which case random access is refused and only bounded-memory passes are
+/// allowed.
 #[derive(Debug)]
 pub struct BinaryFileSource {
     path: PathBuf,
@@ -51,7 +54,7 @@ pub struct BinaryFileSource {
     num_edges: usize,
     degrees: Vec<u32>,
     strict: bool,
-    cached: Option<CsrGraph>,
+    cached: Option<LoadedGraph>,
 }
 
 impl BinaryFileSource {
@@ -106,20 +109,20 @@ impl EdgeSource for BinaryFileSource {
         !self.strict
     }
 
-    fn random_access(&mut self) -> Result<&CsrGraph, SourceError> {
+    fn random_access(&mut self) -> Result<GraphView<'_>, SourceError> {
         if self.strict {
             return Err(SourceError::NeedsRandomAccess {
                 source: self.describe(),
             });
         }
         if self.cached.is_none() {
-            let stored = StoreReader::open(&self.path)?.read_graph()?;
-            self.cached = Some(stored.graph);
+            self.cached = Some(LoadedGraph::open(&self.path)?);
         }
         Ok(self
             .cached
             .as_ref()
-            .expect("graph cached by the branch above"))
+            .expect("graph cached by the branch above")
+            .view())
     }
 
     fn stream_pass(&mut self, sink: &mut dyn FnMut(&[Edge])) -> Result<PassStats, SourceError> {
@@ -175,7 +178,7 @@ impl EdgeSource for TextFileSource {
         true
     }
 
-    fn random_access(&mut self) -> Result<&CsrGraph, SourceError> {
+    fn random_access(&mut self) -> Result<GraphView<'_>, SourceError> {
         if self.cached.is_none() {
             let loaded = tlp_graph::io::read_edge_list_file(&self.path)
                 .map_err(|e| SourceError::Corrupt(e.to_string()))?;
@@ -184,7 +187,8 @@ impl EdgeSource for TextFileSource {
         Ok(self
             .cached
             .as_ref()
-            .expect("graph cached by the branch above"))
+            .expect("graph cached by the branch above")
+            .view())
     }
 
     fn stream_pass(&mut self, sink: &mut dyn FnMut(&[Edge])) -> Result<PassStats, SourceError> {
@@ -201,14 +205,17 @@ impl EdgeSource for TextFileSource {
 /// honor the same `--stream-budget` bound as the disk sources.
 #[derive(Debug)]
 pub struct BudgetedCsrSource<'a> {
-    graph: &'a CsrGraph,
+    graph: GraphView<'a>,
     budget: usize,
 }
 
 impl<'a> BudgetedCsrSource<'a> {
-    /// Wraps a shared graph with a per-pass chunk budget.
-    pub fn new(graph: &'a CsrGraph, budget: usize) -> Self {
-        BudgetedCsrSource { graph, budget }
+    /// Wraps a shared graph (or view) with a per-pass chunk budget.
+    pub fn new(graph: impl Into<GraphView<'a>>, budget: usize) -> Self {
+        BudgetedCsrSource {
+            graph: graph.into(),
+            budget,
+        }
     }
 }
 
@@ -243,7 +250,7 @@ impl EdgeSource for BudgetedCsrSource<'_> {
         true
     }
 
-    fn random_access(&mut self) -> Result<&CsrGraph, SourceError> {
+    fn random_access(&mut self) -> Result<GraphView<'_>, SourceError> {
         Ok(self.graph)
     }
 
@@ -293,7 +300,9 @@ mod tests {
         assert_eq!(again, seen);
 
         assert!(source.supports_random_access());
-        assert_eq!(source.random_access().expect("materialize"), &g);
+        let view = source.random_access().expect("materialize");
+        assert_eq!(view.edge_iter().collect::<Vec<_>>(), g.edges().to_vec());
+        assert_eq!(view.num_vertices(), g.num_vertices());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -351,6 +360,7 @@ mod tests {
             .expect("pass");
         assert_eq!(seen, g.edges().to_vec());
         assert!(stats.peak_buffer <= 17);
-        assert_eq!(source.random_access().expect("ra"), &g);
+        let view = source.random_access().expect("ra");
+        assert_eq!(view.edge_iter().collect::<Vec<_>>(), g.edges().to_vec());
     }
 }

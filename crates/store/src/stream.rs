@@ -5,7 +5,8 @@
 //! streaming partitioners run over graphs larger than RAM. Three sources
 //! cover the repo's ingestion paths:
 //!
-//! * [`CsrEdgeStream`] — an in-memory [`CsrGraph`], optionally in a custom
+//! * [`CsrEdgeStream`] — an in-memory [`CsrGraph`](tlp_graph::CsrGraph)
+//!   (or any [`GraphView`]), optionally in a custom
 //!   arrival order (how the materialized partitioners are now plumbed);
 //! * [`BinaryEdgeStream`] — the `.tlpg` edge section, read chunk by chunk
 //!   straight off disk with checksum verification at the end;
@@ -13,13 +14,13 @@
 //!   on the fly (vertex state is O(n); edge state is O(budget)).
 
 use crate::faults::FaultFile;
-use crate::format::{Checksum, CHUNK_EDGES};
+use crate::format::{SectionHasher, CHUNK_EDGES};
 use crate::reader::{decode_edge, StoreReader};
 use crate::StoreError;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
-use tlp_graph::{CsrGraph, Edge, EdgeId, VertexId};
+use tlp_graph::{Edge, EdgeId, GraphView, VertexId};
 
 /// What a stream source knows about the graph before the edges arrive.
 #[derive(Clone, Debug, Default)]
@@ -84,7 +85,7 @@ where
 /// Streams an in-memory graph's edges, optionally in a custom order.
 #[derive(Debug)]
 pub struct CsrEdgeStream<'a> {
-    graph: &'a CsrGraph,
+    graph: GraphView<'a>,
     /// Arrival order as edge ids; `None` = natural (`EdgeId`) order.
     order: Option<Vec<EdgeId>>,
     pos: usize,
@@ -94,17 +95,21 @@ pub struct CsrEdgeStream<'a> {
 
 impl<'a> CsrEdgeStream<'a> {
     /// Natural (`EdgeId`) order.
-    pub fn new(graph: &'a CsrGraph, budget: usize) -> Self {
-        Self::build(graph, None, budget)
+    pub fn new(graph: impl Into<GraphView<'a>>, budget: usize) -> Self {
+        Self::build(graph.into(), None, budget)
     }
 
     /// Custom arrival order (each id must be `< num_edges`; ids may repeat
     /// or be omitted — the stream replays exactly what it is given).
-    pub fn with_order(graph: &'a CsrGraph, order: Vec<EdgeId>, budget: usize) -> Self {
-        Self::build(graph, Some(order), budget)
+    pub fn with_order(
+        graph: impl Into<GraphView<'a>>,
+        order: Vec<EdgeId>,
+        budget: usize,
+    ) -> Self {
+        Self::build(graph.into(), Some(order), budget)
     }
 
-    fn build(graph: &'a CsrGraph, order: Option<Vec<EdgeId>>, budget: usize) -> Self {
+    fn build(graph: GraphView<'a>, order: Option<Vec<EdgeId>>, budget: usize) -> Self {
         let degrees = graph
             .vertices()
             .map(|v| graph.degree(v) as u32)
@@ -166,7 +171,7 @@ pub struct BinaryEdgeStream {
     remaining: usize,
     num_vertices: usize,
     prev: Option<Edge>,
-    checksum: Checksum,
+    checksum: SectionHasher,
     declared_checksum: u64,
     checksum_verified: bool,
     budget: usize,
@@ -200,7 +205,7 @@ impl BinaryEdgeStream {
             remaining: header.num_edges as usize,
             num_vertices: header.num_vertices as usize,
             prev: None,
-            checksum: Checksum::new(),
+            checksum: store.section_hasher(),
             declared_checksum: store.edges_checksum(),
             checksum_verified: false,
             budget,
@@ -380,7 +385,7 @@ mod tests {
     #![allow(clippy::unwrap_used)]
 
     use super::*;
-    use tlp_graph::GraphBuilder;
+    use tlp_graph::{CsrGraph, GraphBuilder};
 
     fn graph() -> CsrGraph {
         GraphBuilder::new()

@@ -1,13 +1,14 @@
-//! Writing `.tlpg` binary graph files.
+//! Writing `.tlpg` binary graph files (v1 and v2).
 
 use crate::format::{
-    Checksum, Header, SectionFrame, SourceStamp, CHUNK_EDGES, SECTION_FRAME_LEN, TAG_DEGREES,
-    TAG_EDGES, TAG_ORIGINAL_IDS,
+    FormatVersion, Header, SectionFrame, SectionHasher, SourceStamp, CHUNK_EDGES,
+    SECTION_FRAME_LEN, TAG_ADJ_EDGE, TAG_ADJ_VERTEX, TAG_DEGREES, TAG_EDGES, TAG_OFFSETS,
+    TAG_ORIGINAL_IDS,
 };
 use crate::StoreError;
 use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
-use tlp_graph::CsrGraph;
+use tlp_graph::GraphView;
 
 /// Options for [`write_graph`].
 #[derive(Clone, Debug, Default)]
@@ -18,15 +19,23 @@ pub struct WriteOptions {
     /// Provenance stamp of the converted text source (for cache staleness
     /// checks); defaults to [`SourceStamp::UNKNOWN`].
     pub source: Option<SourceStamp>,
+    /// On-disk layout to write; defaults to [`FormatVersion::V2`].
+    pub version: FormatVersion,
 }
 
 /// Writes `graph` to `path` in the versioned binary format.
 ///
-/// The edge table is emitted in canonical sorted order in chunks of
-/// [`CHUNK_EDGES`], so the writer's buffer stays bounded regardless of
-/// graph size. Section checksums are computed incrementally while writing;
-/// the section frames are back-patched once the payload sizes are known
-/// (they are known up front here, but streaming checksum values are not).
+/// Accepts `&CsrGraph` or any [`GraphView`]. By default the v2 layout is
+/// written: the CSR offset/adjacency arrays are persisted verbatim
+/// (8-byte-aligned, individually checksummed), so a later open is one bulk
+/// read with no per-edge decode and no CSR rebuild. Pass
+/// [`FormatVersion::V1`] in the options to emit the legacy degree+edge
+/// layout.
+///
+/// All payloads are emitted in bounded-size chunks, so the writer's buffer
+/// stays bounded regardless of graph size. Section checksums are computed
+/// incrementally while writing; the section frames are back-patched once
+/// the payload sizes are known.
 ///
 /// The file is written crash-safely: the payload goes to a sibling temp
 /// file that is fsynced and atomically renamed onto `path`, so an
@@ -36,11 +45,12 @@ pub struct WriteOptions {
 /// # Errors
 ///
 /// Returns [`StoreError::Io`] on any write failure.
-pub fn write_graph(
+pub fn write_graph<'a>(
     path: &Path,
-    graph: &CsrGraph,
+    graph: impl Into<GraphView<'a>>,
     options: &WriteOptions,
 ) -> Result<(), StoreError> {
+    let graph = graph.into();
     if let Some(ids) = &options.original_ids {
         if ids.len() != graph.num_vertices() {
             return Err(StoreError::Corrupt(format!(
@@ -56,10 +66,12 @@ pub fn write_graph(
 /// Emits the full `.tlpg` byte stream (header + framed sections) to `out`.
 fn write_graph_payload<W: Write + Seek>(
     out: &mut BufWriter<W>,
-    graph: &CsrGraph,
+    graph: GraphView<'_>,
     options: &WriteOptions,
 ) -> Result<(), StoreError> {
+    let version = options.version.number();
     let header = Header {
+        version,
         num_vertices: graph.num_vertices() as u64,
         num_edges: graph.num_edges() as u64,
         has_original_ids: options.original_ids.is_some(),
@@ -67,23 +79,41 @@ fn write_graph_payload<W: Write + Seek>(
     };
     out.write_all(&header.encode()).map_err(StoreError::Io)?;
 
-    // DEGS: one u32 per vertex, chunked.
-    write_section(out, TAG_DEGREES, |sink| {
-        let mut buf = Vec::with_capacity(4 * CHUNK_EDGES.min(graph.num_vertices().max(1)));
-        for v in graph.vertices() {
-            buf.extend_from_slice(&(graph.degree(v) as u32).to_le_bytes());
-            if buf.len() >= 4 * CHUNK_EDGES {
-                sink.write(&buf)?;
-                buf.clear();
-            }
+    match options.version {
+        FormatVersion::V1 => {
+            // DEGS: one u32 per vertex, chunked.
+            write_section(out, version, TAG_DEGREES, |sink| {
+                let mut buf = Vec::with_capacity(4 * CHUNK_EDGES.min(graph.num_vertices().max(1)));
+                for v in graph.vertices() {
+                    buf.extend_from_slice(&(graph.degree(v) as u32).to_le_bytes());
+                    if buf.len() >= 4 * CHUNK_EDGES {
+                        sink.write(&buf)?;
+                        buf.clear();
+                    }
+                }
+                sink.write(&buf)
+            })?;
         }
-        sink.write(&buf)
-    })?;
+        FormatVersion::V2 => {
+            // OFFS: the CSR offset array verbatim, (n+1) × u64.
+            write_section(out, version, TAG_OFFSETS, |sink| {
+                write_u64s(sink, graph.offsets().iter().copied())
+            })?;
+            // ADJV / ADJE: the adjacency arrays verbatim, 2m × u32 each.
+            write_section(out, version, TAG_ADJ_VERTEX, |sink| {
+                write_u32s(sink, graph.adj_vertex().iter().copied())
+            })?;
+            write_section(out, version, TAG_ADJ_EDGE, |sink| {
+                write_u32s(sink, graph.adj_edge().iter().copied())
+            })?;
+        }
+    }
 
-    // EDGE: canonical sorted (u, v) pairs, chunked.
-    write_section(out, TAG_EDGES, |sink| {
+    // EDGE: canonical sorted (u, v) pairs, chunked — identical payload in
+    // both versions, which keeps sequential edge streaming format-agnostic.
+    write_section(out, version, TAG_EDGES, |sink| {
         let mut buf = Vec::with_capacity(8 * CHUNK_EDGES.min(graph.num_edges().max(1)));
-        for e in graph.edges() {
+        for e in graph.edge_iter() {
             buf.extend_from_slice(&e.source().to_le_bytes());
             buf.extend_from_slice(&e.target().to_le_bytes());
             if buf.len() >= 8 * CHUNK_EDGES {
@@ -95,16 +125,8 @@ fn write_graph_payload<W: Write + Seek>(
     })?;
 
     if let Some(ids) = &options.original_ids {
-        write_section(out, TAG_ORIGINAL_IDS, |sink| {
-            let mut buf = Vec::with_capacity(8 * CHUNK_EDGES.min(ids.len().max(1)));
-            for &id in ids {
-                buf.extend_from_slice(&id.to_le_bytes());
-                if buf.len() >= 8 * CHUNK_EDGES {
-                    sink.write(&buf)?;
-                    buf.clear();
-                }
-            }
-            sink.write(&buf)
+        write_section(out, version, TAG_ORIGINAL_IDS, |sink| {
+            write_u64s(sink, ids.iter().copied())
         })?;
     }
 
@@ -112,10 +134,40 @@ fn write_graph_payload<W: Write + Seek>(
     Ok(())
 }
 
+fn write_u32s<W: Write + Seek>(
+    sink: &mut SectionSink<'_, BufWriter<W>>,
+    values: impl Iterator<Item = u32>,
+) -> Result<(), StoreError> {
+    let mut buf = Vec::with_capacity(4 * CHUNK_EDGES);
+    for x in values {
+        buf.extend_from_slice(&x.to_le_bytes());
+        if buf.len() >= 4 * CHUNK_EDGES {
+            sink.write(&buf)?;
+            buf.clear();
+        }
+    }
+    sink.write(&buf)
+}
+
+fn write_u64s<W: Write + Seek>(
+    sink: &mut SectionSink<'_, BufWriter<W>>,
+    values: impl Iterator<Item = u64>,
+) -> Result<(), StoreError> {
+    let mut buf = Vec::with_capacity(8 * CHUNK_EDGES);
+    for x in values {
+        buf.extend_from_slice(&x.to_le_bytes());
+        if buf.len() >= 8 * CHUNK_EDGES {
+            sink.write(&buf)?;
+            buf.clear();
+        }
+    }
+    sink.write(&buf)
+}
+
 /// Incrementally checksummed section payload sink.
 struct SectionSink<'a, W: Write + Seek> {
     out: &'a mut W,
-    checksum: Checksum,
+    checksum: SectionHasher,
     written: u64,
 }
 
@@ -130,7 +182,12 @@ impl<W: Write + Seek> SectionSink<'_, W> {
 /// Writes one framed section: reserves the frame, streams the payload
 /// through a checksumming sink, then back-patches the frame with the final
 /// length and checksum.
-fn write_section<W, F>(out: &mut BufWriter<W>, tag: u32, emit: F) -> Result<(), StoreError>
+fn write_section<W, F>(
+    out: &mut BufWriter<W>,
+    version: u32,
+    tag: u32,
+    emit: F,
+) -> Result<(), StoreError>
 where
     W: Write + Seek,
     F: FnOnce(&mut SectionSink<'_, BufWriter<W>>) -> Result<(), StoreError>,
@@ -140,7 +197,7 @@ where
         .map_err(StoreError::Io)?;
     let mut sink = SectionSink {
         out,
-        checksum: Checksum::new(),
+        checksum: SectionHasher::for_version(version),
         written: 0,
     };
     emit(&mut sink)?;
@@ -172,12 +229,45 @@ mod tests {
         let path = dir.join("bad.tlpg");
         let options = WriteOptions {
             original_ids: Some(vec![1, 2, 3]), // graph has 2 vertices
-            source: None,
+            ..WriteOptions::default()
         };
         assert!(matches!(
             write_graph(&path, &g, &options),
             Err(StoreError::Corrupt(_))
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_payloads_are_aligned_multiples_of_eight() {
+        use crate::format::{HEADER_LEN, SECTION_FRAME_LEN};
+        let g = GraphBuilder::new()
+            .reserve_vertices(5) // odd n exercises the offsets length
+            .add_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)])
+            .build();
+        let dir = std::env::temp_dir().join(format!("tlp-store-align-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.tlpg");
+        write_graph(&path, &g, &WriteOptions::default()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Walk the frames and assert every payload starts 8-byte-aligned.
+        let mut pos = HEADER_LEN;
+        let mut seen = Vec::new();
+        while pos + SECTION_FRAME_LEN <= bytes.len() {
+            let tag = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+            let len =
+                u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap()) as usize;
+            let payload_pos = pos + SECTION_FRAME_LEN;
+            assert_eq!(payload_pos % 8, 0, "section {tag:#x} payload misaligned");
+            assert_eq!(len % 8, 0, "section {tag:#x} payload length not 8-aligned");
+            seen.push(tag);
+            pos = payload_pos + len;
+        }
+        assert_eq!(pos, bytes.len());
+        assert_eq!(
+            seen,
+            vec![TAG_OFFSETS, TAG_ADJ_VERTEX, TAG_ADJ_EDGE, TAG_EDGES]
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -5,7 +5,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tlp_graph::generators::erdos_renyi;
 use tlp_graph::CsrGraph;
-use tlp_store::{write_graph, StoreError, StoreReader, WriteOptions};
+use tlp_store::{write_graph, FormatVersion, LoadedGraph, StoreError, StoreReader, WriteOptions};
 
 static CASE: AtomicUsize = AtomicUsize::new(0);
 
@@ -18,6 +18,22 @@ fn temp_store(graph: &CsrGraph) -> PathBuf {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("graph.tlpg");
     write_graph(&path, graph, &WriteOptions::default()).unwrap();
+    path
+}
+
+fn temp_store_v1(graph: &CsrGraph) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tlp-store-corruption-v1-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("graph.tlpg");
+    let options = WriteOptions {
+        version: FormatVersion::V1,
+        ..WriteOptions::default()
+    };
+    write_graph(&path, graph, &options).unwrap();
     path
 }
 
@@ -85,13 +101,13 @@ fn unsupported_version_is_rejected() {
 }
 
 #[test]
-fn flipped_payload_byte_fails_a_checksum() {
+fn flipped_payload_byte_fails_a_checksum_v1() {
     let g = test_graph();
-    let path = temp_store(&g);
+    let path = temp_store_v1(&g);
     let clean = std::fs::read(&path).unwrap();
     // The only bytes a flip may legitimately go unnoticed in are the 4
     // reserved bytes of each section frame (ignored by readers for forward
-    // compatibility). Frames sit at offsets 56 and 56+24+4n.
+    // compatibility). v1 frames sit at offsets 56 and 56+24+4n.
     let degs_frame = 56usize;
     let edge_frame = degs_frame + 24 + 4 * g.num_vertices();
     let reserved = |o: usize| {
@@ -106,6 +122,35 @@ fn flipped_payload_byte_fails_a_checksum() {
         bytes[offset] ^= 0x40;
         std::fs::write(&path, &bytes).unwrap();
         let result = StoreReader::open(&path).and_then(|r| r.read_graph().map(|_| ()));
+        assert!(
+            result.is_err(),
+            "flip at {offset} was not detected: {result:?}"
+        );
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn flipped_payload_byte_fails_a_checksum_v2() {
+    let g = test_graph();
+    let path = temp_store(&g);
+    let clean = std::fs::read(&path).unwrap();
+    // v2 layout: OFFS | ADJV | ADJE | EDGE frames, each with 4 reserved
+    // bytes at frame+4. The zero-copy arena open (the production v2 path)
+    // checksums every section, so a flip anywhere else must surface.
+    let (n, m) = (g.num_vertices(), g.num_edges());
+    let mut frames = Vec::new();
+    let mut pos = 56usize;
+    for payload in [8 * (n + 1), 8 * m, 8 * m, 8 * m] {
+        frames.push(pos);
+        pos += 24 + payload;
+    }
+    let reserved = |o: usize| frames.iter().any(|&f| (f + 4..f + 8).contains(&o));
+    for offset in (60..clean.len()).step_by(101).filter(|&o| !reserved(o)) {
+        let mut bytes = clean.clone();
+        bytes[offset] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let result = LoadedGraph::open(&path).map(|_| ());
         assert!(
             result.is_err(),
             "flip at {offset} was not detected: {result:?}"

@@ -11,8 +11,8 @@ use tlp_graph::generators::chung_lu;
 use tlp_graph::CsrGraph;
 use tlp_store::faults::{self, FaultKind, FaultSchedule};
 use tlp_store::{
-    read_checkpoint, read_wal, write_checkpoint, write_graph, write_partition_store,
-    PartitionStoreReader, StoreError, StoreReader, WriteOptions, WAL_NAME,
+    read_checkpoint, read_wal, write_checkpoint, write_graph, write_partition_store, FormatVersion,
+    LoadedGraph, PartitionStoreReader, StoreError, StoreReader, WriteOptions, WAL_NAME,
 };
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -24,6 +24,12 @@ fn temp_dir(tag: &str) -> PathBuf {
 
 fn read_back(path: &Path) -> Result<CsrGraph, StoreError> {
     Ok(StoreReader::open(path)?.read_graph()?.graph)
+}
+
+/// Reads through [`LoadedGraph`] — the zero-copy arena for v2 files — so
+/// the sweeps also cover the production open path for both formats.
+fn read_back_zero_copy(path: &Path) -> Result<CsrGraph, StoreError> {
+    Ok(LoadedGraph::open(path)?.view().to_csr_graph())
 }
 
 /// Removes any `<dir>.quarantine[.N]` siblings left by a quarantining open.
@@ -48,34 +54,46 @@ fn graph_write_sweep_preserves_previous_file() {
     let path = dir.join("g.tlpg");
     let old = chung_lu(120, 480, 2.2, 7);
     let new = chung_lu(120, 480, 2.2, 8);
-    let opts = WriteOptions::default();
 
-    write_graph(&path, &old, &opts).unwrap();
-    let (counted, total) = faults::count_ops(|| write_graph(&path, &new, &opts));
-    counted.unwrap();
-    assert!(total > 0, "op counter saw no I/O");
-    write_graph(&path, &old, &opts).unwrap(); // restore the "previous" state
+    for version in [FormatVersion::V1, FormatVersion::V2] {
+        let opts = WriteOptions {
+            version,
+            ..WriteOptions::default()
+        };
+        write_graph(&path, &old, &opts).unwrap();
+        let (counted, total) = faults::count_ops(|| write_graph(&path, &new, &opts));
+        counted.unwrap();
+        assert!(total > 0, "op counter saw no I/O");
+        write_graph(&path, &old, &opts).unwrap(); // restore the "previous" state
 
-    for kind in [FaultKind::Crash, FaultKind::ShortWrite, FaultKind::Enospc] {
-        for at_op in 0..total {
-            faults::arm(FaultSchedule {
-                at_op,
-                kind,
-                seed: at_op,
-            });
-            let failed = write_graph(&path, &new, &opts);
-            faults::disarm();
-            assert!(
-                failed.is_err(),
-                "{kind:?} at op {at_op} did not fail the write"
-            );
-            let survivor = read_back(&path).unwrap_or_else(|e| {
-                panic!("{kind:?} at op {at_op}: previous file unreadable: {e}")
-            });
-            assert_eq!(
-                survivor, old,
-                "{kind:?} at op {at_op} corrupted the previous file"
-            );
+        for kind in [FaultKind::Crash, FaultKind::ShortWrite, FaultKind::Enospc] {
+            for at_op in 0..total {
+                faults::arm(FaultSchedule {
+                    at_op,
+                    kind,
+                    seed: at_op,
+                });
+                let failed = write_graph(&path, &new, &opts);
+                faults::disarm();
+                assert!(
+                    failed.is_err(),
+                    "{version:?} {kind:?} at op {at_op} did not fail the write"
+                );
+                let survivor = read_back(&path).unwrap_or_else(|e| {
+                    panic!("{version:?} {kind:?} at op {at_op}: previous file unreadable: {e}")
+                });
+                assert_eq!(
+                    survivor, old,
+                    "{version:?} {kind:?} at op {at_op} corrupted the previous file"
+                );
+                let arena = read_back_zero_copy(&path).unwrap_or_else(|e| {
+                    panic!("{version:?} {kind:?} at op {at_op}: zero-copy open failed: {e}")
+                });
+                assert_eq!(
+                    arena, old,
+                    "{version:?} {kind:?} at op {at_op} corrupted the arena view"
+                );
+            }
         }
     }
     std::fs::remove_dir_all(&dir).unwrap();
@@ -87,29 +105,42 @@ fn graph_write_bit_flips_are_never_read_back_silently() {
     let dir = temp_dir("flip");
     let path = dir.join("g.tlpg");
     let graph = chung_lu(120, 480, 2.2, 9);
-    let opts = WriteOptions::default();
 
-    let (counted, total) = faults::count_ops(|| write_graph(&path, &graph, &opts));
-    counted.unwrap();
+    for version in [FormatVersion::V1, FormatVersion::V2] {
+        let opts = WriteOptions {
+            version,
+            ..WriteOptions::default()
+        };
+        let (counted, total) = faults::count_ops(|| write_graph(&path, &graph, &opts));
+        counted.unwrap();
 
-    for at_op in 0..total {
-        faults::arm(FaultSchedule {
-            at_op,
-            kind: FaultKind::BitFlip,
-            seed: 0xC0FF_EE00 ^ at_op,
-        });
-        let result = write_graph(&path, &graph, &opts);
-        faults::disarm();
-        // A flip never fails the write itself; whatever got committed must
-        // either read back as exactly the written graph (flip landed in
-        // slack the reader ignores) or fail with a typed error — silently
-        // reading back a *different* graph is the one forbidden outcome.
-        result.unwrap();
-        if let Ok(g) = read_back(&path) {
-            assert_eq!(
-                g, graph,
-                "bit flip at op {at_op} silently changed the graph"
-            );
+        for at_op in 0..total {
+            faults::arm(FaultSchedule {
+                at_op,
+                kind: FaultKind::BitFlip,
+                seed: 0xC0FF_EE00 ^ at_op,
+            });
+            let result = write_graph(&path, &graph, &opts);
+            faults::disarm();
+            // A flip never fails the write itself; whatever got committed
+            // must either read back as exactly the written graph (flip
+            // landed in slack the reader ignores) or fail with a typed
+            // error — silently reading back a *different* graph is the one
+            // forbidden outcome. Both the decode path and the zero-copy
+            // arena path are held to it.
+            result.unwrap();
+            if let Ok(g) = read_back(&path) {
+                assert_eq!(
+                    g, graph,
+                    "{version:?}: bit flip at op {at_op} silently changed the graph"
+                );
+            }
+            if let Ok(g) = read_back_zero_copy(&path) {
+                assert_eq!(
+                    g, graph,
+                    "{version:?}: bit flip at op {at_op} silently changed the arena view"
+                );
+            }
         }
     }
     std::fs::remove_dir_all(&dir).unwrap();

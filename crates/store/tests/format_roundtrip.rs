@@ -1,5 +1,6 @@
-//! Round-trip property: any graph written to the binary format reads back
-//! bit-identically — CSR arrays, degrees, and original ids all equal.
+//! Round-trip property: any graph written to the binary format (either
+//! version) reads back bit-identically — CSR arrays, degrees, and original
+//! ids all equal — and the v2 zero-copy arena agrees with the decoder.
 
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -7,7 +8,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use tlp_graph::generators::{barabasi_albert, chung_lu, erdos_renyi, genealogy};
 use tlp_graph::{CsrGraph, GraphBuilder};
 use tlp_store::format::SourceStamp;
-use tlp_store::{write_graph, StoreReader, WriteOptions};
+use tlp_store::{write_graph, FormatVersion, GraphBuf, StoreReader, WriteOptions};
 
 static CASE: AtomicUsize = AtomicUsize::new(0);
 
@@ -22,30 +23,44 @@ fn temp_path() -> PathBuf {
 }
 
 fn assert_roundtrip(graph: &CsrGraph, original_ids: Option<Vec<u64>>) {
-    let path = temp_path();
-    let options = WriteOptions {
-        original_ids: original_ids.clone(),
-        source: Some(SourceStamp {
-            len: 12345,
-            mtime: 67890,
-        }),
-    };
-    write_graph(&path, graph, &options).unwrap();
+    for version in [FormatVersion::V1, FormatVersion::V2] {
+        let path = temp_path();
+        let options = WriteOptions {
+            original_ids: original_ids.clone(),
+            source: Some(SourceStamp {
+                len: 12345,
+                mtime: 67890,
+            }),
+            version,
+        };
+        write_graph(&path, graph, &options).unwrap();
 
-    let reader = StoreReader::open(&path).unwrap();
-    assert_eq!(reader.header().num_vertices as usize, graph.num_vertices());
-    assert_eq!(reader.header().num_edges as usize, graph.num_edges());
-    assert_eq!(reader.header().source.len, 12345);
+        let reader = StoreReader::open(&path).unwrap();
+        assert_eq!(reader.version(), version.number());
+        assert_eq!(reader.header().num_vertices as usize, graph.num_vertices());
+        assert_eq!(reader.header().num_edges as usize, graph.num_edges());
+        assert_eq!(reader.header().source.len, 12345);
 
-    let degrees = reader.read_degrees().unwrap();
-    for v in graph.vertices() {
-        assert_eq!(degrees[v as usize] as usize, graph.degree(v));
+        let degrees = reader.read_degrees().unwrap();
+        for v in graph.vertices() {
+            assert_eq!(degrees[v as usize] as usize, graph.degree(v));
+        }
+
+        let stored = reader.read_graph().unwrap();
+        assert_eq!(&stored.graph, graph, "CSR not bit-identical after reload");
+        assert_eq!(stored.original_ids, original_ids);
+
+        if version == FormatVersion::V2 {
+            // The zero-copy arena must expose exactly the same graph.
+            let arena = GraphBuf::open(&path).unwrap();
+            assert_eq!(arena.view().to_csr_graph(), *graph);
+            assert_eq!(
+                arena.original_ids().map(<[u64]>::to_vec),
+                original_ids.clone()
+            );
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
-
-    let stored = reader.read_graph().unwrap();
-    assert_eq!(&stored.graph, graph, "CSR not bit-identical after reload");
-    assert_eq!(stored.original_ids, original_ids);
-    std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
 }
 
 #[test]
@@ -91,10 +106,17 @@ proptest! {
         })
     ) {
         let graph = GraphBuilder::new().add_edges(edges).build();
-        let path = temp_path();
-        write_graph(&path, &graph, &WriteOptions::default()).unwrap();
-        let stored = StoreReader::open(&path).unwrap().read_graph().unwrap();
-        prop_assert_eq!(stored.graph, graph);
-        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+        for version in [FormatVersion::V1, FormatVersion::V2] {
+            let path = temp_path();
+            let options = WriteOptions { version, ..WriteOptions::default() };
+            write_graph(&path, &graph, &options).unwrap();
+            let stored = StoreReader::open(&path).unwrap().read_graph().unwrap();
+            prop_assert_eq!(&stored.graph, &graph);
+            if version == FormatVersion::V2 {
+                let arena = GraphBuf::open(&path).unwrap();
+                prop_assert_eq!(arena.view().to_csr_graph(), graph.clone());
+            }
+            std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+        }
     }
 }

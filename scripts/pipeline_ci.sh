@@ -11,9 +11,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 WORK=$(mktemp -d)
-trap 'rm -rf "$WORK"' EXIT
+cleanup() {
+    if [ -f "$WORK/serve.pids" ]; then
+        while read -r pid; do
+            kill "$pid" 2>/dev/null || true
+        done < "$WORK/serve.pids"
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
 
 cli() { cargo run --release -q --bin tlp-cli -- "$@"; }
+convert() { cargo run --release -q -p tlp-store --bin tlp-convert -- "$@"; }
 
 # The registry's full name list (tlp-r takes its required R parameter).
 ALGOS=(dbh fennel greedy hdrf ldg metis ne random stage1 stage2 tlp tlp-r=0.3)
@@ -54,3 +63,65 @@ else
     diff scripts/obs_golden.jsonl "$WORK/trace_canonical.jsonl"
     echo "pipeline smoke OK: canonical event trace matches the golden stream"
 fi
+
+# Format compatibility: the checked-in v1 golden bytes must open through
+# today's reader, upgrade in place to v2, and partition identically in
+# either format; a fresh text graph converted to v2 must partition
+# identically to the text source; and the serving layer must answer a
+# live load straight off a v2 zero-copy arena.
+
+# --- Golden v1 bytes: readable, upgradable, partition-identical. -------
+convert info tests/golden/graph_v1.tlpg | tee "$WORK/golden_info.txt"
+grep -q "tlpg v1" "$WORK/golden_info.txt"
+
+cp tests/golden/graph_v1.tlpg "$WORK/golden_upgraded.tlpg"
+convert upgrade "$WORK/golden_upgraded.tlpg"
+convert info "$WORK/golden_upgraded.tlpg" > "$WORK/upgraded_info.txt"
+grep -q "tlpg v2" "$WORK/upgraded_info.txt"
+
+cli partition --input tests/golden/graph_v1.tlpg --format bin --partitions 4 \
+    --seed 42 --algorithm tlp --output "$WORK/golden_v1.tsv" > /dev/null
+cli partition --input "$WORK/golden_upgraded.tlpg" --format bin --partitions 4 \
+    --seed 42 --algorithm tlp --output "$WORK/golden_v2.tsv" > /dev/null
+diff "$WORK/golden_v1.tsv" "$WORK/golden_v2.tsv"
+echo "format-compat OK: golden v1 opens, upgrades, partitions identically"
+
+# --- Text vs v2 binary: bit-identical assignments. ---------------------
+convert to-bin "$WORK/graph.txt" "$WORK/graph_v2.tlpg"
+convert info "$WORK/graph_v2.tlpg" > "$WORK/v2_info.txt"
+grep -q "tlpg v2" "$WORK/v2_info.txt"
+cli partition --input "$WORK/graph.txt" --format text --partitions 8 \
+    --seed 42 --algorithm tlp --output "$WORK/text.tsv" > /dev/null
+cli partition --input "$WORK/graph_v2.tlpg" --format bin --partitions 8 \
+    --seed 42 --algorithm tlp --output "$WORK/bin.tsv" > /dev/null
+diff "$WORK/text.tsv" "$WORK/bin.tsv"
+echo "format-compat OK: text and v2 binary sources partition identically"
+
+# --- Serve smoke on a v2 store: arena-backed graph, live load. ---------
+cli partition --input "$WORK/graph_v2.tlpg" --format bin --partitions 8 \
+    --seed 42 --algorithm hdrf --out-store "$WORK/store" > /dev/null
+test -f "$WORK/store/MANIFEST.tlp"
+cargo run --release -q -p tlp-serve --bin tlp-serve -- "$WORK/store" \
+    --graph "$WORK/graph_v2.tlpg" --placer hdrf --addr 127.0.0.1:0 \
+    > "$WORK/serve.out" 2> "$WORK/serve.err" &
+SERVE_PID=$!
+echo "$SERVE_PID" >> "$WORK/serve.pids"
+ADDR=""
+for _ in $(seq 1 100); do
+    if grep -q "listening on" "$WORK/serve.out" 2>/dev/null; then
+        ADDR=$(awk '/listening on/ {print $NF}' "$WORK/serve.out")
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "v2-store server did not come up:" >&2
+    cat "$WORK/serve.out" "$WORK/serve.err" >&2
+    exit 1
+fi
+cargo run --release -q -p tlp-serve --bin tlp-loadgen -- "$ADDR" \
+    --ops 2000 --threads 2 --read-ratio 0.9 --zipf 1.1 --seed 42 \
+    --shutdown | tee "$WORK/v2load.out"
+grep -q " 0 protocol errors" "$WORK/v2load.out"
+wait "$SERVE_PID"
+echo "format-compat OK: serve smoke ran clean on a v2 zero-copy store"

@@ -28,7 +28,7 @@ use tlp::graph::CsrSource;
 use tlp::pipeline::builtin_registry;
 use tlp::store::{
     read_checkpoint, write_checkpoint, write_partition_store, BinaryFileSource, BudgetedCsrSource,
-    StoreReader, MAGIC,
+    LoadedGraph, MAGIC,
 };
 
 fn main() -> ExitCode {
@@ -133,6 +133,36 @@ enum InputFormat {
     Bin,
 }
 
+/// The `partition` subcommand's loaded input graph.
+///
+/// Text edge lists decode into an owned CSR; `.tlpg` files open through
+/// [`LoadedGraph`], which for format v2 lends the file's embedded CSR as a
+/// zero-copy arena — no per-edge decode and no CSR rebuild. Every
+/// downstream consumer works on the [`GraphView`](tlp::graph::GraphView),
+/// so the two paths share all the partitioning code.
+enum InputGraph {
+    Text(io::LoadedGraph),
+    Bin(LoadedGraph),
+}
+
+impl InputGraph {
+    fn view(&self) -> tlp::graph::GraphView<'_> {
+        match self {
+            InputGraph::Text(loaded) => loaded.graph.view(),
+            InputGraph::Bin(stored) => stored.view(),
+        }
+    }
+
+    /// External id of internal vertex `v` (identity when the file carries
+    /// no id map).
+    fn original_id(&self, v: usize) -> u64 {
+        match self {
+            InputGraph::Text(loaded) => loaded.original_ids[v],
+            InputGraph::Bin(stored) => stored.original_ids().map_or(v as u64, |ids| ids[v]),
+        }
+    }
+}
+
 /// Resolves `--format` (sniffing the `.tlpg` magic for `auto`).
 fn resolve_format(flag: Option<&str>, input: &str) -> Result<InputFormat, String> {
     match flag.unwrap_or("auto") {
@@ -215,29 +245,23 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     }
 
     let loaded = match format {
-        InputFormat::Text => io::read_edge_list_file(input).map_err(|e| e.to_string())?,
-        InputFormat::Bin => {
-            let stored = StoreReader::open(Path::new(input))
-                .and_then(|r| r.read_graph())
-                .map_err(|e| e.to_string())?;
-            let original_ids = stored
-                .original_ids
-                .unwrap_or_else(|| (0..stored.graph.num_vertices() as u64).collect());
-            io::LoadedGraph {
-                graph: stored.graph,
-                original_ids,
-            }
+        InputFormat::Text => {
+            InputGraph::Text(io::read_edge_list_file(input).map_err(|e| e.to_string())?)
         }
+        InputFormat::Bin => InputGraph::Bin(
+            LoadedGraph::open(Path::new(input)).map_err(|e| e.to_string())?,
+        ),
     };
+    let graph = loaded.view();
     eprintln!(
         "loaded {} ({}): {} vertices, {} edges",
         input,
-        match format {
-            InputFormat::Text => "text",
-            InputFormat::Bin => "bin",
+        match &loaded {
+            InputGraph::Text(_) => "text".to_string(),
+            InputGraph::Bin(stored) => format!("tlpg v{}", stored.format_version()),
         },
-        loaded.graph.num_vertices(),
-        loaded.graph.num_edges()
+        graph.num_vertices(),
+        graph.num_edges()
     );
 
     let config = AlgoConfig {
@@ -264,7 +288,7 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
                         .map_err(|e| e.to_string())?
                 }
                 InputFormat::Text => {
-                    let mut source = BudgetedCsrSource::new(&loaded.graph, budget);
+                    let mut source = BudgetedCsrSource::new(graph, budget);
                     registry
                         .run(algorithm, &config, &mut source, p)
                         .map_err(|e| e.to_string())?
@@ -307,16 +331,16 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
             };
             let start = std::time::Instant::now();
             let partition = tlp
-                .partition_with_checkpoints(&loaded.graph, p, snapshot.as_ref(), Some(&mut persist))
+                .partition_with_checkpoints(graph, p, snapshot.as_ref(), Some(&mut persist))
                 .map_err(|e| e.to_string())?;
             let seconds = start.elapsed().as_secs_f64();
-            let metrics = PartitionMetrics::compute(&loaded.graph, &partition);
+            let metrics = PartitionMetrics::compute(graph, &partition);
             let mut artifact = RunArtifact::new("TLP", partition, metrics, seconds);
             artifact.checkpoint_dir = Some(dir.to_path_buf());
             artifact
         } else {
             registry
-                .run(algorithm, &config, &mut CsrSource::new(&loaded.graph), p)
+                .run(algorithm, &config, &mut CsrSource::new(graph), p)
                 .map_err(|e| e.to_string())?
         };
         Ok(artifact)
@@ -374,7 +398,7 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     println!("time:               {:.2}s", artifact.seconds);
 
     if let Some(dir) = flags.get("out-store") {
-        let manifest = write_partition_store(Path::new(dir), &loaded.graph, &artifact.partition)
+        let manifest = write_partition_store(Path::new(dir), graph, &artifact.partition)
             .map_err(|e| e.to_string())?;
         artifact.store_dir = Some(Path::new(dir).to_path_buf());
         eprintln!(
@@ -388,13 +412,13 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     if let Some(output) = flags.get("output") {
         let mut file = std::fs::File::create(output).map_err(|e| e.to_string())?;
         writeln!(file, "# source\ttarget\tpartition").map_err(|e| e.to_string())?;
-        for (eid, edge) in loaded.graph.edges().iter().enumerate() {
+        for (eid, edge) in graph.edge_iter().enumerate() {
             let (u, v) = edge.endpoints();
             writeln!(
                 file,
                 "{}\t{}\t{}",
-                loaded.original_ids[u as usize],
-                loaded.original_ids[v as usize],
+                loaded.original_id(u as usize),
+                loaded.original_id(v as usize),
                 artifact.partition.partition_of(eid as u32)
             )
             .map_err(|e| e.to_string())?;

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `bytemuck` crate (slice-cast subset).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny slice of `bytemuck` it actually uses: a [`Pod`] marker
+//! trait for plain-old-data primitives and alignment/size-checked
+//! reinterpreting slice casts ([`cast_slice`], [`cast_slice_mut`],
+//! [`try_cast_slice`], [`try_cast_slice_mut`]).
+//!
+//! This is the **only** crate in the workspace allowed to contain `unsafe`;
+//! every other crate keeps `#![forbid(unsafe_code)]` and funnels zero-copy
+//! reinterpretation through these functions. Soundness rests on the [`Pod`]
+//! contract (any bit pattern is a valid value, no padding) plus the runtime
+//! alignment and length checks below, which mirror upstream `bytemuck`
+//! semantics: a cast that would misalign or split a target element fails
+//! instead of transmuting.
+
+#![warn(missing_docs)]
+
+use core::mem::{align_of, size_of};
+
+/// Marker for plain-old-data types: any bit pattern is a valid value and the
+/// representation has no padding bytes.
+///
+/// # Safety
+///
+/// Implementors must guarantee both properties above; the slice casts in
+/// this crate rely on them to reinterpret raw memory.
+pub unsafe trait Pod: Copy + 'static {}
+
+// Primitive words only — no user-defined structs, whose layout Rust does not
+// guarantee without `repr(C)`.
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for i64 {}
+
+/// Why a checked cast was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PodCastError {
+    /// The source pointer is not aligned for the target element type.
+    TargetAlignmentGreaterAndInputNotAligned,
+    /// The source byte length is not a multiple of the target element size.
+    OutputSliceWouldHaveSlop,
+}
+
+impl core::fmt::Display for PodCastError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PodCastError::TargetAlignmentGreaterAndInputNotAligned => {
+                write!(f, "input slice is not aligned for the target type")
+            }
+            PodCastError::OutputSliceWouldHaveSlop => {
+                write!(f, "input length is not a multiple of the target element size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PodCastError {}
+
+fn check<A: Pod, B: Pod>(ptr: *const A, len: usize) -> Result<usize, PodCastError> {
+    let bytes = len
+        .checked_mul(size_of::<A>())
+        .expect("slice byte length overflows usize");
+    if (ptr as usize) % align_of::<B>() != 0 {
+        return Err(PodCastError::TargetAlignmentGreaterAndInputNotAligned);
+    }
+    if size_of::<B>() == 0 || bytes % size_of::<B>() != 0 {
+        return Err(PodCastError::OutputSliceWouldHaveSlop);
+    }
+    Ok(bytes / size_of::<B>())
+}
+
+/// Reinterprets `&[A]` as `&[B]`, or reports why it cannot.
+pub fn try_cast_slice<A: Pod, B: Pod>(a: &[A]) -> Result<&[B], PodCastError> {
+    let out_len = check::<A, B>(a.as_ptr(), a.len())?;
+    // SAFETY: both types are Pod (no padding, any bits valid), the pointer is
+    // aligned for B, and the byte length divides evenly into B elements. The
+    // lifetime and borrow are inherited from `a`.
+    Ok(unsafe { core::slice::from_raw_parts(a.as_ptr() as *const B, out_len) })
+}
+
+/// Reinterprets `&mut [A]` as `&mut [B]`, or reports why it cannot.
+pub fn try_cast_slice_mut<A: Pod, B: Pod>(a: &mut [A]) -> Result<&mut [B], PodCastError> {
+    let out_len = check::<A, B>(a.as_ptr(), a.len())?;
+    // SAFETY: as in `try_cast_slice`, plus exclusivity inherited from `a`.
+    Ok(unsafe { core::slice::from_raw_parts_mut(a.as_mut_ptr() as *mut B, out_len) })
+}
+
+/// Reinterprets `&[A]` as `&[B]`.
+///
+/// # Panics
+///
+/// Panics if the slice is misaligned for `B` or its byte length is not a
+/// multiple of `size_of::<B>()`.
+pub fn cast_slice<A: Pod, B: Pod>(a: &[A]) -> &[B] {
+    try_cast_slice(a).expect("cast_slice")
+}
+
+/// Reinterprets `&mut [A]` as `&mut [B]`.
+///
+/// # Panics
+///
+/// Panics if the slice is misaligned for `B` or its byte length is not a
+/// multiple of `size_of::<B>()`.
+pub fn cast_slice_mut<A: Pod, B: Pod>(a: &mut [A]) -> &mut [B] {
+    try_cast_slice_mut(a).expect("cast_slice_mut")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_to_u8_and_back() {
+        let words = vec![0x0102_0304_0506_0708u64, 0x1112_1314_1516_1718u64];
+        let bytes: &[u8] = cast_slice(&words);
+        assert_eq!(bytes.len(), 16);
+        let back: &[u64] = cast_slice(bytes);
+        assert_eq!(back, &words[..]);
+    }
+
+    #[test]
+    fn u64_to_u32_halves() {
+        let words = vec![u64::from(u32::MAX)];
+        let halves: &[u32] = cast_slice(&words);
+        assert_eq!(halves.len(), 2);
+        assert!(halves.contains(&u32::MAX) && halves.contains(&0));
+    }
+
+    #[test]
+    fn little_endian_byte_order_observed() {
+        // The store format is explicitly little-endian; the cast path is only
+        // correct on little-endian hosts, which this asserts at test time.
+        let words = vec![1u64];
+        let bytes: &[u8] = cast_slice(&words);
+        assert_eq!(bytes[0], 1, "this workspace assumes a little-endian host");
+    }
+
+    #[test]
+    fn misaligned_cast_refused() {
+        let bytes = vec![0u8; 17];
+        // Odd length can never form whole u64 elements.
+        assert_eq!(
+            try_cast_slice::<u8, u64>(&bytes).unwrap_err(),
+            PodCastError::OutputSliceWouldHaveSlop
+        );
+        // An offset view is (almost always) misaligned; accept either error
+        // since a 1-offset pointer may coincidentally be 8-aligned only if
+        // the allocator misbehaves, which it cannot for Vec<u8> of align 1.
+        let tail = &bytes[1..];
+        assert!(try_cast_slice::<u8, u64>(tail).is_err());
+    }
+
+    #[test]
+    fn mutable_cast_writes_through() {
+        let mut words = vec![0u64; 2];
+        {
+            let bytes: &mut [u8] = cast_slice_mut(&mut words);
+            bytes[0] = 7;
+            bytes[8] = 9;
+        }
+        assert_eq!(words, vec![7, 9]);
+    }
+
+    #[test]
+    fn empty_slice_casts() {
+        let empty: &[u64] = &[];
+        let bytes: &[u8] = cast_slice(empty);
+        assert!(bytes.is_empty());
+    }
+}
